@@ -1,0 +1,47 @@
+//! Grid-indexed vs naive O(n²) DBSCAN (the neighbour-index ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_clustering::{dbscan, dbscan_naive, DbscanParams};
+use hpm_geo::Point;
+
+/// Deterministic mixture of dense blobs plus background noise.
+fn points(n: usize) -> Vec<Point> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let centers = [(2_000.0, 2_000.0), (8_000.0, 3_000.0), (5_000.0, 8_000.0)];
+    for i in 0..n {
+        if i % 4 == 3 {
+            out.push(Point::new(next() * 10_000.0, next() * 10_000.0));
+        } else {
+            let (cx, cy) = centers[i % 3];
+            out.push(Point::new(cx + next() * 400.0, cy + next() * 400.0));
+        }
+    }
+    out
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    for &n in &[200usize, 1_000, 4_000] {
+        let pts = points(n);
+        let params = DbscanParams::new(30.0, 4);
+        group.bench_with_input(BenchmarkId::new("grid", n), &pts, |b, pts| {
+            b.iter(|| std::hint::black_box(dbscan(pts, params)))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &pts, |b, pts| {
+                b.iter(|| std::hint::black_box(dbscan_naive(pts, params)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Persistence-codec and object-store throughput benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpm_bench::synthetic_patterns;
+use hpm_core::HpmConfig;
+use hpm_datagen::{paper_dataset, PaperDataset, PERIOD};
+use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_store::{decode_model, encode_model};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_codec");
+    for &n in &[1_000usize, 20_000] {
+        let (regions, patterns) = synthetic_patterns(n, 400, 5);
+        let blob = encode_model(&regions, &patterns);
+        group.throughput(Throughput::Bytes(blob.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(encode_model(&regions, &patterns)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(decode_model(&blob).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_objectstore_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objectstore");
+    group.sample_size(10);
+    let traj = paper_dataset(PaperDataset::Cow, 9).generate_subs(25);
+    let config = || StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 30.0,
+            min_pts: 4,
+        },
+        mining: MiningParams {
+            min_support: 4,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 8,
+            max_span: 64,
+        },
+        hpm: HpmConfig::default(),
+        min_train_subs: 20,
+        retrain_every_subs: 20,
+        recent_len: 20,
+    };
+    group.throughput(Throughput::Elements(traj.len() as u64));
+    group.bench_function("ingest_25_days_with_one_retrain", |b| {
+        b.iter(|| {
+            let store = MovingObjectStore::new(config());
+            for d in 0..25usize {
+                let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
+                store
+                    .report_batch(ObjectId(1), (d * PERIOD as usize) as u64, day)
+                    .unwrap();
+            }
+            std::hint::black_box(store.stats(ObjectId(1)).unwrap())
+        })
+    });
+
+    // Query throughput on a trained store.
+    let store = MovingObjectStore::new(config());
+    for d in 0..25usize {
+        let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
+        store
+            .report_batch(ObjectId(1), (d * PERIOD as usize) as u64, day)
+            .unwrap();
+    }
+    let now = 25 * PERIOD as u64 - 1;
+    group.bench_function("predict_trained", |b| {
+        let mut ahead = 1u64;
+        b.iter(|| {
+            ahead = ahead % 150 + 1;
+            std::hint::black_box(store.predict(ObjectId(1), now + ahead).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_objectstore_ingest);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! TPT search vs brute-force scan (Fig. 11b), plus the node-fanout
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_bench::synthetic_patterns;
+use hpm_tpt::{BruteForce, KeyTable, PatternIndex, PatternKey, Tpt, TptConfig};
+
+fn queries(table: &KeyTable, n: usize, regions: usize) -> Vec<PatternKey> {
+    (0..n)
+        .map(|i| {
+            let seed = i * 7919 + 17;
+            let recent = (0..1 + i % 3)
+                .map(|j| hpm_patterns::RegionId(((seed + j * 131) % regions) as u32));
+            let offsets = table.consequence_offsets();
+            table.fqp_query(recent, offsets[seed % offsets.len()])
+        })
+        .collect()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpt_vs_brute");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (set, patterns) = synthetic_patterns(n, 800, 13);
+        let table = KeyTable::build(&set, &patterns);
+        let entries: Vec<_> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (table.encode_pattern(p, &set), p.confidence, i as u32))
+            .collect();
+        let tpt = Tpt::bulk_load(TptConfig::default(), entries.clone());
+        let brute = BruteForce::from_entries(entries);
+        let qs = queries(&table, 20, set.len());
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("tpt", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    tpt.search_into(std::hint::black_box(q), &mut out);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    brute.search_into(std::hint::black_box(q), &mut out);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpt_fanout");
+    let (set, patterns) = synthetic_patterns(20_000, 400, 29);
+    let table = KeyTable::build(&set, &patterns);
+    let entries: Vec<_> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (table.encode_pattern(p, &set), p.confidence, i as u32))
+        .collect();
+    let qs = queries(&table, 20, set.len());
+    for &fanout in &[8usize, 32, 128] {
+        let tpt = Tpt::bulk_load(TptConfig::new(fanout), entries.clone());
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    tpt.search_into(std::hint::black_box(q), &mut out);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let (set, patterns) = synthetic_patterns(5_000, 400, 31);
+    let table = KeyTable::build(&set, &patterns);
+    let entries: Vec<_> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (table.encode_pattern(p, &set), p.confidence, i as u32))
+        .collect();
+    c.bench_function("tpt_insert_5k", |b| {
+        b.iter(|| {
+            let mut tpt = Tpt::new(TptConfig::default());
+            for (k, conf, id) in &entries {
+                tpt.insert(k.clone(), *conf, *id);
+            }
+            std::hint::black_box(tpt.len())
+        })
+    });
+    c.bench_function("tpt_bulk_load_5k", |b| {
+        b.iter(|| {
+            let tpt = Tpt::bulk_load(TptConfig::default(), entries.clone());
+            std::hint::black_box(tpt.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_search, bench_fanout, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Renders an experiment TSV as an ASCII line chart.
+//!
+//! ```text
+//! cargo run --release -p hpm-bench --bin plot -- \
+//!     experiments_output/fig5-prediction-length.tsv \
+//!     --x prediction_length --y hpm_error,rmf_error --series dataset
+//! ```
+
+use hpm_bench::plot::{render, PlotConfig, Table};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut x = None;
+    let mut y = None;
+    let mut series = None;
+    let mut it = args.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--x" => x = Some(it.next().ok_or("--x needs a value")?.clone()),
+            "--y" => y = Some(it.next().ok_or("--y needs a value")?.clone()),
+            "--series" => series = Some(it.next().ok_or("--series needs a value")?.clone()),
+            other if !other.starts_with("--") && path.is_none() => {
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: plot <file.tsv> --x COL --y COL[,COL...] [--series COL]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let table = Table::parse(&text)?;
+    let x = x.ok_or("--x is required")?;
+    let y = y.ok_or("--y is required")?;
+    let y_cols: Vec<&str> = y.split(',').collect();
+    let chart = render(
+        &table,
+        &x,
+        &y_cols,
+        series.as_deref(),
+        PlotConfig::default(),
+    )?;
+    println!("{path}");
+    print!("{chart}");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Shared experiment machinery for reproducing §VII: the paper's fixed
+//! parameter set, dataset construction, synthetic pattern sets for the
+//! Fig. 11 index experiments, and TSV reporting.
+
+pub mod plot;
+pub mod report;
+pub mod setup;
+pub mod synth;
+
+pub use setup::{paper_discovery, paper_mining, Experiment};
+pub use synth::synthetic_patterns;

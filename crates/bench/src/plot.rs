@@ -1,0 +1,226 @@
+//! ASCII line charts for experiment TSVs: see the shape of a figure
+//! without leaving the terminal.
+
+use std::collections::BTreeMap;
+
+/// A parsed TSV: header + rows of equal width.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column names from the header row.
+    pub columns: Vec<String>,
+    /// Data rows (cells as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Parses TSV text (first line = header).
+    pub fn parse(text: &str) -> Result<Table, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty table")?;
+        let columns: Vec<String> = header.split('\t').map(str::to_string).collect();
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let row: Vec<String> = line.split('\t').map(str::to_string).collect();
+            if row.len() != columns.len() {
+                return Err(format!(
+                    "row {}: {} cells, header has {}",
+                    i + 2,
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Err("no data rows".into());
+        }
+        Ok(Table { columns, rows })
+    }
+
+    /// Index of a named column.
+    pub fn column(&self, name: &str) -> Result<usize, String> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| format!("no column `{name}` (have: {})", self.columns.join(", ")))
+    }
+}
+
+/// Chart geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotConfig {
+    /// Plot area width in characters.
+    pub width: usize,
+    /// Plot area height in characters.
+    pub height: usize,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            width: 72,
+            height: 20,
+        }
+    }
+}
+
+/// Renders `y_cols` against `x_col`, one curve per `(series value,
+/// y column)` pair when `series_col` is given. Curves get marker
+/// letters `a, b, c…` with a legend underneath.
+pub fn render(
+    table: &Table,
+    x_col: &str,
+    y_cols: &[&str],
+    series_col: Option<&str>,
+    config: PlotConfig,
+) -> Result<String, String> {
+    let xi = table.column(x_col)?;
+    let yis: Vec<usize> = y_cols
+        .iter()
+        .map(|c| table.column(c))
+        .collect::<Result<_, _>>()?;
+    let si = series_col.map(|c| table.column(c)).transpose()?;
+
+    // Curves keyed by "<series>/<ycol>" in first-appearance order.
+    let mut curves: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for row in &table.rows {
+        let x: f64 = row[xi]
+            .parse()
+            .map_err(|_| format!("non-numeric x `{}`", row[xi]))?;
+        for (&yi, &name) in yis.iter().zip(y_cols) {
+            let y: f64 = row[yi]
+                .parse()
+                .map_err(|_| format!("non-numeric y `{}`", row[yi]))?;
+            let key = match si {
+                Some(s) => format!("{} {}", row[s], name),
+                None => name.to_string(),
+            };
+            curves.entry(key).or_default().push((x, y));
+        }
+    }
+    if curves.len() > 26 {
+        return Err(format!("{} curves exceed 26 markers", curves.len()));
+    }
+
+    let all: Vec<(f64, f64)> = curves.values().flatten().copied().collect();
+    let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
+    let (y_min, y_max) = bounds(all.iter().map(|p| p.1));
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+    let (w, h) = (config.width.max(8), config.height.max(4));
+
+    let mut grid = vec![b' '; w * h];
+    for (ci, points) in curves.values().enumerate() {
+        let marker = b'a' + ci as u8;
+        for &(x, y) in points {
+            let col = (((x - x_min) / x_span) * (w - 1) as f64).round() as usize;
+            let row = (((y_max - y) / y_span) * (h - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(h - 1) * w + col.min(w - 1)];
+            // Overlaps render as '*'.
+            *cell = if *cell == b' ' { marker } else { b'*' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>10.1} ┤"));
+    out.push_str(std::str::from_utf8(&grid[..w]).expect("ascii"));
+    out.push('\n');
+    for r in 1..h - 1 {
+        out.push_str("           │");
+        out.push_str(std::str::from_utf8(&grid[r * w..(r + 1) * w]).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.1} ┤"));
+    out.push_str(std::str::from_utf8(&grid[(h - 1) * w..]).expect("ascii"));
+    out.push('\n');
+    out.push_str("           └");
+    out.push_str(&"─".repeat(w));
+    out.push('\n');
+    out.push_str(&format!(
+        "            {:<width$.1}{:>10.1}\n",
+        x_min,
+        x_max,
+        width = w - 9
+    ));
+    for (ci, key) in curves.keys().enumerate() {
+        out.push_str(&format!("  {} = {key}\n", (b'a' + ci as u8) as char));
+    }
+    Ok(out)
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "dataset\tx\tya\tyb\nBike\t0\t0\t10\nBike\t10\t5\t5\nCow\t0\t10\t0\nCow\t10\t10\t10\n";
+
+    #[test]
+    fn parse_roundtrip() {
+        let t = Table::parse(SAMPLE).unwrap();
+        assert_eq!(t.columns, vec!["dataset", "x", "ya", "yb"]);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.column("ya").unwrap(), 2);
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        assert!(Table::parse("a\tb\n1\n").unwrap_err().contains("row 2"));
+        assert!(Table::parse("").is_err());
+        assert!(Table::parse("a\tb\n").is_err());
+    }
+
+    #[test]
+    fn render_places_extremes() {
+        let t = Table::parse(SAMPLE).unwrap();
+        let chart = render(&t, "x", &["ya"], Some("dataset"), PlotConfig::default()).unwrap();
+        // Legend has one marker per dataset.
+        assert!(chart.contains("a = Bike ya"));
+        assert!(chart.contains("b = Cow ya"));
+        // Axis labels carry the bounds.
+        assert!(chart.contains("10.0"));
+        assert!(chart.contains("0.0"));
+    }
+
+    #[test]
+    fn render_multiple_y_columns() {
+        let t = Table::parse(SAMPLE).unwrap();
+        let chart = render(&t, "x", &["ya", "yb"], Some("dataset"), PlotConfig::default()).unwrap();
+        assert!(chart.contains("d = Cow yb"));
+    }
+
+    #[test]
+    fn render_without_series() {
+        let t = Table::parse("x\ty\n0\t1\n5\t2\n10\t9\n").unwrap();
+        let chart = render(&t, "x", &["y"], None, PlotConfig::default()).unwrap();
+        assert!(chart.contains("a = y"));
+        // The max point lands on the top row.
+        let top = chart.lines().next().unwrap();
+        assert!(top.contains('a'), "{top}");
+    }
+
+    #[test]
+    fn render_errors_are_informative() {
+        let t = Table::parse(SAMPLE).unwrap();
+        assert!(render(&t, "dataset", &["ya"], None, PlotConfig::default())
+            .unwrap_err()
+            .contains("non-numeric x"));
+        assert!(render(&t, "x", &["nope"], None, PlotConfig::default())
+            .unwrap_err()
+            .contains("no column"));
+    }
+
+    #[test]
+    fn overlapping_points_star() {
+        let t = Table::parse("x\ty1\ty2\n0\t5\t5\n1\t6\t7\n").unwrap();
+        let chart = render(&t, "x", &["y1", "y2"], None, PlotConfig { width: 10, height: 5 })
+            .unwrap();
+        assert!(chart.contains('*'), "{chart}");
+    }
+}

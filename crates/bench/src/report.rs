@@ -1,0 +1,84 @@
+//! TSV reporting: every experiment prints a table to stdout and writes
+//! the same rows to `experiments_output/<id>.tsv` for EXPERIMENTS.md.
+
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// A simple two-target table writer (stdout + TSV file).
+pub struct Report {
+    name: String,
+    file: BufWriter<fs::File>,
+}
+
+impl Report {
+    /// Opens `experiments_output/<name>.tsv` (creating the directory)
+    /// and prints a header line.
+    pub fn new(name: &str, columns: &[&str]) -> std::io::Result<Self> {
+        let dir = PathBuf::from("experiments_output");
+        fs::create_dir_all(&dir)?;
+        let file = fs::File::create(dir.join(format!("{name}.tsv")))?;
+        let mut report = Report {
+            name: name.to_string(),
+            file: BufWriter::new(file),
+        };
+        println!("\n== {name} ==");
+        report.row(columns)?;
+        Ok(report)
+    }
+
+    /// Writes one row to both targets.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> std::io::Result<()> {
+        let line = cells
+            .iter()
+            .map(AsRef::as_ref)
+            .collect::<Vec<_>>()
+            .join("\t");
+        println!("{line}");
+        writeln!(self.file, "{line}")?;
+        Ok(())
+    }
+
+    /// The experiment id this report writes under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Formats a float with 1 decimal (error distances).
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with 3 decimals (similarities, confidences).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats microseconds with 1 decimal.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f1(1234.567), "1234.6");
+        assert_eq!(f3(0.123456), "0.123");
+        assert_eq!(us(12.34), "12.3");
+    }
+
+    #[test]
+    fn report_writes_tsv() {
+        let mut r = Report::new("selftest", &["a", "b"]).unwrap();
+        r.row(&["1", "2"]).unwrap();
+        assert_eq!(r.name(), "selftest");
+        drop(r);
+        let content = std::fs::read_to_string("experiments_output/selftest.tsv").unwrap();
+        assert_eq!(content, "a\tb\n1\t2\n");
+        std::fs::remove_file("experiments_output/selftest.tsv").unwrap();
+    }
+}

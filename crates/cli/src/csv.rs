@@ -1,0 +1,147 @@
+//! Minimal trajectory CSV I/O: `t,x,y` rows, one sample per
+//! consecutive timestamp.
+
+use hpm_geo::Point;
+use hpm_trajectory::{Timestamp, Trajectory};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a trajectory as `t,x,y` rows with a header.
+pub fn write_trajectory(path: impl AsRef<Path>, traj: &Trajectory) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "t,x,y")?;
+    for (i, p) in traj.points().iter().enumerate() {
+        writeln!(w, "{},{},{}", traj.start() + i as Timestamp, p.x, p.y)?;
+    }
+    w.flush()
+}
+
+/// Reads raw `(t, x, y)` samples from a CSV (header optional), with no
+/// ordering or contiguity requirements — feed the result to
+/// `hpm_trajectory::from_sparse_samples` to obtain a gap-free
+/// trajectory.
+pub fn read_samples(path: impl AsRef<Path>) -> Result<Vec<(Timestamp, Point)>, String> {
+    let file = std::fs::File::open(&path)
+        .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+    let reader = std::io::BufReader::new(file);
+    let mut samples: Vec<(Timestamp, Point)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if lineno == 0 && trimmed.starts_with(|c: char| c.is_alphabetic()) {
+            continue; // header
+        }
+        let mut cells = trimmed.split(',');
+        let err = |what: &str| format!("line {}: {what}: `{trimmed}`", lineno + 1);
+        let t: Timestamp = cells
+            .next()
+            .ok_or_else(|| err("missing t"))?
+            .trim()
+            .parse()
+            .map_err(|_| err("bad t"))?;
+        let x: f64 = cells
+            .next()
+            .ok_or_else(|| err("missing x"))?
+            .trim()
+            .parse()
+            .map_err(|_| err("bad x"))?;
+        let y: f64 = cells
+            .next()
+            .ok_or_else(|| err("missing y"))?
+            .trim()
+            .parse()
+            .map_err(|_| err("bad y"))?;
+        if cells.next().is_some() {
+            return Err(err("too many columns"));
+        }
+        if !x.is_finite() || !y.is_finite() {
+            return Err(err("non-finite coordinate"));
+        }
+        samples.push((t, Point::new(x, y)));
+    }
+    if samples.is_empty() {
+        return Err("no samples in file".into());
+    }
+    Ok(samples)
+}
+
+/// Reads a `t,x,y` CSV (header optional). Timestamps must be
+/// consecutive; the first row sets the start time. (Use
+/// [`read_samples`] + `from_sparse_samples` for feeds with gaps.)
+pub fn read_trajectory(path: impl AsRef<Path>) -> Result<Trajectory, String> {
+    let samples = read_samples(path)?;
+    let start = samples[0].0;
+    let mut points = Vec::with_capacity(samples.len());
+    for (i, (t, p)) in samples.into_iter().enumerate() {
+        let expected = start + i as Timestamp;
+        if t != expected {
+            return Err(format!(
+                "non-consecutive timestamp {t} (expected {expected}); \
+                 re-run with --fill-gaps true to interpolate"
+            ));
+        }
+        points.push(p);
+    }
+    Ok(Trajectory::new(start, points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hpm_cli_csv_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let traj = Trajectory::new(
+            100,
+            vec![Point::new(1.5, -2.0), Point::new(3.0, 4.0), Point::new(0.0, 0.25)],
+        );
+        let path = tmp("roundtrip.csv");
+        write_trajectory(&path, &traj).unwrap();
+        let back = read_trajectory(&path).unwrap();
+        assert_eq!(back, traj);
+    }
+
+    #[test]
+    fn header_optional_and_whitespace_tolerated() {
+        let path = tmp("noheader.csv");
+        std::fs::write(&path, "0, 1.0, 2.0\n1, 3.0, 4.0\n\n").unwrap();
+        let t = read_trajectory(&path).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.at(1), Some(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn gaps_rejected() {
+        let path = tmp("gap.csv");
+        std::fs::write(&path, "t,x,y\n0,1,1\n2,2,2\n").unwrap();
+        assert!(read_trajectory(&path)
+            .unwrap_err()
+            .contains("non-consecutive"));
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        for (name, content, needle) in [
+            ("badx.csv", "0,abc,1\n", "bad x"),
+            ("short.csv", "0,1\n", "missing y"),
+            ("long.csv", "0,1,2,3\n", "too many"),
+            ("nan.csv", "0,NaN,2\n", "non-finite"),
+            ("empty.csv", "t,x,y\n", "no samples"),
+        ] {
+            let path = tmp(name);
+            std::fs::write(&path, content).unwrap();
+            let err = read_trajectory(&path).unwrap_err();
+            assert!(err.contains(needle), "{name}: {err}");
+        }
+    }
+}

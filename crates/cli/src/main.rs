@@ -1,0 +1,410 @@
+//! `hpm` — command-line front end for the Hybrid Prediction Model.
+//!
+//! ```text
+//! hpm generate --dataset bike --subs 80 --seed 42 --output traj.csv
+//! hpm train    --input traj.csv --period 300 --output model.hpm
+//! hpm info     --model model.hpm
+//! hpm predict  --model model.hpm --input traj.csv --at 18050 [--k 3]
+//! hpm eval     --input traj.csv --period 300 --train-subs 60 --length 50
+//! ```
+//!
+//! Trajectories are `t,x,y` CSV files (consecutive timestamps); models
+//! are `hpm-store` binary blobs.
+
+mod args;
+mod csv;
+
+use args::Args;
+use hpm_core::eval::{
+    error_stats, make_workload, source_breakdown, training_slice, WorkloadParams,
+};
+use hpm_motion::{LinearMotion, MotionModel, Rmf};
+use hpm_core::{HpmConfig, HybridPredictor, PredictiveQuery};
+use hpm_datagen::{paper_dataset, PaperDataset};
+use hpm_patterns::{discover, mine, DiscoveryParams, MiningParams};
+use hpm_store::{load_model, save_model};
+use hpm_trajectory::{despike, from_sparse_samples, Trajectory};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{HELP}");
+        return;
+    }
+    let result = Args::parse(&argv).and_then(|args| match args.command() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "info" => cmd_info(&args),
+        "predict" => cmd_predict(&args),
+        "eval" => cmd_eval(&args),
+        "staypoints" => cmd_staypoints(&args),
+        "simplify" => cmd_simplify(&args),
+        other => Err(format!("unknown subcommand `{other}`; try `hpm help`")),
+    });
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const HELP: &str = "\
+hpm - Hybrid Prediction Model for moving objects (ICDE 2008)
+
+USAGE: hpm <subcommand> [--flag value]...
+
+SUBCOMMANDS
+  generate  synthesize a periodic trajectory CSV
+            --dataset bike|cow|car|airplane  --output FILE
+            [--subs 80] [--seed 42]
+  train     discover frequent regions, mine patterns, save the model
+            --input traj.csv  --period N  --output model.hpm
+            [--eps 30] [--min-pts 4] [--min-conf 0.3]
+            [--min-support 4] [--max-premise 2] [--max-gap 8] [--max-span 64]
+            [--fill-gaps true] [--despike MAX_STEP]
+  info      summarise a saved model
+            --model model.hpm  [--top 10] [--map true]
+  predict   answer a predictive query from a model + recent movements
+            --model model.hpm  --input traj.csv  --at T
+            [--recent 20] [--k 1] [--distant 60] [--teps 2] [--margin 30]
+            [--fill-gaps true] [--despike MAX_STEP]
+  eval      compare HPM / RMF / linear accuracy on held-out data
+            --input traj.csv  --period N  --train-subs N  --length N
+            [--queries 50] [--recent 20] [--extent 10000]
+            [--eps 30] [--min-pts 4] [--min-conf 0.3]
+            [--fill-gaps true] [--despike MAX_STEP]
+  staypoints  detect dwell intervals (stays within RADIUS for >= DUR)
+            --input traj.csv  --radius R  --min-duration DUR
+            [--fill-gaps true] [--despike MAX_STEP]
+  simplify  Ramer-Douglas-Peucker compaction of a trajectory CSV
+            --input traj.csv  --epsilon E  --output out.csv
+            [--fill-gaps true] [--despike MAX_STEP]
+
+  Input CSVs are `t,x,y` rows. --fill-gaps interpolates missing
+  timestamps; --despike repairs isolated jumps larger than MAX_STEP.
+";
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.expect_only(&["dataset", "output", "subs", "seed"])?;
+    let dataset = match args.required("dataset")? {
+        "bike" => PaperDataset::Bike,
+        "cow" => PaperDataset::Cow,
+        "car" => PaperDataset::Car,
+        "airplane" => PaperDataset::Airplane,
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let output = args.required("output")?;
+    let subs: usize = args.get_or("subs", 80)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let traj = paper_dataset(dataset, seed).generate_subs(subs);
+    csv::write_trajectory(output, &traj).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} samples ({subs} sub-trajectories of period {}) to {output}",
+        traj.len(),
+        hpm_datagen::PERIOD
+    );
+    Ok(())
+}
+
+/// Loads an input trajectory honouring `--fill-gaps` / `--despike`.
+fn load_input(args: &Args) -> Result<Trajectory, String> {
+    let path = args.required("input")?;
+    let fill: bool = args.get_or("fill-gaps", false)?;
+    let mut traj = if fill {
+        let samples = csv::read_samples(path)?;
+        let (traj, filled) = from_sparse_samples(samples).map_err(|e| e.to_string())?;
+        if filled > 0 {
+            eprintln!("note: interpolated {filled} missing samples");
+        }
+        traj
+    } else {
+        csv::read_trajectory(path)?
+    };
+    if let Some(raw) = args.optional("despike") {
+        let max_step: f64 = raw
+            .parse()
+            .map_err(|_| format!("--despike: cannot parse `{raw}`"))?;
+        let (fixed, n) = despike(&traj, max_step);
+        if n > 0 {
+            eprintln!("note: repaired {n} spike samples");
+        }
+        traj = fixed;
+    }
+    Ok(traj)
+}
+
+fn mining_from(args: &Args) -> Result<MiningParams, String> {
+    Ok(MiningParams {
+        min_support: args.get_or("min-support", 4)?,
+        min_confidence: args.get_or("min-conf", 0.3)?,
+        max_premise_len: args.get_or("max-premise", 2)?,
+        max_premise_gap: args.get_or("max-gap", 8)?,
+        max_span: args.get_or("max-span", 64)?,
+    })
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    args.expect_only(&[
+        "input", "period", "output", "eps", "min-pts", "min-conf", "min-support",
+        "max-premise", "max-gap", "max-span", "fill-gaps", "despike",
+    ])?;
+    let traj = load_input(args)?;
+    let discovery = DiscoveryParams {
+        period: args.get("period")?,
+        eps: args.get_or("eps", 30.0)?,
+        min_pts: args.get_or("min-pts", 4)?,
+    };
+    let mining = mining_from(args)?;
+    let started = std::time::Instant::now();
+    let out = discover(&traj, &discovery);
+    let patterns = mine(&out.regions, &out.visits, &mining);
+    let output = args.required("output")?;
+    save_model(output, &out.regions, &patterns).map_err(|e| e.to_string())?;
+    println!(
+        "trained in {:.1}s: {} frequent regions, {} patterns -> {output}",
+        started.elapsed().as_secs_f64(),
+        out.regions.len(),
+        patterns.len()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    args.expect_only(&["model", "top", "map"])?;
+    let model = load_model(args.required("model")?)
+        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+    let top: usize = args.get_or("top", 10)?;
+    println!(
+        "period {} | {} frequent regions | {} patterns",
+        model.regions.period(),
+        model.regions.len(),
+        model.patterns.len()
+    );
+    if args.get_or("map", false)? {
+        print!("{}", region_map(&model.regions, 64, 24));
+    }
+    let mut by_conf: Vec<_> = model.patterns.iter().collect();
+    by_conf.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite confidences")
+            .then(b.support.cmp(&a.support))
+    });
+    println!("top {} patterns by confidence:", top.min(by_conf.len()));
+    for p in by_conf.iter().take(top) {
+        println!("  {} (support {})", p.display(&model.regions), p.support);
+    }
+    Ok(())
+}
+
+/// ASCII density map of frequent-region centroids (support-weighted).
+fn region_map(regions: &hpm_patterns::RegionSet, cols: usize, rows: usize) -> String {
+    let all = regions.all();
+    let Some(bbox) = hpm_geo::BoundingBox::from_points(
+        &all.iter().map(|r| r.centroid).collect::<Vec<_>>(),
+    ) else {
+        return "(no regions)\n".into();
+    };
+    let w = bbox.width().max(1e-9);
+    let h = bbox.height().max(1e-9);
+    let mut grid = vec![0u64; cols * rows];
+    for r in all {
+        let cx = (((r.centroid.x - bbox.min.x) / w) * (cols - 1) as f64).round() as usize;
+        // Flip y: terminal rows grow downward.
+        let cy = (((bbox.max.y - r.centroid.y) / h) * (rows - 1) as f64).round() as usize;
+        grid[cy.min(rows - 1) * cols + cx.min(cols - 1)] += u64::from(r.support);
+    }
+    let max = grid.iter().copied().max().unwrap_or(0).max(1);
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((cols + 3) * (rows + 3));
+    out.push_str(&format!(
+        "region density map [{:.0},{:.0}]..[{:.0},{:.0}]\n",
+        bbox.min.x, bbox.min.y, bbox.max.x, bbox.max.y
+    ));
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in 0..rows {
+        out.push('|');
+        for col in 0..cols {
+            let v = grid[row * cols + col];
+            let idx = if v == 0 {
+                0
+            } else {
+                1 + ((v * (SHADES.len() as u64 - 2)) / max) as usize
+            };
+            out.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    out
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    args.expect_only(&[
+        "model", "input", "at", "recent", "k", "distant", "teps", "margin", "fill-gaps",
+        "despike",
+    ])?;
+    let model = load_model(args.required("model")?)
+        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+    let traj = load_input(args)?;
+    let config = HpmConfig {
+        k: args.get_or("k", 1)?,
+        distant_threshold: args.get_or("distant", 60)?,
+        time_relaxation: args.get_or("teps", 2)?,
+        match_margin: args.get_or("margin", 30.0)?,
+        ..HpmConfig::default()
+    };
+    let predictor = HybridPredictor::from_parts(model.regions, model.patterns, config);
+    let recent_len: usize = args.get_or("recent", 20)?;
+    let (recent, _) = traj.recent_window(recent_len);
+    let current_time = traj.end() - 1;
+    let query_time: u64 = args.get("at")?;
+    if query_time <= current_time {
+        return Err(format!(
+            "--at {query_time} is not after the trajectory's last timestamp {current_time}"
+        ));
+    }
+    let pred = predictor.predict(&PredictiveQuery {
+        recent,
+        current_time,
+        query_time,
+    });
+    println!(
+        "object now at {} (t={current_time}); at t={query_time} predicted via {:?}:",
+        recent.last().expect("non-empty trajectory"),
+        pred.source
+    );
+    for (rank, a) in pred.answers.iter().enumerate() {
+        println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
+    }
+    Ok(())
+}
+
+fn cmd_staypoints(args: &Args) -> Result<(), String> {
+    args.expect_only(&["input", "radius", "min-duration", "fill-gaps", "despike"])?;
+    let traj = load_input(args)?;
+    let radius: f64 = args.get("radius")?;
+    let min_duration: u64 = args.get("min-duration")?;
+    let points = hpm_trajectory::stay_points(&traj, radius, min_duration);
+    println!(
+        "{} stay points (radius {radius}, min duration {min_duration}):",
+        points.len()
+    );
+    println!("{:>10} {:>10} {:>9}  center", "start", "end", "duration");
+    for sp in &points {
+        println!(
+            "{:>10} {:>10} {:>9}  {}",
+            sp.start,
+            sp.end,
+            sp.duration(),
+            sp.center
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simplify(args: &Args) -> Result<(), String> {
+    args.expect_only(&["input", "epsilon", "output", "fill-gaps", "despike"])?;
+    let traj = load_input(args)?;
+    let epsilon: f64 = args.get("epsilon")?;
+    if !(epsilon >= 0.0 && epsilon.is_finite()) {
+        return Err(format!("--epsilon must be non-negative, got {epsilon}"));
+    }
+    let kept = hpm_geo::simplify_rdp_indices(traj.points(), epsilon);
+    // The simplified chain is a sparse polyline, not a sampled
+    // trajectory: emit the kept vertices with their original
+    // timestamps.
+    let output = args.required("output")?;
+    let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "t,x,y").map_err(|e| e.to_string())?;
+    for &i in &kept {
+        let v = traj.points()[i];
+        writeln!(w, "{},{},{}", traj.start() + i as u64, v.x, v.y)
+            .map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    println!(
+        "kept {} of {} vertices (epsilon {epsilon}) -> {output}",
+        kept.len(),
+        traj.len()
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    args.expect_only(&[
+        "input", "period", "train-subs", "length", "queries", "recent", "extent", "eps",
+        "min-pts", "min-conf", "fill-gaps", "despike",
+    ])?;
+    let traj = load_input(args)?;
+    let period: u32 = args.get("period")?;
+    let train_subs: usize = args.get("train-subs")?;
+    let length: u32 = args.get("length")?;
+    let discovery = DiscoveryParams {
+        period,
+        eps: args.get_or("eps", 30.0)?,
+        min_pts: args.get_or("min-pts", 4)?,
+    };
+    let mining = MiningParams {
+        min_confidence: args.get_or("min-conf", 0.3)?,
+        ..MiningParams::paper_defaults()
+    };
+    let extent: f64 = args.get_or("extent", 10_000.0)?;
+    let train = training_slice(&traj, period, train_subs);
+    let predictor = HybridPredictor::build(&train, &discovery, &mining, HpmConfig::default());
+    let queries = make_workload(
+        &traj,
+        period,
+        &WorkloadParams {
+            train_subs,
+            recent_len: args.get_or("recent", 20)?,
+            prediction_length: length,
+            num_queries: args.get_or("queries", 50)?,
+        },
+    );
+    println!(
+        "{} patterns over {} regions; {} queries at prediction length {length}",
+        predictor.patterns().len(),
+        predictor.regions().len(),
+        queries.len()
+    );
+    println!("{:<8} {:>9} {:>9} {:>9} {:>9}", "", "mean", "median", "p95", "max");
+    let hpm = error_stats(|q| predictor.predict(q).best(), &queries, extent);
+    let rmf = error_stats(
+        |q| {
+            Rmf::fit(q.recent, 3)
+                .map(|m| m.predict(q.prediction_length()))
+                .unwrap_or_else(|| *q.recent.last().expect("non-empty recent"))
+        },
+        &queries,
+        extent,
+    );
+    let linear = error_stats(
+        |q| {
+            LinearMotion::fit(q.recent)
+                .map(|m| m.predict(q.prediction_length()))
+                .unwrap_or_else(|| *q.recent.last().expect("non-empty recent"))
+        },
+        &queries,
+        extent,
+    );
+    for (name, s) in [("HPM", hpm), ("RMF", rmf), ("linear", linear)] {
+        println!(
+            "{name:<8} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            s.mean, s.median, s.p95, s.max
+        );
+    }
+    let b = source_breakdown(&predictor, &queries, extent);
+    println!(
+        "HPM paths: FQP {}q (err {:.1}) | BQP {}q (err {:.1}) | motion fallback {}q (err {:.1})",
+        b.forward.0, b.forward.1, b.backward.0, b.backward.1, b.motion.0, b.motion.1
+    );
+    Ok(())
+}

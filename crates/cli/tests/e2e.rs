@@ -1,0 +1,170 @@
+//! End-to-end tests driving the `hpm` binary itself.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hpm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hpm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hpm_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = hpm(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["generate", "train", "info", "predict", "eval"] {
+        assert!(text.contains(cmd), "help misses {cmd}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = hpm(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+}
+
+#[test]
+fn unknown_flag_fails_cleanly() {
+    let out = hpm(&["generate", "--dataset", "bike", "--output", "/dev/null", "--bogus", "1"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--bogus"));
+}
+
+#[test]
+fn full_workflow() {
+    let dir = tmpdir();
+    let csv = dir.join("bike.csv");
+    let model = dir.join("bike.hpm");
+    let csv_s = csv.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    // generate
+    let out = hpm(&[
+        "generate", "--dataset", "bike", "--subs", "45", "--seed", "3", "--output", csv_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("13500 samples"));
+
+    // train
+    let out = hpm(&["train", "--input", csv_s, "--period", "300", "--output", model_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("patterns ->"));
+
+    // info (+map)
+    let out = hpm(&["info", "--model", model_s, "--top", "3", "--map", "true"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("frequent regions"));
+    assert!(text.contains("density map"));
+    assert!(text.contains("-->"));
+
+    // predict (mid-period query so patterns can apply)
+    let out = hpm(&["predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--k", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("predicted via"));
+
+    // eval
+    let out = hpm(&[
+        "eval", "--input", csv_s, "--period", "300", "--train-subs", "35", "--length", "40",
+        "--queries", "20",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("HPM"));
+    assert!(text.contains("median"));
+    assert!(text.contains("HPM paths"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_rejects_past_query_time() {
+    let dir = tmpdir();
+    let csv = dir.join("tiny.csv");
+    std::fs::write(&csv, "t,x,y\n0,1,1\n1,2,2\n2,3,3\n").unwrap();
+    let model = dir.join("tiny.hpm");
+    let out = hpm(&[
+        "train", "--input", csv.to_str().unwrap(), "--period", "3", "--output",
+        model.to_str().unwrap(), "--min-pts", "1", "--min-support", "1", "--max-gap", "1",
+        "--max-span", "2", "--eps", "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = hpm(&[
+        "predict", "--model", model.to_str().unwrap(), "--input", csv.to_str().unwrap(),
+        "--at", "1",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not after"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_reports_gap_errors_without_fill() {
+    let dir = tmpdir();
+    let csv = dir.join("gappy.csv");
+    std::fs::write(&csv, "t,x,y\n0,1,1\n2,2,2\n").unwrap();
+    let out = hpm(&[
+        "train", "--input", csv.to_str().unwrap(), "--period", "2", "--output",
+        dir.join("x.hpm").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("fill-gaps"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn staypoints_and_simplify() {
+    let dir = tmpdir();
+    let csv = dir.join("sp.csv");
+    // 6 samples at home, a 4-step commute, 6 samples at work.
+    let mut rows = String::from("t,x,y\n");
+    for t in 0..6 {
+        rows.push_str(&format!("{t},0,0\n"));
+    }
+    for (i, t) in (6..10).enumerate() {
+        rows.push_str(&format!("{t},{},0\n", (i + 1) * 20));
+    }
+    for t in 10..16 {
+        rows.push_str(&format!("{t},100,0\n"));
+    }
+    std::fs::write(&csv, rows).unwrap();
+
+    let out = hpm(&[
+        "staypoints", "--input", csv.to_str().unwrap(), "--radius", "5", "--min-duration", "4",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 stay points"), "{text}");
+
+    let simplified = dir.join("sp_simple.csv");
+    let out = hpm(&[
+        "simplify", "--input", csv.to_str().unwrap(), "--epsilon", "1", "--output",
+        simplified.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let content = std::fs::read_to_string(&simplified).unwrap();
+    let lines: Vec<&str> = content.trim().lines().collect();
+    // Collinear commute collapses: header + a handful of vertices.
+    assert!(lines.len() <= 6, "{content}");
+    assert!(lines[1].starts_with("0,"));
+    assert!(lines.last().unwrap().starts_with("15,"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,282 @@
+//! The DBSCAN algorithm proper.
+
+use crate::GridIndex;
+use hpm_geo::{BoundingBox, Point};
+
+/// DBSCAN parameters: the paper's frequent-region knobs (§IV, §VII.B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Maximum neighbour distance (`Eps`).
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a
+    /// core point (`MinPts`).
+    pub min_pts: usize,
+}
+
+impl DbscanParams {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    /// Panics when `eps` is not positive/finite or `min_pts == 0`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive");
+        assert!(min_pts > 0, "min_pts must be positive");
+        DbscanParams { eps, min_pts }
+    }
+}
+
+/// Per-point cluster assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Sparse point belonging to no cluster.
+    Noise,
+    /// Member of the cluster with this id (0-based, dense ids).
+    Cluster(u32),
+}
+
+/// A discovered dense cluster, summarised for frequent-region use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Dense 0-based id, consistent with [`Label::Cluster`].
+    pub id: u32,
+    /// Indices into the input point slice.
+    pub members: Vec<u32>,
+    /// Arithmetic mean of the members.
+    pub centroid: Point,
+    /// Tight bounding box of the members.
+    pub bbox: BoundingBox,
+}
+
+/// Runs DBSCAN over `points`, returning per-point labels and the
+/// cluster summaries.
+///
+/// Border points are assigned to the cluster of the first core point
+/// that reaches them (classic DBSCAN order-dependence; the expansion
+/// order here is by ascending seed index, so results are
+/// deterministic).
+pub fn dbscan(points: &[Point], params: DbscanParams) -> (Vec<Label>, Vec<Cluster>) {
+    let index = GridIndex::build(points, params.eps.max(f64::MIN_POSITIVE));
+    dbscan_impl(points, params, |p, visit| {
+        index.for_each_neighbor(p, params.eps, visit)
+    })
+}
+
+/// Naive `O(n²)` DBSCAN — differential-testing oracle and ablation
+/// baseline for the grid index.
+pub fn dbscan_naive(points: &[Point], params: DbscanParams) -> (Vec<Label>, Vec<Cluster>) {
+    let eps2 = params.eps * params.eps;
+    dbscan_impl(points, params, |p, visit| {
+        for (i, q) in points.iter().enumerate() {
+            if q.distance_sq(p) <= eps2 {
+                visit(i as u32);
+            }
+        }
+    })
+}
+
+/// `UNCLASSIFIED` sentinel used during the sweep.
+const UNVISITED: u32 = u32::MAX;
+/// Noise sentinel (may later be upgraded to a border point).
+const NOISE: u32 = u32::MAX - 1;
+
+fn dbscan_impl(
+    points: &[Point],
+    params: DbscanParams,
+    neighbors_of: impl Fn(&Point, &mut dyn FnMut(u32)),
+) -> (Vec<Label>, Vec<Cluster>) {
+    let n = points.len();
+    let mut assign = vec![UNVISITED; n];
+    let mut next_cluster = 0u32;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+
+    for seed in 0..n {
+        if assign[seed] != UNVISITED {
+            continue;
+        }
+        scratch.clear();
+        neighbors_of(&points[seed], &mut |i| scratch.push(i));
+        if scratch.len() < params.min_pts {
+            assign[seed] = NOISE;
+            continue;
+        }
+        // New cluster seeded at a core point; expand breadth-first.
+        let cid = next_cluster;
+        next_cluster += 1;
+        assign[seed] = cid;
+        frontier.clear();
+        for &i in &scratch {
+            let a = &mut assign[i as usize];
+            if *a == UNVISITED || *a == NOISE {
+                let was_unvisited = *a == UNVISITED;
+                *a = cid;
+                if was_unvisited {
+                    frontier.push(i);
+                }
+            }
+        }
+        while let Some(p) = frontier.pop() {
+            scratch.clear();
+            neighbors_of(&points[p as usize], &mut |i| scratch.push(i));
+            if scratch.len() < params.min_pts {
+                continue; // border point: keeps membership, no expansion
+            }
+            for &i in &scratch {
+                let a = &mut assign[i as usize];
+                if *a == UNVISITED {
+                    *a = cid;
+                    frontier.push(i);
+                } else if *a == NOISE {
+                    *a = cid; // border point claimed by this cluster
+                }
+            }
+        }
+    }
+
+    // Summaries.
+    let mut clusters: Vec<Cluster> = (0..next_cluster)
+        .map(|id| Cluster {
+            id,
+            members: Vec::new(),
+            centroid: Point::ORIGIN,
+            bbox: BoundingBox::from_point(Point::ORIGIN),
+        })
+        .collect();
+    for (i, &a) in assign.iter().enumerate() {
+        if a < NOISE {
+            clusters[a as usize].members.push(i as u32);
+        }
+    }
+    for cl in &mut clusters {
+        debug_assert!(!cl.members.is_empty());
+        let pts: Vec<Point> = cl.members.iter().map(|&i| points[i as usize]).collect();
+        cl.centroid = hpm_geo::Point::ORIGIN;
+        for p in &pts {
+            cl.centroid += *p;
+        }
+        cl.centroid = cl.centroid / pts.len() as f64;
+        cl.bbox = BoundingBox::from_points(&pts).expect("non-empty cluster");
+    }
+
+    let labels = assign
+        .iter()
+        .map(|&a| {
+            if a < NOISE {
+                Label::Cluster(a)
+            } else {
+                Label::Noise
+            }
+        })
+        .collect();
+    (labels, clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Point> {
+        // Deterministic pseudo-random-ish blob on a small spiral.
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden angle
+                let r = spread * (i as f64 / n as f64).sqrt();
+                Point::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut pts = blob(0.0, 0.0, 30, 1.0);
+        pts.extend(blob(100.0, 100.0, 30, 1.0));
+        let (labels, clusters) = dbscan(&pts, DbscanParams::new(1.0, 4));
+        assert_eq!(clusters.len(), 2);
+        // All points clustered (dense blobs, no noise).
+        assert!(labels.iter().all(|l| matches!(l, Label::Cluster(_))));
+        // Points of the same blob share a label.
+        assert!(labels[..30].iter().all(|l| *l == labels[0]));
+        assert!(labels[30..].iter().all(|l| *l == labels[30]));
+        assert_ne!(labels[0], labels[30]);
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(0.0, 50.0),
+        ];
+        let (labels, clusters) = dbscan(&pts, DbscanParams::new(1.0, 2));
+        assert!(clusters.is_empty());
+        assert!(labels.iter().all(|l| *l == Label::Noise));
+    }
+
+    #[test]
+    fn min_pts_includes_self() {
+        // Two points within eps: neighbourhood size 2 each.
+        let pts = [Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        let (_, c2) = dbscan(&pts, DbscanParams::new(1.0, 2));
+        assert_eq!(c2.len(), 1);
+        let (_, c3) = dbscan(&pts, DbscanParams::new(1.0, 3));
+        assert!(c3.is_empty());
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // A chain: p0..p3 dense, p4 only reachable from p3 (border).
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(0.4, 0.0),
+            Point::new(0.8, 0.0),
+            Point::new(1.2, 0.0),
+            Point::new(2.1, 0.0),
+        ];
+        let (labels, clusters) = dbscan(&pts, DbscanParams::new(1.0, 3));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(labels[4], Label::Cluster(0));
+    }
+
+    #[test]
+    fn cluster_summary_fields() {
+        let pts = blob(10.0, 20.0, 40, 0.5);
+        let (_, clusters) = dbscan(&pts, DbscanParams::new(0.5, 3));
+        assert_eq!(clusters.len(), 1);
+        let c = &clusters[0];
+        assert_eq!(c.members.len(), 40);
+        assert!(c.centroid.distance(&Point::new(10.0, 20.0)) < 0.2);
+        for &m in &c.members {
+            assert!(c.bbox.contains(&pts[m as usize]));
+        }
+    }
+
+    #[test]
+    fn grid_matches_naive() {
+        let mut pts = blob(0.0, 0.0, 25, 2.0);
+        pts.extend(blob(6.0, 1.0, 25, 2.0));
+        pts.push(Point::new(-30.0, -30.0));
+        let params = DbscanParams::new(1.2, 4);
+        let (l1, c1) = dbscan(&pts, params);
+        let (l2, c2) = dbscan_naive(&pts, params);
+        assert_eq!(l1, l2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (labels, clusters) = dbscan(&[], DbscanParams::new(1.0, 3));
+        assert!(labels.is_empty());
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn labels_consistent_with_members() {
+        let pts = blob(0.0, 0.0, 20, 1.0);
+        let (labels, clusters) = dbscan(&pts, DbscanParams::new(1.0, 4));
+        for c in &clusters {
+            for &m in &c.members {
+                assert_eq!(labels[m as usize], Label::Cluster(c.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Uniform-grid spatial index for fixed-radius neighbour queries.
+
+use hpm_geo::Point;
+use std::collections::HashMap;
+
+/// A uniform grid over a point set with cell side = query radius.
+///
+/// A radius-`eps` disc around any point is covered by the 3×3 block of
+/// cells around the point's cell, so a neighbourhood query inspects at
+/// most 9 cells.
+#[derive(Debug)]
+pub struct GridIndex<'a> {
+    points: &'a [Point],
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Builds the index; `cell` must be positive (use the query
+    /// radius).
+    ///
+    /// # Panics
+    /// Panics if `cell <= 0` or not finite.
+    pub fn build(points: &'a [Point], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets
+                .entry(Self::key(p, cell))
+                .or_default()
+                .push(i as u32);
+        }
+        GridIndex {
+            points,
+            cell,
+            buckets,
+        }
+    }
+
+    #[inline]
+    fn key(p: &Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Indices of all points within `radius` of `center` (inclusive,
+    /// and including the point itself when present in the set).
+    ///
+    /// `radius` must be ≤ the cell size used at build time for the
+    /// 3×3-block guarantee to hold; this is asserted in debug builds.
+    pub fn neighbors_within(&self, center: &Point, radius: f64) -> Vec<u32> {
+        debug_assert!(radius <= self.cell + 1e-12, "radius exceeds cell size");
+        let mut out = Vec::new();
+        self.for_each_neighbor(center, radius, |i| out.push(i));
+        out
+    }
+
+    /// Visits the index of every point within `radius` of `center`
+    /// without allocating (hot path of DBSCAN).
+    pub fn for_each_neighbor(&self, center: &Point, radius: f64, mut f: impl FnMut(u32)) {
+        let (cx, cy) = Self::key(center, self.cell);
+        let r2 = radius * radius;
+        for gx in cx - 1..=cx + 1 {
+            for gy in cy - 1..=cy + 1 {
+                if let Some(bucket) = self.buckets.get(&(gx, gy)) {
+                    for &i in bucket {
+                        if self.points[i as usize].distance_sq(center) <= r2 {
+                            f(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of points within `radius` of `center`.
+    pub fn count_within(&self, center: &Point, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_neighbor(center, radius, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_within(points: &[Point], c: &Point, r: f64) -> Vec<u32> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(c) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_grid_lattice() {
+        let pts: Vec<Point> = (0..10)
+            .flat_map(|x| (0..10).map(move |y| Point::new(x as f64, y as f64)))
+            .collect();
+        let idx = GridIndex::build(&pts, 1.5);
+        for c in &pts {
+            let mut got = idx.neighbors_within(c, 1.5);
+            got.sort_unstable();
+            assert_eq!(got, naive_within(&pts, c, 1.5));
+        }
+    }
+
+    #[test]
+    fn includes_self_and_boundary() {
+        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        let idx = GridIndex::build(&pts, 2.0);
+        let n = idx.neighbors_within(&pts[0], 2.0);
+        assert_eq!(n.len(), 2, "boundary point at exactly eps is included");
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = [
+            Point::new(-1.0, -1.0),
+            Point::new(-1.2, -0.9),
+            Point::new(5.0, 5.0),
+        ];
+        let idx = GridIndex::build(&pts, 0.5);
+        let n = idx.neighbors_within(&pts[0], 0.5);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn count_matches_neighbors_len() {
+        let pts: Vec<Point> = (0..50).map(|i| Point::new((i % 7) as f64, (i / 7) as f64)).collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        for c in &pts {
+            assert_eq!(idx.count_within(c, 1.0), idx.neighbors_within(c, 1.0).len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_panics() {
+        GridIndex::build(&[], 0.0);
+    }
+}

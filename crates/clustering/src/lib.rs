@@ -1,0 +1,35 @@
+//! DBSCAN density-based clustering (Ester, Kriegel, Sander, Xu —
+//! SIGKDD 1996), the algorithm the paper uses to find *frequent
+//! regions* in each per-offset group `Gₜ` (§IV).
+//!
+//! `Eps` and `MinPts` play the role that *support* plays in frequent
+//! item-set mining: a location is dense (a *core point*) when at least
+//! `MinPts` locations fall within distance `Eps` of it, and clusters
+//! grow transitively from core points.
+//!
+//! Neighbourhood queries use a uniform grid with `Eps`-sized cells
+//! ([`GridIndex`]), giving the expected `O(n · k)` behaviour instead of
+//! the naive `O(n²)` scan (a naive variant is kept for the ablation
+//! bench and as a differential-testing oracle).
+
+//! # Example
+//!
+//! ```
+//! use hpm_clustering::{dbscan, DbscanParams, Label};
+//! use hpm_geo::Point;
+//!
+//! // Two tight groups of 4 points and one straggler.
+//! let mut pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+//! pts.extend((0..4).map(|i| Point::new(50.0 + i as f64 * 0.1, 0.0)));
+//! pts.push(Point::new(25.0, 25.0));
+//!
+//! let (labels, clusters) = dbscan(&pts, DbscanParams::new(1.0, 3));
+//! assert_eq!(clusters.len(), 2);
+//! assert_eq!(labels[8], Label::Noise);
+//! ```
+
+mod dbscan;
+mod grid;
+
+pub use dbscan::{dbscan, dbscan_naive, Cluster, DbscanParams, Label};
+pub use grid::GridIndex;

@@ -1,0 +1,220 @@
+//! Backward Query Processing (Algorithm 3): distant-time queries.
+//!
+//! Recent movements matter little far into the future, so BQP drops
+//! the premise constraint (the search key carries an all-ones premise,
+//! which intersects every indexed pattern's premise) and instead asks
+//! "where does the object usually go *around* `tq`": any pattern whose
+//! consequence time offset falls in `[tq − tε, tq + tε]` qualifies.
+//! When the interval is empty of candidates it widens by `tε` per round
+//! until a pattern is found or the interval reaches back to the current
+//! time, at which point the motion function takes over.
+//!
+//! Candidates are ranked by Eq. 5,
+//! `S_p = (S_r · d/(tq − tc) + S_c) · c`: the premise similarity is
+//! penalised by how far the query looks ahead, while the consequence
+//! similarity `S_c` (Eq. 3) rewards consequences temporally close to
+//! `tq`.
+
+use crate::predictor::{rank_answers, HybridPredictor};
+use crate::{consequence_similarity, premise_similarity, PredictiveQuery, RankedAnswer};
+use hpm_patterns::RegionId;
+use hpm_tpt::{Bitmap, PatternIndex, PatternKey};
+use hpm_trajectory::TimeOffset;
+
+/// Retrieves and ranks BQP candidates; `None` sends the caller to the
+/// motion function.
+pub(crate) fn run(
+    predictor: &HybridPredictor,
+    recent_ids: &[RegionId],
+    query: &PredictiveQuery<'_>,
+) -> Option<Vec<RankedAnswer>> {
+    let period = predictor.period as i64;
+    let t_eps = predictor.config.time_relaxation as i64;
+    let tc = query.current_time as i64;
+    let tq = query.query_time as i64;
+    let rkq = predictor.key_table.premise_key(recent_ids.iter().copied());
+
+    let mut i = 1i64;
+    loop {
+        let lo = (tq - i * t_eps).max(tc + 1);
+        let hi = tq + i * t_eps;
+        let qkey = interval_query_key(predictor, lo, hi);
+        if !qkey.consequence.is_zero() {
+            let matches = predictor.tpt.search(&qkey);
+            if !matches.is_empty() {
+                let scored = score(predictor, &matches, &rkq, tc, tq);
+                return Some(rank_answers(predictor, scored, predictor.config.k));
+            }
+        }
+        i += 1;
+        // Algorithm 3 line 8: stop once the interval reaches back to
+        // the current time (also stop when it already spans the whole
+        // period and still found nothing).
+        if tq - i * t_eps <= tc || (hi - lo) >= period {
+            return None;
+        }
+    }
+}
+
+/// Builds the search key for consequence times in `[lo, hi]` (absolute
+/// times, mapped onto period offsets) with the premise constraint
+/// dropped.
+fn interval_query_key(predictor: &HybridPredictor, lo: i64, hi: i64) -> PatternKey {
+    let period = predictor.period as i64;
+    let offsets = (lo..=hi)
+        .take(period as usize) // a full period covers every offset
+        .map(|t| (t.rem_euclid(period)) as TimeOffset);
+    PatternKey {
+        consequence: predictor.key_table.consequence_key(offsets),
+        premise: Bitmap::ones(predictor.key_table.region_count()),
+    }
+}
+
+/// Eq. 5 scores for each candidate.
+fn score(
+    predictor: &HybridPredictor,
+    matches: &[hpm_tpt::Match],
+    rkq: &Bitmap,
+    tc: i64,
+    tq: i64,
+) -> Vec<(u32, f64)> {
+    let period = predictor.period as i64;
+    let t_eps = predictor.config.time_relaxation;
+    let d = predictor.config.distant_threshold as f64;
+    let tq_offset = tq.rem_euclid(period);
+    matches
+        .iter()
+        .map(|m| {
+            let pattern = &predictor.patterns[m.pattern as usize];
+            let rk = &predictor.pattern_keys[m.pattern as usize].premise;
+            let sr = premise_similarity(rk, rkq, predictor.config.weight_fn);
+            // Temporal distance of the consequence offset to the query
+            // offset, on the period circle.
+            let t_off = pattern.consequence_offset(&predictor.regions) as i64;
+            let delta = (t_off - tq_offset).rem_euclid(period);
+            let dist = delta.min(period - delta);
+            let sc = consequence_similarity(0, dist, t_eps);
+            // Eq. 5: premise similarity penalised by d / (tq − tc) ≤ 1.
+            let penalty = (d / (tq - tc) as f64).min(1.0);
+            (m.pattern, (sr * penalty + sc) * m.confidence)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{fig3_predictor_d1, fig3_query_recent};
+    use crate::{HpmConfig, Prediction, PredictionSource, WeightFunction};
+    use hpm_geo::Point;
+
+    fn ask(p: &crate::HybridPredictor, tc: u64, tq: u64) -> Prediction {
+        let (recent, _) = fig3_query_recent();
+        p.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: tc,
+            query_time: tq,
+        })
+    }
+
+    #[test]
+    fn eq5_ranking_by_hand() {
+        // d = 1, tε = 1, tc = 1, tq = 5 (offset 2), premise rkq = 00011.
+        // Penalty d/(tq−tc) = 1/4.
+        //   P0 (R0 -> R1^0, c=0.9): S_r=1, dist(1,2)=1, S_c=1/2
+        //       -> (0.25 + 0.5) × 0.9 = 0.675
+        //   P1 (R0 -> R1^1, c=0.8): same shape -> 0.75 × 0.8 = 0.600
+        //   P2 (R0∧R1^0 -> R2^0, c=0.5): S_r=1, dist 0, S_c=1
+        //       -> (0.25 + 1) × 0.5 = 0.625
+        //   P3 (R0∧R1^1 -> R2^1, c=0.4): S_r=1/3
+        //       -> (1/12 + 1) × 0.4 = 0.4333…
+        let p = fig3_predictor_d1(4);
+        let pred = ask(&p, 1, 5);
+        assert_eq!(pred.source, PredictionSource::BackwardPatterns);
+        let order: Vec<u32> = pred.answers.iter().map(|a| a.pattern.unwrap()).collect();
+        assert_eq!(order, vec![0, 2, 1, 3]);
+        let scores: Vec<f64> = pred.answers.iter().map(|a| a.score).collect();
+        assert!((scores[0] - 0.675).abs() < 1e-9, "{scores:?}");
+        assert!((scores[1] - 0.625).abs() < 1e-9);
+        assert!((scores[2] - 0.600).abs() < 1e-9);
+        assert!((scores[3] - (1.0 / 12.0 + 1.0) * 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapped_offsets_still_match() {
+        // Query offset 0 has no consequences; tε = 1 already spans
+        // offsets {2, 0, 1} around it on the period circle, so the
+        // neighbouring consequences qualify at i = 1.
+        let p = fig3_predictor_d1(1);
+        let pred = ask(&p, 1, 6); // offset 0
+        assert_eq!(pred.source, PredictionSource::BackwardPatterns);
+    }
+
+    #[test]
+    fn interval_widens_until_pattern_found() {
+        // One pattern with consequence at offset 5 in a period of 10;
+        // query offset 9 with tε = 1 needs i = 4 widenings to reach it.
+        use hpm_patterns::{FrequentRegion, RegionSet, TrajectoryPattern};
+        use hpm_geo::BoundingBox;
+        let mk = |id: u32, offset: u32, cx: f64| FrequentRegion {
+            id: RegionId(id),
+            offset,
+            local_index: 0,
+            centroid: Point::new(cx, cx),
+            bbox: BoundingBox {
+                min: Point::new(cx - 1.0, cx - 1.0),
+                max: Point::new(cx + 1.0, cx + 1.0),
+            },
+            support: 5,
+        };
+        let regions = RegionSet::new(vec![mk(0, 0, 0.0), mk(1, 5, 50.0)], 10);
+        let patterns = vec![TrajectoryPattern {
+            premise: vec![RegionId(0)],
+            consequence: RegionId(1),
+            confidence: 0.8,
+            support: 5,
+        }];
+        let p = crate::HybridPredictor::from_parts(
+            regions,
+            patterns,
+            HpmConfig {
+                k: 1,
+                distant_threshold: 1,
+                time_relaxation: 1,
+                weight_fn: WeightFunction::Linear,
+                match_margin: 0.5,
+                rmf_retrospect: 2,
+                tpt_fanout: 8,
+            },
+        );
+        let recent = [Point::new(0.0, 0.0)];
+        let pred = p.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: 0,
+            query_time: 9,
+        });
+        assert_eq!(pred.source, PredictionSource::BackwardPatterns);
+        assert_eq!(pred.best(), Point::new(50.0, 50.0));
+        // The widened candidate sits 4 offsets away: S_c clamps to 0,
+        // leaving only the penalised premise term of Eq. 5.
+        let expect = (1.0 * (1.0 / 9.0)) * 0.8;
+        assert!((pred.answers[0].score - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_patterns_at_all_falls_back() {
+        use crate::test_fixtures::commuter_config;
+        use hpm_patterns::RegionSet;
+        let mut cfg = commuter_config();
+        cfg.distant_threshold = 1;
+        let p =
+            crate::HybridPredictor::from_parts(RegionSet::new(Vec::new(), 3), Vec::new(), cfg);
+        let recent = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let pred = p.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: 1,
+            query_time: 5,
+        });
+        assert_eq!(pred.source, PredictionSource::MotionFunction);
+    }
+}

@@ -1,0 +1,541 @@
+//! Evaluation harness implementing §VII's experiment protocol:
+//! train a predictor on the first `train_subs` sub-trajectories,
+//! generate queries against held-out sub-trajectories, and measure the
+//! average prediction error — "the distance between a predicted
+//! location and its actual location".
+//!
+//! Query placement is deterministic (evenly strided over test
+//! sub-trajectories and in-period positions), so runs are exactly
+//! reproducible without threading an RNG through the core crate.
+
+use crate::{HybridPredictor, PredictiveQuery};
+use hpm_geo::Point;
+use hpm_motion::{LinearMotion, MotionModel, Rmf};
+use hpm_trajectory::{Timestamp, Trajectory};
+
+/// Parameters of one evaluation workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Sub-trajectories reserved for training; queries are placed in
+    /// the remainder.
+    pub train_subs: usize,
+    /// Samples of recent movement handed to each query.
+    pub recent_len: usize,
+    /// Prediction length `tq − tc`.
+    pub prediction_length: u32,
+    /// Number of queries (paper: 50 for accuracy, 30 for cost).
+    pub num_queries: usize,
+}
+
+/// One evaluation query with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalQuery {
+    /// Recent movements, oldest first.
+    pub recent: Vec<Point>,
+    /// Timestamp of the last recent sample.
+    pub current_time: Timestamp,
+    /// The asked-about future timestamp.
+    pub query_time: Timestamp,
+    /// Where the object actually was at `query_time`.
+    pub truth: Point,
+}
+
+impl EvalQuery {
+    /// Prediction length `tq − tc`.
+    pub fn prediction_length(&self) -> u32 {
+        self.as_query().prediction_length()
+    }
+
+    /// Borrowed [`PredictiveQuery`] view.
+    pub fn as_query(&self) -> PredictiveQuery<'_> {
+        PredictiveQuery {
+            recent: &self.recent,
+            current_time: self.current_time,
+            query_time: self.query_time,
+        }
+    }
+}
+
+/// The training prefix: the first `train_subs` periods of `traj`.
+///
+/// # Panics
+/// Panics when the trajectory is shorter than the requested prefix.
+pub fn training_slice(traj: &Trajectory, period: u32, train_subs: usize) -> Trajectory {
+    let n = train_subs * period as usize;
+    assert!(
+        traj.len() >= n,
+        "trajectory has {} samples, need {n} for {train_subs} training subs",
+        traj.len()
+    );
+    Trajectory::new(traj.start(), traj.points()[..n].to_vec())
+}
+
+/// Builds a deterministic query workload over the held-out
+/// sub-trajectories of `traj`.
+///
+/// Queries are strided round-robin over test sub-trajectories; within
+/// each, the current time walks a co-prime stride through the valid
+/// positions so queries cover the period evenly. Both `tc` and `tq`
+/// stay within one sub-trajectory (Definition 2 assumes `tq < T`).
+///
+/// # Panics
+/// Panics when no test sub-trajectories remain, or the period cannot
+/// fit `recent_len + prediction_length`.
+pub fn make_workload(traj: &Trajectory, period: u32, params: &WorkloadParams) -> Vec<EvalQuery> {
+    let t = period as usize;
+    let total_subs = traj.len() / t;
+    assert!(
+        total_subs > params.train_subs,
+        "no held-out sub-trajectories: {} total, {} training",
+        total_subs,
+        params.train_subs
+    );
+    let valid = t
+        .checked_sub(params.prediction_length as usize + params.recent_len)
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            panic!(
+                "period {t} cannot fit recent_len {} + prediction_length {}",
+                params.recent_len, params.prediction_length
+            )
+        });
+    let test_subs = total_subs - params.train_subs;
+    // A stride co-prime with `valid` walks all positions before
+    // repeating.
+    let stride = (valid / 2).max(1) | 1;
+    let stride = if gcd(stride, valid) == 1 { stride } else { 1 };
+
+    let mut queries = Vec::with_capacity(params.num_queries);
+    for q in 0..params.num_queries {
+        let sub = params.train_subs + q % test_subs;
+        let pos = (q * stride) % valid; // in-period index of the first recent sample
+        let start = sub * t + pos;
+        let recent: Vec<Point> = traj.points()[start..start + params.recent_len].to_vec();
+        let current_time = (start + params.recent_len - 1) as Timestamp;
+        let query_time = current_time + params.prediction_length as Timestamp;
+        let truth = traj.at(query_time).expect("query time inside trajectory");
+        queries.push(EvalQuery {
+            recent,
+            current_time,
+            query_time,
+            truth,
+        });
+    }
+    queries
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Clamps a predicted location into the data extent `[0, extent]²` —
+/// every real deployment knows its map bounds, and without this a
+/// diverging motion-function rollout would let a single query dominate
+/// the average error.
+pub fn clamp_extent(p: Point, extent: f64) -> Point {
+    p.clamp(0.0, extent)
+}
+
+/// Average prediction error of an arbitrary predictor closure.
+pub fn avg_error(
+    mut predict: impl FnMut(&PredictiveQuery<'_>) -> Point,
+    queries: &[EvalQuery],
+    extent: f64,
+) -> f64 {
+    assert!(!queries.is_empty(), "empty workload");
+    let total: f64 = queries
+        .iter()
+        .map(|q| clamp_extent(predict(&q.as_query()), extent).distance(&q.truth))
+        .sum();
+    total / queries.len() as f64
+}
+
+/// Average error of the Hybrid Prediction Model over a workload.
+pub fn avg_error_hpm(predictor: &HybridPredictor, queries: &[EvalQuery], extent: f64) -> f64 {
+    avg_error(|q| predictor.predict(q).best(), queries, extent)
+}
+
+/// Distribution statistics of per-query errors — means hide tails, and
+/// the tail is where the motion-function fallback lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of queries.
+    pub count: usize,
+    /// Arithmetic mean error.
+    pub mean: f64,
+    /// Median error.
+    pub median: f64,
+    /// 95th-percentile error (nearest-rank).
+    pub p95: f64,
+    /// Worst-case error.
+    pub max: f64,
+}
+
+/// Computes [`ErrorStats`] for an arbitrary predictor closure.
+pub fn error_stats(
+    mut predict: impl FnMut(&PredictiveQuery<'_>) -> Point,
+    queries: &[EvalQuery],
+    extent: f64,
+) -> ErrorStats {
+    assert!(!queries.is_empty(), "empty workload");
+    let mut errors: Vec<f64> = queries
+        .iter()
+        .map(|q| clamp_extent(predict(&q.as_query()), extent).distance(&q.truth))
+        .collect();
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let n = errors.len();
+    let rank = |p: f64| errors[(((n as f64) * p).ceil() as usize).clamp(1, n) - 1];
+    ErrorStats {
+        count: n,
+        mean: errors.iter().sum::<f64>() / n as f64,
+        median: rank(0.5),
+        p95: rank(0.95),
+        max: errors[n - 1],
+    }
+}
+
+/// Per-processing-path breakdown of an HPM run: how often each of
+/// FQP / BQP / motion-fallback answered, and at what mean error.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SourceBreakdown {
+    /// (queries answered, mean error) for Forward Query Processing.
+    pub forward: (usize, f64),
+    /// (queries answered, mean error) for Backward Query Processing.
+    pub backward: (usize, f64),
+    /// (queries answered, mean error) for the motion-function fallback.
+    pub motion: (usize, f64),
+}
+
+/// Computes the per-source breakdown of an HPM run over a workload.
+pub fn source_breakdown(
+    predictor: &HybridPredictor,
+    queries: &[EvalQuery],
+    extent: f64,
+) -> SourceBreakdown {
+    assert!(!queries.is_empty(), "empty workload");
+    let mut sums = [(0usize, 0.0f64); 3];
+    for q in queries {
+        let pred = predictor.predict(&q.as_query());
+        let err = clamp_extent(pred.best(), extent).distance(&q.truth);
+        let slot = match pred.source {
+            crate::PredictionSource::ForwardPatterns => 0,
+            crate::PredictionSource::BackwardPatterns => 1,
+            crate::PredictionSource::MotionFunction => 2,
+        };
+        sums[slot].0 += 1;
+        sums[slot].1 += err;
+    }
+    let mean = |(n, total): (usize, f64)| {
+        if n == 0 {
+            (0, 0.0)
+        } else {
+            (n, total / n as f64)
+        }
+    };
+    SourceBreakdown {
+        forward: mean(sums[0]),
+        backward: mean(sums[1]),
+        motion: mean(sums[2]),
+    }
+}
+
+/// Fraction of queries the HPM answered from patterns (vs the motion
+/// fallback) — the driver of Fig. 10's query-cost gap.
+pub fn pattern_hit_rate(predictor: &HybridPredictor, queries: &[EvalQuery]) -> f64 {
+    assert!(!queries.is_empty(), "empty workload");
+    let hits = queries
+        .iter()
+        .filter(|q| predictor.predict(&q.as_query()).from_patterns())
+        .count();
+    hits as f64 / queries.len() as f64
+}
+
+/// Fraction of queries where the truth lies within `radius` of at
+/// least one of the predictor's top-k answers — the metric that makes
+/// `k > 1` meaningful (the best single answer may be the wrong branch
+/// of a fork, while the true branch sits at rank 2).
+pub fn hit_rate_at_k(
+    predictor: &HybridPredictor,
+    queries: &[EvalQuery],
+    radius: f64,
+    extent: f64,
+) -> f64 {
+    assert!(!queries.is_empty(), "empty workload");
+    assert!(radius >= 0.0 && radius.is_finite(), "radius must be finite");
+    let hits = queries
+        .iter()
+        .filter(|q| {
+            predictor
+                .predict(&q.as_query())
+                .answers
+                .iter()
+                .any(|a| clamp_extent(a.location, extent).distance(&q.truth) <= radius)
+        })
+        .count();
+    hits as f64 / queries.len() as f64
+}
+
+/// Average error of a standalone RMF (the paper's comparison baseline):
+/// fitted per query on its recent window.
+pub fn avg_error_rmf(queries: &[EvalQuery], retrospect: usize, extent: f64) -> f64 {
+    avg_error(
+        |q| {
+            let steps = q.prediction_length();
+            Rmf::fit(q.recent, retrospect)
+                .map(|m| m.predict(steps))
+                .unwrap_or_else(|| *q.recent.last().expect("non-empty recent"))
+        },
+        queries,
+        extent,
+    )
+}
+
+/// Average error of the linear motion function baseline.
+pub fn avg_error_linear(queries: &[EvalQuery], extent: f64) -> f64 {
+    avg_error(
+        |q| {
+            let steps = q.prediction_length();
+            LinearMotion::fit(q.recent)
+                .map(|m| m.predict(steps))
+                .unwrap_or_else(|| *q.recent.last().expect("non-empty recent"))
+        },
+        queries,
+        extent,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{commuter_config, commuter_trajectory, COMMUTER_PERIOD};
+    use hpm_patterns::{DiscoveryParams, MiningParams};
+
+    fn workload(len: u32) -> Vec<EvalQuery> {
+        make_workload(
+            &commuter_trajectory(),
+            COMMUTER_PERIOD,
+            &WorkloadParams {
+                train_subs: 60,
+                recent_len: 2,
+                prediction_length: len,
+                num_queries: 20,
+            },
+        )
+    }
+
+    fn predictor() -> HybridPredictor {
+        let traj = commuter_trajectory();
+        let train = training_slice(&traj, COMMUTER_PERIOD, 60);
+        HybridPredictor::build(
+            &train,
+            &DiscoveryParams {
+                period: COMMUTER_PERIOD,
+                eps: 2.0,
+                min_pts: 3,
+            },
+            &MiningParams {
+                min_support: 2,
+                min_confidence: 0.3,
+                max_premise_len: 2,
+                max_premise_gap: 2,
+                max_span: 3,
+            },
+            commuter_config(),
+        )
+    }
+
+    #[test]
+    fn workload_shape_and_truth() {
+        let w = workload(1);
+        assert_eq!(w.len(), 20);
+        let traj = commuter_trajectory();
+        for q in &w {
+            assert_eq!(q.recent.len(), 2);
+            assert!(q.query_time > q.current_time);
+            // Queries only touch held-out subs.
+            assert!(q.current_time as usize / 4 >= 60);
+            // Same sub-trajectory for tc and tq.
+            assert_eq!(
+                q.current_time as usize / 4,
+                q.query_time as usize / 4
+            );
+            assert_eq!(traj.at(q.query_time), Some(q.truth));
+        }
+    }
+
+    #[test]
+    fn hpm_beats_motion_on_patterned_data() {
+        // The commuter's movements repeat exactly (modulo tiny jitter):
+        // pattern answers land on region centres while a motion
+        // function extrapolating "home -> road" misses work/pub turns.
+        let p = predictor();
+        let w = workload(1);
+        let hpm = avg_error_hpm(&p, &w, 200.0);
+        let rmf = avg_error_rmf(&w, 2, 200.0);
+        assert!(hpm < rmf, "hpm {hpm} vs rmf {rmf}");
+        assert!(hpm < 5.0, "hpm error too large: {hpm}");
+    }
+
+    #[test]
+    fn hit_rate_high_on_patterned_data() {
+        let p = predictor();
+        let w = workload(1);
+        assert!(pattern_hit_rate(&p, &w) > 0.8);
+    }
+
+    #[test]
+    fn training_slice_prefix() {
+        let traj = commuter_trajectory();
+        let t = training_slice(&traj, COMMUTER_PERIOD, 10);
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.points()[0], traj.points()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_prediction_length_panics() {
+        workload(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no held-out")]
+    fn no_test_subs_panics() {
+        make_workload(
+            &commuter_trajectory(),
+            COMMUTER_PERIOD,
+            &WorkloadParams {
+                train_subs: 100,
+                recent_len: 1,
+                prediction_length: 1,
+                num_queries: 5,
+            },
+        );
+    }
+
+    #[test]
+    fn clamp_bounds_predictions() {
+        assert_eq!(
+            clamp_extent(Point::new(-5.0, 1e12), 100.0),
+            Point::new(0.0, 100.0)
+        );
+    }
+
+    #[test]
+    fn linear_baseline_runs() {
+        let w = workload(1);
+        let e = avg_error_linear(&w, 200.0);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(workload(1), workload(1));
+    }
+
+    #[test]
+    fn error_stats_orders_percentiles() {
+        let p = predictor();
+        let w = workload(1);
+        let stats = error_stats(|q| p.predict(q).best(), &w, 200.0);
+        assert_eq!(stats.count, w.len());
+        assert!(stats.median <= stats.mean * 2.0 + 1e-9);
+        assert!(stats.median <= stats.p95 + 1e-9);
+        assert!(stats.p95 <= stats.max + 1e-9);
+        assert!(stats.max.is_finite());
+    }
+
+    #[test]
+    fn error_stats_constant_predictor() {
+        // A predictor that always answers the truth has all-zero stats.
+        let w = workload(1);
+        let truths: Vec<_> = w.iter().map(|q| q.truth).collect();
+        let mut i = 0;
+        let stats = error_stats(
+            |_| {
+                let t = truths[i];
+                i += 1;
+                t
+            },
+            &w,
+            200.0,
+        );
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.p95, 0.0);
+        assert_eq!(stats.max, 0.0);
+    }
+
+    #[test]
+    fn hit_rate_at_k_monotone_in_k_and_radius() {
+        let traj = commuter_trajectory();
+        let train = training_slice(&traj, COMMUTER_PERIOD, 60);
+        let build = |k: usize| {
+            let mut cfg = commuter_config();
+            cfg.k = k;
+            HybridPredictor::build(
+                &train,
+                &DiscoveryParams {
+                    period: COMMUTER_PERIOD,
+                    eps: 2.0,
+                    min_pts: 3,
+                },
+                &MiningParams {
+                    min_support: 2,
+                    min_confidence: 0.3,
+                    max_premise_len: 2,
+                    max_premise_gap: 2,
+                    max_span: 3,
+                },
+                cfg,
+            )
+        };
+        // Queries targeting offset 3 (the pub/gym fork): top-1 can
+        // pick the wrong branch, top-2 covers both. Built by hand —
+        // the fork sits at the last offset of the tiny period, outside
+        // make_workload's same-sub window.
+        let w: Vec<EvalQuery> = (60..90)
+            .map(|sub| {
+                let start = sub * COMMUTER_PERIOD as usize;
+                EvalQuery {
+                    recent: vec![traj.points()[start]],
+                    current_time: start as Timestamp,
+                    query_time: (start + 3) as Timestamp,
+                    truth: traj.points()[start + 3],
+                }
+            })
+            .collect();
+        // Eq. 5 ranks the certain "work" consequence (adjacent offset,
+        // confidence 1) first, then the two fork branches: k = 1 never
+        // hits the fork, k = 2 covers one branch, k = 3 covers both.
+        let k1 = hit_rate_at_k(&build(1), &w, 5.0, 200.0);
+        let k2 = hit_rate_at_k(&build(2), &w, 5.0, 200.0);
+        let k3 = hit_rate_at_k(&build(3), &w, 5.0, 200.0);
+        assert!(k1 <= k2 && k2 <= k3, "not monotone: {k1} {k2} {k3}");
+        assert!((k2 - 0.5).abs() < 0.2, "k2 {k2}");
+        assert!(k3 > 0.9, "k3 {k3}");
+        // Wider radius can only help.
+        let wide = hit_rate_at_k(&build(1), &w, 500.0, 200.0);
+        assert!(wide >= k1);
+    }
+
+    #[test]
+    fn source_breakdown_partitions_queries() {
+        let p = predictor();
+        let w = workload(1);
+        let b = source_breakdown(&p, &w, 200.0);
+        assert_eq!(b.forward.0 + b.backward.0 + b.motion.0, w.len());
+        // The commuter's offsets are fully patterned: forward answers
+        // dominate at length 1.
+        assert!(b.forward.0 > 0);
+        for (n, mean) in [b.forward, b.backward, b.motion] {
+            if n == 0 {
+                assert_eq!(mean, 0.0);
+            } else {
+                assert!(mean.is_finite() && mean >= 0.0);
+            }
+        }
+    }
+}

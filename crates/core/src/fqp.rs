@@ -1,0 +1,104 @@
+//! Forward Query Processing (Algorithm 2): non-distant-time queries,
+//! ranked by premise similarity × confidence (Eq. 2).
+
+use crate::predictor::{rank_answers, HybridPredictor};
+use crate::{premise_similarity, PredictiveQuery, RankedAnswer};
+use hpm_patterns::RegionId;
+use hpm_tpt::PatternIndex;
+use hpm_trajectory::TimeOffset;
+
+/// Retrieves and ranks FQP candidates; `None` means no pattern
+/// qualified and the caller should invoke the motion function.
+///
+/// Candidates must intersect the query key on both parts: share at
+/// least one premise region with the object's recent movements *and*
+/// have their consequence at exactly the query's time offset.
+pub(crate) fn run(
+    predictor: &HybridPredictor,
+    recent_ids: &[RegionId],
+    query: &PredictiveQuery<'_>,
+) -> Option<Vec<RankedAnswer>> {
+    if recent_ids.is_empty() {
+        return None; // no premise: the query key cannot intersect
+    }
+    let tq_offset = (query.query_time % predictor.period as u64) as TimeOffset;
+    let qkey = predictor
+        .key_table
+        .fqp_query(recent_ids.iter().copied(), tq_offset);
+    if qkey.consequence.is_zero() {
+        return None; // no pattern predicts this time offset
+    }
+    let matches = predictor.tpt.search(&qkey);
+    if matches.is_empty() {
+        return None;
+    }
+    // Eq. 2: S_p = S_r × c.
+    let scored: Vec<(u32, f64)> = matches
+        .iter()
+        .map(|m| {
+            let rk = &predictor.pattern_keys[m.pattern as usize].premise;
+            let sr = premise_similarity(rk, &qkey.premise, predictor.config.weight_fn);
+            (m.pattern, sr * m.confidence)
+        })
+        .collect();
+    Some(rank_answers(predictor, scored, predictor.config.k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{fig3_predictor, fig3_query_recent};
+    use crate::PredictionSource;
+
+    #[test]
+    fn section_vi_b_worked_example() {
+        // Jane's recent movements are R0^0 and R1^0, tq = 2. The paper
+        // computes S_p(1000011, 1000011) = 1 × 0.5 = 0.5 and
+        // S_p(1000101, 1000011) = 0.33 × 0.4 = 0.132, so R2^0's centre
+        // wins.
+        let p = fig3_predictor(1);
+        let (recent, tc) = fig3_query_recent();
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: tc,
+            query_time: 2,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.source, PredictionSource::ForwardPatterns);
+        assert_eq!(pred.answers.len(), 1);
+        let top = pred.answers[0];
+        assert_eq!(top.pattern, Some(2)); // P2: R0^0 ∧ R1^0 -> R2^0
+        assert!((top.score - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k2_returns_both_candidates_in_order() {
+        let p = fig3_predictor(2);
+        let (recent, tc) = fig3_query_recent();
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: tc,
+            query_time: 2,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.answers.len(), 2);
+        assert_eq!(pred.answers[0].pattern, Some(2));
+        assert_eq!(pred.answers[1].pattern, Some(3));
+        assert!((pred.answers[1].score - 1.0 / 3.0 * 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_consequence_at_query_offset_falls_back() {
+        let p = fig3_predictor(1);
+        let (recent, tc) = fig3_query_recent();
+        // No pattern has consequence offset 0 (only 1 and 2 exist);
+        // period is 3 so query_time 3 has offset 0.
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: tc,
+            query_time: 3,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.source, PredictionSource::MotionFunction);
+    }
+}

@@ -1,0 +1,397 @@
+//! The Hybrid Prediction Model itself (§VI): pattern store + TPT +
+//! motion-function fallback behind one `predict` call.
+
+use crate::{bqp, fqp, HpmConfig, Prediction, PredictionSource, PredictiveQuery, RankedAnswer};
+use hpm_geo::Point;
+use hpm_motion::{LinearMotion, MotionModel, Rmf};
+use hpm_patterns::{
+    discover, mine_with_threads, DiscoveryParams, MiningParams, RegionId, RegionSet,
+    TrajectoryPattern,
+};
+use hpm_tpt::{KeyTable, PatternKey, Tpt, TptConfig};
+use hpm_trajectory::{TimeOffset, Timestamp, Trajectory};
+
+/// A built Hybrid Prediction Model: discovered frequent regions, mined
+/// trajectory patterns, their TPT index, and the query processors.
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    pub(crate) regions: RegionSet,
+    pub(crate) patterns: Vec<TrajectoryPattern>,
+    pub(crate) key_table: KeyTable,
+    /// Pattern key of `patterns[i]`, aligned by index.
+    pub(crate) pattern_keys: Vec<PatternKey>,
+    pub(crate) tpt: Tpt,
+    pub(crate) config: HpmConfig,
+    pub(crate) period: u32,
+}
+
+impl HybridPredictor {
+    /// Runs the full offline pipeline over a movement history:
+    /// periodic decomposition → DBSCAN frequent regions → Apriori
+    /// pattern mining → TPT bulk load.
+    pub fn build(
+        history: &Trajectory,
+        discovery: &DiscoveryParams,
+        mining: &MiningParams,
+        config: HpmConfig,
+    ) -> Self {
+        Self::build_with_threads(history, discovery, mining, config, 1)
+    }
+
+    /// [`build`](Self::build) with the mining support-counting pass
+    /// parallelised over `threads` workers (identical results).
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn build_with_threads(
+        history: &Trajectory,
+        discovery: &DiscoveryParams,
+        mining_params: &MiningParams,
+        config: HpmConfig,
+        threads: usize,
+    ) -> Self {
+        let out = discover(history, discovery);
+        let patterns = mine_with_threads(&out.regions, &out.visits, mining_params, threads);
+        Self::from_parts(out.regions, patterns, config)
+    }
+
+    /// Assembles a predictor from already-discovered regions and
+    /// patterns (custom pipelines, persisted pattern sets).
+    ///
+    /// # Panics
+    /// Panics when `config` is inconsistent or any pattern fails
+    /// [`TrajectoryPattern::validate`] against `regions`.
+    pub fn from_parts(
+        regions: RegionSet,
+        patterns: Vec<TrajectoryPattern>,
+        config: HpmConfig,
+    ) -> Self {
+        config.validate();
+        for (i, p) in patterns.iter().enumerate() {
+            if let Err(e) = p.validate(&regions) {
+                panic!("pattern {i} invalid: {e}");
+            }
+        }
+        let key_table = KeyTable::build(&regions, &patterns);
+        let pattern_keys: Vec<PatternKey> = patterns
+            .iter()
+            .map(|p| key_table.encode_pattern(p, &regions))
+            .collect();
+        let tpt = Tpt::bulk_load(
+            TptConfig::new(config.tpt_fanout),
+            pattern_keys
+                .iter()
+                .zip(&patterns)
+                .enumerate()
+                .map(|(i, (k, p))| (k.clone(), p.confidence, i as u32)),
+        );
+        let period = regions.period();
+        HybridPredictor {
+            regions,
+            patterns,
+            key_table,
+            pattern_keys,
+            tpt,
+            config,
+            period,
+        }
+    }
+
+    /// Returns the same pattern store under a different query-time
+    /// configuration — `k`, thresholds, weight function, and matching
+    /// margin are all query-time knobs, so sweeps over them need no
+    /// re-discovery or re-mining. (`tpt_fanout` is baked in at build
+    /// time; changing it here only affects future
+    /// [`insert_patterns`](Self::insert_patterns) splits.)
+    ///
+    /// # Panics
+    /// Panics when `config` is inconsistent.
+    pub fn with_config(mut self, config: HpmConfig) -> Self {
+        config.validate();
+        self.config = config;
+        self
+    }
+
+    /// Adds freshly mined patterns incrementally (§V.B's dynamic-data
+    /// path): encodes and inserts each into the TPT.
+    ///
+    /// New patterns must only reference existing regions and consequence
+    /// time offsets already present in the key table (a full rebuild is
+    /// needed when the region or offset vocabulary grows).
+    pub fn insert_patterns(&mut self, new_patterns: Vec<TrajectoryPattern>) {
+        for p in new_patterns {
+            p.validate(&self.regions)
+                .unwrap_or_else(|e| panic!("inserted pattern invalid: {e}"));
+            let key = self.key_table.encode_pattern(&p, &self.regions);
+            let id = self.patterns.len() as u32;
+            self.tpt.insert(key.clone(), p.confidence, id);
+            self.pattern_keys.push(key);
+            self.patterns.push(p);
+        }
+    }
+
+    /// The discovered frequent regions.
+    #[inline]
+    pub fn regions(&self) -> &RegionSet {
+        &self.regions
+    }
+
+    /// The indexed trajectory patterns.
+    #[inline]
+    pub fn patterns(&self) -> &[TrajectoryPattern] {
+        &self.patterns
+    }
+
+    /// The pattern index.
+    #[inline]
+    pub fn tpt(&self) -> &Tpt {
+        &self.tpt
+    }
+
+    /// The key tables (region + consequence).
+    #[inline]
+    pub fn key_table(&self) -> &KeyTable {
+        &self.key_table
+    }
+
+    /// The configuration in use.
+    #[inline]
+    pub fn config(&self) -> &HpmConfig {
+        &self.config
+    }
+
+    /// The period `T` the patterns were discovered with.
+    #[inline]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Answers a predictive query (§VI): FQP for prediction lengths
+    /// below the distant-time threshold `d`, BQP at or beyond it, and
+    /// the motion function whenever no pattern qualifies.
+    ///
+    /// # Panics
+    /// Panics when `query.query_time <= query.current_time` or
+    /// `query.recent` is empty.
+    pub fn predict(&self, query: &PredictiveQuery<'_>) -> Prediction {
+        assert!(!query.recent.is_empty(), "query needs recent movements");
+        let length = query.prediction_length();
+        let recent_ids = self.recent_regions(query.recent, query.current_time);
+        let from_patterns = if length < self.config.distant_threshold {
+            fqp::run(self, &recent_ids, query).map(|answers| (answers, PredictionSource::ForwardPatterns))
+        } else {
+            bqp::run(self, &recent_ids, query).map(|answers| (answers, PredictionSource::BackwardPatterns))
+        };
+        match from_patterns {
+            Some((answers, source)) => Prediction { answers, source },
+            None => self.motion_fallback(query),
+        }
+    }
+
+    /// The frequent regions the object's recent movements fall in,
+    /// deduplicated and in region-id order — the query premise of
+    /// §V.C.
+    pub fn recent_regions(&self, recent: &[Point], current_time: Timestamp) -> Vec<RegionId> {
+        let n = recent.len();
+        let mut ids: Vec<RegionId> = recent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let back = (n - 1 - i) as Timestamp;
+                let ts = current_time.checked_sub(back)?;
+                let offset = (ts % self.period as Timestamp) as TimeOffset;
+                self.regions.region_at(offset, p, self.config.match_margin)
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Motion-function answer (Algorithm 2/3 fallback): RMF over the
+    /// recent window, degrading to a linear fit and finally to the last
+    /// known position when the window is too short to fit anything.
+    fn motion_fallback(&self, query: &PredictiveQuery<'_>) -> Prediction {
+        let steps = query.prediction_length();
+        let location = Rmf::fit(query.recent, self.config.rmf_retrospect)
+            .map(|m| m.predict(steps))
+            .or_else(|| LinearMotion::fit(query.recent).map(|m| m.predict(steps)))
+            .unwrap_or_else(|| *query.recent.last().expect("non-empty recent"));
+        Prediction {
+            answers: vec![RankedAnswer {
+                location,
+                score: 0.0,
+                pattern: None,
+            }],
+            source: PredictionSource::MotionFunction,
+        }
+    }
+}
+
+/// Ranks pattern candidates by score (descending, pattern id as the
+/// deterministic tiebreak) and materialises consequence-centre answers
+/// for the top `k` *distinct consequence regions*. Shared by FQP and
+/// BQP.
+///
+/// Many patterns can share one consequence (Table III's duplicate
+/// keys); returning the same centre `k` times would waste the caller's
+/// answer budget, so each region appears once, represented by its
+/// best-scored supporting pattern.
+pub(crate) fn rank_answers(
+    predictor: &HybridPredictor,
+    mut scored: Vec<(u32, f64)>,
+    k: usize,
+) -> Vec<RankedAnswer> {
+    scored.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let mut seen: Vec<hpm_patterns::RegionId> = Vec::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for (pattern, score) in scored {
+        let consequence = predictor.patterns[pattern as usize].consequence;
+        if seen.contains(&consequence) {
+            continue;
+        }
+        seen.push(consequence);
+        out.push(RankedAnswer {
+            location: predictor.regions.get(consequence).centroid,
+            score,
+            pattern: Some(pattern),
+        });
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{commuter_predictor, COMMUTER_PERIOD};
+
+    #[test]
+    fn build_pipeline_produces_patterns() {
+        let p = commuter_predictor();
+        assert!(!p.patterns().is_empty());
+        assert!(!p.regions().is_empty());
+        assert_eq!(p.tpt().len(), p.patterns().len());
+        assert_eq!(p.period(), COMMUTER_PERIOD);
+        p.tpt().validate().unwrap();
+    }
+
+    #[test]
+    fn near_query_uses_forward_patterns() {
+        let p = commuter_predictor();
+        // The object is at "home" (offset 0) and "road" (offset 1) of
+        // day 50; ask about offset 2 (length 1 < d = 3 -> FQP).
+        let recent = [Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 2,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.source, PredictionSource::ForwardPatterns);
+        // Offset 2 is "work" at x = 100: the answer must be its centre.
+        assert!(
+            pred.best().distance(&Point::new(100.0, 0.0)) < 2.0,
+            "predicted {}",
+            pred.best()
+        );
+    }
+
+    #[test]
+    fn distant_query_uses_backward_patterns() {
+        let p = commuter_predictor();
+        let recent = [Point::new(0.0, 0.0)];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        // Distant threshold in the fixture config is 2.
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: day,
+            query_time: day + 3,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.source, PredictionSource::BackwardPatterns);
+    }
+
+    #[test]
+    fn unknown_movements_fall_back_to_motion() {
+        let p = commuter_predictor();
+        // Recent movements nowhere near any frequent region, at offsets
+        // with no matching premise -> no pattern qualifies for FQP.
+        let recent = [Point::new(900.0, 900.0), Point::new(905.0, 900.0)];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 2,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.source, PredictionSource::MotionFunction);
+        assert!(pred.best().is_finite());
+        assert_eq!(pred.answers[0].pattern, None);
+    }
+
+    #[test]
+    fn recent_regions_dedupes_and_sorts() {
+        let p = commuter_predictor();
+        // Samples at offsets 0 and 1 near home and road.
+        let recent = [
+            Point::new(0.1, 0.0),
+            Point::new(50.1, 0.0),
+        ];
+        let day = 10 * COMMUTER_PERIOD as Timestamp;
+        let ids = p.recent_regions(&recent, day + 1);
+        assert!(!ids.is_empty());
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn top_k_returns_distinct_regions() {
+        let mut cfg = crate::test_fixtures::commuter_config();
+        cfg.k = 3;
+        let p = crate::test_fixtures::commuter_predictor_with(cfg);
+        // Query offset 3 splits between "pub" and "gym": two distinct
+        // consequence regions exist there.
+        let recent = [Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 3,
+        };
+        let pred = p.predict(&q);
+        assert_eq!(pred.answers.len(), 2, "answers: {:?}", pred.answers);
+        // Distinct locations, descending scores.
+        assert_ne!(pred.answers[0].location, pred.answers[1].location);
+        assert!(pred.answers[0].score >= pred.answers[1].score);
+    }
+
+    #[test]
+    fn insert_patterns_extends_index() {
+        let mut p = commuter_predictor();
+        let before = p.patterns().len();
+        let extra = p.patterns()[0].clone();
+        p.insert_patterns(vec![extra]);
+        assert_eq!(p.patterns().len(), before + 1);
+        assert_eq!(p.tpt().len(), before + 1);
+        p.tpt().validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "recent movements")]
+    fn empty_recent_rejected() {
+        let p = commuter_predictor();
+        let q = PredictiveQuery {
+            recent: &[],
+            current_time: 0,
+            query_time: 1,
+        };
+        p.predict(&q);
+    }
+}

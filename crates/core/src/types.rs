@@ -1,0 +1,138 @@
+//! Query and answer value types of the Hybrid Prediction Model.
+
+use hpm_geo::Point;
+use hpm_trajectory::Timestamp;
+
+/// A spatio-temporal predictive query: "given these recent movements
+/// and the current time `tc`, where will the object be at `tq`?"
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictiveQuery<'a> {
+    /// The object's recent movements `m_q`, oldest first; the last
+    /// sample is the object's position *now*.
+    pub recent: &'a [Point],
+    /// Timestamp `tc` of the last recent sample.
+    pub current_time: Timestamp,
+    /// The future timestamp `tq > tc` being asked about.
+    pub query_time: Timestamp,
+}
+
+impl PredictiveQuery<'_> {
+    /// Prediction length `tq − tc`.
+    ///
+    /// # Panics
+    /// Panics when `query_time <= current_time` (Definition 2 requires
+    /// a future query time).
+    pub fn prediction_length(&self) -> u32 {
+        assert!(
+            self.query_time > self.current_time,
+            "query time must be after the current time"
+        );
+        (self.query_time - self.current_time) as u32
+    }
+}
+
+/// How a prediction was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictionSource {
+    /// Forward Query Processing found matching patterns (Algorithm 2).
+    ForwardPatterns,
+    /// Backward Query Processing found patterns near the query time
+    /// (Algorithm 3).
+    BackwardPatterns,
+    /// No pattern qualified; the motion function answered.
+    MotionFunction,
+}
+
+/// One ranked answer: a predicted location with its pattern weight
+/// `S_p` (Eq. 2 / Eq. 5), highest first in [`Prediction::answers`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedAnswer {
+    /// The predicted location (a consequence-region centre, or the
+    /// motion function's extrapolation).
+    pub location: Point,
+    /// Ranking score; 0 for motion-function answers.
+    pub score: f64,
+    /// Index of the supporting trajectory pattern, if any.
+    pub pattern: Option<u32>,
+}
+
+/// The result of a predictive query: the top-`k` answers (at least
+/// one), best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Ranked answers, best first; never empty.
+    pub answers: Vec<RankedAnswer>,
+    /// Which processing path produced them.
+    pub source: PredictionSource,
+}
+
+impl Prediction {
+    /// The highest-ranked predicted location.
+    pub fn best(&self) -> Point {
+        self.answers[0].location
+    }
+
+    /// Whether a trajectory pattern (rather than the motion-function
+    /// fallback) produced the answer.
+    pub fn from_patterns(&self) -> bool {
+        self.source != PredictionSource::MotionFunction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_length_is_difference() {
+        let recent = [Point::ORIGIN];
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: 100,
+            query_time: 140,
+        };
+        assert_eq!(q.prediction_length(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the current time")]
+    fn past_query_time_panics() {
+        let recent = [Point::ORIGIN];
+        PredictiveQuery {
+            recent: &recent,
+            current_time: 100,
+            query_time: 100,
+        }
+        .prediction_length();
+    }
+
+    #[test]
+    fn best_and_source() {
+        let p = Prediction {
+            answers: vec![
+                RankedAnswer {
+                    location: Point::new(1.0, 2.0),
+                    score: 0.9,
+                    pattern: Some(3),
+                },
+                RankedAnswer {
+                    location: Point::new(5.0, 5.0),
+                    score: 0.4,
+                    pattern: Some(7),
+                },
+            ],
+            source: PredictionSource::ForwardPatterns,
+        };
+        assert_eq!(p.best(), Point::new(1.0, 2.0));
+        assert!(p.from_patterns());
+        let m = Prediction {
+            answers: vec![RankedAnswer {
+                location: Point::ORIGIN,
+                score: 0.0,
+                pattern: None,
+            }],
+            source: PredictionSource::MotionFunction,
+        };
+        assert!(!m.from_patterns());
+    }
+}

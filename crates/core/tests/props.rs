@@ -1,0 +1,215 @@
+//! Property-based invariants for similarity measures and the hybrid
+//! predictor.
+
+use hpm_core::{
+    consequence_similarity, premise_similarity, HpmConfig, HybridPredictor, PredictiveQuery,
+    WeightFunction,
+};
+use hpm_geo::{BoundingBox, Point};
+use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
+use hpm_tpt::Bitmap;
+use proptest::prelude::*;
+
+const LEN: usize = 40;
+
+fn arb_bits() -> impl Strategy<Value = Bitmap> {
+    proptest::collection::vec(0..LEN, 0..8).prop_map(|ones| Bitmap::from_indices(LEN, &ones))
+}
+
+fn arb_wf() -> impl Strategy<Value = WeightFunction> {
+    prop_oneof![
+        Just(WeightFunction::Linear),
+        Just(WeightFunction::Quadratic),
+        Just(WeightFunction::Exponential),
+        Just(WeightFunction::Factorial),
+    ]
+}
+
+/// A random but always-valid pattern world over `period` offsets with
+/// one region per offset, plus patterns of 1–2 premise regions.
+fn arb_world() -> impl Strategy<Value = (RegionSet, Vec<TrajectoryPattern>)> {
+    (4u32..12, 1usize..30, 0u64..500).prop_map(|(period, n_patterns, seed)| {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let regions: Vec<FrequentRegion> = (0..period)
+            .map(|t| {
+                let c = Point::new(t as f64 * 100.0, (next() % 100) as f64);
+                FrequentRegion {
+                    id: RegionId(t),
+                    offset: t,
+                    local_index: 0,
+                    centroid: c,
+                    bbox: BoundingBox {
+                        min: c - Point::new(5.0, 5.0),
+                        max: c + Point::new(5.0, 5.0),
+                    },
+                    support: 5 + (next() % 20) as u32,
+                }
+            })
+            .collect();
+        let set = RegionSet::new(regions, period);
+        let patterns: Vec<TrajectoryPattern> = (0..n_patterns)
+            .map(|_| {
+                let a = (next() % (period as u64 - 1)) as u32;
+                let two = a + 2 < period && next() % 2 == 0;
+                let (premise, cons) = if two {
+                    (vec![RegionId(a), RegionId(a + 1)], RegionId(a + 2))
+                } else {
+                    (vec![RegionId(a)], RegionId(a + 1))
+                };
+                TrajectoryPattern {
+                    premise,
+                    consequence: cons,
+                    confidence: 0.05 + (next() % 95) as f64 / 100.0,
+                    support: 1 + (next() % 30) as u32,
+                }
+            })
+            .collect();
+        (set, patterns)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 1 bounds and identities, for every weight function.
+    #[test]
+    fn premise_similarity_bounds(rk in arb_bits(), rkq in arb_bits(), wf in arb_wf()) {
+        let s = premise_similarity(&rk, &rkq, wf);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "S_r = {s}");
+        if !rk.is_zero() {
+            prop_assert!((premise_similarity(&rk, &rk, wf) - 1.0).abs() < 1e-9);
+        }
+        prop_assert_eq!(premise_similarity(&rk, &Bitmap::zeros(LEN), wf), 0.0);
+        // Full containment of rk in rkq maximises similarity.
+        if rkq.contains(&rk) && !rk.is_zero() {
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Adding a matched bit to the query never decreases similarity.
+    #[test]
+    fn premise_similarity_monotone(rk in arb_bits(), rkq in arb_bits(), wf in arb_wf(), extra in 0..LEN) {
+        let base = premise_similarity(&rk, &rkq, wf);
+        let mut grown = rkq.clone();
+        grown.set(extra);
+        prop_assert!(premise_similarity(&rk, &grown, wf) >= base - 1e-12);
+    }
+
+    /// Eq. 3 bounds and symmetry around the query time.
+    #[test]
+    fn consequence_similarity_shape(tq in -1000i64..1000, dt in 0i64..50, t_eps in 1u32..8) {
+        let s_plus = consequence_similarity(tq, tq + dt, t_eps);
+        let s_minus = consequence_similarity(tq, tq - dt, t_eps);
+        prop_assert!((s_plus - s_minus).abs() < 1e-12, "not symmetric");
+        prop_assert!((0.0..=1.0).contains(&s_plus));
+        prop_assert_eq!(consequence_similarity(tq, tq, t_eps), 1.0);
+        // Monotone non-increasing in temporal distance.
+        let further = consequence_similarity(tq, tq + dt + 1, t_eps);
+        prop_assert!(further <= s_plus + 1e-12);
+    }
+
+    /// The predictor always answers: at least one finite answer, at
+    /// most k, scores descending, pattern ids valid.
+    #[test]
+    fn predictor_total_and_sane(
+        (set, patterns) in arb_world(),
+        k in 1usize..4,
+        distant in 1u32..6,
+        recent_spot in 0u32..12,
+        length in 1u64..10,
+    ) {
+        let period = set.period();
+        let predictor = HybridPredictor::from_parts(
+            set,
+            patterns,
+            HpmConfig {
+                k,
+                distant_threshold: distant,
+                time_relaxation: 1,
+                match_margin: 1.0,
+                rmf_retrospect: 2,
+                tpt_fanout: 4,
+                ..HpmConfig::default()
+            },
+        );
+        let spot = recent_spot % period;
+        let p0 = predictor.regions().get(RegionId(spot)).centroid;
+        let recent = [p0 - Point::new(1.0, 0.0), p0];
+        let current_time = (10 * period + spot) as u64;
+        let query = PredictiveQuery {
+            recent: &recent,
+            current_time,
+            query_time: current_time + length,
+        };
+        let pred = predictor.predict(&query);
+        prop_assert!(!pred.answers.is_empty());
+        prop_assert!(pred.answers.len() <= k);
+        prop_assert!(pred.answers.iter().all(|a| a.location.is_finite()));
+        prop_assert!(pred.answers.windows(2).all(|w| w[0].score >= w[1].score));
+        for a in &pred.answers {
+            if let Some(pid) = a.pattern {
+                let pattern = &predictor.patterns()[pid as usize];
+                // The answer is that pattern's consequence centre.
+                prop_assert_eq!(
+                    a.location,
+                    predictor.regions().get(pattern.consequence).centroid
+                );
+                // FQP answers must sit at the query's time offset.
+                if pred.source == hpm_core::PredictionSource::ForwardPatterns {
+                    let tq_off = (query.query_time % period as u64) as u32;
+                    prop_assert_eq!(
+                        pattern.consequence_offset(predictor.regions()),
+                        tq_off
+                    );
+                }
+            } else {
+                prop_assert_eq!(pred.source, hpm_core::PredictionSource::MotionFunction);
+            }
+        }
+    }
+
+    /// Distinct consequence regions in the answer list (no duplicate
+    /// locations wasting the k budget).
+    #[test]
+    fn answers_are_distinct_regions((set, patterns) in arb_world(), spot in 0u32..12) {
+        let period = set.period();
+        let predictor = HybridPredictor::from_parts(
+            set,
+            patterns,
+            HpmConfig {
+                k: 5,
+                distant_threshold: 2,
+                time_relaxation: 1,
+                match_margin: 1.0,
+                rmf_retrospect: 2,
+                tpt_fanout: 4,
+                ..HpmConfig::default()
+            },
+        );
+        let spot = spot % period;
+        let p0 = predictor.regions().get(RegionId(spot)).centroid;
+        let recent = [p0];
+        let ct = (7 * period + spot) as u64;
+        let pred = predictor.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: ct,
+            query_time: ct + 3,
+        });
+        let mut locs: Vec<_> = pred
+            .answers
+            .iter()
+            .filter(|a| a.pattern.is_some())
+            .map(|a| (a.location.x.to_bits(), a.location.y.to_bits()))
+            .collect();
+        let before = locs.len();
+        locs.sort_unstable();
+        locs.dedup();
+        prop_assert_eq!(locs.len(), before, "duplicate answer locations");
+    }
+}

@@ -1,0 +1,298 @@
+//! Differential tests: the TPT-backed query processors against
+//! straight-from-the-paper reference implementations that scan every
+//! pattern with no index and no shared code paths.
+
+use hpm_core::{
+    consequence_similarity, premise_similarity, HpmConfig, HybridPredictor, PredictionSource,
+    PredictiveQuery, RankedAnswer,
+};
+use hpm_geo::Point;
+use hpm_patterns::{RegionId, RegionSet, TrajectoryPattern};
+use hpm_tpt::KeyTable;
+use proptest::prelude::*;
+
+/// Reference FQP (Algorithm 2): filter all patterns by "consequence
+/// offset == tq offset AND premise shares a region with the recent
+/// visits", score by Eq. 2, rank, dedupe by consequence region, top-k.
+#[allow(clippy::too_many_arguments)]
+fn reference_fqp(
+    regions: &RegionSet,
+    patterns: &[TrajectoryPattern],
+    table: &KeyTable,
+    recent_ids: &[RegionId],
+    tq_offset: u32,
+    config: &HpmConfig,
+) -> Option<Vec<RankedAnswer>> {
+    if recent_ids.is_empty() {
+        return None;
+    }
+    let rkq = table.premise_key(recent_ids.iter().copied());
+    let mut scored: Vec<(u32, f64)> = patterns
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.consequence_offset(regions) == tq_offset
+                && p.premise.iter().any(|id| recent_ids.contains(id))
+        })
+        .map(|(i, p)| {
+            let rk = table.premise_key(p.premise.iter().copied());
+            (
+                i as u32,
+                premise_similarity(&rk, &rkq, config.weight_fn) * p.confidence,
+            )
+        })
+        .collect();
+    if scored.is_empty() {
+        return None;
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    Some(dedupe_top_k(regions, patterns, scored, config.k))
+}
+
+/// Reference BQP (Algorithm 3 + Eq. 5) with the same widening rule.
+fn reference_bqp(
+    regions: &RegionSet,
+    patterns: &[TrajectoryPattern],
+    table: &KeyTable,
+    recent_ids: &[RegionId],
+    tc: i64,
+    tq: i64,
+    config: &HpmConfig,
+) -> Option<Vec<RankedAnswer>> {
+    let period = i64::from(regions.period());
+    let t_eps = i64::from(config.time_relaxation);
+    let rkq = table.premise_key(recent_ids.iter().copied());
+    let tq_offset = tq.rem_euclid(period);
+    let mut i = 1i64;
+    loop {
+        let lo = (tq - i * t_eps).max(tc + 1);
+        let hi = tq + i * t_eps;
+        let offsets: std::collections::HashSet<i64> =
+            (lo..=hi).take(period as usize).map(|t| t.rem_euclid(period)).collect();
+        let mut scored: Vec<(u32, f64)> = patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| offsets.contains(&i64::from(p.consequence_offset(regions))))
+            .map(|(idx, p)| {
+                let rk = table.premise_key(p.premise.iter().copied());
+                let sr = premise_similarity(&rk, &rkq, config.weight_fn);
+                let t_off = i64::from(p.consequence_offset(regions));
+                let delta = (t_off - tq_offset).rem_euclid(period);
+                let dist = delta.min(period - delta);
+                let sc = consequence_similarity(0, dist, config.time_relaxation);
+                let pen = (f64::from(config.distant_threshold) / (tq - tc) as f64).min(1.0);
+                (idx as u32, (sr * pen + sc) * p.confidence)
+            })
+            .collect();
+        if !scored.is_empty() {
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            return Some(dedupe_top_k(regions, patterns, scored, config.k));
+        }
+        i += 1;
+        if tq - i * t_eps <= tc || (hi - lo) >= period {
+            return None;
+        }
+    }
+}
+
+fn dedupe_top_k(
+    regions: &RegionSet,
+    patterns: &[TrajectoryPattern],
+    scored: Vec<(u32, f64)>,
+    k: usize,
+) -> Vec<RankedAnswer> {
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    for (pattern, score) in scored {
+        let consequence = patterns[pattern as usize].consequence;
+        if seen.contains(&consequence) {
+            continue;
+        }
+        seen.push(consequence);
+        out.push(RankedAnswer {
+            location: regions.get(consequence).centroid,
+            score,
+            pattern: Some(pattern),
+        });
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
+/// Random worlds: up to 3 regions per offset, random valid patterns.
+fn arb_world() -> impl Strategy<Value = (RegionSet, Vec<TrajectoryPattern>)> {
+    (3u32..10, 0usize..60, 0u64..10_000).prop_map(|(period, n_patterns, seed)| {
+        use hpm_geo::BoundingBox;
+        use hpm_patterns::FrequentRegion;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut regions = Vec::new();
+        for t in 0..period {
+            let locals = 1 + (next() % 3) as u32;
+            for j in 0..locals {
+                let c = Point::new(t as f64 * 100.0, f64::from(j) * 37.0);
+                regions.push(FrequentRegion {
+                    id: RegionId(regions.len() as u32),
+                    offset: t,
+                    local_index: j,
+                    centroid: c,
+                    bbox: BoundingBox {
+                        min: c - Point::new(4.0, 4.0),
+                        max: c + Point::new(4.0, 4.0),
+                    },
+                    support: 3 + (next() % 20) as u32,
+                });
+            }
+        }
+        let set = RegionSet::new(regions, period);
+        let patterns: Vec<TrajectoryPattern> = (0..n_patterns)
+            .map(|_| {
+                // Premise at offsets a (< b) with consequence at b.
+                let a = (next() % u64::from(period - 1)) as u32;
+                let b = a + 1 + (next() % u64::from(period - a - 1).max(1)) as u32;
+                let pick = |t: u32, r: u64| {
+                    let ids = set.at_offset(t);
+                    ids[(r % ids.len() as u64) as usize]
+                };
+                let two = a + 1 < b && next() % 2 == 0;
+                let mut premise = vec![pick(a, next())];
+                if two {
+                    let mid = a + 1 + (next() % u64::from(b - a - 1)) as u32;
+                    if mid > a && mid < b {
+                        premise.push(pick(mid, next()));
+                    }
+                }
+                TrajectoryPattern {
+                    premise,
+                    consequence: pick(b, next()),
+                    confidence: 0.05 + (next() % 95) as f64 / 100.0,
+                    support: 1 + (next() % 20) as u32,
+                }
+            })
+            .collect();
+        (set, patterns)
+    })
+}
+
+fn answers_equal(a: &[RankedAnswer], b: &[RankedAnswer]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.pattern == y.pattern && (x.score - y.score).abs() < 1e-12 && x.location == y.location
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The production predictor and the index-free reference agree on
+    /// every query, for both processing paths and the fallback switch.
+    #[test]
+    fn predictor_matches_reference(
+        (set, patterns) in arb_world(),
+        k in 1usize..4,
+        distant in 1u32..8,
+        spot in 0u32..32,
+        length in 1u64..12,
+        t_eps in 1u32..4,
+    ) {
+        let period = set.period();
+        let config = HpmConfig {
+            k,
+            distant_threshold: distant,
+            time_relaxation: t_eps,
+            match_margin: 1.0,
+            rmf_retrospect: 2,
+            tpt_fanout: 4,
+            ..HpmConfig::default()
+        };
+        let predictor =
+            HybridPredictor::from_parts(set.clone(), patterns.clone(), config);
+        let table = KeyTable::build(&set, &patterns);
+
+        // The query stands at a random region's centre.
+        let all_ids: Vec<RegionId> = set.all().iter().map(|r| r.id).collect();
+        let at = all_ids[spot as usize % all_ids.len()];
+        let offset = set.get(at).offset;
+        let p0 = set.get(at).centroid;
+        let recent = [p0 - Point::new(1.0, 0.0), p0];
+        let current_time = u64::from(10 * period + offset);
+        let query = PredictiveQuery {
+            recent: &recent,
+            current_time,
+            query_time: current_time + length,
+        };
+        let got = predictor.predict(&query);
+
+        let recent_ids = predictor.recent_regions(&recent, current_time);
+        let expected = if (length as u32) < distant {
+            reference_fqp(
+                &set, &patterns, &table, &recent_ids,
+                ((current_time + length) % u64::from(period)) as u32,
+                &config,
+            )
+        } else {
+            reference_bqp(
+                &set, &patterns, &table, &recent_ids,
+                current_time as i64,
+                (current_time + length) as i64,
+                &config,
+            )
+        };
+        match expected {
+            Some(answers) => {
+                prop_assert_ne!(got.source, PredictionSource::MotionFunction);
+                prop_assert!(
+                    answers_equal(&got.answers, &answers),
+                    "got {:?}\nexpected {:?}",
+                    got.answers,
+                    answers
+                );
+            }
+            None => {
+                prop_assert_eq!(got.source, PredictionSource::MotionFunction);
+            }
+        }
+    }
+
+    /// BQP's all-ones search premise never admits a pattern the
+    /// reference interval filter would exclude (search-key soundness).
+    #[test]
+    fn bqp_interval_soundness((set, patterns) in arb_world(), length in 1u64..20, t_eps in 1u32..4) {
+        prop_assume!(!patterns.is_empty());
+        let period = set.period();
+        let config = HpmConfig {
+            k: 32,
+            distant_threshold: 1, // everything distant
+            time_relaxation: t_eps,
+            match_margin: 1.0,
+            rmf_retrospect: 2,
+            tpt_fanout: 4,
+            ..HpmConfig::default()
+        };
+        let predictor = HybridPredictor::from_parts(set.clone(), patterns.clone(), config);
+        let p0 = set.get(RegionId(0)).centroid;
+        let recent = [p0];
+        let ct = u64::from(7 * period);
+        let pred = predictor.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: ct,
+            query_time: ct + length,
+        });
+        if pred.source == PredictionSource::BackwardPatterns {
+            // Every answer's consequence must land within SOME widening
+            // interval before the loop gave up — i.e. within the period
+            // circle distance reachable from tq before lo hits tc.
+            for a in &pred.answers {
+                let p = &patterns[a.pattern.unwrap() as usize];
+                prop_assert!(p.consequence_offset(&set) < period);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The four evaluation datasets of §VII.
+//!
+//! Each builder returns a [`PeriodicGenerator`] whose archetype routes
+//! reproduce the qualitative character of the paper's seed GPS traces,
+//! with the pattern-strength ordering **Bike > Cow > Car > Airplane**
+//! (probability `f` plus how many distinct routes the support spreads
+//! over):
+//!
+//! * **Bike** — one strong smooth inter-town route, very high `f`,
+//!   low noise: strongest patterns.
+//! * **Cow** — a paddock grazing loop plus a watering-hole detour
+//!   (virtual-fencing cattle wander more): high `f`, more noise.
+//! * **Car** — Manhattan-style road-grid commute with two branch
+//!   routes and sharp 90° turns at intersections (what breaks motion
+//!   functions in Fig. 1): medium `f`.
+//! * **Airplane** — straight legs between "airports" sampled from the
+//!   extent, four different airport pairs: support spreads thin and
+//!   noise is high, so patterns are weak — exactly why the paper's
+//!   airplane accuracy lags until Eps grows (Fig. 7).
+
+use crate::{Archetype, GeneratorConfig, PeriodicGenerator};
+use hpm_geo::Point;
+
+/// Data extent `[0, EXTENT]²` (paper: normalised to `[0, 10000]`).
+pub const EXTENT: f64 = 10_000.0;
+/// Positions per sub-trajectory (paper: `T = 300`).
+pub const PERIOD: u32 = 300;
+/// Sub-trajectories per dataset (paper: 200 "days").
+pub const SUB_COUNT: usize = 200;
+
+/// The four §VII datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    Bike,
+    Cow,
+    Car,
+    Airplane,
+}
+
+impl PaperDataset {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [PaperDataset; 4] = [
+        PaperDataset::Bike,
+        PaperDataset::Cow,
+        PaperDataset::Car,
+        PaperDataset::Airplane,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::Bike => "Bike",
+            PaperDataset::Cow => "Cow",
+            PaperDataset::Car => "Car",
+            PaperDataset::Airplane => "Airplane",
+        }
+    }
+}
+
+/// Builds the generator for a paper dataset with a reproducible seed.
+pub fn paper_dataset(which: PaperDataset, seed: u64) -> PeriodicGenerator {
+    match which {
+        PaperDataset::Bike => bike(seed),
+        PaperDataset::Cow => cow(seed),
+        PaperDataset::Car => car(seed),
+        PaperDataset::Airplane => airplane(seed),
+    }
+}
+
+fn config(similarity_prob: f64, point_noise: f64, route_noise: f64, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        period: PERIOD,
+        num_subs: SUB_COUNT,
+        similarity_prob,
+        point_noise,
+        route_noise,
+        extent: EXTENT,
+        seed,
+    }
+}
+
+/// Bike: a GPS-logged ride between two towns — one strong winding
+/// route plus an occasional river-side variant sharing both ends,
+/// `f = 0.93`.
+pub fn bike(seed: u64) -> PeriodicGenerator {
+    // Gently winding diagonal between "towns" at the SW and NE
+    // corners; `bend` displaces the middle third sideways for the
+    // variant route.
+    let route = |bend: f64| -> Vec<Point> {
+        let n = 24;
+        (0..=n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                let x = 600.0 + t * 8_800.0;
+                let y = 700.0 + t * 8_300.0 + 550.0 * (t * 9.0).sin();
+                // A smooth bump peaking mid-route, zero at the ends.
+                let bump = bend * (std::f64::consts::PI * t).sin().powi(2);
+                Point::new(x + bump, y - bump)
+            })
+            .collect()
+    };
+    PeriodicGenerator::new(
+        config(0.93, 13.0, 18.0, seed),
+        vec![
+            Archetype::new(route(0.0), 3.0),
+            Archetype::new(route(700.0), 1.0), // river-side variant
+        ],
+    )
+}
+
+/// Cow: a grazing loop around the paddock plus a watering-hole detour,
+/// `f = 0.85`.
+pub fn cow(seed: u64) -> PeriodicGenerator {
+    let center = Point::new(5_000.0, 5_000.0);
+    let loop_route = |radius: f64, wobble: f64, phase: f64| -> Vec<Point> {
+        let n = 28;
+        (0..=n)
+            .map(|i| {
+                let a = phase + i as f64 / n as f64 * std::f64::consts::TAU;
+                let r = radius + wobble * (3.0 * a).sin();
+                Point::new(center.x + r * a.cos(), center.y + r * a.sin())
+            })
+            .collect()
+    };
+    // Detour: half the loop, then out to the watering hole and back.
+    let mut detour = loop_route(2_300.0, 250.0, 0.0);
+    detour.truncate(15);
+    detour.push(Point::new(8_600.0, 7_900.0)); // watering hole
+    detour.push(Point::new(8_500.0, 8_000.0));
+    detour.push(center);
+    PeriodicGenerator::new(
+        config(0.85, 14.0, 22.0, seed),
+        vec![
+            Archetype::new(loop_route(2_300.0, 250.0, 0.0), 3.0),
+            Archetype::new(detour, 1.0),
+        ],
+    )
+}
+
+/// Car: a Seoul road commute on a Manhattan grid with sharp turns and
+/// two branch routes sharing the home prefix, `f = 0.75`.
+pub fn car(seed: u64) -> PeriodicGenerator {
+    let home = Point::new(900.0, 900.0);
+    let work = Point::new(9_100.0, 8_200.0);
+    // Route A: east along the arterial, one jog north, then east and
+    // north — many 90° turns.
+    let route_a = vec![
+        home,
+        Point::new(3_000.0, 900.0),
+        Point::new(3_000.0, 3_500.0),
+        Point::new(6_200.0, 3_500.0),
+        Point::new(6_200.0, 6_000.0),
+        Point::new(9_100.0, 6_000.0),
+        work,
+    ];
+    // Route B: shares the first leg (Fig. 3's shared premise), then
+    // avoids the "traffic jam" by going north early.
+    let route_b = vec![
+        home,
+        Point::new(3_000.0, 900.0),
+        Point::new(3_000.0, 6_800.0),
+        Point::new(7_400.0, 6_800.0),
+        Point::new(7_400.0, 8_200.0),
+        work,
+    ];
+    PeriodicGenerator::new(
+        config(0.75, 11.0, 16.0, seed),
+        vec![Archetype::new(route_a, 3.0), Archetype::new(route_b, 2.0)],
+    )
+}
+
+/// Airplane: straight legs between airports sampled from a road-network
+/// extent; four pairs, high noise, `f = 0.55` — the weakest patterns.
+pub fn airplane(seed: u64) -> PeriodicGenerator {
+    let airports = [
+        Point::new(1_100.0, 1_400.0),
+        Point::new(8_900.0, 1_100.0),
+        Point::new(9_200.0, 8_700.0),
+        Point::new(1_300.0, 9_000.0),
+        Point::new(5_200.0, 4_800.0),
+    ];
+    let leg = |a: usize, b: usize| vec![airports[a], airports[b]];
+    PeriodicGenerator::new(
+        config(0.55, 24.0, 34.0, seed),
+        vec![
+            Archetype::new(leg(0, 2), 1.0),
+            Archetype::new(leg(1, 3), 1.0),
+            Archetype::new(leg(0, 4), 1.0),
+            Archetype::new(leg(4, 2), 1.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_paper_shape() {
+        for d in PaperDataset::ALL {
+            let g = paper_dataset(d, 9);
+            assert_eq!(g.config().period, 300, "{}", d.name());
+            let t = g.generate_subs(5);
+            assert_eq!(t.len(), 1500);
+            for p in t.points() {
+                assert!(p.is_finite());
+                assert!(p.x >= 0.0 && p.x <= EXTENT && p.y >= 0.0 && p.y <= EXTENT);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_strength_ordering() {
+        let f = |d| paper_dataset(d, 1).config().similarity_prob;
+        assert!(f(PaperDataset::Bike) > f(PaperDataset::Cow));
+        assert!(f(PaperDataset::Cow) > f(PaperDataset::Car));
+        assert!(f(PaperDataset::Car) > f(PaperDataset::Airplane));
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        for d in PaperDataset::ALL {
+            let a = paper_dataset(d, 123).generate_subs(3);
+            let b = paper_dataset(d, 123).generate_subs(3);
+            assert_eq!(a, b, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn car_route_has_sharp_turns() {
+        // With f = 1 noise ~ 0 the car route should contain near-90°
+        // heading changes (what defeats linear motion functions).
+        let g = car(5);
+        let arch = &g.archetypes()[0];
+        let mut max_turn: f64 = 0.0;
+        for w in arch.waypoints.windows(3) {
+            let v1 = w[1] - w[0];
+            let v2 = w[2] - w[1];
+            let cos = v1.dot(&v2) / (v1.norm() * v2.norm());
+            max_turn = max_turn.max(cos.acos().to_degrees());
+        }
+        assert!(max_turn > 80.0, "max turn {max_turn}");
+    }
+
+    #[test]
+    fn names_and_all_order() {
+        let names: Vec<_> = PaperDataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["Bike", "Cow", "Car", "Airplane"]);
+    }
+}

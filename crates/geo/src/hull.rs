@@ -1,0 +1,159 @@
+//! Convex hulls and point-in-polygon tests.
+//!
+//! DBSCAN summarises frequent regions with bounding boxes; a convex
+//! hull is the tighter summary for elongated or diagonal clusters
+//! (Fig. 2(b)'s blobs are far from axis-aligned). Downstream users can
+//! carry hulls alongside boxes for finer region-membership tests.
+
+use crate::Point;
+
+/// Convex hull by Andrew's monotone chain, counter-clockwise,
+/// first vertex = lexicographically smallest point. Collinear boundary
+/// points are dropped. Returns fewer than 3 vertices for degenerate
+/// inputs (empty, single point, all-collinear).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).expect("finite points"));
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let cross = |o: &Point, a: &Point, b: &Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev() {
+        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // the first point repeats at the end
+    if hull.len() < 3 {
+        // All points collinear: return the two extremes.
+        hull.truncate(2);
+    }
+    hull
+}
+
+/// Whether `p` lies inside or on the boundary of the convex polygon
+/// `hull` (counter-clockwise vertices, as produced by [`convex_hull`]).
+/// Polygons with fewer than 3 vertices contain only their own points
+/// (within `1e-9`).
+pub fn convex_contains(hull: &[Point], p: &Point) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].distance(p) < 1e-9,
+        2 => crate::point_segment_distance(p, &hull[0], &hull[1]) < 1e-9,
+        _ => {
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+                if cross < -1e-9 {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Signed area of a simple polygon (positive for counter-clockwise).
+pub fn polygon_area(polygon: &[Point]) -> f64 {
+    if polygon.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..polygon.len() {
+        let a = polygon[i];
+        let b = polygon[(i + 1) % polygon.len()];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(2.0, 0.0), // collinear boundary
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert_eq!(hull[0], Point::new(0.0, 0.0)); // lexicographic start
+        assert!((polygon_area(&hull) - 16.0).abs() < 1e-12);
+        // Counter-clockwise orientation: positive area.
+        assert!(polygon_area(&hull) > 0.0);
+    }
+
+    #[test]
+    fn hull_membership() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(3.0, 5.0),
+            Point::new(-1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        for p in &pts {
+            assert!(convex_contains(&hull, p), "vertex {p} outside own hull");
+        }
+        assert!(convex_contains(&hull, &Point::new(1.5, 2.0)));
+        assert!(!convex_contains(&hull, &Point::new(5.0, 5.0)));
+        assert!(!convex_contains(&hull, &Point::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0)]);
+        assert_eq!(single.len(), 1);
+        assert!(convex_contains(&single, &Point::new(1.0, 1.0)));
+        assert!(!convex_contains(&single, &Point::new(1.1, 1.0)));
+        // Collinear points: the two extremes.
+        let line: Vec<Point> = (0..5).map(|i| Point::new(i as f64, i as f64)).collect();
+        let hull = convex_hull(&line);
+        assert_eq!(hull.len(), 2);
+        assert!(convex_contains(&hull, &Point::new(2.0, 2.0)));
+        assert!(!convex_contains(&hull, &Point::new(2.0, 3.0)));
+        assert_eq!(polygon_area(&hull), 0.0);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![Point::new(0.0, 0.0); 10];
+        assert_eq!(convex_hull(&pts).len(), 1);
+    }
+
+    #[test]
+    fn hull_tighter_than_bbox() {
+        // A diagonal strip: the hull's area is far below the bbox's.
+        let pts: Vec<Point> = (0..50)
+            .map(|i| {
+                let t = i as f64;
+                Point::new(t, t + (i % 3) as f64 * 0.5)
+            })
+            .collect();
+        let hull = convex_hull(&pts);
+        let bbox = crate::BoundingBox::from_points(&pts).unwrap();
+        assert!(polygon_area(&hull) < 0.1 * bbox.area());
+    }
+}

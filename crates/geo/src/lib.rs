@@ -1,0 +1,23 @@
+//! Planar geometry substrate for the Hybrid Prediction Model.
+//!
+//! Moving-object trajectories in the paper live in a normalised
+//! `[0, 10000]²` plane; this crate provides the small set of geometric
+//! value types every other crate builds on: [`Point`], [`BoundingBox`]
+//! and polyline helpers.
+//!
+//! All types are plain `f64` value types: cheap to copy, `PartialEq`
+//! for tests, and (optionally) `serde`-serialisable behind the `serde`
+//! feature.
+
+mod bbox;
+mod hull;
+mod point;
+mod polyline;
+
+pub use bbox::BoundingBox;
+pub use hull::{convex_contains, convex_hull, polygon_area};
+pub use point::{centroid, Point};
+pub use polyline::{
+    path_length, point_segment_distance, resample_uniform, simplify_rdp, simplify_rdp_indices,
+    walk_along,
+};

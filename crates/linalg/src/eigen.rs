@@ -1,0 +1,121 @@
+//! Dominant-eigenvalue estimation by power iteration.
+//!
+//! Used to analyse the stability of a fitted Recursive Motion
+//! Function: the recurrence `lₜ = Σ Cᵢ lₜ₋ᵢ` diverges iff the spectral
+//! radius of its companion matrix exceeds 1, which is exactly the
+//! behaviour Fig. 5 punishes at long prediction horizons.
+
+use crate::Matrix;
+
+/// Estimates the spectral radius (largest |eigenvalue|) of a square
+/// matrix by power iteration with periodic renormalisation.
+///
+/// Converges for matrices with a dominant eigenvalue; for matrices
+/// with complex-conjugate dominant pairs (common for rotation-like
+/// motion) the two-step Rayleigh estimate below still recovers the
+/// modulus. Returns 0 for the zero matrix.
+///
+/// # Panics
+/// Panics when `a` is not square or is empty.
+pub fn spectral_radius(a: &Matrix, iterations: usize) -> f64 {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "spectral_radius needs a square matrix");
+    assert!(n > 0, "empty matrix");
+    // A deterministic start vector with no special structure.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.3).collect();
+    normalize(&mut v);
+    let mut prev = v.clone();
+    for _ in 0..iterations.max(1) {
+        prev.copy_from_slice(&v);
+        let next = a.mul_vec(&v);
+        let norm = norm2(&next);
+        if norm < 1e-300 {
+            return 0.0;
+        }
+        v = next;
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    // Two-step estimate |λ| = sqrt(‖A²u‖ / ‖u‖) with u the converged
+    // direction: robust to complex-conjugate dominant pairs, where the
+    // one-step Rayleigh quotient oscillates.
+    let au = a.mul_vec(&v);
+    let aau = a.mul_vec(&au);
+    norm2(&aau).sqrt()
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(3, 3, &[3.0, 0.0, 0.0, 0.0, -5.0, 0.0, 0.0, 0.0, 1.0]);
+        let r = spectral_radius(&a, 200);
+        assert!((r - 5.0).abs() < 1e-6, "{r}");
+    }
+
+    #[test]
+    fn rotation_matrix_has_radius_one() {
+        // Complex-conjugate pair e^{±iθ}: modulus exactly 1.
+        let th = 0.7f64;
+        let a = Matrix::from_rows(2, 2, &[th.cos(), -th.sin(), th.sin(), th.cos()]);
+        let r = spectral_radius(&a, 200);
+        assert!((r - 1.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn scaled_rotation() {
+        let th = 0.4f64;
+        let s = 1.3;
+        let a = Matrix::from_rows(
+            2,
+            2,
+            &[s * th.cos(), -s * th.sin(), s * th.sin(), s * th.cos()],
+        );
+        let r = spectral_radius(&a, 200);
+        assert!((r - 1.3).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn zero_matrix_is_zero() {
+        assert_eq!(spectral_radius(&Matrix::zeros(4, 4), 100), 0.0);
+    }
+
+    #[test]
+    fn identity_is_one() {
+        let r = spectral_radius(&Matrix::identity(5), 50);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn companion_of_linear_recurrence() {
+        // x_t = 2 x_{t-1} - x_{t-2} (constant velocity): companion
+        // [[2, -1], [1, 0]] has a double eigenvalue at exactly 1.
+        let a = Matrix::from_rows(2, 2, &[2.0, -1.0, 1.0, 0.0]);
+        let r = spectral_radius(&a, 500);
+        // Defective eigenvalue: power iteration converges slowly but
+        // must land near 1.
+        assert!((r - 1.0).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        spectral_radius(&Matrix::zeros(2, 3), 10);
+    }
+}

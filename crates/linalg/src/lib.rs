@@ -1,0 +1,32 @@
+//! Dense linear algebra substrate.
+//!
+//! The Recursive Motion Function (Tao et al., SIGMOD 2004) — both the
+//! paper's comparison baseline and the Hybrid Prediction Model's
+//! fallback — fits its coefficient matrices with a least-squares solve
+//! over the object's recent *movement matrix*, classically done via
+//! Singular Value Decomposition (the paper cites RMF's `n³` SVD cost in
+//! §VII.C). None of the approved offline crates provide linear algebra,
+//! so this crate implements the needed pieces from scratch:
+//!
+//! * [`Matrix`] — a small row-major dense matrix,
+//! * [`solve`] — Gaussian elimination with partial pivoting for square
+//!   systems,
+//! * [`Qr`] — Householder QR with [`lstsq_qr`] for the well-conditioned
+//!   full-rank case (the fitting-ablation baseline),
+//! * [`Svd`] — one-sided Jacobi SVD, from which [`Matrix::pseudo_inverse`]
+//!   and [`lstsq`] (minimum-norm least squares) are derived.
+
+mod eigen;
+mod matrix;
+mod qr;
+mod solve;
+mod svd;
+
+pub use eigen::spectral_radius;
+pub use matrix::Matrix;
+pub use qr::{lstsq_qr, Qr};
+pub use solve::solve;
+pub use svd::{lstsq, Svd};
+
+/// Numerical tolerance below which singular values are treated as zero.
+pub const EPS: f64 = 1e-10;

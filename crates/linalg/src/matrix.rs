@@ -1,0 +1,293 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// Sized for the small systems RMF produces (a movement matrix has one
+/// row per recent timestamp and `2·f` columns for retrospect `f`), so
+/// the implementation favours clarity over blocking/SIMD tricks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` per element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            out.push(
+                self.row(r)
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>(),
+            );
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element difference to `other`; `None` when the
+    /// shapes differ. Used by tests to compare reconstructions.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Moore–Penrose pseudo-inverse via SVD.
+    ///
+    /// For a full-rank overdetermined system this yields the classic
+    /// least-squares solution `A⁺ b`; for rank-deficient systems (an
+    /// object standing still makes the RMF movement matrix singular) it
+    /// yields the minimum-norm solution, which keeps prediction stable.
+    pub fn pseudo_inverse(&self) -> Matrix {
+        crate::Svd::compute(self).pseudo_inverse()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Naive `O(n³)` product — fine at RMF sizes.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn multiply_rectangular() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = &a * &b;
+        assert_eq!(c, Matrix::from_rows(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_mul() {
+        let a = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 3.0]);
+        assert_eq!(a.mul_vec(&[1.0, 2.0]), vec![2.0, 7.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[0.5, 0.5, 0.5, 0.5]);
+        let c = &(&a + &b) - &b;
+        assert!(c.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m[(0, 2)], 2.0);
+    }
+}

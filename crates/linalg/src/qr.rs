@@ -1,0 +1,264 @@
+//! Householder QR decomposition and QR-based least squares.
+//!
+//! RMF's default fitting path goes through the Jacobi SVD (robust to
+//! rank deficiency, matches the paper's `n³` cost discussion); QR is
+//! the cheaper alternative for the well-conditioned case and serves as
+//! the fitting-ablation baseline in the motion benches.
+
+// Indexed loops mirror the textbook formulations of these kernels.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Matrix, EPS};
+
+/// A thin QR decomposition of an `m × n` matrix with `m >= n`:
+/// `A = Q · R` with `Q` orthonormal `m × n` and `R` upper-triangular
+/// `n × n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor (`m × n`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`n × n`).
+    pub r: Matrix,
+}
+
+impl Qr {
+    /// Computes the thin QR factorisation by Householder reflections.
+    ///
+    /// # Panics
+    /// Panics when `a` has more columns than rows (use the transpose
+    /// for underdetermined systems) or is empty.
+    pub fn compute(a: &Matrix) -> Qr {
+        let (m, n) = (a.rows(), a.cols());
+        assert!(m >= n, "QR requires rows >= cols (got {m} x {n})");
+        assert!(n > 0, "QR of an empty matrix");
+        // Work on a copy; accumulate Q as the product of reflections
+        // applied to the first n columns of the identity.
+        let mut r = a.clone();
+        // Householder vectors, stored per step.
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for k in 0..n {
+            // Build the reflector annihilating R[k+1.., k].
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            let mut v = vec![0.0; m - k];
+            if norm <= EPS {
+                vs.push(v); // zero column: identity reflection
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            v[0] = r[(k, k)] - alpha;
+            for i in k + 1..m {
+                v[i - k] = r[(i, k)];
+            }
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 <= EPS * EPS {
+                vs.push(vec![0.0; m - k]);
+                r[(k, k)] = alpha;
+                continue;
+            }
+            // Apply H = I − 2 v vᵀ / (vᵀv) to R[k.., k..].
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i - k] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i - k];
+                }
+            }
+            vs.push(v);
+        }
+        // Zero the sub-diagonal explicitly (numerical dust) and shrink
+        // R to n × n.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
+        }
+        // Q = H₀ H₁ … H_{n−1} · I_{m×n}: apply reflections in reverse
+        // to the identity block.
+        let mut q = Matrix::from_fn(m, n, |i, j| if i == j { 1.0 } else { 0.0 });
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 <= EPS * EPS {
+                continue;
+            }
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i - k] * q[(i, j)];
+                }
+                let scale = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    q[(i, j)] -= scale * v[i - k];
+                }
+            }
+        }
+        Qr { q, r: r_thin }
+    }
+
+    /// Whether `R` has any (near-)zero diagonal entry, i.e. `A` is
+    /// numerically rank-deficient and [`solve_lstsq`](Self::solve_lstsq)
+    /// would divide by ~0.
+    pub fn is_rank_deficient(&self, tol: f64) -> bool {
+        let n = self.r.cols();
+        let max_diag = (0..n)
+            .map(|i| self.r[(i, i)].abs())
+            .fold(0.0f64, f64::max);
+        (0..n).any(|i| self.r[(i, i)].abs() <= tol * max_diag.max(1.0))
+    }
+
+    /// Least-squares solve `min ‖A·X − B‖_F` via `R·X = Qᵀ·B`
+    /// (back substitution per column of `B`).
+    ///
+    /// Returns `None` when `A` is numerically rank-deficient — fall
+    /// back to the SVD path ([`crate::lstsq`]) in that case.
+    ///
+    /// # Panics
+    /// Panics when `B` has a different number of rows than `A` had.
+    pub fn solve_lstsq(&self, b: &Matrix) -> Option<Matrix> {
+        let (m, n) = (self.q.rows(), self.q.cols());
+        assert_eq!(b.rows(), m, "rhs row mismatch");
+        if self.is_rank_deficient(1e-12) {
+            return None;
+        }
+        let k = b.cols();
+        // Qᵀ·B (n × k).
+        let mut qtb = Matrix::zeros(n, k);
+        for i in 0..n {
+            for j in 0..k {
+                let mut acc = 0.0;
+                for r in 0..m {
+                    acc += self.q[(r, i)] * b[(r, j)];
+                }
+                qtb[(i, j)] = acc;
+            }
+        }
+        // Back substitution.
+        let mut x = Matrix::zeros(n, k);
+        for j in 0..k {
+            for i in (0..n).rev() {
+                let mut acc = qtb[(i, j)];
+                for c in i + 1..n {
+                    acc -= self.r[(i, c)] * x[(c, j)];
+                }
+                x[(i, j)] = acc / self.r[(i, i)];
+            }
+        }
+        Some(x)
+    }
+}
+
+/// QR-based least squares: `min ‖A·X − B‖_F`; `None` on
+/// rank deficiency (use the SVD-backed [`crate::lstsq`] then).
+pub fn lstsq_qr(a: &Matrix, b: &Matrix) -> Option<Matrix> {
+    Qr::compute(a).solve_lstsq(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq;
+
+    fn mat(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_rows(rows, cols, v)
+    }
+
+    fn mat_mul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a[(i, k)] * b[(k, j)]).sum()
+        })
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = mat(4, 3, &[2.0, -1.0, 0.5, 1.0, 3.0, -2.0, 0.0, 1.0, 1.0, -1.5, 2.0, 4.0]);
+        let qr = Qr::compute(&a);
+        let back = mat_mul(&qr.q, &qr.r);
+        assert!(a.max_abs_diff(&back).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = mat(5, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 1.0]);
+        let qr = Qr::compute(&a);
+        let qtq = mat_mul(&qr.q.transpose(), &qr.q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = mat(4, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 1.0, 1.0, 1.0]);
+        let qr = Qr::compute(&a);
+        for i in 0..3 {
+            for j in 0..i {
+                assert!(qr.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solves_exact_system() {
+        // x = (1, -2): A·x known exactly.
+        let a = mat(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = mat(3, 1, &[1.0, -2.0, -1.0]);
+        let x = lstsq_qr(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-10);
+        assert!((x[(1, 0)] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn agrees_with_svd_lstsq_on_full_rank() {
+        let a = mat(
+            5,
+            3,
+            &[
+                2.0, 1.0, -1.0, 1.0, 3.0, 2.0, -1.0, 0.5, 1.5, 4.0, -2.0, 0.0, 0.5, 0.5, 3.0,
+            ],
+        );
+        let b = mat(5, 2, &[1.0, 0.0, 2.0, 1.0, 0.0, -1.0, 3.0, 2.0, -1.0, 0.5]);
+        let via_qr = lstsq_qr(&a, &b).unwrap();
+        let via_svd = lstsq(&a, &b);
+        assert!(via_qr.max_abs_diff(&via_svd).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn rank_deficient_returns_none() {
+        // Second column = 2 × first.
+        let a = mat(4, 2, &[1.0, 2.0, 2.0, 4.0, 3.0, 6.0, 4.0, 8.0]);
+        let b = mat(4, 1, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(lstsq_qr(&a, &b).is_none());
+        // The SVD path still produces the minimum-norm answer.
+        let x = lstsq(&a, &b);
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn square_system() {
+        let a = mat(2, 2, &[3.0, 1.0, 1.0, 2.0]);
+        let b = mat(2, 1, &[9.0, 8.0]);
+        let x = lstsq_qr(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_panics() {
+        Qr::compute(&mat(2, 3, &[1.0; 6]));
+    }
+
+    #[test]
+    fn zero_matrix_is_rank_deficient() {
+        let a = Matrix::zeros(3, 2);
+        let qr = Qr::compute(&a);
+        assert!(qr.is_rank_deficient(1e-12));
+        assert!(lstsq_qr(&a, &Matrix::zeros(3, 1)).is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Direct solution of square linear systems.
+
+// Indexed loops mirror the textbook formulations of these kernels.
+#![allow(clippy::needless_range_loop)]
+
+use crate::Matrix;
+
+/// Solves `A · x = b` by Gaussian elimination with partial pivoting.
+///
+/// Returns `None` when `A` is (numerically) singular. For
+/// rank-deficient least-squares problems use [`crate::lstsq`], which
+/// falls back to the SVD pseudo-inverse.
+///
+/// # Panics
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+
+    // Augmented working copy [A | b].
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row = a.row(r).to_vec();
+            row.push(b[r]);
+            row
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot: largest |entry| in this column at/below `col`.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("no NaNs in solve")
+        })?;
+        if m[pivot][col].abs() < crate::EPS {
+            return None; // singular
+        }
+        m.swap(col, pivot);
+        for r in col + 1..n {
+            let factor = m[r][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..=n {
+                m[r][c] -= factor * m[col][c];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = m[r][n];
+        for c in r + 1..n {
+            acc -= m[r][c] * x[c];
+        }
+        x[r] = acc / m[r][r];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, -1.0]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3_with_pivoting() {
+        // First pivot is zero: forces a row swap.
+        let a = Matrix::from_rows(3, 3, &[0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let b = [8.0, 4.0, 4.0];
+        let x = solve(&a, &b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(solve(&a, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let a = Matrix::zeros(2, 3);
+        let _ = solve(&a, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based invariants for the linear-algebra substrate.
+
+use hpm_linalg::{lstsq, solve, Matrix, Svd};
+use proptest::prelude::*;
+
+/// Well-scaled random matrices (entries in [-10, 10]) with modest sizes
+/// — the regime RMF actually exercises.
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-10.0..10.0_f64, r * c)
+                .prop_map(move |data| Matrix::from_rows(r, c, &data))
+        })
+}
+
+fn arb_square(max_dim: usize) -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (1..=max_dim)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-10.0..10.0_f64, n * n),
+                proptest::collection::vec(-10.0..10.0_f64, n),
+            )
+                .prop_map(move |(data, b)| (Matrix::from_rows(n, n, &data), b))
+        })
+}
+
+proptest! {
+    #[test]
+    fn svd_reconstruction(a in arb_matrix(6)) {
+        let svd = Svd::compute(&a);
+        let recon = svd.reconstruct();
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-8 * scale);
+    }
+
+    #[test]
+    fn svd_sigma_sorted_nonnegative(a in arb_matrix(6)) {
+        let svd = Svd::compute(&a);
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn pinv_penrose_condition_one(a in arb_matrix(5)) {
+        // A · A⁺ · A = A for every matrix.
+        let p = a.pseudo_inverse();
+        let apa = &(&a * &p) * &a;
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(apa.max_abs_diff(&a).unwrap() < 1e-7 * scale);
+    }
+
+    #[test]
+    fn solve_matches_mul((a, b) in arb_square(6)) {
+        // When Gaussian elimination succeeds, A·x = b holds.
+        if let Some(x) = solve(&a, &b) {
+            let r = a.mul_vec(&x);
+            let scale = a.frobenius_norm().max(1.0);
+            for (ri, bi) in r.iter().zip(&b) {
+                prop_assert!((ri - bi).abs() < 1e-6 * scale.max(x.iter().fold(1.0_f64, |m, v| m.max(v.abs()))));
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_consistent_system_exact(a in arb_matrix(5), seed in proptest::collection::vec(-5.0..5.0_f64, 1..6)) {
+        // Build B = A · X₀ so the system is consistent: lstsq must
+        // reproduce A·X = B exactly (X itself may differ when A is
+        // rank-deficient).
+        let cols = 1;
+        let x0 = Matrix::from_fn(a.cols(), cols, |r, _| seed[r % seed.len()]);
+        let b = &a * &x0;
+        let x = lstsq(&a, &b);
+        let b2 = &a * &x;
+        let scale = b.frobenius_norm().max(1.0);
+        prop_assert!(b2.max_abs_diff(&b).unwrap() < 1e-6 * scale);
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius(a in arb_matrix(6)) {
+        prop_assert!((a.frobenius_norm() - a.transpose().frobenius_norm()).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    /// QR and SVD least squares agree whenever QR accepts the system
+    /// (full column rank); both residuals are optimal.
+    #[test]
+    fn qr_agrees_with_svd(
+        rows in 3usize..8,
+        cols in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(rows >= cols);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0
+        };
+        let a = Matrix::from_fn(rows, cols, |_, _| next());
+        let b = Matrix::from_fn(rows, 2, |_, _| next());
+        if let Some(via_qr) = hpm_linalg::lstsq_qr(&a, &b) {
+            let via_svd = lstsq(&a, &b);
+            let diff = via_qr.max_abs_diff(&via_svd).unwrap();
+            prop_assert!(diff < 1e-6, "QR vs SVD differ by {diff}");
+        }
+    }
+
+    /// QR reconstruction: Q·R == A and QᵀQ == I for random full
+    /// matrices.
+    #[test]
+    fn qr_reconstructs(rows in 2usize..8, cols in 1usize..5, seed in 0u64..10_000) {
+        prop_assume!(rows >= cols);
+        let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        let a = Matrix::from_fn(rows, cols, |_, _| next());
+        let qr = hpm_linalg::Qr::compute(&a);
+        let back = Matrix::from_fn(rows, cols, |i, j| {
+            (0..cols).map(|k| qr.q[(i, k)] * qr.r[(k, j)]).sum()
+        });
+        prop_assert!(a.max_abs_diff(&back).unwrap() < 1e-9);
+        let qtq = Matrix::from_fn(cols, cols, |i, j| {
+            (0..rows).map(|r| qr.q[(r, i)] * qr.q[(r, j)]).sum()
+        });
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(cols)).unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! A concurrent moving-objects store: the "moving objects database"
+//! substrate the paper situates the Hybrid Prediction Model in.
+//!
+//! The store ingests per-object location reports (one sample per
+//! timestamp, §III's sampling model), maintains each object's
+//! trajectory, and keeps a per-object [`HybridPredictor`] fresh: the
+//! first predictor is trained once `min_train_subs` full periods have
+//! accumulated, and §V.B's "when a certain amount of new data is
+//! accumulated" retraining policy rebuilds it every
+//! `retrain_every_subs` further periods.
+//!
+//! Reads and writes are object-granular: a `parking_lot` `RwLock`
+//! around the object map plus one lock per object, so queries against
+//! one object proceed while another object retrains.
+
+//! # Example
+//!
+//! ```
+//! use hpm_core::HpmConfig;
+//! use hpm_geo::Point;
+//! use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+//! use hpm_patterns::{DiscoveryParams, MiningParams};
+//!
+//! let store = MovingObjectStore::new(StoreConfig {
+//!     discovery: DiscoveryParams { period: 3, eps: 2.0, min_pts: 3 },
+//!     mining: MiningParams {
+//!         min_support: 4,
+//!         min_confidence: 0.3,
+//!         max_premise_len: 2,
+//!         max_premise_gap: 2,
+//!         max_span: 2,
+//!     },
+//!     hpm: HpmConfig { match_margin: 2.0, ..HpmConfig::default() },
+//!     min_train_subs: 5,
+//!     retrain_every_subs: 5,
+//!     recent_len: 2,
+//! });
+//!
+//! // Stream 10 "days" of home -> road -> work.
+//! let bus = ObjectId(1);
+//! for day in 0..10u64 {
+//!     store.report(bus, day * 3, Point::new(0.0, 0.0)).unwrap();
+//!     store.report(bus, day * 3 + 1, Point::new(50.0, 0.0)).unwrap();
+//!     store.report(bus, day * 3 + 2, Point::new(100.0, 0.0)).unwrap();
+//! }
+//! assert!(store.stats(bus).unwrap().patterns > 0);
+//!
+//! // It is day 11, offset 0: where will the bus be at offset 2?
+//! store.report(bus, 30, Point::new(0.0, 0.0)).unwrap();
+//! let pred = store.predict(bus, 32).unwrap();
+//! assert!(pred.best().distance(&Point::new(100.0, 0.0)) < 2.0);
+//! ```
+
+mod store;
+
+pub use store::{
+    IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig,
+};

@@ -1,0 +1,703 @@
+//! The store implementation.
+
+use hpm_core::{HpmConfig, HybridPredictor, Prediction, PredictiveQuery};
+use hpm_geo::Point;
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_trajectory::{Timestamp, Trajectory};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a tracked object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object#{}", self.0)
+    }
+}
+
+/// Store-wide configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Discovery parameters (`period`, `Eps`, `MinPts`) shared by all
+    /// objects.
+    pub discovery: DiscoveryParams,
+    /// Mining parameters shared by all objects.
+    pub mining: MiningParams,
+    /// Query-processing configuration shared by all objects.
+    pub hpm: HpmConfig,
+    /// Full periods of history required before the first training.
+    pub min_train_subs: usize,
+    /// Retrain after this many further full periods accumulate.
+    pub retrain_every_subs: usize,
+    /// Recent samples handed to each query (premise matching + motion
+    /// fallback fitting).
+    pub recent_len: usize,
+}
+
+impl StoreConfig {
+    fn validate(&self) {
+        assert!(self.min_train_subs >= 1, "min_train_subs must be >= 1");
+        assert!(
+            self.retrain_every_subs >= 1,
+            "retrain_every_subs must be >= 1"
+        );
+        assert!(self.recent_len >= 1, "recent_len must be >= 1");
+        self.hpm.validate();
+    }
+}
+
+/// Why a location report was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// The report's timestamp is not the object's next expected one
+    /// (the §III model is one sample per timestamp, gap-free).
+    NonContiguous {
+        /// The timestamp the store expected.
+        expected: Timestamp,
+        /// The timestamp reported.
+        got: Timestamp,
+    },
+    /// The position contained NaN/∞.
+    NonFinitePosition,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::NonContiguous { expected, got } => {
+                write!(f, "non-contiguous report: expected t={expected}, got t={got}")
+            }
+            IngestError::NonFinitePosition => write!(f, "non-finite position"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Why a predictive query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The object has never reported.
+    UnknownObject(ObjectId),
+    /// The object has no samples yet.
+    NoHistory(ObjectId),
+    /// `query_time` is not after the object's last report.
+    NotInFuture {
+        /// The object's current time (last report).
+        current: Timestamp,
+        /// The requested query time.
+        requested: Timestamp,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownObject(id) => write!(f, "{id} is not tracked"),
+            QueryError::NoHistory(id) => write!(f, "{id} has no reported history"),
+            QueryError::NotInFuture { current, requested } => write!(
+                f,
+                "query time {requested} is not after the current time {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Per-object health snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStats {
+    /// Samples reported so far.
+    pub samples: usize,
+    /// Full periods of history.
+    pub full_periods: usize,
+    /// Periods of history the current predictor was trained on
+    /// (0 = untrained).
+    pub trained_periods: usize,
+    /// Trajectory patterns in the current predictor.
+    pub patterns: usize,
+    /// Frequent regions in the current predictor.
+    pub regions: usize,
+}
+
+struct ObjectState {
+    trajectory: Trajectory,
+    predictor: Option<HybridPredictor>,
+    trained_subs: usize,
+}
+
+/// The store: a map of tracked objects, each with its history and a
+/// lazily retrained predictor.
+pub struct MovingObjectStore {
+    config: StoreConfig,
+    objects: RwLock<HashMap<u64, Arc<RwLock<ObjectState>>>>,
+}
+
+impl MovingObjectStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    /// Panics when `config` is inconsistent.
+    pub fn new(config: StoreConfig) -> Self {
+        config.validate();
+        MovingObjectStore {
+            config,
+            objects: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of tracked objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Ingests one location report. The first report of an object sets
+    /// its start timestamp; every later report must be for the next
+    /// consecutive timestamp. Crossing a retraining threshold rebuilds
+    /// the object's predictor synchronously (other objects unaffected).
+    pub fn report(&self, id: ObjectId, timestamp: Timestamp, position: Point) -> Result<(), IngestError> {
+        if !position.is_finite() {
+            return Err(IngestError::NonFinitePosition);
+        }
+        let state = self.state_of(id, timestamp);
+        let mut state = state.write();
+        let expected = state.trajectory.end();
+        if timestamp != expected {
+            return Err(IngestError::NonContiguous {
+                expected,
+                got: timestamp,
+            });
+        }
+        state.trajectory.push(position);
+        self.maybe_retrain(&mut state);
+        Ok(())
+    }
+
+    /// Ingests a contiguous batch starting at `start` — a convenience
+    /// over repeated [`report`](Self::report) calls that retrains at
+    /// most once.
+    pub fn report_batch(
+        &self,
+        id: ObjectId,
+        start: Timestamp,
+        positions: &[Point],
+    ) -> Result<(), IngestError> {
+        if let Some(bad) = positions.iter().find(|p| !p.is_finite()) {
+            let _ = bad;
+            return Err(IngestError::NonFinitePosition);
+        }
+        let state = self.state_of(id, start);
+        let mut state = state.write();
+        let expected = state.trajectory.end();
+        if start != expected {
+            return Err(IngestError::NonContiguous {
+                expected,
+                got: start,
+            });
+        }
+        for p in positions {
+            state.trajectory.push(*p);
+        }
+        self.maybe_retrain(&mut state);
+        Ok(())
+    }
+
+    /// Answers "where will `id` be at `query_time`" from the object's
+    /// current predictor (or its motion function while untrained).
+    pub fn predict(&self, id: ObjectId, query_time: Timestamp) -> Result<Prediction, QueryError> {
+        let state = {
+            let objects = self.objects.read();
+            objects
+                .get(&id.0)
+                .cloned()
+                .ok_or(QueryError::UnknownObject(id))?
+        };
+        let state = state.read();
+        if state.trajectory.is_empty() {
+            return Err(QueryError::NoHistory(id));
+        }
+        let current_time = state.trajectory.end() - 1;
+        if query_time <= current_time {
+            return Err(QueryError::NotInFuture {
+                current: current_time,
+                requested: query_time,
+            });
+        }
+        let (recent, _) = state.trajectory.recent_window(self.config.recent_len);
+        let query = PredictiveQuery {
+            recent,
+            current_time,
+            query_time,
+        };
+        match &state.predictor {
+            Some(p) => Ok(p.predict(&query)),
+            // Untrained: behave like the motion-function-only world the
+            // paper improves on, via an empty predictor.
+            None => {
+                let empty = HybridPredictor::from_parts(
+                    hpm_patterns::RegionSet::new(Vec::new(), self.config.discovery.period),
+                    Vec::new(),
+                    self.config.hpm,
+                );
+                Ok(empty.predict(&query))
+            }
+        }
+    }
+
+    /// Predictive **range query**: which tracked objects are predicted
+    /// to be inside `region` at `query_time`? Objects whose query is
+    /// invalid (no history, or `query_time` not in their future) are
+    /// skipped. Results are ordered by object id.
+    pub fn predict_range(
+        &self,
+        region: &hpm_geo::BoundingBox,
+        query_time: Timestamp,
+    ) -> Vec<(ObjectId, Point)> {
+        let mut out: Vec<(ObjectId, Point)> = self
+            .predict_all(query_time)
+            .into_iter()
+            .filter(|(_, p)| region.contains(p))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Predictive **k-nearest-neighbour query**: the `k` tracked
+    /// objects predicted closest to `focus` at `query_time`, with
+    /// their predicted positions and distances, nearest first (object
+    /// id breaks ties deterministically).
+    pub fn predict_nearest(
+        &self,
+        focus: &Point,
+        query_time: Timestamp,
+        k: usize,
+    ) -> Vec<(ObjectId, Point, f64)> {
+        let mut out: Vec<(ObjectId, Point, f64)> = self
+            .predict_all(query_time)
+            .into_iter()
+            .map(|(id, p)| (id, p, p.distance(focus)))
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .expect("finite distances")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Best predicted position of every object for which `query_time`
+    /// is askable.
+    fn predict_all(&self, query_time: Timestamp) -> Vec<(ObjectId, Point)> {
+        let ids: Vec<u64> = self.objects.read().keys().copied().collect();
+        ids.into_iter()
+            .filter_map(|raw| {
+                let id = ObjectId(raw);
+                self.predict(id, query_time).ok().map(|p| (id, p.best()))
+            })
+            .collect()
+    }
+
+    /// Current stats of an object.
+    pub fn stats(&self, id: ObjectId) -> Result<ObjectStats, QueryError> {
+        let state = {
+            let objects = self.objects.read();
+            objects
+                .get(&id.0)
+                .cloned()
+                .ok_or(QueryError::UnknownObject(id))?
+        };
+        let state = state.read();
+        let period = self.config.discovery.period as usize;
+        Ok(ObjectStats {
+            samples: state.trajectory.len(),
+            full_periods: state.trajectory.len() / period,
+            trained_periods: state.trained_subs,
+            patterns: state.predictor.as_ref().map_or(0, |p| p.patterns().len()),
+            regions: state.predictor.as_ref().map_or(0, |p| p.regions().len()),
+        })
+    }
+
+    /// Stops tracking `id`, dropping its history and predictor.
+    /// Returns `false` when the object was not tracked. (GDPR-style
+    /// forget, or simply an object that left the fleet.)
+    pub fn remove(&self, id: ObjectId) -> bool {
+        self.objects.write().remove(&id.0).is_some()
+    }
+
+    /// Forces an immediate retrain of `id` over its full history.
+    pub fn force_retrain(&self, id: ObjectId) -> Result<(), QueryError> {
+        let state = {
+            let objects = self.objects.read();
+            objects
+                .get(&id.0)
+                .cloned()
+                .ok_or(QueryError::UnknownObject(id))?
+        };
+        let mut state = state.write();
+        self.retrain(&mut state);
+        Ok(())
+    }
+
+    /// Fetches or creates the state cell of an object. A new object's
+    /// trajectory starts at the given timestamp.
+    fn state_of(&self, id: ObjectId, start: Timestamp) -> Arc<RwLock<ObjectState>> {
+        if let Some(state) = self.objects.read().get(&id.0) {
+            return Arc::clone(state);
+        }
+        let mut objects = self.objects.write();
+        Arc::clone(objects.entry(id.0).or_insert_with(|| {
+            Arc::new(RwLock::new(ObjectState {
+                trajectory: Trajectory::new(start, Vec::new()),
+                predictor: None,
+                trained_subs: 0,
+            }))
+        }))
+    }
+
+    /// Retrains when a threshold was crossed.
+    fn maybe_retrain(&self, state: &mut ObjectState) {
+        let period = self.config.discovery.period as usize;
+        let full = state.trajectory.len() / period;
+        let due = if state.predictor.is_none() {
+            full >= self.config.min_train_subs
+        } else {
+            full >= state.trained_subs + self.config.retrain_every_subs
+        };
+        if due {
+            self.retrain(state);
+        }
+    }
+
+    fn retrain(&self, state: &mut ObjectState) {
+        if state.trajectory.is_empty() {
+            return;
+        }
+        state.predictor = Some(HybridPredictor::build(
+            &state.trajectory,
+            &self.config.discovery,
+            &self.config.mining,
+            self.config.hpm,
+        ));
+        state.trained_subs = state.trajectory.len() / self.config.discovery.period as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_core::PredictionSource;
+
+    const PERIOD: u32 = 4;
+
+    fn config() -> StoreConfig {
+        StoreConfig {
+            discovery: DiscoveryParams {
+                period: PERIOD,
+                eps: 2.0,
+                min_pts: 3,
+            },
+            mining: MiningParams {
+                min_support: 2,
+                min_confidence: 0.3,
+                max_premise_len: 2,
+                max_premise_gap: 2,
+                max_span: 3,
+            },
+            hpm: HpmConfig {
+                distant_threshold: 3,
+                time_relaxation: 1,
+                match_margin: 5.0,
+                rmf_retrospect: 2,
+                ..HpmConfig::default()
+            },
+            min_train_subs: 5,
+            retrain_every_subs: 5,
+            recent_len: 2,
+        }
+    }
+
+    /// One commuter day: home → road → work → pub.
+    fn day(d: usize) -> Vec<Point> {
+        let j = (d % 3) as f64 * 0.2;
+        vec![
+            Point::new(j, 0.0),
+            Point::new(50.0 + j, 0.0),
+            Point::new(100.0 + j, 0.0),
+            Point::new(100.0 + j, 50.0),
+        ]
+    }
+
+    fn feed_days(store: &MovingObjectStore, id: ObjectId, days: std::ops::Range<usize>) {
+        for d in days {
+            store
+                .report_batch(id, (d * 4) as Timestamp, &day(d))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn trains_after_min_subs_and_predicts_patterns() {
+        let store = MovingObjectStore::new(config());
+        let id = ObjectId(7);
+        feed_days(&store, id, 0..4);
+        let s = store.stats(id).unwrap();
+        assert_eq!(s.trained_periods, 0, "not enough history yet");
+        feed_days(&store, id, 4..6);
+        let s = store.stats(id).unwrap();
+        assert!(s.trained_periods >= 5);
+        assert!(s.patterns > 0);
+        // Object just passed home+road of day 6; where at offset 2?
+        store.report(id, 24, Point::new(0.0, 0.0)).unwrap();
+        store.report(id, 25, Point::new(50.0, 0.0)).unwrap();
+        let pred = store.predict(id, 26).unwrap();
+        assert_eq!(pred.source, PredictionSource::ForwardPatterns);
+        assert!(pred.best().distance(&Point::new(100.0, 0.0)) < 2.0);
+    }
+
+    #[test]
+    fn untrained_object_uses_motion_function() {
+        let store = MovingObjectStore::new(config());
+        let id = ObjectId(1);
+        store
+            .report_batch(
+                id,
+                0,
+                &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+            )
+            .unwrap();
+        let pred = store.predict(id, 5).unwrap();
+        assert_eq!(pred.source, PredictionSource::MotionFunction);
+        assert!(pred.best().distance(&Point::new(5.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn retraining_cadence() {
+        let store = MovingObjectStore::new(config());
+        let id = ObjectId(2);
+        feed_days(&store, id, 0..5);
+        assert_eq!(store.stats(id).unwrap().trained_periods, 5);
+        feed_days(&store, id, 5..9);
+        assert_eq!(store.stats(id).unwrap().trained_periods, 5, "not due yet");
+        feed_days(&store, id, 9..10);
+        assert_eq!(store.stats(id).unwrap().trained_periods, 10);
+    }
+
+    #[test]
+    fn non_contiguous_report_rejected() {
+        let store = MovingObjectStore::new(config());
+        let id = ObjectId(3);
+        store.report(id, 100, Point::new(0.0, 0.0)).unwrap();
+        let err = store.report(id, 102, Point::new(1.0, 0.0)).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::NonContiguous {
+                expected: 101,
+                got: 102
+            }
+        );
+        // The batch path enforces the same rule.
+        let err = store
+            .report_batch(id, 105, &[Point::new(0.0, 0.0)])
+            .unwrap_err();
+        assert!(matches!(err, IngestError::NonContiguous { expected: 101, .. }));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let store = MovingObjectStore::new(config());
+        let id = ObjectId(4);
+        assert_eq!(
+            store.report(id, 0, Point::new(f64::NAN, 0.0)),
+            Err(IngestError::NonFinitePosition)
+        );
+        assert_eq!(
+            store.report_batch(id, 0, &[Point::ORIGIN, Point::new(0.0, f64::INFINITY)]),
+            Err(IngestError::NonFinitePosition)
+        );
+    }
+
+    #[test]
+    fn query_errors() {
+        let store = MovingObjectStore::new(config());
+        assert_eq!(
+            store.predict(ObjectId(9), 10),
+            Err(QueryError::UnknownObject(ObjectId(9)))
+        );
+        let id = ObjectId(5);
+        store.report(id, 50, Point::ORIGIN).unwrap();
+        assert_eq!(
+            store.predict(id, 50),
+            Err(QueryError::NotInFuture {
+                current: 50,
+                requested: 50
+            })
+        );
+        assert!(store.predict(id, 51).is_ok());
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let store = MovingObjectStore::new(config());
+        feed_days(&store, ObjectId(1), 0..6);
+        store.report(ObjectId(2), 0, Point::ORIGIN).unwrap();
+        assert_eq!(store.object_count(), 2);
+        assert!(store.stats(ObjectId(1)).unwrap().patterns > 0);
+        assert_eq!(store.stats(ObjectId(2)).unwrap().patterns, 0);
+    }
+
+    #[test]
+    fn force_retrain_works_immediately() {
+        let store = MovingObjectStore::new(config());
+        let id = ObjectId(6);
+        feed_days(&store, id, 0..3); // below min_train_subs
+        assert_eq!(store.stats(id).unwrap().trained_periods, 0);
+        store.force_retrain(id).unwrap();
+        let s = store.stats(id).unwrap();
+        assert_eq!(s.trained_periods, 3);
+        assert!(s.regions > 0);
+    }
+
+    #[test]
+    fn concurrent_reporters_and_queriers() {
+        let store = MovingObjectStore::new(config());
+        // Pre-train a queried object.
+        feed_days(&store, ObjectId(0), 0..6);
+        crossbeam::scope(|s| {
+            // 4 writer threads each own a distinct object.
+            for w in 1u64..=4 {
+                let store = &store;
+                s.spawn(move |_| {
+                    let id = ObjectId(w);
+                    for d in 0..20 {
+                        store
+                            .report_batch(id, (d * 4) as Timestamp, &day(d))
+                            .unwrap();
+                    }
+                });
+            }
+            // 2 reader threads hammer the pre-trained object.
+            for _ in 0..2 {
+                let store = &store;
+                s.spawn(move |_| {
+                    for i in 0..200u64 {
+                        let pred = store.predict(ObjectId(0), 24 + (i % 8)).unwrap();
+                        assert!(pred.best().is_finite());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(store.object_count(), 5);
+        for w in 1..=4 {
+            let s = store.stats(ObjectId(w)).unwrap();
+            assert_eq!(s.samples, 80);
+            assert!(s.patterns > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_train_subs")]
+    fn zero_min_train_rejected() {
+        let mut c = config();
+        c.min_train_subs = 0;
+        MovingObjectStore::new(c);
+    }
+
+    #[test]
+    fn remove_forgets_object() {
+        let store = MovingObjectStore::new(config());
+        feed_days(&store, ObjectId(1), 0..6);
+        assert_eq!(store.object_count(), 1);
+        assert!(store.remove(ObjectId(1)));
+        assert!(!store.remove(ObjectId(1)), "double remove");
+        assert_eq!(store.object_count(), 0);
+        assert_eq!(
+            store.predict(ObjectId(1), 100),
+            Err(QueryError::UnknownObject(ObjectId(1)))
+        );
+        // Re-tracking starts a fresh history.
+        store.report(ObjectId(1), 500, Point::ORIGIN).unwrap();
+        assert_eq!(store.stats(ObjectId(1)).unwrap().samples, 1);
+    }
+
+    /// Three commuters at staggered points of the same day template.
+    fn range_store() -> MovingObjectStore {
+        let store = MovingObjectStore::new(config());
+        for obj in 0..3u64 {
+            for d in 0..6usize {
+                // Object `obj` lags `obj` offsets behind: shift its day.
+                let mut day_pts = day(d);
+                day_pts.rotate_right(obj as usize % 4);
+                store
+                    .report_batch(ObjectId(obj), (d * 4) as Timestamp, &day_pts)
+                    .unwrap();
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn range_query_finds_objects_headed_to_work() {
+        let store = range_store();
+        // All three trained; ask who will be near "work" (100, 0) at
+        // the next offset-2-equivalent time for object 0.
+        let work_area = hpm_geo::BoundingBox {
+            min: Point::new(90.0, -10.0),
+            max: Point::new(110.0, 10.0),
+        };
+        // Query far ahead (offset 2 of day 11) so Eq. 5's premise
+        // penalty d/(tq − tc) is small and the exact-offset
+        // consequence wins the BQP ranking.
+        let t = 46;
+        let hits = store.predict_range(&work_area, t);
+        // Object 0 (unshifted) is at work at offset 2; the shifted
+        // objects are elsewhere.
+        assert!(hits.iter().any(|(id, _)| *id == ObjectId(0)), "{hits:?}");
+        for (_, p) in &hits {
+            assert!(work_area.contains(p));
+        }
+        // Ids are ordered.
+        assert!(hits.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn nearest_query_orders_by_distance() {
+        let store = range_store();
+        let focus = Point::new(100.0, 0.0); // work
+        let all = store.predict_nearest(&focus, 46, 10);
+        assert_eq!(all.len(), 3, "every trained object is rankable");
+        assert!(all.windows(2).all(|w| w[0].2 <= w[1].2));
+        assert_eq!(all[0].0, ObjectId(0));
+        let top1 = store.predict_nearest(&focus, 46, 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].0, all[0].0);
+    }
+
+    #[test]
+    fn range_skips_objects_with_invalid_queries() {
+        let store = range_store();
+        // A fourth object whose history ends far in the future of the
+        // others: query_time 46 is not after its current time.
+        store
+            .report_batch(ObjectId(9), 100, &[Point::ORIGIN, Point::new(1.0, 0.0)])
+            .unwrap();
+        let everywhere = hpm_geo::BoundingBox {
+            min: Point::new(-1e6, -1e6),
+            max: Point::new(1e6, 1e6),
+        };
+        let hits = store.predict_range(&everywhere, 46);
+        assert_eq!(hits.len(), 3);
+        assert!(!hits.iter().any(|(id, _)| *id == ObjectId(9)));
+    }
+}

@@ -1,0 +1,388 @@
+//! Frequent-region discovery (§IV, first component).
+//!
+//! Decomposes the history into periodic offset groups `Gₜ`, clusters
+//! every group with DBSCAN, and numbers the dense clusters as frequent
+//! regions `Rₜʲ` in ascending `(offset, cluster)` order. Alongside the
+//! [`RegionSet`] it produces the [`VisitTable`]: for every
+//! sub-trajectory, the ordered sequence of frequent regions it passed
+//! through — the "transactions" the Apriori miner consumes.
+
+use crate::{FrequentRegion, RegionId, RegionSet};
+use hpm_clustering::{dbscan, DbscanParams};
+use hpm_trajectory::{OffsetGroups, TimeOffset, Trajectory};
+
+/// Knobs of the discovery stage (§VII.B: `Eps`, `MinPts`, and the
+/// period `T`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryParams {
+    /// The period `T` (timestamps per sub-trajectory).
+    pub period: u32,
+    /// DBSCAN `Eps`: maximum neighbour distance.
+    pub eps: f64,
+    /// DBSCAN `MinPts`: minimum neighbourhood size of a core point.
+    pub min_pts: usize,
+}
+
+impl DiscoveryParams {
+    /// The paper's default evaluation setting (§VII.A): `T = 300`,
+    /// `Eps = 30`, `MinPts = 4`.
+    pub fn paper_defaults() -> Self {
+        DiscoveryParams {
+            period: 300,
+            eps: 30.0,
+            min_pts: 4,
+        }
+    }
+}
+
+/// Per-sub-trajectory region visits.
+///
+/// `sequence(s)` is the ordered list of frequent regions sub-trajectory
+/// `s` visited; region ids ascend (ids are assigned in offset order and
+/// a sub-trajectory occupies at most one cluster per offset), so each
+/// sequence is already a strictly-increasing-in-time itemset.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VisitTable {
+    visits: Vec<Vec<RegionId>>,
+}
+
+impl VisitTable {
+    /// Builds a table with `sub_count` empty sequences.
+    pub fn with_subs(sub_count: usize) -> Self {
+        VisitTable {
+            visits: vec![Vec::new(); sub_count],
+        }
+    }
+
+    /// Number of sub-trajectories covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Whether the table covers no sub-trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.visits.is_empty()
+    }
+
+    /// The visit sequence of sub-trajectory `s` (ascending region ids).
+    #[inline]
+    pub fn sequence(&self, s: usize) -> &[RegionId] {
+        &self.visits[s]
+    }
+
+    /// Iterates all visit sequences in sub-trajectory order.
+    pub fn iter(&self) -> impl Iterator<Item = &[RegionId]> {
+        self.visits.iter().map(Vec::as_slice)
+    }
+
+    /// Records that sub-trajectory `s` visited `region`.
+    ///
+    /// # Panics
+    /// Panics (debug) when ids are appended out of order.
+    pub fn record(&mut self, s: usize, region: RegionId) {
+        let seq = &mut self.visits[s];
+        debug_assert!(
+            seq.last().is_none_or(|last| *last < region),
+            "visits must be recorded in ascending region-id order"
+        );
+        seq.push(region);
+    }
+}
+
+/// Result of the discovery stage.
+#[derive(Debug, Clone)]
+pub struct DiscoveryOutput {
+    /// The frequent regions `Rₜʲ`, id-ordered.
+    pub regions: RegionSet,
+    /// Which regions each sub-trajectory visited.
+    pub visits: VisitTable,
+}
+
+/// Discovers the frequent regions of `traj` and the per-sub-trajectory
+/// visit sequences.
+///
+/// For every time offset `t`, the locations of `Gₜ` are clustered with
+/// DBSCAN(`eps`, `min_pts`); each cluster becomes a frequent region
+/// whose `support` is its member count. Region ids are assigned in
+/// ascending `(offset, cluster-id)` order — the numbering §V.A's region
+/// keys and Property 1 depend on.
+///
+/// # Panics
+/// Panics when `params.period == 0` (propagated from the decomposition).
+pub fn discover(traj: &Trajectory, params: &DiscoveryParams) -> DiscoveryOutput {
+    let groups = OffsetGroups::build(traj, params.period);
+    discover_from_groups(&groups, params)
+}
+
+/// [`discover`] over pre-built offset groups (lets sweeps that vary
+/// only `eps`/`min_pts` reuse the decomposition).
+pub fn discover_from_groups(groups: &OffsetGroups, params: &DiscoveryParams) -> DiscoveryOutput {
+    assert_eq!(groups.period(), params.period, "period mismatch");
+    let db = DbscanParams::new(params.eps, params.min_pts);
+    let mut regions: Vec<FrequentRegion> = Vec::new();
+    let mut visits = VisitTable::with_subs(groups.sub_count());
+    let mut locations: Vec<hpm_geo::Point> = Vec::new();
+
+    for (t, group) in groups.iter() {
+        if group.len() < params.min_pts {
+            continue; // cannot contain a core point
+        }
+        locations.clear();
+        locations.extend(group.iter().map(|&(_, p)| p));
+        let (_, clusters) = dbscan(&locations, db);
+        for cluster in &clusters {
+            let id = RegionId(regions.len() as u32);
+            regions.push(FrequentRegion {
+                id,
+                offset: t as TimeOffset,
+                local_index: cluster.id,
+                centroid: cluster.centroid,
+                bbox: cluster.bbox,
+                support: cluster.members.len() as u32,
+            });
+            for &m in &cluster.members {
+                let (sub, _) = group[m as usize];
+                visits.record(sub, id);
+            }
+        }
+    }
+
+    DiscoveryOutput {
+        regions: RegionSet::new(regions, params.period),
+        visits,
+    }
+}
+
+/// Maps a trajectory onto an *existing* region vocabulary: for every
+/// sample, the frequent region (if any) containing it at its time
+/// offset, collected into per-sub-trajectory visit sequences.
+///
+/// This is the §V.B incremental path: when new data accumulates, mine
+/// fresh patterns over the new history *against the regions the live
+/// index already knows* — the resulting patterns share region ids with
+/// the index and can be inserted without a rebuild.
+///
+/// `margin` plays the same role as the predictor's query-matching
+/// margin: a sample within `margin` of a region's bounding box counts
+/// as visiting it (the closest-centroid region wins when several
+/// match).
+pub fn visits_against(traj: &Trajectory, regions: &RegionSet, margin: f64) -> VisitTable {
+    let period = regions.period();
+    let groups = OffsetGroups::build(traj, period);
+    let mut visits = VisitTable::with_subs(groups.sub_count());
+    for (t, group) in groups.iter() {
+        if regions.at_offset(t).is_empty() {
+            continue;
+        }
+        for &(sub, p) in group {
+            if let Some(id) = regions.region_at(t, &p, margin) {
+                visits.record(sub, id);
+            }
+        }
+    }
+    visits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_geo::Point;
+
+    /// A toy commuter: 10 "days" of period 4. Offsets 0..2 are always
+    /// near fixed spots (home, road, work); offset 3 alternates between
+    /// two spots (pub, gym) — two frequent regions at one offset.
+    fn commuter() -> Trajectory {
+        let mut pts = Vec::new();
+        for day in 0..10 {
+            let jitter = (day % 3) as f64 * 0.2;
+            pts.push(Point::new(0.0 + jitter, 0.0)); // home
+            pts.push(Point::new(50.0 + jitter, 0.0)); // road
+            pts.push(Point::new(100.0 + jitter, 0.0)); // work
+            if day % 2 == 0 {
+                pts.push(Point::new(100.0 + jitter, 50.0)); // pub
+            } else {
+                pts.push(Point::new(0.0 + jitter, 50.0)); // gym
+            }
+        }
+        Trajectory::from_points(pts)
+    }
+
+    fn params() -> DiscoveryParams {
+        DiscoveryParams {
+            period: 4,
+            eps: 2.0,
+            min_pts: 3,
+        }
+    }
+
+    #[test]
+    fn finds_expected_regions() {
+        let out = discover(&commuter(), &params());
+        // 3 single-spot offsets + 2 regions at offset 3.
+        assert_eq!(out.regions.len(), 5);
+        assert_eq!(out.regions.at_offset(0).len(), 1);
+        assert_eq!(out.regions.at_offset(1).len(), 1);
+        assert_eq!(out.regions.at_offset(2).len(), 1);
+        assert_eq!(out.regions.at_offset(3).len(), 2);
+    }
+
+    #[test]
+    fn region_ids_sorted_by_offset() {
+        let out = discover(&commuter(), &params());
+        let mut prev = 0;
+        for r in out.regions.all() {
+            assert!(r.offset >= prev);
+            prev = r.offset;
+        }
+    }
+
+    #[test]
+    fn supports_count_members() {
+        let out = discover(&commuter(), &params());
+        // Every day visits home/road/work; alternation splits offset 3.
+        assert_eq!(out.regions.get(RegionId(0)).support, 10);
+        let s3: u32 = out
+            .regions
+            .at_offset(3)
+            .iter()
+            .map(|id| out.regions.get(*id).support)
+            .sum();
+        assert_eq!(s3, 10);
+    }
+
+    #[test]
+    fn visits_are_ascending_and_complete() {
+        let out = discover(&commuter(), &params());
+        assert_eq!(out.visits.len(), 10);
+        for seq in out.visits.iter() {
+            assert_eq!(seq.len(), 4, "each day visits 4 regions");
+            assert!(seq.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn alternating_days_visit_different_offset3_regions() {
+        let out = discover(&commuter(), &params());
+        let even = out.visits.sequence(0).last().copied().unwrap();
+        let odd = out.visits.sequence(1).last().copied().unwrap();
+        assert_ne!(even, odd);
+        assert_eq!(out.visits.sequence(2).last(), Some(&even));
+        assert_eq!(out.visits.sequence(3).last(), Some(&odd));
+    }
+
+    #[test]
+    fn sparse_offsets_yield_no_regions() {
+        // Only 2 points per offset with min_pts = 3: everything noise.
+        let t = Trajectory::from_points(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(10.1, 0.0),
+        ]);
+        let out = discover(
+            &t,
+            &DiscoveryParams {
+                period: 2,
+                eps: 1.0,
+                min_pts: 3,
+            },
+        );
+        assert!(out.regions.is_empty());
+        assert!(out.visits.iter().all(<[RegionId]>::is_empty));
+    }
+
+    #[test]
+    fn tighter_eps_splits_regions() {
+        // Two loose sub-blobs at one offset: merged with large eps,
+        // split with small eps.
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            let x = if i % 2 == 0 { 0.0 } else { 4.0 };
+            pts.push(Point::new(x + (i / 2) as f64 * 0.1, 0.0));
+        }
+        let t = Trajectory::from_points(pts);
+        let loose = discover(
+            &t,
+            &DiscoveryParams {
+                period: 1,
+                eps: 5.0,
+                min_pts: 3,
+            },
+        );
+        let tight = discover(
+            &t,
+            &DiscoveryParams {
+                period: 1,
+                eps: 1.0,
+                min_pts: 3,
+            },
+        );
+        assert_eq!(loose.regions.len(), 1);
+        assert_eq!(tight.regions.len(), 2);
+    }
+
+    #[test]
+    fn paper_defaults_match_section_vii() {
+        let p = DiscoveryParams::paper_defaults();
+        assert_eq!(p.period, 300);
+        assert_eq!(p.eps, 30.0);
+        assert_eq!(p.min_pts, 4);
+    }
+
+    #[test]
+    fn visits_against_matches_original_discovery() {
+        // Re-mapping the same trajectory onto its own discovered
+        // regions reproduces the original visit table.
+        let t = commuter();
+        let out = discover(&t, &params());
+        let remapped = visits_against(&t, &out.regions, 0.0);
+        assert_eq!(remapped.len(), out.visits.len());
+        for s in 0..remapped.len() {
+            assert_eq!(remapped.sequence(s), out.visits.sequence(s), "sub {s}");
+        }
+    }
+
+    #[test]
+    fn visits_against_new_data_uses_existing_ids() {
+        let out = discover(&commuter(), &params());
+        // Five new days following the even-day route exactly.
+        let mut pts = Vec::new();
+        for _ in 0..5 {
+            pts.push(Point::new(0.1, 0.0));
+            pts.push(Point::new(50.1, 0.0));
+            pts.push(Point::new(100.1, 0.0));
+            pts.push(Point::new(100.1, 50.0)); // pub
+        }
+        let fresh = Trajectory::from_points(pts);
+        let visits = visits_against(&fresh, &out.regions, 1.0);
+        assert_eq!(visits.len(), 5);
+        for s in 0..5 {
+            assert_eq!(visits.sequence(s).len(), 4);
+            // Ids come from the existing vocabulary.
+            assert!(visits
+                .sequence(s)
+                .iter()
+                .all(|id| id.index() < out.regions.len()));
+        }
+    }
+
+    #[test]
+    fn visits_against_far_samples_unmatched() {
+        let out = discover(&commuter(), &params());
+        let fresh = Trajectory::from_points(vec![Point::new(5000.0, 5000.0); 8]);
+        let visits = visits_against(&fresh, &out.regions, 1.0);
+        assert!(visits.iter().all(<[RegionId]>::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "period mismatch")]
+    fn group_period_mismatch_panics() {
+        let groups = OffsetGroups::build(&commuter(), 4);
+        let mut p = params();
+        p.period = 5;
+        discover_from_groups(&groups, &p);
+    }
+}

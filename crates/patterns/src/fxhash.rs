@@ -1,0 +1,104 @@
+//! A tiny FxHash-style hasher for the mining hot path.
+//!
+//! Pattern counting performs tens of millions of hash-map increments
+//! keyed by small integers; SipHash dominates that profile. This is
+//! the classic Fx word-mixing hash (as used in rustc), implemented
+//! locally because no hashing crate is on the approved offline list.
+//! HashDoS resistance is irrelevant here: keys are internally
+//! generated region ids, never attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` for [`FxHasher`]; use as the `S` parameter of
+/// `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx word-at-a-time multiplicative hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: HashMap<u128, u32, FxBuildHasher> = HashMap::default();
+        for i in 0..1000u128 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000u128 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn write_bytes_covers_partial_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!"); // 13 bytes: one full + one partial chunk
+        let mut b = FxHasher::default();
+        b.write(b"hello world!?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,219 @@
+//! Frequent regions `Rₜʲ` and the region table.
+
+use hpm_geo::{BoundingBox, Point};
+use hpm_trajectory::TimeOffset;
+
+/// Dense id of a frequent region.
+///
+/// Ids are assigned in ascending `(time offset, cluster index)` order —
+/// the paper sorts "all the frequent regions by the time offset" before
+/// numbering them (§V.A), which is what gives premise keys Property 1
+/// (higher bit position ⇒ closer to the consequence in time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense cluster of an offset group `Gₜ`: somewhere the object
+/// frequently is at time offset `t`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrequentRegion {
+    /// Dense id (also this region's bit in premise keys).
+    pub id: RegionId,
+    /// Time offset `t` of `Rₜʲ`.
+    pub offset: TimeOffset,
+    /// `j`: index among the regions sharing offset `t`.
+    pub local_index: u32,
+    /// Mean of the member locations — what predictive queries return.
+    pub centroid: Point,
+    /// Tight bounding box of the member locations.
+    pub bbox: BoundingBox,
+    /// Number of sub-trajectories whose offset-`t` location fell in
+    /// this cluster.
+    pub support: u32,
+}
+
+/// All frequent regions of one discovery run, with offset lookup.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RegionSet {
+    regions: Vec<FrequentRegion>,
+    /// `by_offset[t]` = ids of regions at offset `t`.
+    by_offset: Vec<Vec<RegionId>>,
+    period: u32,
+}
+
+impl RegionSet {
+    /// Builds the set from regions already in id order.
+    ///
+    /// # Panics
+    /// Panics if ids are not dense/ascending, offsets are not
+    /// non-decreasing with id, or any offset `≥ period`.
+    pub fn new(regions: Vec<FrequentRegion>, period: u32) -> Self {
+        assert!(period > 0, "period must be positive");
+        let mut by_offset = vec![Vec::new(); period as usize];
+        let mut prev_offset = 0;
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r.id.index(), i, "region ids must be dense and ascending");
+            assert!(r.offset < period, "region offset out of period");
+            assert!(r.offset >= prev_offset, "regions must be offset-sorted");
+            prev_offset = r.offset;
+            by_offset[r.offset as usize].push(r.id);
+        }
+        RegionSet {
+            regions,
+            by_offset,
+            period,
+        }
+    }
+
+    /// Number of frequent regions (the premise-key length `l_p`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when no regions were discovered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The period `T` used at discovery time.
+    #[inline]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// The region with this id.
+    #[inline]
+    pub fn get(&self, id: RegionId) -> &FrequentRegion {
+        &self.regions[id.index()]
+    }
+
+    /// All regions in id order.
+    #[inline]
+    pub fn all(&self) -> &[FrequentRegion] {
+        &self.regions
+    }
+
+    /// Ids of the regions at time offset `t`.
+    #[inline]
+    pub fn at_offset(&self, t: TimeOffset) -> &[RegionId] {
+        &self.by_offset[t as usize]
+    }
+
+    /// The region at offset `t` containing `p` (within `margin` of its
+    /// bounding box); when several match, the one whose centroid is
+    /// closest. This is how a query's recent movements are matched to
+    /// premise regions (§V.C).
+    pub fn region_at(&self, t: TimeOffset, p: &Point, margin: f64) -> Option<RegionId> {
+        self.by_offset[t as usize]
+            .iter()
+            .filter(|id| self.get(**id).bbox.contains_within(p, margin))
+            .min_by(|a, b| {
+                let da = self.get(**a).centroid.distance_sq(p);
+                let db = self.get(**b).centroid.distance_sq(p);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .copied()
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::region as test_region;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn region(id: u32, offset: TimeOffset, j: u32, cx: f64, cy: f64) -> FrequentRegion {
+        let c = Point::new(cx, cy);
+        let mut bbox = BoundingBox::from_point(c);
+        bbox.expand(Point::new(cx + 2.0, cy + 2.0));
+        bbox.expand(Point::new(cx - 2.0, cy - 2.0));
+        FrequentRegion {
+            id: RegionId(id),
+            offset,
+            local_index: j,
+            centroid: c,
+            bbox,
+            support: 10,
+        }
+    }
+
+    fn sample_set() -> RegionSet {
+        // Fig. 3's five regions: R0^0, R1^0, R1^1, R2^0, R2^1.
+        RegionSet::new(
+            vec![
+                region(0, 0, 0, 0.0, 0.0),
+                region(1, 1, 0, 10.0, 0.0),
+                region(2, 1, 1, 0.0, 10.0),
+                region(3, 2, 0, 20.0, 0.0),
+                region(4, 2, 1, 0.0, 20.0),
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn lookup_by_offset() {
+        let s = sample_set();
+        assert_eq!(s.at_offset(0), &[RegionId(0)]);
+        assert_eq!(s.at_offset(1), &[RegionId(1), RegionId(2)]);
+        assert_eq!(s.at_offset(2), &[RegionId(3), RegionId(4)]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn region_at_picks_containing() {
+        let s = sample_set();
+        assert_eq!(
+            s.region_at(1, &Point::new(10.5, 0.5), 0.0),
+            Some(RegionId(1))
+        );
+        assert_eq!(s.region_at(1, &Point::new(50.0, 50.0), 0.0), None);
+    }
+
+    #[test]
+    fn region_at_margin_extends_match() {
+        let s = sample_set();
+        let p = Point::new(13.0, 0.0); // 1.0 outside R1^0's bbox
+        assert_eq!(s.region_at(1, &p, 0.5), None);
+        assert_eq!(s.region_at(1, &p, 2.0), Some(RegionId(1)));
+    }
+
+    #[test]
+    fn region_at_prefers_closest_centroid() {
+        // Two overlapping regions at the same offset.
+        let s = RegionSet::new(
+            vec![region(0, 0, 0, 0.0, 0.0), region(1, 0, 1, 3.0, 0.0)],
+            1,
+        );
+        let p = Point::new(2.4, 0.0); // inside both (margin 0, boxes ±2)
+        assert_eq!(s.region_at(0, &p, 1.0), Some(RegionId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ascending")]
+    fn non_dense_ids_panic() {
+        RegionSet::new(vec![region(1, 0, 0, 0.0, 0.0)], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset-sorted")]
+    fn unsorted_offsets_panic() {
+        RegionSet::new(
+            vec![region(0, 2, 0, 0.0, 0.0), region(1, 1, 0, 0.0, 0.0)],
+            3,
+        );
+    }
+}

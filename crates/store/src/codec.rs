@@ -1,0 +1,161 @@
+//! Primitive encoders/decoders: LEB128 varints, doubles, and the
+//! FNV-1a checksum.
+
+use crate::DecodeError;
+use bytes::{Buf, BufMut};
+
+/// Writes an unsigned LEB128 varint.
+pub(crate) fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint (max 10 bytes).
+pub(crate) fn get_varint(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::VarintOverflow);
+        }
+    }
+}
+
+/// Writes an `f64` as little-endian bits.
+pub(crate) fn put_f64(buf: &mut impl BufMut, v: f64) {
+    buf.put_f64_le(v);
+}
+
+/// Reads an `f64`; rejects truncation but accepts any finite/non-finite
+/// bit pattern (validity is the caller's semantic concern).
+pub(crate) fn get_f64(buf: &mut impl Buf) -> Result<f64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_f64_le())
+}
+
+/// Reads a `usize`-sized count, guarding against absurd allocations on
+/// corrupt input: the count may not exceed `limit`.
+pub(crate) fn get_count(buf: &mut impl Buf, limit: usize) -> Result<usize, DecodeError> {
+    let v = get_varint(buf)?;
+    if v > limit as u64 {
+        return Err(DecodeError::CountOutOfRange {
+            got: v,
+            limit: limit as u64,
+        });
+    }
+    Ok(v as usize)
+}
+
+/// FNV-1a over a byte slice — the trailer checksum.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        get_varint(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let size = |v: u64| {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            buf.len()
+        };
+        assert_eq!(size(0), 1);
+        assert_eq!(size(127), 1);
+        assert_eq!(size(128), 2);
+        assert_eq!(size(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_truncated_rejected() {
+        let buf = [0x80u8, 0x80]; // continuation bits with no terminator
+        assert!(matches!(
+            get_varint(&mut &buf[..]),
+            Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let buf = [0xFFu8; 11];
+        assert!(matches!(
+            get_varint(&mut &buf[..]),
+            Err(DecodeError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn f64_roundtrips() {
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 12345.6789] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            assert_eq!(get_f64(&mut &buf[..]).unwrap(), v);
+        }
+        assert!(matches!(
+            get_f64(&mut &[0u8; 4][..]),
+            Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn count_limit_enforced() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1000);
+        assert!(matches!(
+            get_count(&mut &buf[..], 999),
+            Err(DecodeError::CountOutOfRange { got: 1000, .. })
+        ));
+        let mut buf2 = Vec::new();
+        put_varint(&mut buf2, 999);
+        assert_eq!(get_count(&mut &buf2[..], 999).unwrap(), 999);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference value of FNV-1a("hello").
+        assert_eq!(fnv1a(b"hello"), 0xA430_D846_80AA_BD0B);
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+    }
+}

@@ -1,0 +1,356 @@
+//! Encoding and decoding of the (regions, patterns) model pair.
+
+use crate::codec::{fnv1a, get_count, get_f64, get_varint, put_f64, put_varint};
+use crate::format::{MAGIC, MAX_PATTERNS, MAX_PREMISE, MAX_REGIONS, VERSION};
+use crate::DecodeError;
+use bytes::Buf;
+use hpm_geo::{BoundingBox, Point};
+use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
+use hpm_trajectory::TimeOffset;
+use std::path::Path;
+
+/// A decoded model: everything needed to assemble a
+/// `HybridPredictor` via `HybridPredictor::from_parts`.
+#[derive(Debug, Clone)]
+pub struct StoredModel {
+    /// The frequent regions.
+    pub regions: RegionSet,
+    /// The mined trajectory patterns.
+    pub patterns: Vec<TrajectoryPattern>,
+}
+
+/// Encodes a model into the version-1 binary format.
+pub fn encode_model(regions: &RegionSet, patterns: &[TrajectoryPattern]) -> Vec<u8> {
+    // Rough pre-size: fixed 48 B per region, ~12 B per pattern.
+    let mut buf = Vec::with_capacity(16 + regions.len() * 56 + patterns.len() * 16);
+    buf.extend_from_slice(MAGIC);
+    put_varint(&mut buf, u64::from(VERSION));
+
+    put_varint(&mut buf, u64::from(regions.period()));
+    put_varint(&mut buf, regions.len() as u64);
+    for r in regions.all() {
+        put_varint(&mut buf, u64::from(r.offset));
+        put_varint(&mut buf, u64::from(r.local_index));
+        put_varint(&mut buf, u64::from(r.support));
+        put_f64(&mut buf, r.centroid.x);
+        put_f64(&mut buf, r.centroid.y);
+        put_f64(&mut buf, r.bbox.min.x);
+        put_f64(&mut buf, r.bbox.min.y);
+        put_f64(&mut buf, r.bbox.max.x);
+        put_f64(&mut buf, r.bbox.max.y);
+    }
+
+    put_varint(&mut buf, patterns.len() as u64);
+    for p in patterns {
+        put_varint(&mut buf, p.premise.len() as u64);
+        let mut prev = 0u64;
+        for (i, id) in p.premise.iter().enumerate() {
+            let raw = u64::from(id.0);
+            if i == 0 {
+                put_varint(&mut buf, raw);
+            } else {
+                put_varint(&mut buf, raw - prev);
+            }
+            prev = raw;
+        }
+        put_varint(&mut buf, u64::from(p.consequence.0));
+        put_f64(&mut buf, p.confidence);
+        put_varint(&mut buf, u64::from(p.support));
+    }
+
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Decodes a model blob, verifying magic, version, checksum, and all
+/// structural invariants (each pattern is validated against the
+/// decoded region set).
+pub fn decode_model(bytes: &[u8]) -> Result<StoredModel, DecodeError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    let mut buf = payload;
+    if buf[..MAGIC.len()] != MAGIC[..] {
+        return Err(DecodeError::BadMagic);
+    }
+    buf.advance(MAGIC.len());
+    let version = get_varint(&mut buf)? as u32;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+
+    let period = get_varint(&mut buf)? as u32;
+    if period == 0 {
+        return Err(DecodeError::Invalid("period must be positive".into()));
+    }
+    let region_count = get_count(&mut buf, MAX_REGIONS)?;
+    let mut regions = Vec::with_capacity(region_count);
+    for id in 0..region_count {
+        let offset = get_varint(&mut buf)? as TimeOffset;
+        let local_index = get_varint(&mut buf)? as u32;
+        let support = get_varint(&mut buf)? as u32;
+        let centroid = Point::new(get_f64(&mut buf)?, get_f64(&mut buf)?);
+        let min = Point::new(get_f64(&mut buf)?, get_f64(&mut buf)?);
+        let max = Point::new(get_f64(&mut buf)?, get_f64(&mut buf)?);
+        if offset >= period {
+            return Err(DecodeError::Invalid(format!(
+                "region {id}: offset {offset} >= period {period}"
+            )));
+        }
+        if !(centroid.is_finite() && min.is_finite() && max.is_finite()) {
+            return Err(DecodeError::Invalid(format!(
+                "region {id}: non-finite geometry"
+            )));
+        }
+        if min.x > max.x || min.y > max.y {
+            return Err(DecodeError::Invalid(format!(
+                "region {id}: inverted bounding box"
+            )));
+        }
+        regions.push(FrequentRegion {
+            id: RegionId(id as u32),
+            offset,
+            local_index,
+            centroid,
+            bbox: BoundingBox { min, max },
+            support,
+        });
+    }
+    // RegionSet::new enforces the id/offset ordering invariants; map
+    // its panic into a decode error via a pre-check.
+    for w in regions.windows(2) {
+        if w[1].offset < w[0].offset {
+            return Err(DecodeError::Invalid(
+                "regions not sorted by time offset".into(),
+            ));
+        }
+    }
+    let regions = RegionSet::new(regions, period);
+
+    let pattern_count = get_count(&mut buf, MAX_PATTERNS)?;
+    let mut patterns = Vec::with_capacity(pattern_count.min(1 << 20));
+    for i in 0..pattern_count {
+        let premise_len = get_count(&mut buf, MAX_PREMISE)?;
+        let mut premise = Vec::with_capacity(premise_len);
+        let mut prev = 0u64;
+        for j in 0..premise_len {
+            let v = get_varint(&mut buf)?;
+            let id = if j == 0 { v } else { prev + v };
+            if id > u64::from(u32::MAX) {
+                return Err(DecodeError::Invalid(format!(
+                    "pattern {i}: premise id overflows u32"
+                )));
+            }
+            premise.push(RegionId(id as u32));
+            prev = id;
+        }
+        let consequence = get_varint(&mut buf)?;
+        if consequence > u64::from(u32::MAX) {
+            return Err(DecodeError::Invalid(format!(
+                "pattern {i}: consequence id overflows u32"
+            )));
+        }
+        let confidence = get_f64(&mut buf)?;
+        let support = get_varint(&mut buf)? as u32;
+        let pattern = TrajectoryPattern {
+            premise,
+            consequence: RegionId(consequence as u32),
+            confidence,
+            support,
+        };
+        pattern
+            .validate(&regions)
+            .map_err(|e| DecodeError::Invalid(format!("pattern {i}: {e}")))?;
+        patterns.push(pattern);
+    }
+
+    if buf.has_remaining() {
+        return Err(DecodeError::TrailingBytes(buf.remaining()));
+    }
+    Ok(StoredModel { regions, patterns })
+}
+
+/// Encodes and writes a model to a file.
+pub fn save_model(
+    path: impl AsRef<Path>,
+    regions: &RegionSet,
+    patterns: &[TrajectoryPattern],
+) -> std::io::Result<()> {
+    std::fs::write(path, encode_model(regions, patterns))
+}
+
+/// Reads and decodes a model file.
+pub fn load_model(path: impl AsRef<Path>) -> std::io::Result<Result<StoredModel, DecodeError>> {
+    Ok(decode_model(&std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_geo::Point;
+
+    fn sample() -> (RegionSet, Vec<TrajectoryPattern>) {
+        let mk = |id: u32, offset: TimeOffset, j: u32, cx: f64| {
+            let c = Point::new(cx, cx * 0.5);
+            FrequentRegion {
+                id: RegionId(id),
+                offset,
+                local_index: j,
+                centroid: c,
+                bbox: BoundingBox {
+                    min: c - Point::new(2.0, 2.0),
+                    max: c + Point::new(2.0, 2.0),
+                },
+                support: 10 + id,
+            }
+        };
+        let regions = RegionSet::new(
+            vec![mk(0, 0, 0, 0.0), mk(1, 1, 0, 10.0), mk(2, 1, 1, 20.0), mk(3, 2, 0, 30.0)],
+            3,
+        );
+        let patterns = vec![
+            TrajectoryPattern {
+                premise: vec![RegionId(0)],
+                consequence: RegionId(1),
+                confidence: 0.9,
+                support: 9,
+            },
+            TrajectoryPattern {
+                premise: vec![RegionId(0), RegionId(2)],
+                consequence: RegionId(3),
+                confidence: 0.45,
+                support: 5,
+            },
+        ];
+        (regions, patterns)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (regions, patterns) = sample();
+        let blob = encode_model(&regions, &patterns);
+        let model = decode_model(&blob).unwrap();
+        assert_eq!(model.regions.period(), 3);
+        assert_eq!(model.regions.len(), regions.len());
+        for (a, b) in regions.all().iter().zip(model.regions.all()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(model.patterns, patterns);
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let regions = RegionSet::new(Vec::new(), 5);
+        let blob = encode_model(&regions, &[]);
+        let model = decode_model(&blob).unwrap();
+        assert_eq!(model.regions.len(), 0);
+        assert_eq!(model.regions.period(), 5);
+        assert!(model.patterns.is_empty());
+    }
+
+    #[test]
+    fn bitflip_detected_by_checksum() {
+        let (regions, patterns) = sample();
+        let blob = encode_model(&regions, &patterns);
+        for i in (0..blob.len()).step_by(7) {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_model(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (regions, patterns) = sample();
+        let blob = encode_model(&regions, &patterns);
+        for cut in [0, 3, blob.len() / 2, blob.len() - 1] {
+            assert!(decode_model(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (regions, patterns) = sample();
+        let mut blob = encode_model(&regions, &patterns);
+        blob[0] = b'X';
+        // Fix up the checksum so the magic check itself is exercised.
+        let n = blob.len() - 8;
+        let checksum = crate::codec::fnv1a(&blob[..n]);
+        blob[n..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(decode_model(&blob), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (regions, patterns) = sample();
+        let mut blob = encode_model(&regions, &patterns);
+        blob[8] = 2; // version varint
+        let n = blob.len() - 8;
+        let checksum = crate::codec::fnv1a(&blob[..n]);
+        blob[n..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_model(&blob),
+            Err(DecodeError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (regions, patterns) = sample();
+        let mut blob = encode_model(&regions, &patterns);
+        let trailer_at = blob.len() - 8;
+        blob.insert(trailer_at, 0); // junk byte inside the payload
+        let n = blob.len() - 8;
+        let checksum = crate::codec::fnv1a(&blob[..n]);
+        blob[n..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_model(&blob),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (regions, patterns) = sample();
+        let dir = std::env::temp_dir().join("hpm_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.hpm");
+        save_model(&path, &regions, &patterns).unwrap();
+        let model = load_model(&path).unwrap().unwrap();
+        assert_eq!(model.patterns, patterns);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn delta_coding_is_compact() {
+        // Premise ids 100, 101, 102: the two deltas are single bytes.
+        let mk = |id: u32, offset: TimeOffset| FrequentRegion {
+            id: RegionId(id),
+            offset,
+            local_index: 0,
+            centroid: Point::ORIGIN,
+            bbox: BoundingBox::from_point(Point::ORIGIN),
+            support: 5,
+        };
+        let regions = RegionSet::new((0..200u32).map(|i| mk(i, i)).collect(), 200);
+        let wide = TrajectoryPattern {
+            premise: vec![RegionId(100), RegionId(101), RegionId(102)],
+            consequence: RegionId(103),
+            confidence: 0.5,
+            support: 5,
+        };
+        let blob = encode_model(&regions, std::slice::from_ref(&wide));
+        let model = decode_model(&blob).unwrap();
+        assert_eq!(model.patterns[0], wide);
+    }
+}

@@ -1,0 +1,315 @@
+//! Fixed-length bit vectors — the signature substrate of pattern keys.
+//!
+//! A discovery run can yield hundreds of frequent regions (Fig. 11
+//! evaluates 80/400/800), so keys are dynamically sized bitsets rather
+//! than machine words. All the §V.A key operations reduce to word-wise
+//! logic here.
+
+use std::fmt;
+
+/// A fixed-length bit vector.
+///
+/// Bit `i` corresponds to region id `i` (premise keys) or time id `i`
+/// (consequence keys). Equality and hashing include the length, so keys
+/// from different key tables never compare equal by accident.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    /// Number of valid bits.
+    len: usize,
+    /// Little-endian words; bits past `len` are kept zero.
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// All-ones bitmap of `len` bits (the BQP search key's premise:
+    /// intersects every non-empty premise).
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap::zeros(len);
+        for (i, w) in b.words.iter_mut().enumerate() {
+            let remaining = len - i * 64;
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+        b
+    }
+
+    /// Bitmap of `len` bits with exactly the given bits set.
+    ///
+    /// # Panics
+    /// Panics when any index is out of range.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut b = Bitmap::zeros(len);
+        for &i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of valid bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len() == 0`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// The paper's `Size`: number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union (the paper's `Union`, used to maintain internal
+    /// TPT entries).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// The paper's `Contain`: `self & other == other`.
+    pub fn contains(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Whether any bit is set in both (`Size(self & other) > 0`).
+    pub fn intersects(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// `Size(self & other)`: number of common set bits.
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The paper's `Difference(self, other)`:
+    /// `Size(self ⊕ (self & other))` — bits set in `self` but not in
+    /// `other`.
+    pub fn difference(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Heap bytes used by the word storage (for Fig. 11a's storage
+    /// accounting).
+    #[inline]
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl PartialOrd for Bitmap {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bitmap {
+    /// Orders by length, then numerically (most-significant word
+    /// first) — a stable total order used to cluster similar keys
+    /// together during TPT bulk loading.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.len
+            .cmp(&other.len)
+            .then_with(|| self.words.iter().rev().cmp(other.words.iter().rev()))
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    /// Renders like the paper's figures: most significant bit first,
+    /// e.g. `00101`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(70);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.is_zero());
+        let o = Bitmap::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.get(0) && o.get(69));
+        // No stray bits past len.
+        assert_eq!(Bitmap::ones(70).and_count(&Bitmap::ones(70)), 70);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::zeros(130);
+        for i in [0usize, 63, 64, 65, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::zeros(10).set(10);
+    }
+
+    #[test]
+    fn contains_semantics() {
+        let a = Bitmap::from_indices(8, &[0, 1, 4]);
+        let b = Bitmap::from_indices(8, &[0, 4]);
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.contains(&a));
+        assert!(a.contains(&Bitmap::zeros(8)));
+    }
+
+    #[test]
+    fn intersects_and_count() {
+        let a = Bitmap::from_indices(80, &[0, 70]);
+        let b = Bitmap::from_indices(80, &[70, 71]);
+        let c = Bitmap::from_indices(80, &[1, 2]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.and_count(&b), 1);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.and_count(&c), 0);
+    }
+
+    #[test]
+    fn difference_counts_exclusive_bits() {
+        // Paper: Difference(pk1, pk2) = Size(pk1 ⊕ (pk1 & pk2)).
+        let a = Bitmap::from_indices(8, &[0, 1, 2]);
+        let b = Bitmap::from_indices(8, &[1, 5]);
+        assert_eq!(a.difference(&b), 2); // bits 0, 2
+        assert_eq!(b.difference(&a), 1); // bit 5
+        assert_eq!(a.difference(&a), 0);
+    }
+
+    #[test]
+    fn or_assign_unions() {
+        let mut a = Bitmap::from_indices(8, &[0]);
+        let b = Bitmap::from_indices(8, &[7]);
+        a.or_assign(&b);
+        assert_eq!(a, Bitmap::from_indices(8, &[0, 7]));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let b = Bitmap::from_indices(130, &[129, 0, 64, 63]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert_eq!(Bitmap::zeros(10).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn debug_renders_msb_first() {
+        let b = Bitmap::from_indices(5, &[0, 1]);
+        assert_eq!(format!("{b:?}"), "00011");
+        let c = Bitmap::from_indices(5, &[0, 2]);
+        assert_eq!(format!("{c:?}"), "00101");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Bitmap::zeros(8).contains(&Bitmap::zeros(9));
+    }
+
+    #[test]
+    fn eq_and_hash_include_len() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Bitmap::zeros(8));
+        s.insert(Bitmap::zeros(9));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zero_length_bitmap() {
+        let b = Bitmap::zeros(0);
+        assert!(b.is_empty());
+        assert!(b.is_zero());
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.contains(&Bitmap::zeros(0)));
+        assert!(!b.intersects(&Bitmap::zeros(0)));
+    }
+}

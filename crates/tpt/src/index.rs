@@ -1,0 +1,61 @@
+//! The pattern-index abstraction shared by the TPT and the brute-force
+//! scan (the Fig. 11b comparison), and the common match type.
+
+use crate::PatternKey;
+
+/// One qualifying leaf entry: a trajectory pattern whose key intersects
+/// the query key, with its confidence (the `c` of `<pk, c, p>`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Index of the pattern in the pattern store the index was built
+    /// over (the leaf entry's region-key pointer `p`).
+    pub pattern: u32,
+    /// The pattern's confidence.
+    pub confidence: f64,
+}
+
+/// Anything that can answer "which indexed patterns intersect this
+/// query key" (§V.C search semantics).
+pub trait PatternIndex {
+    /// Appends every match of `query` to `out` (order unspecified).
+    fn search_into(&self, query: &PatternKey, out: &mut Vec<Match>);
+
+    /// Number of indexed patterns.
+    fn len(&self) -> usize;
+
+    /// Whether no patterns are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience wrapper allocating the result vector.
+    fn search(&self, query: &PatternKey) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.search_into(query, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bitmap, BruteForce};
+
+    #[test]
+    fn trait_defaults() {
+        let key = PatternKey {
+            consequence: Bitmap::from_indices(2, &[0]),
+            premise: Bitmap::from_indices(4, &[1]),
+        };
+        let mut idx = BruteForce::new();
+        assert!(idx.is_empty());
+        idx.insert(key.clone(), 0.7, 3);
+        assert!(!idx.is_empty());
+        // The allocating wrapper matches search_into.
+        let via_wrapper = idx.search(&key);
+        let mut via_into = Vec::new();
+        idx.search_into(&key, &mut via_into);
+        assert_eq!(via_wrapper, via_into);
+        assert_eq!(via_wrapper[0].pattern, 3);
+    }
+}

@@ -1,0 +1,345 @@
+//! Pattern keys (§V.A): the bitmap symbolization of trajectory
+//! patterns.
+//!
+//! A pattern key has two parts. The **premise key** has one bit per
+//! frequent region (region ids are assigned in time-offset order, the
+//! hash `2^id` of the paper is exactly "set bit `id`"); the premise of
+//! a pattern ORs the region keys of its premise regions. The
+//! **consequence key** has one bit per *distinct consequence time
+//! offset* across all discovered patterns; a pattern sets the bit of
+//! its consequence's offset. The paper stores them concatenated
+//! (consequence key first); here they are two fields of [`PatternKey`]
+//! and every §V.A operation applies to both parts.
+
+use crate::Bitmap;
+use hpm_patterns::{RegionId, RegionSet, TrajectoryPattern};
+use hpm_trajectory::TimeOffset;
+use std::fmt;
+
+/// The symbolization of a trajectory pattern (or of a query).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    /// One bit per distinct consequence time offset.
+    pub consequence: Bitmap,
+    /// One bit per frequent region.
+    pub premise: Bitmap,
+}
+
+impl PatternKey {
+    /// All-zero key for a table with the given part lengths.
+    pub fn zeros(consequence_len: usize, premise_len: usize) -> Self {
+        PatternKey {
+            consequence: Bitmap::zeros(consequence_len),
+            premise: Bitmap::zeros(premise_len),
+        }
+    }
+
+    /// The paper's `Size`: total number of set bits.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.consequence.count_ones() + self.premise.count_ones()
+    }
+
+    /// The paper's `Contain`: every bit of `other` is set in `self`
+    /// (checked on both parts).
+    pub fn contains(&self, other: &PatternKey) -> bool {
+        self.consequence.contains(&other.consequence) && self.premise.contains(&other.premise)
+    }
+
+    /// The paper's `Intersect`: common set bits on the consequence part
+    /// **and** on the premise part.
+    pub fn intersects(&self, other: &PatternKey) -> bool {
+        self.consequence.intersects(&other.consequence) && self.premise.intersects(&other.premise)
+    }
+
+    /// The paper's `Difference(self, other)`: bits set in `self` but
+    /// not in `other`, summed over both parts.
+    pub fn difference(&self, other: &PatternKey) -> usize {
+        self.consequence.difference(&other.consequence) + self.premise.difference(&other.premise)
+    }
+
+    /// The paper's `Union`, in place (maintains internal TPT entries).
+    pub fn union_assign(&mut self, other: &PatternKey) {
+        self.consequence.or_assign(&other.consequence);
+        self.premise.or_assign(&other.premise);
+    }
+
+    /// Heap bytes of the two bitmaps (Fig. 11a accounting).
+    #[inline]
+    pub fn storage_bytes(&self) -> usize {
+        self.consequence.storage_bytes() + self.premise.storage_bytes()
+    }
+}
+
+impl fmt::Debug for PatternKey {
+    /// Concatenated rendering as in Table III: consequence key first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}{:?}", self.consequence, self.premise)
+    }
+}
+
+/// The region-key and consequence-key tables (Tables I and II) of one
+/// discovery run: everything needed to encode patterns and queries.
+#[derive(Debug, Clone)]
+pub struct KeyTable {
+    /// Number of frequent regions (premise-key length `l_p`).
+    region_count: usize,
+    /// Sorted distinct time offsets appearing as pattern consequences;
+    /// index = time id (consequence-key bit).
+    consequence_offsets: Vec<TimeOffset>,
+}
+
+impl KeyTable {
+    /// Builds the tables for a region set and its mined patterns.
+    pub fn build(regions: &RegionSet, patterns: &[TrajectoryPattern]) -> Self {
+        let mut offsets: Vec<TimeOffset> = patterns
+            .iter()
+            .map(|p| p.consequence_offset(regions))
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        KeyTable {
+            region_count: regions.len(),
+            consequence_offsets: offsets,
+        }
+    }
+
+    /// Premise-key length: the number of frequent regions.
+    #[inline]
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// Consequence-key length: distinct consequence time offsets.
+    #[inline]
+    pub fn consequence_count(&self) -> usize {
+        self.consequence_offsets.len()
+    }
+
+    /// The sorted consequence offsets (Table II's first column).
+    #[inline]
+    pub fn consequence_offsets(&self) -> &[TimeOffset] {
+        &self.consequence_offsets
+    }
+
+    /// Time id of `offset` when some pattern's consequence has it.
+    pub fn time_id(&self, offset: TimeOffset) -> Option<usize> {
+        self.consequence_offsets.binary_search(&offset).ok()
+    }
+
+    /// Encodes a mined pattern into its pattern key.
+    ///
+    /// # Panics
+    /// Panics when the pattern's consequence offset is not in the table
+    /// (i.e. the table was built from a different pattern set).
+    pub fn encode_pattern(&self, pattern: &TrajectoryPattern, regions: &RegionSet) -> PatternKey {
+        let premise = self.premise_key(pattern.premise.iter().copied());
+        let t = pattern.consequence_offset(regions);
+        let tid = self
+            .time_id(t)
+            .expect("pattern consequence offset missing from key table");
+        let mut consequence = Bitmap::zeros(self.consequence_count());
+        consequence.set(tid);
+        PatternKey {
+            consequence,
+            premise,
+        }
+    }
+
+    /// ORs the region keys of the given regions into a premise key
+    /// (§V.A: premise key = `OR` of `2^id`).
+    pub fn premise_key(&self, regions: impl IntoIterator<Item = RegionId>) -> Bitmap {
+        let mut b = Bitmap::zeros(self.region_count);
+        for id in regions {
+            b.set(id.index());
+        }
+        b
+    }
+
+    /// Consequence key with bits for every listed offset that exists in
+    /// the table; offsets no pattern predicts are skipped (the query
+    /// then simply cannot intersect on them).
+    pub fn consequence_key(&self, offsets: impl IntoIterator<Item = TimeOffset>) -> Bitmap {
+        let mut b = Bitmap::zeros(self.consequence_count());
+        for t in offsets {
+            if let Some(tid) = self.time_id(t) {
+                b.set(tid);
+            }
+        }
+        b
+    }
+
+    /// FQP query key (§V.C): premise from the recently visited regions,
+    /// consequence bit at exactly the query's time offset.
+    pub fn fqp_query(
+        &self,
+        recent_regions: impl IntoIterator<Item = RegionId>,
+        query_offset: TimeOffset,
+    ) -> PatternKey {
+        PatternKey {
+            consequence: self.consequence_key([query_offset]),
+            premise: self.premise_key(recent_regions),
+        }
+    }
+
+    /// BQP query key (§VI.C): the premise constraint is dropped
+    /// (all-ones premise intersects every non-empty premise) and the
+    /// consequence accepts any offset in `[lo, hi]` (clamped to the
+    /// period by the caller).
+    pub fn bqp_query(&self, lo: TimeOffset, hi: TimeOffset) -> PatternKey {
+        PatternKey {
+            consequence: self.consequence_key(lo..=hi),
+            premise: Bitmap::ones(self.region_count),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::{fig3_patterns, fig3_regions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpm_geo::{BoundingBox, Point};
+    use hpm_patterns::FrequentRegion;
+
+    /// Fig. 3's five regions (Table I) and four patterns (Table III).
+    pub(crate) fn fig3_regions() -> RegionSet {
+        let mk = |id: u32, offset: TimeOffset, j: u32| FrequentRegion {
+            id: RegionId(id),
+            offset,
+            local_index: j,
+            centroid: Point::new(id as f64 * 10.0, 0.0),
+            bbox: BoundingBox::from_point(Point::new(id as f64 * 10.0, 0.0)),
+            support: 10,
+        };
+        RegionSet::new(
+            vec![mk(0, 0, 0), mk(1, 1, 0), mk(2, 1, 1), mk(3, 2, 0), mk(4, 2, 1)],
+            3,
+        )
+    }
+
+    pub(crate) fn fig3_patterns() -> Vec<TrajectoryPattern> {
+        let p = |premise: &[u32], consequence: u32, confidence: f64| TrajectoryPattern {
+            premise: premise.iter().map(|&i| RegionId(i)).collect(),
+            consequence: RegionId(consequence),
+            confidence,
+            support: 5,
+        };
+        vec![
+            p(&[0], 1, 0.9),    // P0: R0^0 -> R1^0
+            p(&[0], 2, 0.8),    // P1: R0^0 -> R1^1
+            p(&[0, 1], 3, 0.5), // P2: R0^0 ^ R1^0 -> R2^0
+            p(&[0, 2], 4, 0.4), // P3: R0^0 ^ R1^1 -> R2^1
+        ]
+    }
+
+    fn table() -> (RegionSet, Vec<TrajectoryPattern>, KeyTable) {
+        let regions = fig3_regions();
+        let patterns = fig3_patterns();
+        let table = KeyTable::build(&regions, &patterns);
+        (regions, patterns, table)
+    }
+
+    #[test]
+    fn table_i_region_keys() {
+        // Region key of id i is bit i — the paper's hash 2^id.
+        let (_, _, t) = table();
+        assert_eq!(t.region_count(), 5);
+        let rk = t.premise_key([RegionId(2)]);
+        assert_eq!(format!("{rk:?}"), "00100");
+    }
+
+    #[test]
+    fn table_ii_consequence_keys() {
+        let (_, _, t) = table();
+        // Consequence offsets of Fig. 3's patterns: {1, 2}.
+        assert_eq!(t.consequence_offsets(), &[1, 2]);
+        assert_eq!(t.time_id(1), Some(0));
+        assert_eq!(t.time_id(2), Some(1));
+        assert_eq!(t.time_id(0), None);
+        assert_eq!(format!("{:?}", t.consequence_key([1])), "01");
+        assert_eq!(format!("{:?}", t.consequence_key([2])), "10");
+    }
+
+    #[test]
+    fn table_iii_pattern_keys() {
+        let (regions, patterns, t) = table();
+        let keys: Vec<String> = patterns
+            .iter()
+            .map(|p| format!("{:?}", t.encode_pattern(p, &regions)))
+            .collect();
+        assert_eq!(keys, ["0100001", "0100001", "1000011", "1000101"]);
+    }
+
+    #[test]
+    fn fqp_query_key_of_section_vi() {
+        // §VI.B: recent movements R0^0, R1^0 and tq = 2 -> 1000011.
+        let (_, _, t) = table();
+        let q = t.fqp_query([RegionId(0), RegionId(1)], 2);
+        assert_eq!(format!("{q:?}"), "1000011");
+    }
+
+    #[test]
+    fn key_operations_follow_paper() {
+        let (regions, patterns, t) = table();
+        let q = t.fqp_query([RegionId(0), RegionId(1)], 2);
+        let pk2 = t.encode_pattern(&patterns[2], &regions); // 1000011
+        let pk3 = t.encode_pattern(&patterns[3], &regions); // 1000101
+        let pk0 = t.encode_pattern(&patterns[0], &regions); // 0100001
+        assert!(pk2.intersects(&q));
+        assert!(pk3.intersects(&q)); // shares R0^0 and the tq=2 bit
+        assert!(!pk0.intersects(&q)); // consequence offset 1 != 2
+        assert!(pk2.contains(&q) && q.contains(&pk2));
+        assert_eq!(pk3.difference(&q), 1); // bit of R1^1
+        assert_eq!(q.difference(&pk3), 1); // bit of R1^0
+        assert_eq!(pk2.size(), 3);
+    }
+
+    #[test]
+    fn union_assign_covers_both_parts() {
+        let (regions, patterns, t) = table();
+        let pk0 = t.encode_pattern(&patterns[0], &regions); // 0100001
+        let pk2 = t.encode_pattern(&patterns[2], &regions); // 1000011
+        let mut u = pk0.clone();
+        u.union_assign(&pk2);
+        assert_eq!(format!("{u:?}"), "1100011");
+        assert!(u.contains(&pk0) && u.contains(&pk2));
+    }
+
+    #[test]
+    fn bqp_query_spans_interval_and_any_premise() {
+        let (_, _, t) = table();
+        let q = t.bqp_query(1, 2);
+        assert_eq!(format!("{q:?}"), "1111111");
+        // Interval [2, 2] only matches time id 1.
+        let q2 = t.bqp_query(2, 2);
+        assert_eq!(format!("{:?}", q2.consequence), "10");
+        assert_eq!(q2.premise.count_ones(), 5);
+    }
+
+    #[test]
+    fn unknown_offsets_skipped() {
+        let (_, _, t) = table();
+        let ck = t.consequence_key([0, 7, 99]);
+        assert!(ck.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from key table")]
+    fn encoding_foreign_pattern_panics() {
+        let regions = fig3_regions();
+        let table = KeyTable::build(&regions, &fig3_patterns()[..1]); // offsets {1}
+        let foreign = &fig3_patterns()[2]; // consequence offset 2
+        table.encode_pattern(foreign, &regions);
+    }
+
+    #[test]
+    fn zero_pattern_table() {
+        let regions = fig3_regions();
+        let t = KeyTable::build(&regions, &[]);
+        assert_eq!(t.consequence_count(), 0);
+        let q = t.fqp_query([RegionId(0)], 1);
+        assert!(q.consequence.is_zero());
+    }
+}

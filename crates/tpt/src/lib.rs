@@ -1,0 +1,47 @@
+//! Trajectory Pattern Tree (§V of the paper): signature bitmaps,
+//! pattern keys, the TPT index, and a brute-force scan baseline.
+//!
+//! Mined trajectory patterns are encoded into [`PatternKey`]s — a
+//! consequence-key bitmap over the distinct consequence time offsets
+//! plus a premise-key bitmap over the frequent regions (Tables I–III)
+//! — and indexed by the [`Tpt`], a balanced signature-tree variant
+//! whose internal entries hold the OR of their subtree's keys.
+//! Predictive queries encode to keys too ([`KeyTable::fqp_query`],
+//! [`KeyTable::bqp_query`]) and retrieve, via a depth-first
+//! `Intersect`-pruned traversal, every pattern sharing consequence
+//! *and* premise bits with the query. [`BruteForce`] answers the same
+//! searches by a linear scan (Fig. 11b's baseline).
+
+//! # Example
+//!
+//! ```
+//! use hpm_tpt::{Bitmap, PatternIndex, PatternKey, Tpt, TptConfig};
+//!
+//! // Keys over 2 consequence time ids and 5 regions (Fig. 3 sizes).
+//! let key = |ck: &[usize], rk: &[usize]| PatternKey {
+//!     consequence: Bitmap::from_indices(2, ck),
+//!     premise: Bitmap::from_indices(5, rk),
+//! };
+//! let mut tpt = Tpt::new(TptConfig::default());
+//! tpt.insert(key(&[1], &[0, 1]), 0.5, 2); // P2: R0^0 ∧ R1^0 -> R2^0
+//! tpt.insert(key(&[1], &[0, 2]), 0.4, 3); // P3: R0^0 ∧ R1^1 -> R2^1
+//! tpt.insert(key(&[0], &[0]), 0.9, 0);    // P0: R0^0 -> R1^0
+//!
+//! // §VI.B's query: recent movements {R0^0, R1^0}, tq at time id 1.
+//! let hits = tpt.search(&key(&[1], &[0, 1]));
+//! let mut ids: Vec<u32> = hits.iter().map(|m| m.pattern).collect();
+//! ids.sort();
+//! assert_eq!(ids, vec![2, 3]);
+//! ```
+
+mod bitmap;
+mod brute;
+mod index;
+mod keys;
+mod tree;
+
+pub use bitmap::Bitmap;
+pub use brute::BruteForce;
+pub use index::{Match, PatternIndex};
+pub use keys::{KeyTable, PatternKey};
+pub use tree::{SearchStats, Tpt, TptConfig};

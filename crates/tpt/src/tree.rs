@@ -1,0 +1,915 @@
+//! The Trajectory Pattern Tree (§V): a signature-tree variant indexing
+//! pattern keys.
+//!
+//! Leaf entries are `<pk, c, p>` (pattern key, confidence, pattern
+//! pointer); each internal entry's key is the logical OR of all keys in
+//! its subtree. Insertion follows Algorithm 1 (ChooseLeaf): prefer a
+//! subtree already *containing* the new key, then one *intersecting* it
+//! on both parts (which is what makes §VI's Intersect-driven search
+//! prune well), then minimal key enlargement. Overflowing nodes split
+//! R-tree-style around the two most dissimilar seeds. Search walks the
+//! tree depth-first, descending only into entries whose key intersects
+//! the query key on both the consequence and the premise part.
+
+use crate::{Match, PatternIndex, PatternKey};
+
+/// Tree shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TptConfig {
+    /// Maximum entries per node before it splits.
+    pub max_entries: usize,
+}
+
+impl TptConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    /// Panics when `max_entries < 4` (splits need room for two
+    /// non-trivial groups).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        TptConfig { max_entries }
+    }
+}
+
+impl Default for TptConfig {
+    /// Fanout 32: a few cache lines of bitmap per node, shallow trees
+    /// even at Fig. 11's 100 k patterns.
+    fn default() -> Self {
+        TptConfig { max_entries: 32 }
+    }
+}
+
+/// One slot of a node: key plus either a child node (internal) or a
+/// pattern payload (leaf).
+#[derive(Debug, Clone)]
+struct Entry {
+    key: PatternKey,
+    /// Internal: child node id. Leaf: pattern id.
+    child: u32,
+    /// Leaf only; 0 for internal entries.
+    confidence: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    leaf: bool,
+    entries: Vec<Entry>,
+}
+
+impl Node {
+    fn union_key(&self) -> PatternKey {
+        let mut key = self.entries[0].key.clone();
+        for e in &self.entries[1..] {
+            key.union_assign(&e.key);
+        }
+        key
+    }
+}
+
+/// Statistics of one search (Fig. 11b instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Nodes whose entries were examined.
+    pub nodes_visited: usize,
+    /// Entry keys tested against the query.
+    pub entries_checked: usize,
+}
+
+/// The Trajectory Pattern Tree.
+#[derive(Debug, Clone)]
+pub struct Tpt {
+    config: TptConfig,
+    nodes: Vec<Node>,
+    /// Arena slots freed by deletions, reused by later allocations.
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    height: usize,
+}
+
+impl Tpt {
+    /// An empty tree.
+    pub fn new(config: TptConfig) -> Self {
+        Tpt {
+            config,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+            height: 0,
+        }
+    }
+
+    /// Builds a tree by bulk loading (§V.B: the system bulk-loads the
+    /// static history): entries are sorted so similar keys become
+    /// neighbours, packed into leaves at ~¾ fill, and parent levels are
+    /// packed bottom-up.
+    pub fn bulk_load(
+        config: TptConfig,
+        entries: impl IntoIterator<Item = (PatternKey, f64, u32)>,
+    ) -> Self {
+        let mut items: Vec<Entry> = entries
+            .into_iter()
+            .map(|(key, confidence, pattern)| Entry {
+                key,
+                child: pattern,
+                confidence,
+            })
+            .collect();
+        if items.is_empty() {
+            return Tpt::new(config);
+        }
+        items.sort_by(|a, b| {
+            (&a.key.consequence, &a.key.premise).cmp(&(&b.key.consequence, &b.key.premise))
+        });
+        let len = items.len();
+        let fill = (config.max_entries * 3 / 4).max(1);
+
+        let mut tree = Tpt::new(config);
+        // Pack the leaf level.
+        let mut level: Vec<u32> = Vec::new();
+        let mut iter = items.into_iter().peekable();
+        while iter.peek().is_some() {
+            let chunk: Vec<Entry> = iter.by_ref().take(fill).collect();
+            level.push(tree.push_node(Node {
+                leaf: true,
+                entries: chunk,
+            }));
+        }
+        tree.height = 1;
+        // Pack parent levels until one node remains.
+        while level.len() > 1 {
+            let mut next: Vec<u32> = Vec::new();
+            for chunk in level.chunks(fill) {
+                let entries = chunk
+                    .iter()
+                    .map(|&id| Entry {
+                        key: tree.nodes[id as usize].union_key(),
+                        child: id,
+                        confidence: 0.0,
+                    })
+                    .collect();
+                next.push(tree.push_node(Node {
+                    leaf: false,
+                    entries,
+                }));
+            }
+            level = next;
+            tree.height += 1;
+        }
+        tree.root = level[0];
+        tree.len = len;
+        tree
+    }
+
+    /// Number of indexed patterns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 when empty, 1 for a single leaf).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Approximate resident bytes: per-entry key bitmaps plus entry and
+    /// node bookkeeping (Fig. 11a's storage metric).
+    pub fn storage_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        for node in &self.nodes {
+            // Freed slots hold an empty entry vector; live nodes never
+            // do.
+            if node.entries.is_empty() {
+                continue;
+            }
+            bytes += std::mem::size_of::<Node>();
+            for e in &node.entries {
+                bytes += std::mem::size_of::<Entry>() + e.key.storage_bytes();
+            }
+        }
+        bytes
+    }
+
+    /// Inserts one pattern (the §V.B dynamic path: newly mined patterns
+    /// are added incrementally).
+    pub fn insert(&mut self, key: PatternKey, confidence: f64, pattern: u32) {
+        let entry = Entry {
+            key,
+            child: pattern,
+            confidence,
+        };
+        if self.nodes.is_empty() {
+            self.root = self.push_node(Node {
+                leaf: true,
+                entries: vec![entry],
+            });
+            self.len = 1;
+            self.height = 1;
+            return;
+        }
+        if let Some(sibling) = self.insert_rec(self.root, entry) {
+            // Root split: grow the tree by one level.
+            let old_root = self.root;
+            let old_entry = Entry {
+                key: self.nodes[old_root as usize].union_key(),
+                child: old_root,
+                confidence: 0.0,
+            };
+            self.root = self.push_node(Node {
+                leaf: false,
+                entries: vec![old_entry, sibling],
+            });
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Removes the entry for `pattern` whose key equals `key`
+    /// (patterns retired by a re-mining pass, §V.B's dynamic path in
+    /// reverse). Returns `false` when no such entry is indexed.
+    ///
+    /// Underflowing nodes (below half fill) are condensed R-tree
+    /// style: their surviving leaf entries are re-inserted, and a root
+    /// left with a single child is collapsed.
+    pub fn delete(&mut self, key: &PatternKey, pattern: u32) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let mut orphans: Vec<Entry> = Vec::new();
+        if !self.delete_rec(self.root, key, pattern, &mut orphans) {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Collapse a chain of single-child internal roots.
+        while !self.nodes[self.root as usize].leaf
+            && self.nodes[self.root as usize].entries.len() == 1
+        {
+            let old = self.root;
+            self.root = self.nodes[old as usize].entries[0].child;
+            self.free_node(old);
+            self.height -= 1;
+        }
+        // A now-empty tree resets to the pristine state.
+        if self.nodes[self.root as usize].entries.is_empty() {
+            debug_assert!(self.len == orphans.len());
+            self.nodes.clear();
+            self.free.clear();
+            self.root = 0;
+            self.height = 0;
+        }
+        // Re-insert entries stranded by condensed nodes (they are
+        // already counted in `len`).
+        for e in orphans {
+            self.reinsert(e);
+        }
+        true
+    }
+
+    /// Inserts an already-counted entry (condense-tree re-insertion).
+    fn reinsert(&mut self, entry: Entry) {
+        if self.nodes.is_empty() {
+            self.root = self.push_node(Node {
+                leaf: true,
+                entries: vec![entry],
+            });
+            self.height = 1;
+            return;
+        }
+        if let Some(sibling) = self.insert_rec(self.root, entry) {
+            let old_root = self.root;
+            let old_entry = Entry {
+                key: self.nodes[old_root as usize].union_key(),
+                child: old_root,
+                confidence: 0.0,
+            };
+            self.root = self.push_node(Node {
+                leaf: false,
+                entries: vec![old_entry, sibling],
+            });
+            self.height += 1;
+        }
+    }
+
+    /// Recursive delete; returns whether the target was found (and
+    /// removed) in this subtree. Underflowing children are dissolved
+    /// into `orphans`.
+    fn delete_rec(
+        &mut self,
+        node: u32,
+        key: &PatternKey,
+        pattern: u32,
+        orphans: &mut Vec<Entry>,
+    ) -> bool {
+        let idx = node as usize;
+        let min_fill = (self.config.max_entries / 2).max(1);
+        if self.nodes[idx].leaf {
+            let Some(pos) = self.nodes[idx]
+                .entries
+                .iter()
+                .position(|e| e.child == pattern && e.key == *key)
+            else {
+                return false;
+            };
+            self.nodes[idx].entries.swap_remove(pos);
+            return true;
+        }
+        // Union keys contain every key in their subtree, so only
+        // containing entries can hold the target.
+        let slots: Vec<usize> = self.nodes[idx]
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.key.contains(key))
+            .map(|(i, _)| i)
+            .collect();
+        for slot in slots {
+            let child = self.nodes[idx].entries[slot].child;
+            if !self.delete_rec(child, key, pattern, orphans) {
+                continue;
+            }
+            let child_len = self.nodes[child as usize].entries.len();
+            let is_only_entry = self.nodes[idx].entries.len() == 1;
+            if child_len < min_fill && !is_only_entry {
+                // Condense: dissolve the child, re-home its leaf
+                // entries later.
+                self.nodes[idx].entries.swap_remove(slot);
+                self.collect_leaf_entries(child, orphans);
+            } else if child_len == 0 {
+                // Sole child emptied out entirely.
+                self.nodes[idx].entries.swap_remove(slot);
+                self.free_node(child);
+            } else {
+                // Tighten the union key after the removal.
+                self.nodes[idx].entries[slot].key = self.nodes[child as usize].union_key();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Gathers every leaf entry under `node` and frees the whole
+    /// subtree.
+    fn collect_leaf_entries(&mut self, node: u32, out: &mut Vec<Entry>) {
+        let entries = std::mem::take(&mut self.nodes[node as usize].entries);
+        let leaf = self.nodes[node as usize].leaf;
+        self.free.push(node); // entries already taken
+        if leaf {
+            out.extend(entries);
+        } else {
+            for e in entries {
+                self.collect_leaf_entries(e.child, out);
+            }
+        }
+    }
+
+    /// Searches with instrumentation.
+    pub fn search_with_stats(&self, query: &PatternKey) -> (Vec<Match>, SearchStats) {
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        if !self.nodes.is_empty() {
+            self.dfs(self.root, query, &mut out, &mut stats);
+        }
+        (out, stats)
+    }
+
+    fn dfs(&self, node: u32, query: &PatternKey, out: &mut Vec<Match>, stats: &mut SearchStats) {
+        let node = &self.nodes[node as usize];
+        stats.nodes_visited += 1;
+        stats.entries_checked += node.entries.len();
+        for e in &node.entries {
+            if e.key.intersects(query) {
+                if node.leaf {
+                    out.push(Match {
+                        pattern: e.child,
+                        confidence: e.confidence,
+                    });
+                } else {
+                    self.dfs(e.child, query, out, stats);
+                }
+            }
+        }
+    }
+
+    fn push_node(&mut self, node: Node) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Returns a node's slot to the free list (its entries are
+    /// dropped so freed slots do not count toward storage).
+    fn free_node(&mut self, node: u32) {
+        self.nodes[node as usize].entries = Vec::new();
+        self.free.push(node);
+    }
+
+    /// Recursive insert; returns the sibling entry when `node` split.
+    fn insert_rec(&mut self, node: u32, entry: Entry) -> Option<Entry> {
+        let idx = node as usize;
+        if self.nodes[idx].leaf {
+            self.nodes[idx].entries.push(entry);
+            return (self.nodes[idx].entries.len() > self.config.max_entries)
+                .then(|| self.split(node));
+        }
+        let slot = choose_subtree(&self.nodes[idx].entries, &entry.key);
+        self.nodes[idx].entries[slot].key.union_assign(&entry.key);
+        let child = self.nodes[idx].entries[slot].child;
+        if let Some(sibling) = self.insert_rec(child, entry) {
+            // The child kept only one split group: tighten its key.
+            self.nodes[idx].entries[slot].key = self.nodes[child as usize].union_key();
+            self.nodes[idx].entries.push(sibling);
+            if self.nodes[idx].entries.len() > self.config.max_entries {
+                return Some(self.split(node));
+            }
+        }
+        None
+    }
+
+    /// Splits an overflowing node, keeping one group in place and
+    /// returning an entry for the new sibling.
+    ///
+    /// Seeds are the pair of entries with the largest symmetric key
+    /// difference; the rest go to the group whose key they enlarge
+    /// least (ties to the smaller group), with a minimum fill of
+    /// `max_entries / 2` enforced by forced assignment.
+    fn split(&mut self, node: u32) -> Entry {
+        let idx = node as usize;
+        let leaf = self.nodes[idx].leaf;
+        let entries = std::mem::take(&mut self.nodes[idx].entries);
+        debug_assert!(entries.len() > self.config.max_entries);
+        let min_fill = (self.config.max_entries / 2).max(1);
+
+        // Seed selection: maximal symmetric difference.
+        let (mut s1, mut s2, mut worst) = (0, 1, 0);
+        for i in 0..entries.len() {
+            for j in i + 1..entries.len() {
+                let d = entries[i].key.difference(&entries[j].key)
+                    + entries[j].key.difference(&entries[i].key);
+                if d > worst {
+                    (s1, s2, worst) = (i, j, d);
+                }
+            }
+        }
+
+        let mut g1: Vec<Entry> = Vec::with_capacity(entries.len());
+        let mut g2: Vec<Entry> = Vec::with_capacity(entries.len());
+        let mut k1 = entries[s1].key.clone();
+        let mut k2 = entries[s2].key.clone();
+        let mut rest: Vec<Entry> = Vec::with_capacity(entries.len() - 2);
+        for (i, e) in entries.into_iter().enumerate() {
+            if i == s1 {
+                g1.push(e);
+            } else if i == s2 {
+                g2.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        let total = rest.len() + 2;
+        for e in rest {
+            let remaining = total - g1.len() - g2.len();
+            // Forced assignment to honour the minimum fill.
+            if g1.len() + remaining <= min_fill {
+                k1.union_assign(&e.key);
+                g1.push(e);
+                continue;
+            }
+            if g2.len() + remaining <= min_fill {
+                k2.union_assign(&e.key);
+                g2.push(e);
+                continue;
+            }
+            let d1 = e.key.difference(&k1);
+            let d2 = e.key.difference(&k2);
+            let to_first = match d1.cmp(&d2) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => g1.len() <= g2.len(),
+            };
+            if to_first {
+                k1.union_assign(&e.key);
+                g1.push(e);
+            } else {
+                k2.union_assign(&e.key);
+                g2.push(e);
+            }
+        }
+
+        self.nodes[idx].entries = g1;
+        let sibling = self.push_node(Node {
+            leaf,
+            entries: g2,
+        });
+        Entry {
+            key: k2,
+            child: sibling,
+            confidence: 0.0,
+        }
+    }
+
+    /// Checks structural invariants; test/debug helper.
+    ///
+    /// Verified: uniform leaf depth equal to `height`, internal entry
+    /// keys equal to the union of their subtree, node occupancy within
+    /// bounds, and `len` matching the number of leaf entries.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return if self.len == 0 && self.height == 0 {
+                Ok(())
+            } else {
+                Err("empty arena but non-zero len/height".into())
+            };
+        }
+        let mut leaf_entries = 0usize;
+        self.validate_node(self.root, 1, &mut leaf_entries)?;
+        if leaf_entries != self.len {
+            return Err(format!(
+                "len {} != counted leaf entries {leaf_entries}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_node(&self, node: u32, depth: usize, leaf_entries: &mut usize) -> Result<(), String> {
+        let n = &self.nodes[node as usize];
+        if n.entries.is_empty() {
+            return Err(format!("node {node} has no entries"));
+        }
+        if n.entries.len() > self.config.max_entries {
+            return Err(format!("node {node} overflows"));
+        }
+        // No occupancy floor: bulk-loaded trees may carry one short
+        // tail node per level; only empty nodes are rejected above.
+        if n.leaf {
+            if depth != self.height {
+                return Err(format!(
+                    "leaf {node} at depth {depth}, expected {}",
+                    self.height
+                ));
+            }
+            *leaf_entries += n.entries.len();
+            return Ok(());
+        }
+        for e in &n.entries {
+            let child_union = self.nodes[e.child as usize].union_key();
+            if e.key != child_union {
+                return Err(format!(
+                    "internal entry key of node {node} -> {} is not the subtree union",
+                    e.child
+                ));
+            }
+            self.validate_node(e.child, depth + 1, leaf_entries)?;
+        }
+        Ok(())
+    }
+}
+
+/// Algorithm 1 (ChooseLeaf) subtree selection among `entries` for a
+/// key `pk`:
+///
+/// 1. among entries whose key *contains* `pk`, the smallest key (no
+///    enlargement needed);
+/// 2. otherwise among entries *intersecting* `pk` on both parts, the
+///    smallest `Difference(pk, e)` (ties to the smallest key) — keeps
+///    Intersect-searchable keys together;
+/// 3. otherwise the smallest `Difference(pk, e)`, ties to the smallest
+///    key.
+fn choose_subtree(entries: &[Entry], pk: &PatternKey) -> usize {
+    let mut best_contain: Option<(usize, usize)> = None; // (size, idx)
+    let mut best_intersect: Option<(usize, usize, usize)> = None; // (diff, size, idx)
+    let mut best_any: Option<(usize, usize, usize)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        let size = e.key.size();
+        if e.key.contains(pk) {
+            if best_contain.is_none_or(|(s, _)| size < s) {
+                best_contain = Some((size, i));
+            }
+            continue;
+        }
+        let diff = pk.difference(&e.key);
+        let cand = (diff, size, i);
+        if e.key.intersects(pk) && best_intersect.is_none_or(|b| (diff, size) < (b.0, b.1)) {
+            best_intersect = Some(cand);
+        }
+        if best_any.is_none_or(|b| (diff, size) < (b.0, b.1)) {
+            best_any = Some(cand);
+        }
+    }
+    if let Some((_, i)) = best_contain {
+        return i;
+    }
+    if let Some((_, _, i)) = best_intersect {
+        return i;
+    }
+    best_any.expect("non-empty node").2
+}
+
+impl PatternIndex for Tpt {
+    fn search_into(&self, query: &PatternKey, out: &mut Vec<Match>) {
+        let mut stats = SearchStats::default();
+        if !self.nodes.is_empty() {
+            self.dfs(self.root, query, out, &mut stats);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{fig3_patterns, fig3_regions};
+    use crate::{Bitmap, BruteForce, KeyTable};
+    use hpm_patterns::RegionId;
+
+    fn fig3_tree(config: TptConfig) -> (KeyTable, Tpt) {
+        let regions = fig3_regions();
+        let patterns = fig3_patterns();
+        let table = KeyTable::build(&regions, &patterns);
+        let mut tree = Tpt::new(config);
+        for (i, p) in patterns.iter().enumerate() {
+            tree.insert(table.encode_pattern(p, &regions), p.confidence, i as u32);
+        }
+        (table, tree)
+    }
+
+    #[test]
+    fn fig4_query_finds_shadow_entries() {
+        // §VI.B's worked example: query 1000011 matches P2 and P3.
+        let (table, tree) = fig3_tree(TptConfig::new(4));
+        tree.validate().unwrap();
+        let q = table.fqp_query([RegionId(0), RegionId(1)], 2);
+        let mut found: Vec<u32> = tree.search(&q).iter().map(|m| m.pattern).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![2, 3]);
+    }
+
+    #[test]
+    fn non_matching_consequence_prunes() {
+        let (table, tree) = fig3_tree(TptConfig::new(4));
+        // tq = 1 matches P0 and P1 only (consequence offset 1).
+        let q = table.fqp_query([RegionId(0)], 1);
+        let mut found: Vec<u32> = tree.search(&q).iter().map(|m| m.pattern).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let tree = Tpt::new(TptConfig::default());
+        tree.validate().unwrap();
+        let q = PatternKey {
+            consequence: Bitmap::ones(2),
+            premise: Bitmap::ones(5),
+        };
+        assert!(tree.search(&q).is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.height(), 0);
+    }
+
+    /// Deterministic pseudo-random keys for structural tests.
+    fn synth_keys(n: usize, ck_len: usize, rk_len: usize) -> Vec<(PatternKey, f64, u32)> {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|i| {
+                let mut ck = Bitmap::zeros(ck_len);
+                ck.set((next() % ck_len as u64) as usize);
+                let mut rk = Bitmap::zeros(rk_len);
+                for _ in 0..1 + next() % 3 {
+                    rk.set((next() % rk_len as u64) as usize);
+                }
+                (
+                    PatternKey {
+                        consequence: ck,
+                        premise: rk,
+                    },
+                    (1 + next() % 100) as f64 / 100.0,
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_many_stays_valid_and_matches_brute_force() {
+        let keys = synth_keys(500, 8, 60);
+        let mut tree = Tpt::new(TptConfig::new(8));
+        let mut brute = BruteForce::new();
+        for (k, c, p) in &keys {
+            tree.insert(k.clone(), *c, *p);
+            brute.insert(k.clone(), *c, *p);
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 500);
+        assert!(tree.height() >= 2);
+        for (q, _, _) in synth_keys(50, 8, 60) {
+            let mut a: Vec<u32> = tree.search(&q).iter().map(|m| m.pattern).collect();
+            let mut b: Vec<u32> = brute.search(&q).iter().map(|m| m.pattern).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let keys = synth_keys(1000, 8, 60);
+        let tree = Tpt::bulk_load(TptConfig::default(), keys.clone());
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 1000);
+        let mut brute = BruteForce::new();
+        for (k, c, p) in keys {
+            brute.insert(k, c, p);
+        }
+        for (q, _, _) in synth_keys(50, 8, 60) {
+            let mut a: Vec<u32> = tree.search(&q).iter().map(|m| m.pattern).collect();
+            let mut b: Vec<u32> = brute.search(&q).iter().map(|m| m.pattern).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn search_prunes_subtrees() {
+        // A selective query should check far fewer entries than a full
+        // scan would.
+        let keys = synth_keys(2000, 16, 200);
+        let tree = Tpt::bulk_load(TptConfig::default(), keys.clone());
+        let (q, _, _) = &synth_keys(1, 16, 200)[0];
+        let (_, stats) = tree.search_with_stats(q);
+        assert!(stats.nodes_visited >= 1);
+        assert!(
+            stats.entries_checked < 2000,
+            "checked {} of 2000",
+            stats.entries_checked
+        );
+    }
+
+    #[test]
+    fn storage_grows_with_patterns() {
+        let small = Tpt::bulk_load(TptConfig::default(), synth_keys(100, 8, 80));
+        let large = Tpt::bulk_load(TptConfig::default(), synth_keys(1000, 8, 80));
+        assert!(large.storage_bytes() > small.storage_bytes());
+        // Wider premise keys also cost more.
+        let wide = Tpt::bulk_load(TptConfig::default(), synth_keys(1000, 8, 800));
+        assert!(wide.storage_bytes() > large.storage_bytes());
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        // Table III: pattern key 0100001 represents two patterns.
+        let (table, tree) = fig3_tree(TptConfig::new(4));
+        let q = table.fqp_query([RegionId(0)], 1);
+        let found = tree.search(&q);
+        assert_eq!(found.len(), 2);
+        let confs: Vec<f64> = found.iter().map(|m| m.confidence).collect();
+        assert!(confs.contains(&0.9) && confs.contains(&0.8));
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let tree = Tpt::bulk_load(TptConfig::default(), Vec::new());
+        tree.validate().unwrap();
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_fanout_rejected() {
+        TptConfig::new(3);
+    }
+
+    #[test]
+    fn delete_removes_only_the_target() {
+        let keys = synth_keys(300, 8, 60);
+        let mut tree = Tpt::new(TptConfig::new(6));
+        for (k, c, p) in &keys {
+            tree.insert(k.clone(), *c, *p);
+        }
+        // Delete every third entry.
+        for (k, _, p) in keys.iter().filter(|(_, _, p)| p % 3 == 0) {
+            assert!(tree.delete(k, *p), "entry {p} should exist");
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 200);
+        // Deleted entries are gone; the rest are all still findable.
+        for (k, _, p) in &keys {
+            let found = tree.search(k).iter().any(|m| m.pattern == *p);
+            assert_eq!(found, p % 3 != 0, "entry {p}");
+        }
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let keys = synth_keys(20, 8, 60);
+        let mut tree = Tpt::new(TptConfig::new(6));
+        for (k, c, p) in &keys {
+            tree.insert(k.clone(), *c, *p);
+        }
+        assert!(!tree.delete(&keys[0].0, 999));
+        let foreign = PatternKey {
+            consequence: Bitmap::from_indices(8, &[7]),
+            premise: Bitmap::from_indices(60, &[59]),
+        };
+        assert!(!tree.delete(&foreign, 0));
+        assert_eq!(tree.len(), 20);
+        assert!(!Tpt::new(TptConfig::default()).delete(&foreign, 0));
+    }
+
+    #[test]
+    fn delete_everything_resets_tree() {
+        let keys = synth_keys(120, 8, 60);
+        let mut tree = Tpt::new(TptConfig::new(4));
+        for (k, c, p) in &keys {
+            tree.insert(k.clone(), *c, *p);
+        }
+        for (k, _, p) in &keys {
+            assert!(tree.delete(k, *p));
+            tree.validate().unwrap();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.node_count(), 0);
+        // The tree is reusable afterwards.
+        tree.insert(keys[0].0.clone(), 0.5, 7);
+        assert_eq!(tree.search(&keys[0].0).len(), 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_reuses_freed_slots() {
+        let keys = synth_keys(200, 8, 60);
+        let mut tree = Tpt::new(TptConfig::new(4));
+        for (k, c, p) in &keys {
+            tree.insert(k.clone(), *c, *p);
+        }
+        let before = tree.storage_bytes();
+        for (k, _, p) in keys.iter().take(100) {
+            tree.delete(k, *p);
+        }
+        assert!(tree.storage_bytes() < before, "storage should shrink");
+        // Re-inserting reuses freed arena slots rather than growing.
+        let arena_after_delete = tree.nodes.len();
+        for (k, c, p) in keys.iter().take(100) {
+            tree.insert(k.clone(), *c, *p);
+        }
+        assert!(tree.nodes.len() <= arena_after_delete + 4);
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 200);
+    }
+
+    #[test]
+    fn delete_one_of_duplicate_keys() {
+        // Two patterns sharing one key (Table III): deleting one keeps
+        // the other.
+        let (table, mut tree) = fig3_tree(TptConfig::new(4));
+        let regions = fig3_regions();
+        let patterns = fig3_patterns();
+        let shared = table.encode_pattern(&patterns[0], &regions);
+        assert!(tree.delete(&shared, 0));
+        let q = table.fqp_query([RegionId(0)], 1);
+        let found = tree.search(&q);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].pattern, 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let tree = Tpt::bulk_load(TptConfig::new(4), synth_keys(200, 8, 40));
+        // fill = 3; 200 leaves entries -> ~67 leaves -> 23 -> 8 -> 3 -> 1.
+        assert!(tree.height() >= 4, "height {}", tree.height());
+        assert!(tree.height() <= 7, "height {}", tree.height());
+        tree.validate().unwrap();
+    }
+}

@@ -1,0 +1,236 @@
+//! Periodic decomposition (§III, Fig. 2).
+//!
+//! A trajectory of `n` samples with period `T` splits into `⌈n/T⌉`
+//! sub-trajectories; group `Gₜ` collects, across sub-trajectories, the
+//! locations whose time offset is `t`.
+
+use crate::{TimeOffset, Timestamp, Trajectory};
+use hpm_geo::Point;
+
+/// One period-aligned slice of a trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubTrajectory<'a> {
+    /// Index of this sub-trajectory (0-based period number).
+    pub index: usize,
+    /// Time offset of `points[0]` within the period (non-zero only for
+    /// a trajectory whose `start` is not period-aligned).
+    pub first_offset: TimeOffset,
+    /// The samples, at consecutive offsets starting at `first_offset`.
+    pub points: &'a [Point],
+}
+
+impl SubTrajectory<'_> {
+    /// Location at time offset `t` within this sub-trajectory, if
+    /// covered.
+    pub fn at_offset(&self, t: TimeOffset) -> Option<Point> {
+        let idx = t.checked_sub(self.first_offset)? as usize;
+        self.points.get(idx).copied()
+    }
+}
+
+/// Splits `traj` into period-aligned sub-trajectories of length ≤ `T`.
+///
+/// The first sub-trajectory may start mid-period when `traj.start()` is
+/// not a multiple of `T`; the last may be shorter than `T`.
+///
+/// # Panics
+/// Panics if `period == 0`.
+pub fn decompose(traj: &Trajectory, period: u32) -> Vec<SubTrajectory<'_>> {
+    assert!(period > 0, "period must be positive");
+    let t = period as Timestamp;
+    let mut out = Vec::with_capacity(traj.len() / period as usize + 1);
+    let points = traj.points();
+    let mut abs = traj.start();
+    let mut consumed = 0usize;
+    while consumed < points.len() {
+        let offset = (abs % t) as TimeOffset;
+        let remaining_in_period = (t - abs % t) as usize;
+        let take = remaining_in_period.min(points.len() - consumed);
+        out.push(SubTrajectory {
+            index: (abs / t) as usize - (traj.start() / t) as usize,
+            first_offset: offset,
+            points: &points[consumed..consumed + take],
+        });
+        consumed += take;
+        abs += take as Timestamp;
+    }
+    out
+}
+
+/// Per-offset location groups `G₀ … G_{T−1}` (§III, Fig. 2(b)).
+///
+/// `groups[t]` holds one entry per sub-trajectory that covers offset
+/// `t`: the location plus the index of the contributing
+/// sub-trajectory. Keeping the sub-trajectory index lets the pattern
+/// miner reconstruct, per sub-trajectory, which frequent region was
+/// visited at each offset.
+#[derive(Debug, Clone)]
+pub struct OffsetGroups {
+    period: u32,
+    /// `groups[t][k] = (sub_trajectory_index, location)`.
+    groups: Vec<Vec<(usize, Point)>>,
+    /// Number of sub-trajectories that contributed.
+    sub_count: usize,
+}
+
+impl OffsetGroups {
+    /// Builds the groups for `traj` with the given period.
+    pub fn build(traj: &Trajectory, period: u32) -> Self {
+        let subs = decompose(traj, period);
+        Self::from_subs(&subs, period)
+    }
+
+    /// Builds the groups from already-decomposed sub-trajectories.
+    pub fn from_subs(subs: &[SubTrajectory<'_>], period: u32) -> Self {
+        assert!(period > 0, "period must be positive");
+        let mut groups: Vec<Vec<(usize, Point)>> = vec![Vec::new(); period as usize];
+        let mut sub_count = 0usize;
+        for sub in subs {
+            sub_count = sub_count.max(sub.index + 1);
+            for (i, p) in sub.points.iter().enumerate() {
+                let t = sub.first_offset as usize + i;
+                debug_assert!(t < period as usize);
+                groups[t].push((sub.index, *p));
+            }
+        }
+        OffsetGroups {
+            period,
+            groups,
+            sub_count,
+        }
+    }
+
+    /// The period `T`.
+    #[inline]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Number of contributing sub-trajectories.
+    #[inline]
+    pub fn sub_count(&self) -> usize {
+        self.sub_count
+    }
+
+    /// Group `Gₜ`: `(sub_trajectory_index, location)` pairs at offset `t`.
+    #[inline]
+    pub fn group(&self, t: TimeOffset) -> &[(usize, Point)] {
+        &self.groups[t as usize]
+    }
+
+    /// Just the locations of `Gₜ` (what DBSCAN clusters).
+    pub fn locations(&self, t: TimeOffset) -> Vec<Point> {
+        self.groups[t as usize].iter().map(|&(_, p)| p).collect()
+    }
+
+    /// Iterates `(offset, group)` over all non-empty groups.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeOffset, &[(usize, Point)])> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(t, g)| (t as TimeOffset, g.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Trajectory {
+        Trajectory::from_points((0..n).map(|i| Point::new(i as f64, 0.0)).collect())
+    }
+
+    #[test]
+    fn decompose_exact_periods() {
+        let t = seq(9);
+        let subs = decompose(&t, 3);
+        assert_eq!(subs.len(), 3);
+        for (k, sub) in subs.iter().enumerate() {
+            assert_eq!(sub.index, k);
+            assert_eq!(sub.first_offset, 0);
+            assert_eq!(sub.points.len(), 3);
+        }
+        assert_eq!(subs[1].points[0], Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn decompose_partial_tail() {
+        let t = seq(7);
+        let subs = decompose(&t, 3);
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[2].points.len(), 1);
+        assert_eq!(subs[2].points[0], Point::new(6.0, 0.0));
+    }
+
+    #[test]
+    fn decompose_unaligned_start() {
+        let t = Trajectory::new(2, (0..4).map(|i| Point::new(i as f64, 0.0)).collect());
+        let subs = decompose(&t, 3);
+        // Covers timestamps 2..6: [2], [3,4,5] -> offsets: first sub
+        // starts at offset 2 with one point, second at offset 0.
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].first_offset, 2);
+        assert_eq!(subs[0].points.len(), 1);
+        assert_eq!(subs[1].first_offset, 0);
+        assert_eq!(subs[1].points.len(), 3);
+        assert_eq!(subs[1].index, 1);
+    }
+
+    #[test]
+    fn sub_trajectory_at_offset() {
+        let t = seq(6);
+        let subs = decompose(&t, 3);
+        assert_eq!(subs[1].at_offset(2), Some(Point::new(5.0, 0.0)));
+        assert_eq!(subs[1].at_offset(3), None);
+        let unaligned = Trajectory::new(1, vec![Point::new(9.0, 9.0)]);
+        let s2 = decompose(&unaligned, 3);
+        assert_eq!(s2[0].at_offset(0), None);
+        assert_eq!(s2[0].at_offset(1), Some(Point::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn groups_collect_same_offsets() {
+        let t = seq(9);
+        let g = OffsetGroups::build(&t, 3);
+        assert_eq!(g.sub_count(), 3);
+        assert_eq!(g.period(), 3);
+        let g1 = g.group(1);
+        assert_eq!(g1.len(), 3);
+        assert_eq!(g1[0], (0, Point::new(1.0, 0.0)));
+        assert_eq!(g1[1], (1, Point::new(4.0, 0.0)));
+        assert_eq!(g1[2], (2, Point::new(7.0, 0.0)));
+    }
+
+    #[test]
+    fn groups_locations_match() {
+        let t = seq(6);
+        let g = OffsetGroups::build(&t, 3);
+        assert_eq!(
+            g.locations(0),
+            vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0)]
+        );
+    }
+
+    #[test]
+    fn iter_skips_empty_groups() {
+        let t = seq(2);
+        let g = OffsetGroups::build(&t, 5);
+        let offsets: Vec<_> = g.iter().map(|(t, _)| t).collect();
+        assert_eq!(offsets, vec![0, 1]);
+    }
+
+    #[test]
+    fn total_points_preserved() {
+        let t = seq(17);
+        let g = OffsetGroups::build(&t, 5);
+        let total: usize = (0..5).map(|o| g.group(o).len()).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        decompose(&seq(3), 0);
+    }
+}

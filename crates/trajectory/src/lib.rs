@@ -1,0 +1,39 @@
+//! Trajectory model: regularly sampled movement histories and their
+//! periodic decomposition (§III of the paper).
+//!
+//! A trajectory is a sequence `(l₀, l₁, …, l_{n−1})` where `lᵢ` is the
+//! object's location at discrete timestamp `i`. Given a period `T`
+//! (e.g. "a day" for commuters, "a year" for migrating animals) the
+//! trajectory decomposes into `⌈n/T⌉` *sub-trajectories*; all locations
+//! sharing the same *time offset* `t = timestamp mod T` are gathered
+//! into a group `Gₜ`, on which DBSCAN later finds frequent regions.
+
+//! # Example
+//!
+//! ```
+//! use hpm_trajectory::{from_sparse_samples, OffsetGroups, Trajectory};
+//! use hpm_geo::Point;
+//!
+//! // A sparse GPS feed with a dropped fix at t = 2.
+//! let (traj, filled) = from_sparse_samples(vec![
+//!     (0, Point::new(0.0, 0.0)),
+//!     (1, Point::new(1.0, 0.0)),
+//!     (3, Point::new(3.0, 0.0)),
+//! ]).unwrap();
+//! assert_eq!(filled, 1);
+//! assert_eq!(traj.at(2), Some(Point::new(2.0, 0.0)));
+//!
+//! // Decompose into per-offset groups with a period of 2.
+//! let groups = OffsetGroups::build(&traj, 2);
+//! assert_eq!(groups.group(0).len(), 2); // t = 0 and t = 2
+//! ```
+
+mod decompose;
+mod preprocess;
+mod staypoints;
+mod traj;
+
+pub use decompose::{decompose, OffsetGroups, SubTrajectory};
+pub use preprocess::{despike, from_sparse_samples, PreprocessError};
+pub use staypoints::{stay_points, StayPoint};
+pub use traj::{TimeOffset, Timestamp, Trajectory};

@@ -1,0 +1,261 @@
+//! Preprocessing raw position feeds into the paper's sampling model.
+//!
+//! §III assumes one sample per timestamp, gap-free. Real GPS feeds
+//! drop fixes and produce jitter spikes; these utilities bridge the
+//! gap: [`from_sparse_samples`] sorts and linearly interpolates missing
+//! timestamps, and [`despike`] repairs single-sample outliers whose
+//! implied speed is impossible.
+
+use crate::{Timestamp, Trajectory};
+use hpm_geo::Point;
+use std::fmt;
+
+/// Why a sparse sample set could not become a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreprocessError {
+    /// No samples given.
+    Empty,
+    /// Two samples share a timestamp but disagree on position (beyond
+    /// `1e-9`); ambiguous input the caller must resolve.
+    ConflictingDuplicate(Timestamp),
+    /// A coordinate was NaN/∞.
+    NonFinite(Timestamp),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::Empty => write!(f, "no samples"),
+            PreprocessError::ConflictingDuplicate(t) => {
+                write!(f, "conflicting duplicate samples at t={t}")
+            }
+            PreprocessError::NonFinite(t) => write!(f, "non-finite position at t={t}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// Builds a gap-free trajectory from unordered, possibly sparse
+/// `(timestamp, position)` samples: sorts by timestamp, drops exact
+/// duplicates, and fills missing timestamps by linear interpolation
+/// between the surrounding fixes.
+///
+/// Returns the trajectory plus the number of interpolated samples.
+pub fn from_sparse_samples(
+    mut samples: Vec<(Timestamp, Point)>,
+) -> Result<(Trajectory, usize), PreprocessError> {
+    if samples.is_empty() {
+        return Err(PreprocessError::Empty);
+    }
+    for &(t, p) in &samples {
+        if !p.is_finite() {
+            return Err(PreprocessError::NonFinite(t));
+        }
+    }
+    samples.sort_by_key(|&(t, _)| t);
+    // Collapse duplicates; conflicting ones are errors.
+    let mut dedup: Vec<(Timestamp, Point)> = Vec::with_capacity(samples.len());
+    for (t, p) in samples {
+        match dedup.last() {
+            Some(&(lt, lp)) if lt == t => {
+                if lp.distance(&p) > 1e-9 {
+                    return Err(PreprocessError::ConflictingDuplicate(t));
+                }
+            }
+            _ => dedup.push((t, p)),
+        }
+    }
+    let start = dedup[0].0;
+    let end = dedup.last().expect("non-empty").0;
+    let mut points = Vec::with_capacity((end - start + 1) as usize);
+    let mut filled = 0usize;
+    for pair in dedup.windows(2) {
+        let (t0, p0) = pair[0];
+        let (t1, p1) = pair[1];
+        points.push(p0);
+        let gap = t1 - t0;
+        for k in 1..gap {
+            points.push(p0.lerp(&p1, k as f64 / gap as f64));
+            filled += 1;
+        }
+    }
+    points.push(dedup.last().expect("non-empty").1);
+    Ok((Trajectory::new(start, points), filled))
+}
+
+/// Repairs single-sample spikes: a point whose displacement from
+/// *both* neighbours exceeds `max_step` while the neighbours are
+/// mutually plausible (≤ `2·max_step` apart) is replaced by their
+/// midpoint. First/last samples are repaired against their single
+/// neighbour.
+///
+/// Returns the repaired trajectory and the number of replaced samples.
+/// Genuine fast segments (consecutive large steps in a consistent
+/// direction) are left alone — only isolated spikes qualify.
+///
+/// # Panics
+/// Panics when `max_step` is not positive/finite.
+pub fn despike(traj: &Trajectory, max_step: f64) -> (Trajectory, usize) {
+    assert!(
+        max_step > 0.0 && max_step.is_finite(),
+        "max_step must be positive"
+    );
+    let pts = traj.points();
+    let n = pts.len();
+    if n < 3 {
+        return (traj.clone(), 0);
+    }
+    let mut out = pts.to_vec();
+    let mut fixed = 0usize;
+    for i in 1..n - 1 {
+        let prev = out[i - 1]; // already-repaired neighbour
+        let next = pts[i + 1];
+        let d_prev = pts[i].distance(&prev);
+        let d_next = pts[i].distance(&next);
+        let d_skip = prev.distance(&next);
+        if d_prev > max_step && d_next > max_step && d_skip <= 2.0 * max_step {
+            out[i] = prev.lerp(&next, 0.5);
+            fixed += 1;
+        }
+    }
+    // Endpoints: compare against their single neighbour's step.
+    if out[0].distance(&out[1]) > max_step && out[1].distance(&out[2]) <= max_step {
+        out[0] = out[1];
+        fixed += 1;
+    }
+    if out[n - 1].distance(&out[n - 2]) > max_step
+        && out[n - 2].distance(&out[n - 3]) <= max_step
+    {
+        out[n - 1] = out[n - 2];
+        fixed += 1;
+    }
+    (Trajectory::new(traj.start(), out), fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64) -> Point {
+        Point::new(x, 0.0)
+    }
+
+    #[test]
+    fn sparse_samples_interpolate_gaps() {
+        let (traj, filled) = from_sparse_samples(vec![
+            (10, pt(0.0)),
+            (13, pt(3.0)),
+            (14, pt(4.0)),
+        ])
+        .unwrap();
+        assert_eq!(filled, 2);
+        assert_eq!(traj.start(), 10);
+        assert_eq!(traj.len(), 5);
+        assert_eq!(traj.at(11), Some(pt(1.0)));
+        assert_eq!(traj.at(12), Some(pt(2.0)));
+        assert_eq!(traj.at(14), Some(pt(4.0)));
+    }
+
+    #[test]
+    fn unordered_input_sorted() {
+        let (traj, _) =
+            from_sparse_samples(vec![(5, pt(5.0)), (3, pt(3.0)), (4, pt(4.0))]).unwrap();
+        assert_eq!(traj.start(), 3);
+        assert_eq!(traj.points(), &[pt(3.0), pt(4.0), pt(5.0)]);
+    }
+
+    #[test]
+    fn exact_duplicates_collapse() {
+        let (traj, filled) =
+            from_sparse_samples(vec![(1, pt(1.0)), (1, pt(1.0)), (2, pt(2.0))]).unwrap();
+        assert_eq!(filled, 0);
+        assert_eq!(traj.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_duplicates_rejected() {
+        let err =
+            from_sparse_samples(vec![(1, pt(1.0)), (1, pt(9.0))]).unwrap_err();
+        assert_eq!(err, PreprocessError::ConflictingDuplicate(1));
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rejected() {
+        assert_eq!(from_sparse_samples(vec![]).unwrap_err(), PreprocessError::Empty);
+        assert_eq!(
+            from_sparse_samples(vec![(3, Point::new(f64::NAN, 0.0))]).unwrap_err(),
+            PreprocessError::NonFinite(3)
+        );
+    }
+
+    #[test]
+    fn single_sample_ok() {
+        let (traj, filled) = from_sparse_samples(vec![(7, pt(2.0))]).unwrap();
+        assert_eq!(traj.len(), 1);
+        assert_eq!(filled, 0);
+        assert_eq!(traj.start(), 7);
+    }
+
+    #[test]
+    fn despike_repairs_isolated_spike() {
+        let mut pts: Vec<Point> = (0..10).map(|i| pt(i as f64)).collect();
+        pts[5] = Point::new(500.0, 500.0); // GPS glitch
+        let (fixed, n) = despike(&Trajectory::from_points(pts), 2.0);
+        assert_eq!(n, 1);
+        assert_eq!(fixed.at(5), Some(pt(5.0)));
+        // Everything else untouched.
+        assert_eq!(fixed.at(4), Some(pt(4.0)));
+        assert_eq!(fixed.at(6), Some(pt(6.0)));
+    }
+
+    #[test]
+    fn despike_leaves_genuine_jumps() {
+        // A true fast segment: consecutive large steps, consistent
+        // direction. prev->next distance is far beyond 2*max_step, so
+        // nothing is "repaired".
+        let pts: Vec<Point> = (0..6).map(|i| pt(i as f64 * 10.0)).collect();
+        let (fixed, n) = despike(&Trajectory::from_points(pts.clone()), 2.0);
+        assert_eq!(n, 0);
+        assert_eq!(fixed.points(), &pts[..]);
+    }
+
+    #[test]
+    fn despike_repairs_endpoints() {
+        let mut pts: Vec<Point> = (0..6).map(|i| pt(i as f64)).collect();
+        pts[0] = pt(-100.0);
+        pts[5] = pt(999.0);
+        let (fixed, n) = despike(&Trajectory::from_points(pts), 2.0);
+        assert_eq!(n, 2);
+        assert_eq!(fixed.at(0), Some(pt(1.0)));
+        assert_eq!(fixed.at(5), Some(pt(4.0)));
+    }
+
+    #[test]
+    fn despike_consecutive_spikes_partially_repair() {
+        // Two adjacent spikes: the first sees a spiky right neighbour
+        // (prev->next too far), the second repairs against the original
+        // left... with the repaired-prefix scan, at least the pair does
+        // not corrupt its clean neighbours.
+        let mut pts: Vec<Point> = (0..8).map(|i| pt(i as f64)).collect();
+        pts[3] = Point::new(400.0, 0.0);
+        pts[4] = Point::new(410.0, 0.0);
+        let (fixed, _) = despike(&Trajectory::from_points(pts), 2.0);
+        assert_eq!(fixed.at(2), Some(pt(2.0)));
+        assert_eq!(fixed.at(5), Some(pt(5.0)));
+    }
+
+    #[test]
+    fn short_trajectories_untouched() {
+        let t = Trajectory::from_points(vec![pt(0.0), pt(100.0)]);
+        let (fixed, n) = despike(&t, 1.0);
+        assert_eq!(n, 0);
+        assert_eq!(fixed, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_step must be positive")]
+    fn bad_max_step_panics() {
+        despike(&Trajectory::from_points(vec![pt(0.0); 5]), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Stay-point detection: maximal intervals where the object lingers.
+//!
+//! A *stay point* is a maximal time interval during which the object
+//! stays within `radius` of the interval's first sample for at least
+//! `min_duration` timestamps — the classic trajectory-mining primitive
+//! for "the object was *at a place*" (home, office, watering hole).
+//! Stay points complement the per-offset frequent regions of §IV: they
+//! ignore the period and catch dwell behaviour at any time.
+
+use crate::{Timestamp, Trajectory};
+use hpm_geo::{centroid, Point};
+
+/// One detected dwell interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StayPoint {
+    /// First timestamp of the interval.
+    pub start: Timestamp,
+    /// One past the last timestamp of the interval.
+    pub end: Timestamp,
+    /// Mean position over the interval.
+    pub center: Point,
+}
+
+impl StayPoint {
+    /// Dwell length in timestamps.
+    #[inline]
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Detects stay points: greedy left-to-right scan; an interval is
+/// emitted when at least `min_duration` consecutive samples stay within
+/// `radius` of the interval's anchor (its first sample), and it is
+/// extended maximally before the scan resumes past it.
+///
+/// # Panics
+/// Panics when `radius` is not positive/finite or `min_duration == 0`.
+pub fn stay_points(traj: &Trajectory, radius: f64, min_duration: u64) -> Vec<StayPoint> {
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive"
+    );
+    assert!(min_duration >= 1, "min_duration must be positive");
+    let pts = traj.points();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < pts.len() {
+        let anchor = pts[i];
+        let mut j = i + 1;
+        while j < pts.len() && pts[j].distance(&anchor) <= radius {
+            j += 1;
+        }
+        let duration = (j - i) as u64;
+        if duration >= min_duration {
+            out.push(StayPoint {
+                start: traj.start() + i as Timestamp,
+                end: traj.start() + j as Timestamp,
+                center: centroid(&pts[i..j]).expect("non-empty interval"),
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(spec: &[(f64, f64, usize)]) -> Trajectory {
+        let mut pts = Vec::new();
+        for &(x, y, n) in spec {
+            for k in 0..n {
+                // Tiny drift inside the dwell.
+                pts.push(Point::new(x + k as f64 * 0.01, y));
+            }
+        }
+        Trajectory::from_points(pts)
+    }
+
+    #[test]
+    fn detects_two_dwells() {
+        // Home (5 samples), commute (3 spread samples), office (6).
+        let traj = seq(&[(0.0, 0.0, 5), (50.0, 0.0, 1), (100.0, 0.0, 1), (150.0, 0.0, 1), (200.0, 0.0, 6)]);
+        let sp = stay_points(&traj, 2.0, 4);
+        assert_eq!(sp.len(), 2);
+        assert_eq!(sp[0].start, 0);
+        assert_eq!(sp[0].end, 5);
+        assert_eq!(sp[0].duration(), 5);
+        assert!(sp[0].center.distance(&Point::new(0.02, 0.0)) < 0.1);
+        assert_eq!(sp[1].start, 8);
+        assert_eq!(sp[1].end, 14);
+    }
+
+    #[test]
+    fn min_duration_filters_short_pauses() {
+        let traj = seq(&[(0.0, 0.0, 3), (100.0, 0.0, 8)]);
+        assert_eq!(stay_points(&traj, 2.0, 4).len(), 1);
+        assert_eq!(stay_points(&traj, 2.0, 3).len(), 2);
+    }
+
+    #[test]
+    fn moving_object_has_no_stay_points() {
+        let traj = Trajectory::from_points(
+            (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect(),
+        );
+        assert!(stay_points(&traj, 2.0, 3).is_empty());
+    }
+
+    #[test]
+    fn stationary_object_is_one_stay_point() {
+        let traj = Trajectory::from_points(vec![Point::new(7.0, 7.0); 12]);
+        let sp = stay_points(&traj, 1.0, 3);
+        assert_eq!(sp.len(), 1);
+        assert_eq!(sp[0].duration(), 12);
+        assert_eq!(sp[0].center, Point::new(7.0, 7.0));
+    }
+
+    #[test]
+    fn respects_start_offset() {
+        let traj = Trajectory::new(100, vec![Point::new(0.0, 0.0); 5]);
+        let sp = stay_points(&traj, 1.0, 3);
+        assert_eq!(sp[0].start, 100);
+        assert_eq!(sp[0].end, 105);
+    }
+
+    #[test]
+    fn anchor_semantics_slow_drift_splits() {
+        // Slow drift: each step small, but the anchor pins the first
+        // sample, so the interval breaks once drift exceeds the radius.
+        let traj = Trajectory::from_points(
+            (0..30).map(|i| Point::new(i as f64 * 0.5, 0.0)).collect(),
+        );
+        let sp = stay_points(&traj, 2.0, 3);
+        assert!(!sp.is_empty());
+        for s in &sp {
+            assert!(s.duration() <= 5, "drifting dwell too long: {s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        assert!(stay_points(&Trajectory::from_points(vec![]), 1.0, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn bad_radius_panics() {
+        stay_points(&Trajectory::from_points(vec![Point::ORIGIN]), 0.0, 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration: the moving-objects store over a paper dataset — the
+//! full online deployment path.
+
+use hybrid_prediction_model::core::{HpmConfig, PredictionSource};
+use hybrid_prediction_model::datagen::{paper_dataset, PaperDataset, PERIOD};
+use hybrid_prediction_model::objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hybrid_prediction_model::patterns::{DiscoveryParams, MiningParams};
+
+fn store() -> MovingObjectStore {
+    MovingObjectStore::new(StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 30.0,
+            min_pts: 4,
+        },
+        mining: MiningParams {
+            min_support: 4,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 8,
+            max_span: 64,
+        },
+        hpm: HpmConfig::default(),
+        min_train_subs: 20,
+        retrain_every_subs: 20,
+        recent_len: 20,
+    })
+}
+
+#[test]
+fn bike_rider_becomes_predictable() {
+    let store = store();
+    let id = ObjectId(42);
+    let traj = paper_dataset(PaperDataset::Bike, 17).generate_subs(30);
+
+    // Stream the first 10 days: too little history, motion function
+    // answers.
+    for d in 0..10usize {
+        let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
+        store.report_batch(id, (d * PERIOD as usize) as u64, day).unwrap();
+    }
+    let now = 10 * PERIOD as u64 - 1;
+    let early = store.predict(id, now + 50).unwrap();
+    assert_eq!(early.source, PredictionSource::MotionFunction);
+    assert_eq!(store.stats(id).unwrap().trained_periods, 0);
+
+    // Stream 15 more days: training kicks in at 20 full periods.
+    for d in 10..25usize {
+        let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
+        store.report_batch(id, (d * PERIOD as usize) as u64, day).unwrap();
+    }
+    let stats = store.stats(id).unwrap();
+    assert!(stats.trained_periods >= 20);
+    assert!(stats.patterns > 0, "bike must yield patterns");
+
+    // Mid-period query: patterns should answer, and the answer should
+    // be close to where day 25 actually goes.
+    let tc = 25 * PERIOD as usize + 100;
+    for t in 25 * PERIOD as usize..=tc {
+        store.report(id, t as u64, traj.points()[t]).unwrap();
+    }
+    let pred = store.predict(id, tc as u64 + 50).unwrap();
+    assert!(pred.from_patterns(), "expected a pattern answer");
+    let truth = traj.points()[tc + 50];
+    let err = pred.best().distance(&truth);
+    assert!(err < 1_500.0, "error {err} at +50 on the bike route");
+}
+
+#[test]
+fn many_objects_round_robin() {
+    let store = store();
+    let datasets = [
+        PaperDataset::Bike,
+        PaperDataset::Cow,
+        PaperDataset::Car,
+        PaperDataset::Airplane,
+    ];
+    let trajs: Vec<_> = datasets
+        .iter()
+        .map(|d| paper_dataset(*d, 3).generate_subs(22))
+        .collect();
+    // Interleave day-batches across objects, as a shared backend would
+    // receive them.
+    for d in 0..22usize {
+        for (i, traj) in trajs.iter().enumerate() {
+            let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
+            store
+                .report_batch(ObjectId(i as u64), (d * PERIOD as usize) as u64, day)
+                .unwrap();
+        }
+    }
+    assert_eq!(store.object_count(), 4);
+    for i in 0..4u64 {
+        let stats = store.stats(ObjectId(i)).unwrap();
+        assert_eq!(stats.samples, 22 * PERIOD as usize);
+        assert!(stats.trained_periods >= 20, "object {i} untrained");
+        let pred = store.predict(ObjectId(i), (22 * PERIOD) as u64 + 9).unwrap();
+        assert!(pred.best().is_finite());
+    }
+    // The strongest-pattern dataset has at least as many patterns as
+    // the weakest.
+    let bike = store.stats(ObjectId(0)).unwrap().patterns;
+    let airplane = store.stats(ObjectId(3)).unwrap().patterns;
+    assert!(bike >= airplane, "bike {bike} vs airplane {airplane}");
+}

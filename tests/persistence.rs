@@ -1,0 +1,92 @@
+//! Integration: the train → persist → restore → query cycle produces
+//! byte-identical predictions.
+
+use hybrid_prediction_model::core::eval::{make_workload, training_slice, WorkloadParams};
+use hybrid_prediction_model::core::{HpmConfig, HybridPredictor};
+use hybrid_prediction_model::datagen::{paper_dataset, PaperDataset, PERIOD};
+use hybrid_prediction_model::patterns::{discover, mine, DiscoveryParams, MiningParams};
+use hybrid_prediction_model::store::{decode_model, encode_model};
+
+#[test]
+fn restored_model_predicts_identically() {
+    let traj = paper_dataset(PaperDataset::Cow, 31).generate_subs(50);
+    let train = training_slice(&traj, PERIOD, 40);
+    let discovery = DiscoveryParams {
+        period: PERIOD,
+        eps: 30.0,
+        min_pts: 4,
+    };
+    let mining = MiningParams {
+        min_support: 4,
+        min_confidence: 0.3,
+        max_premise_len: 2,
+        max_premise_gap: 8,
+        max_span: 64,
+    };
+    let out = discover(&train, &discovery);
+    let patterns = mine(&out.regions, &out.visits, &mining);
+    assert!(!patterns.is_empty());
+
+    let blob = encode_model(&out.regions, &patterns);
+    let restored = decode_model(&blob).expect("valid blob");
+
+    let original =
+        HybridPredictor::from_parts(out.regions, patterns, HpmConfig::default());
+    let reloaded = HybridPredictor::from_parts(
+        restored.regions,
+        restored.patterns,
+        HpmConfig::default(),
+    );
+
+    let queries = make_workload(
+        &traj,
+        PERIOD,
+        &WorkloadParams {
+            train_subs: 40,
+            recent_len: 20,
+            prediction_length: 50,
+            num_queries: 25,
+        },
+    );
+    for q in &queries {
+        let a = original.predict(&q.as_query());
+        let b = reloaded.predict(&q.as_query());
+        assert_eq!(a, b, "prediction diverged after persistence");
+    }
+}
+
+#[test]
+fn blob_size_is_compact() {
+    // The codec should spend far less than the naive 16-byte-per-id
+    // layout: regions dominate (~56 bytes each), patterns a handful of
+    // bytes each thanks to varints + delta coding.
+    let traj = paper_dataset(PaperDataset::Airplane, 8).generate_subs(40);
+    let out = discover(
+        &traj,
+        &DiscoveryParams {
+            period: PERIOD,
+            eps: 30.0,
+            min_pts: 4,
+        },
+    );
+    let patterns = mine(
+        &out.regions,
+        &out.visits,
+        &MiningParams {
+            min_support: 4,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 8,
+            max_span: 64,
+        },
+    );
+    let blob = encode_model(&out.regions, &patterns);
+    let per_pattern =
+        (blob.len() as f64 - out.regions.len() as f64 * 56.0) / patterns.len().max(1) as f64;
+    assert!(
+        per_pattern < 20.0,
+        "{} bytes for {} patterns ({per_pattern:.1} B/pattern)",
+        blob.len(),
+        patterns.len()
+    );
+}
