@@ -1,6 +1,6 @@
 //! Grid-indexed vs naive O(n²) DBSCAN (the neighbour-index ablation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_clustering::{dbscan, dbscan_naive, DbscanParams};
 use hpm_geo::Point;
 

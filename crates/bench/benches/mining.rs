@@ -1,7 +1,7 @@
 //! Apriori mining cost, with and without computing the unpruned rule
 //! universe (the §IV pruning ablation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_bench::setup::{paper_discovery, paper_mining};
 use hpm_core::eval::training_slice;
 use hpm_datagen::{paper_dataset, PaperDataset, PERIOD};

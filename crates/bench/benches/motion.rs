@@ -1,7 +1,7 @@
 //! RMF fitting cost across retrospect and window size (the paper's
 //! n³-SVD cost claim), plus prediction rollout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_geo::Point;
 use hpm_motion::{LinearMotion, MotionModel, Rmf};
 

@@ -1,7 +1,7 @@
 //! Per-query cost of the Hybrid Prediction Model vs a standalone RMF
 //! (Fig. 10's microbenchmark form).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_bench::setup::Experiment;
 use hpm_datagen::PaperDataset;
 use hpm_motion::{MotionModel, Rmf};

@@ -1,6 +1,6 @@
 //! Persistence-codec and object-store throughput benches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpm_bench::synthetic_patterns;
 use hpm_core::HpmConfig;
 use hpm_datagen::{paper_dataset, PaperDataset, PERIOD};

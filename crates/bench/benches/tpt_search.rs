@@ -1,7 +1,7 @@
 //! TPT search vs brute-force scan (Fig. 11b), plus the node-fanout
 //! ablation called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_bench::synthetic_patterns;
 use hpm_tpt::{BruteForce, KeyTable, PatternIndex, PatternKey, Tpt, TptConfig};
 

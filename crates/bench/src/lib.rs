@@ -1,11 +1,14 @@
 //! Shared experiment machinery for reproducing §VII: the paper's fixed
 //! parameter set, dataset construction, synthetic pattern sets for the
-//! Fig. 11 index experiments, and TSV reporting.
+//! Fig. 11 index experiments, TSV reporting, and the in-tree
+//! [`timing`] harness the bench targets run on.
 
 pub mod plot;
 pub mod report;
 pub mod setup;
 pub mod synth;
+pub mod timing;
 
 pub use setup::{paper_discovery, paper_mining, Experiment};
 pub use synth::synthetic_patterns;
+pub use timing::{Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};

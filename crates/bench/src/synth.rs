@@ -8,8 +8,7 @@
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
 use hpm_trajectory::TimeOffset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hpm_rand::{Rng, SmallRng};
 
 /// Builds `num_regions` frequent regions spread evenly over a period of
 /// 300, plus `num_patterns` random (but Definition-1-valid) trajectory
@@ -25,7 +24,7 @@ pub fn synthetic_patterns(
     assert!(num_regions >= 2, "need at least two regions");
     let period: u32 = 300;
     let per_offset = num_regions.div_ceil(period as usize).max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
 
     let mut regions = Vec::with_capacity(num_regions);
     for id in 0..num_regions {

@@ -1,0 +1,434 @@
+//! Value generators and combinators.
+//!
+//! A [`Gen<T>`] draws a shrinkable [`Tree<T>`] from a seeded
+//! [`SmallRng`]. Combinators mirror the slice of `proptest`'s strategy
+//! API the workspace uses: ranges, `vec`, `map`, `flat_map`, tuples,
+//! and constant choice.
+
+use crate::tree::{vec_tree, Tree};
+use hpm_rand::{Rng, SmallRng};
+use std::ops::{Bound, RangeBounds};
+use std::rc::Rc;
+
+/// A generator of shrinkable `T` values.
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut SmallRng) -> Tree<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Wraps a raw tree-drawing function.
+    pub fn new(run: impl Fn(&mut SmallRng) -> Tree<T> + 'static) -> Self {
+        Gen { run: Rc::new(run) }
+    }
+
+    /// Draws one shrinkable value.
+    pub fn generate(&self, rng: &mut SmallRng) -> Tree<T> {
+        (self.run)(rng)
+    }
+
+    /// Maps generated values (shrinking maps through).
+    pub fn map<U: Clone + 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let f: Rc<dyn Fn(T) -> U> = Rc::new(f);
+        Gen::new(move |rng| self.generate(rng).map(Rc::clone(&f)))
+    }
+
+    /// Dependent generation: builds the inner generator from an outer
+    /// draw. Shrinking is greedy over the *inner* value only (the
+    /// outer draw stays fixed) — cheap and deterministic, which is all
+    /// the suites need.
+    pub fn flat_map<U: Clone + 'static>(self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        Gen::new(move |rng| {
+            let outer = self.generate(rng);
+            f(outer.value).generate(rng)
+        })
+    }
+}
+
+/// A constant.
+pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| Tree::leaf(value.clone()))
+}
+
+/// Uniform pick among constants; shrinks towards the first.
+///
+/// # Panics
+/// Panics when `options` is empty.
+pub fn choice<T: Clone + 'static>(options: Vec<T>) -> Gen<T> {
+    assert!(!options.is_empty(), "choice of nothing");
+    let n = options.len();
+    int(0usize..n).map(move |i| options[i].clone())
+}
+
+/// Integer shrink candidates: the origin first, then halving steps back
+/// towards `current` (aggressive to conservative).
+pub fn shrink_i128(origin: i128, current: i128) -> Vec<i128> {
+    if current == origin {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mut delta = (current - origin) / 2;
+    while delta != 0 {
+        let candidate = current - delta;
+        if candidate != origin {
+            out.push(candidate);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+/// Float shrink candidates, same shape as [`shrink_i128`].
+fn shrink_f64(origin: f64, current: f64) -> Vec<f64> {
+    if current == origin || !current.is_finite() {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mut delta = (current - origin) / 2.0;
+    for _ in 0..24 {
+        let candidate = current - delta;
+        if candidate == current {
+            break;
+        }
+        if candidate != origin {
+            out.push(candidate);
+        }
+        delta /= 2.0;
+    }
+    out
+}
+
+/// Conversions between the supported integer types and the `i128`
+/// shrinking domain.
+pub trait Int: Copy + PartialOrd + std::fmt::Debug + 'static {
+    /// Widens to the shrink domain.
+    fn to_i128(self) -> i128;
+    /// Narrows from the shrink domain (always in range here).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Int for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn int_bounds<T: Int>(range: &impl RangeBounds<T>) -> (i128, i128) {
+    // Normalised to an inclusive [lo, hi].
+    let lo = match range.start_bound() {
+        Bound::Included(v) => v.to_i128(),
+        Bound::Excluded(v) => v.to_i128() + 1,
+        Bound::Unbounded => panic!("unbounded integer generator"),
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(v) => v.to_i128(),
+        Bound::Excluded(v) => v.to_i128() - 1,
+        Bound::Unbounded => panic!("unbounded integer generator"),
+    };
+    assert!(lo <= hi, "empty integer range");
+    (lo, hi)
+}
+
+/// Uniform integer in `range` (`a..b` or `a..=b`); shrinks towards 0
+/// clamped into the range.
+pub fn int<T: Int>(range: impl RangeBounds<T>) -> Gen<T> {
+    let (lo, hi) = int_bounds(&range);
+    let origin = 0i128.clamp(lo, hi);
+    Gen::new(move |rng| {
+        let span = (hi - lo) as u128 + 1;
+        let v = if span > u128::from(u64::MAX) {
+            lo + i128::from(rng.next_u64())
+        } else {
+            lo + i128::from(rng.gen_range(0..span as u64))
+        };
+        int_tree::<T>(origin, v)
+    })
+}
+
+fn int_tree<T: Int>(origin: i128, current: i128) -> Tree<T> {
+    Tree::with_children(T::from_i128(current), move || {
+        shrink_i128(origin, current)
+            .into_iter()
+            .map(|c| int_tree::<T>(origin, c))
+            .collect()
+    })
+}
+
+/// Uniform `f64` in `range` (`a..b` or `a..=b`); shrinks towards 0
+/// clamped into the range.
+pub fn float(range: impl RangeBounds<f64>) -> Gen<f64> {
+    let lo = match range.start_bound() {
+        Bound::Included(v) | Bound::Excluded(v) => *v,
+        Bound::Unbounded => panic!("unbounded float generator"),
+    };
+    let (hi, inclusive) = match range.end_bound() {
+        Bound::Included(v) => (*v, true),
+        Bound::Excluded(v) => (*v, false),
+        Bound::Unbounded => panic!("unbounded float generator"),
+    };
+    assert!(lo < hi || (lo == hi && inclusive), "empty float range");
+    let mut origin = 0.0f64.clamp(lo, hi);
+    if !inclusive && origin >= hi {
+        origin = lo; // keep the shrink target inside the half-open range
+    }
+    Gen::new(move |rng| {
+        let v = if inclusive {
+            rng.gen_range(lo..=hi)
+        } else {
+            rng.gen_range(lo..hi)
+        };
+        float_tree(origin, v)
+    })
+}
+
+fn float_tree(origin: f64, current: f64) -> Tree<f64> {
+    Tree::with_children(current, move || {
+        shrink_f64(origin, current)
+            .into_iter()
+            .map(|c| float_tree(origin, c))
+            .collect()
+    })
+}
+
+/// A vector of `len_range.start() ..` up to (exclusive) `len_range.end`
+/// elements — same length convention as `proptest::collection::vec`.
+/// Shrinks by removing elements (never below the minimum), then by
+/// shrinking elements in place.
+pub fn vec<T: Clone + 'static>(element: Gen<T>, len_range: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    let min = len_range.start;
+    Gen::new(move |rng| {
+        let len = rng.gen_range(len_range.clone());
+        let elements: Vec<Tree<T>> = (0..len).map(|_| element.generate(rng)).collect();
+        vec_tree(elements, min)
+    })
+}
+
+/// An opaque collection index (ports `proptest`'s `sample::Index`):
+/// call [`Index::index`] with the collection length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(pub usize);
+
+impl Index {
+    /// Maps onto `0..len`.
+    ///
+    /// # Panics
+    /// Panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "index into empty collection");
+        self.0 % len
+    }
+}
+
+/// Uniform [`Index`]; shrinks towards 0.
+pub fn index() -> Gen<Index> {
+    int(0usize..usize::MAX / 2).map(Index)
+}
+
+/// Overloads [`tuple`] for arities 1–6.
+pub trait TupleGen {
+    /// The generated tuple type.
+    type Output: Clone + 'static;
+    /// Combines component generators into one.
+    fn into_gen(self) -> Gen<Self::Output>;
+}
+
+/// Combines a tuple of generators into a generator of tuples; shrinking
+/// works one component at a time.
+pub fn tuple<T: TupleGen>(t: T) -> Gen<T::Output> {
+    t.into_gen()
+}
+
+fn zip2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |rng| {
+        let ta = a.generate(rng);
+        let tb = b.generate(rng);
+        ta.zip(&tb)
+    })
+}
+
+impl<A: Clone + 'static> TupleGen for (Gen<A>,) {
+    type Output = (A,);
+    fn into_gen(self) -> Gen<(A,)> {
+        self.0.map(|a| (a,))
+    }
+}
+
+impl<A: Clone + 'static, B: Clone + 'static> TupleGen for (Gen<A>, Gen<B>) {
+    type Output = (A, B);
+    fn into_gen(self) -> Gen<(A, B)> {
+        zip2(self.0, self.1)
+    }
+}
+
+impl<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static> TupleGen
+    for (Gen<A>, Gen<B>, Gen<C>)
+{
+    type Output = (A, B, C);
+    fn into_gen(self) -> Gen<(A, B, C)> {
+        zip2(zip2(self.0, self.1), self.2).map(|((a, b), c)| (a, b, c))
+    }
+}
+
+impl<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static> TupleGen
+    for (Gen<A>, Gen<B>, Gen<C>, Gen<D>)
+{
+    type Output = (A, B, C, D);
+    fn into_gen(self) -> Gen<(A, B, C, D)> {
+        zip2(zip2(self.0, self.1), zip2(self.2, self.3)).map(|((a, b), (c, d))| (a, b, c, d))
+    }
+}
+
+impl<
+        A: Clone + 'static,
+        B: Clone + 'static,
+        C: Clone + 'static,
+        D: Clone + 'static,
+        E: Clone + 'static,
+    > TupleGen for (Gen<A>, Gen<B>, Gen<C>, Gen<D>, Gen<E>)
+{
+    type Output = (A, B, C, D, E);
+    fn into_gen(self) -> Gen<(A, B, C, D, E)> {
+        zip2(zip2(zip2(self.0, self.1), zip2(self.2, self.3)), self.4)
+            .map(|(((a, b), (c, d)), e)| (a, b, c, d, e))
+    }
+}
+
+impl<
+        A: Clone + 'static,
+        B: Clone + 'static,
+        C: Clone + 'static,
+        D: Clone + 'static,
+        E: Clone + 'static,
+        F: Clone + 'static,
+    > TupleGen for (Gen<A>, Gen<B>, Gen<C>, Gen<D>, Gen<E>, Gen<F>)
+{
+    type Output = (A, B, C, D, E, F);
+    fn into_gen(self) -> Gen<(A, B, C, D, E, F)> {
+        zip2(
+            zip2(zip2(self.0, self.1), zip2(self.2, self.3)),
+            zip2(self.4, self.5),
+        )
+        .map(|(((a, b), (c, d)), (e, f))| (a, b, c, d, e, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn int_stays_in_range_and_shrinks_to_origin() {
+        let g = int(3u32..17);
+        let mut r = rng();
+        for _ in 0..500 {
+            let t = g.generate(&mut r);
+            assert!((3..17).contains(&t.value));
+            if let Some(first) = t.children().first() {
+                assert_eq!(first.value, 3, "most aggressive candidate is the origin");
+            }
+        }
+    }
+
+    #[test]
+    fn float_stays_in_range() {
+        let g = float(-2.0..5.0);
+        let mut r = rng();
+        for _ in 0..500 {
+            let t = g.generate(&mut r);
+            assert!((-2.0..5.0).contains(&t.value));
+            for c in t.children() {
+                assert!((-2.0..5.0).contains(&c.value));
+            }
+        }
+    }
+
+    #[test]
+    fn vec_lengths_honour_range() {
+        let g = vec(int(0u8..=255), 2..9);
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = g.generate(&mut r);
+            assert!((2..9).contains(&t.value.len()));
+        }
+    }
+
+    #[test]
+    fn map_shrinks_through() {
+        let g = int(0i64..100).map(|v| v * 3);
+        let mut r = rng();
+        let t = g.generate(&mut r);
+        for c in t.children() {
+            assert_eq!(c.value % 3, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_outer_value() {
+        let g = int(1usize..4).flat_map(|n| vec(just(7u8), n..n + 1));
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = g.generate(&mut r);
+            assert!((1..4).contains(&t.value.len()));
+            assert!(t.value.iter().all(|&v| v == 7));
+        }
+    }
+
+    #[test]
+    fn choice_picks_every_option() {
+        let g = choice(vec!['a', 'b', 'c']);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(g.generate(&mut r).value);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let g = tuple((int(0u32..10), float(0.0..1.0), just("x")));
+        let mut r = rng();
+        let t = g.generate(&mut r);
+        let (a0, b0, _) = t.value;
+        for c in t.children() {
+            let (a, b, _) = c.value;
+            assert!(a == a0 || b == b0, "both components changed at once");
+        }
+    }
+
+    #[test]
+    fn index_is_stable_modulo() {
+        let idx = Index(13);
+        assert_eq!(idx.index(5), 3);
+        assert_eq!(idx.index(1), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = vec(float(-1.0..1.0), 0..20);
+        let a: Vec<Vec<f64>> = {
+            let mut r = rng();
+            (0..20).map(|_| g.generate(&mut r).value).collect()
+        };
+        let b: Vec<Vec<f64>> = {
+            let mut r = rng();
+            (0..20).map(|_| g.generate(&mut r).value).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

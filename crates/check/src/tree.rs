@@ -1,0 +1,187 @@
+//! Lazy shrink trees.
+//!
+//! A generated value carries a lazily computed list of *smaller*
+//! candidate values, each itself a tree — the hedgehog-style
+//! "integrated shrinking" representation. `map`/`zip` preserve
+//! shrinkability through combinators, so test authors never write a
+//! shrinker by hand.
+
+use std::rc::Rc;
+
+/// A value plus its lazily computed shrink candidates, ordered most
+/// aggressive first (the greedy shrinker takes the first candidate
+/// that still fails).
+#[derive(Clone)]
+pub struct Tree<T> {
+    /// The generated value.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A leaf: no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Tree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A tree with an explicit lazy candidate list.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Forces the candidate list.
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through `f`, preserving shrink structure.
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(T) -> U>) -> Tree<U> {
+        let value = f(self.value.clone());
+        let this = self.clone();
+        Tree {
+            value,
+            children: Rc::new(move || {
+                this.children()
+                    .iter()
+                    .map(|c| c.map(Rc::clone(&f)))
+                    .collect()
+            }),
+        }
+    }
+
+    /// Pairs two trees: candidates shrink one side at a time, left
+    /// first, while the other side keeps its own (still shrinkable)
+    /// tree.
+    pub fn zip<U: Clone + 'static>(&self, other: &Tree<U>) -> Tree<(T, U)> {
+        let value = (self.value.clone(), other.value.clone());
+        let a = self.clone();
+        let b = other.clone();
+        Tree {
+            value,
+            children: Rc::new(move || {
+                let mut out = Vec::new();
+                for ca in a.children() {
+                    out.push(ca.zip(&b));
+                }
+                for cb in b.children() {
+                    out.push(a.zip(&cb));
+                }
+                out
+            }),
+        }
+    }
+}
+
+/// Builds the tree of a generated vector from its element trees.
+///
+/// Candidates, most aggressive first: drop the whole tail down to
+/// `min_len`, drop the first/second half, drop each single element,
+/// then shrink each element in place.
+pub fn vec_tree<T: Clone + 'static>(elements: Vec<Tree<T>>, min_len: usize) -> Tree<Vec<T>> {
+    let value: Vec<T> = elements.iter().map(|t| t.value.clone()).collect();
+    Tree {
+        value,
+        children: Rc::new(move || {
+            let n = elements.len();
+            let mut out: Vec<Tree<Vec<T>>> = Vec::new();
+            let keep = |idxs: Vec<usize>| {
+                vec_tree(
+                    idxs.iter().map(|&i| elements[i].clone()).collect(),
+                    min_len,
+                )
+            };
+            // Truncate hard: down to min_len, then to half.
+            if n > min_len {
+                out.push(keep((0..min_len).collect()));
+                let half = (n / 2).max(min_len);
+                if half < n && half > min_len {
+                    out.push(keep((0..half).collect()));
+                }
+                // Drop the first half (failures hiding in the tail).
+                let from = (n - half).min(n - min_len);
+                if from > 0 {
+                    out.push(keep((from..n).collect()));
+                }
+                // Drop each single element.
+                for skip in 0..n {
+                    out.push(keep((0..n).filter(|&i| i != skip).collect()));
+                }
+            }
+            // Shrink each element in place.
+            for (i, el) in elements.iter().enumerate() {
+                for child in el.children() {
+                    let mut es = elements.clone();
+                    es[i] = child;
+                    out.push(vec_tree(es, min_len));
+                }
+            }
+            out
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::shrink_i128;
+
+    fn int_tree(origin: i128, current: i128) -> Tree<i128> {
+        Tree::with_children(current, move || {
+            shrink_i128(origin, current)
+                .into_iter()
+                .map(|c| int_tree(origin, c))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn leaf_has_no_children() {
+        assert!(Tree::leaf(7).children().is_empty());
+    }
+
+    #[test]
+    fn map_preserves_candidates() {
+        let t = int_tree(0, 8).map(Rc::new(|v| v * 10));
+        assert_eq!(t.value, 80);
+        let kids: Vec<i128> = t.children().iter().map(|c| c.value).collect();
+        assert!(kids.contains(&0));
+        assert!(kids.iter().all(|v| v % 10 == 0));
+    }
+
+    #[test]
+    fn zip_shrinks_one_side_at_a_time() {
+        let t = int_tree(0, 4).zip(&int_tree(0, 6));
+        assert_eq!(t.value, (4, 6));
+        for c in t.children() {
+            let (a, b) = c.value;
+            assert!((a == 4) ^ (b == 6), "{:?} changed both sides", c.value);
+        }
+    }
+
+    #[test]
+    fn vec_candidates_respect_min_len() {
+        let es: Vec<Tree<i128>> = (0..6).map(|v| int_tree(0, v)).collect();
+        let t = vec_tree(es, 2);
+        assert_eq!(t.value, vec![0, 1, 2, 3, 4, 5]);
+        for c in t.children() {
+            assert!(c.value.len() >= 2, "{:?}", c.value);
+        }
+    }
+
+    #[test]
+    fn vec_single_removals_present() {
+        let es: Vec<Tree<i128>> = (0..4).map(|v| int_tree(0, v)).collect();
+        let t = vec_tree(es, 0);
+        let kids: Vec<Vec<i128>> = t.children().iter().map(|c| c.value.clone()).collect();
+        assert!(kids.contains(&vec![1, 2, 3]));
+        assert!(kids.contains(&vec![0, 2, 3]));
+        assert!(kids.contains(&vec![0, 1, 3]));
+        assert!(kids.contains(&vec![0, 1, 2]));
+    }
+}

@@ -1,29 +1,28 @@
 //! Property-based invariants for DBSCAN.
 
+use hpm_check::prelude::*;
 use hpm_clustering::{dbscan, dbscan_naive, DbscanParams, Label};
 use hpm_geo::Point;
-use proptest::prelude::*;
 
-fn arb_points() -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec(
-        (-50.0..50.0_f64, -50.0..50.0_f64).prop_map(|(x, y)| Point::new(x, y)),
+fn arb_points() -> Gen<Vec<Point>> {
+    vec(
+        tuple((float(-50.0..50.0), float(-50.0..50.0))).map(|(x, y)| Point::new(x, y)),
         0..80,
     )
 }
 
-fn arb_params() -> impl Strategy<Value = DbscanParams> {
-    (0.5..8.0_f64, 2usize..6).prop_map(|(eps, min_pts)| DbscanParams::new(eps, min_pts))
+fn arb_params() -> Gen<DbscanParams> {
+    tuple((float(0.5..8.0), int(2usize..6))).map(|(eps, min_pts)| DbscanParams::new(eps, min_pts))
 }
 
-proptest! {
+props! {
     /// The grid-indexed implementation is exactly equivalent to the
     /// naive O(n²) oracle.
-    #[test]
     fn grid_equals_naive(pts in arb_points(), params in arb_params()) {
         let (l1, c1) = dbscan(&pts, params);
         let (l2, c2) = dbscan_naive(&pts, params);
-        prop_assert_eq!(l1, l2);
-        prop_assert_eq!(c1, c2);
+        require_eq!(l1, l2);
+        require_eq!(c1, c2);
     }
 
     /// Every cluster contains at least one core point — a member with
@@ -32,7 +31,6 @@ proptest! {
     /// core point's neighbourhood may already have been claimed by an
     /// earlier cluster, the classic DBSCAN order-dependence — a
     /// counterexample found by this suite's earlier, stricter version.)
-    #[test]
     fn clusters_have_a_core_point(pts in arb_points(), params in arb_params()) {
         let (_, clusters) = dbscan(&pts, params);
         let eps2 = params.eps * params.eps;
@@ -43,53 +41,50 @@ proptest! {
                     .count()
                     >= params.min_pts
             });
-            prop_assert!(has_core, "cluster {:?} has no core point", c.members);
+            require!(has_core, "cluster {:?} has no core point", c.members);
         }
     }
 
     /// Labels partition the points: member lists are disjoint,
     /// cover exactly the clustered points, and ids are dense.
-    #[test]
     fn partition_invariants(pts in arb_points(), params in arb_params()) {
         let (labels, clusters) = dbscan(&pts, params);
         let mut seen = vec![false; pts.len()];
         for (cid, c) in clusters.iter().enumerate() {
-            prop_assert_eq!(c.id as usize, cid);
+            require_eq!(c.id as usize, cid);
             for &m in &c.members {
-                prop_assert!(!seen[m as usize], "point in two clusters");
+                require!(!seen[m as usize], "point in two clusters");
                 seen[m as usize] = true;
-                prop_assert_eq!(labels[m as usize], Label::Cluster(c.id));
+                require_eq!(labels[m as usize], Label::Cluster(c.id));
             }
         }
         for (i, s) in seen.iter().enumerate() {
             if !s {
-                prop_assert_eq!(labels[i], Label::Noise);
+                require_eq!(labels[i], Label::Noise);
             }
         }
     }
 
     /// Cluster geometry: centroid and all members inside the bbox.
-    #[test]
     fn summaries_are_tight(pts in arb_points(), params in arb_params()) {
         let (_, clusters) = dbscan(&pts, params);
         for c in &clusters {
-            prop_assert!(c.bbox.contains_within(&c.centroid, 1e-9));
+            require!(c.bbox.contains_within(&c.centroid, 1e-9));
             for &m in &c.members {
-                prop_assert!(c.bbox.contains(&pts[m as usize]));
+                require!(c.bbox.contains(&pts[m as usize]));
             }
         }
     }
 
     /// Noise points really are sparse: a noise point has fewer than
     /// MinPts neighbours (it can never be a core point).
-    #[test]
     fn noise_is_never_core(pts in arb_points(), params in arb_params()) {
         let (labels, _) = dbscan(&pts, params);
         let eps2 = params.eps * params.eps;
         for (i, l) in labels.iter().enumerate() {
             if *l == Label::Noise {
                 let n = pts.iter().filter(|q| q.distance_sq(&pts[i]) <= eps2).count();
-                prop_assert!(n < params.min_pts);
+                require!(n < params.min_pts);
             }
         }
     }

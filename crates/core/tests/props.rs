@@ -1,6 +1,7 @@
 //! Property-based invariants for similarity measures and the hybrid
 //! predictor.
 
+use hpm_check::prelude::*;
 use hpm_core::{
     consequence_similarity, premise_similarity, HpmConfig, HybridPredictor, PredictiveQuery,
     WeightFunction,
@@ -8,27 +9,26 @@ use hpm_core::{
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
 use hpm_tpt::Bitmap;
-use proptest::prelude::*;
 
 const LEN: usize = 40;
 
-fn arb_bits() -> impl Strategy<Value = Bitmap> {
-    proptest::collection::vec(0..LEN, 0..8).prop_map(|ones| Bitmap::from_indices(LEN, &ones))
+fn arb_bits() -> Gen<Bitmap> {
+    vec(int(0usize..LEN), 0..8).map(|ones| Bitmap::from_indices(LEN, &ones))
 }
 
-fn arb_wf() -> impl Strategy<Value = WeightFunction> {
-    prop_oneof![
-        Just(WeightFunction::Linear),
-        Just(WeightFunction::Quadratic),
-        Just(WeightFunction::Exponential),
-        Just(WeightFunction::Factorial),
-    ]
+fn arb_wf() -> Gen<WeightFunction> {
+    choice(vec![
+        WeightFunction::Linear,
+        WeightFunction::Quadratic,
+        WeightFunction::Exponential,
+        WeightFunction::Factorial,
+    ])
 }
 
 /// A random but always-valid pattern world over `period` offsets with
 /// one region per offset, plus patterns of 1–2 premise regions.
-fn arb_world() -> impl Strategy<Value = (RegionSet, Vec<TrajectoryPattern>)> {
-    (4u32..12, 1usize..30, 0u64..500).prop_map(|(period, n_patterns, seed)| {
+fn arb_world() -> Gen<(RegionSet, Vec<TrajectoryPattern>)> {
+    tuple((int(4u32..12), int(1usize..30), int(0u64..500))).map(|(period, n_patterns, seed)| {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut next = move || {
             state ^= state << 13;
@@ -74,56 +74,60 @@ fn arb_world() -> impl Strategy<Value = (RegionSet, Vec<TrajectoryPattern>)> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+props! {
     /// Eq. 1 bounds and identities, for every weight function.
-    #[test]
     fn premise_similarity_bounds(rk in arb_bits(), rkq in arb_bits(), wf in arb_wf()) {
         let s = premise_similarity(&rk, &rkq, wf);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "S_r = {s}");
+        require!((0.0..=1.0 + 1e-12).contains(&s), "S_r = {s}");
         if !rk.is_zero() {
-            prop_assert!((premise_similarity(&rk, &rk, wf) - 1.0).abs() < 1e-9);
+            require!((premise_similarity(&rk, &rk, wf) - 1.0).abs() < 1e-9);
         }
-        prop_assert_eq!(premise_similarity(&rk, &Bitmap::zeros(LEN), wf), 0.0);
+        require_eq!(premise_similarity(&rk, &Bitmap::zeros(LEN), wf), 0.0);
         // Full containment of rk in rkq maximises similarity.
         if rkq.contains(&rk) && !rk.is_zero() {
-            prop_assert!((s - 1.0).abs() < 1e-9);
+            require!((s - 1.0).abs() < 1e-9);
         }
     }
 
     /// Adding a matched bit to the query never decreases similarity.
-    #[test]
-    fn premise_similarity_monotone(rk in arb_bits(), rkq in arb_bits(), wf in arb_wf(), extra in 0..LEN) {
+    fn premise_similarity_monotone(
+        rk in arb_bits(),
+        rkq in arb_bits(),
+        wf in arb_wf(),
+        extra in int(0usize..LEN),
+    ) {
         let base = premise_similarity(&rk, &rkq, wf);
         let mut grown = rkq.clone();
         grown.set(extra);
-        prop_assert!(premise_similarity(&rk, &grown, wf) >= base - 1e-12);
+        require!(premise_similarity(&rk, &grown, wf) >= base - 1e-12);
     }
 
     /// Eq. 3 bounds and symmetry around the query time.
-    #[test]
-    fn consequence_similarity_shape(tq in -1000i64..1000, dt in 0i64..50, t_eps in 1u32..8) {
+    fn consequence_similarity_shape(
+        tq in int(-1000i64..1000),
+        dt in int(0i64..50),
+        t_eps in int(1u32..8),
+    ) {
         let s_plus = consequence_similarity(tq, tq + dt, t_eps);
         let s_minus = consequence_similarity(tq, tq - dt, t_eps);
-        prop_assert!((s_plus - s_minus).abs() < 1e-12, "not symmetric");
-        prop_assert!((0.0..=1.0).contains(&s_plus));
-        prop_assert_eq!(consequence_similarity(tq, tq, t_eps), 1.0);
+        require!((s_plus - s_minus).abs() < 1e-12, "not symmetric");
+        require!((0.0..=1.0).contains(&s_plus));
+        require_eq!(consequence_similarity(tq, tq, t_eps), 1.0);
         // Monotone non-increasing in temporal distance.
         let further = consequence_similarity(tq, tq + dt + 1, t_eps);
-        prop_assert!(further <= s_plus + 1e-12);
+        require!(further <= s_plus + 1e-12);
     }
 
     /// The predictor always answers: at least one finite answer, at
     /// most k, scores descending, pattern ids valid.
-    #[test]
     fn predictor_total_and_sane(
-        (set, patterns) in arb_world(),
-        k in 1usize..4,
-        distant in 1u32..6,
-        recent_spot in 0u32..12,
-        length in 1u64..10,
+        world in arb_world(),
+        k in int(1usize..4),
+        distant in int(1u32..6),
+        recent_spot in int(0u32..12),
+        length in int(1u64..10),
     ) {
+        let (set, patterns) = world;
         let period = set.period();
         let predictor = HybridPredictor::from_parts(
             set,
@@ -148,36 +152,36 @@ proptest! {
             query_time: current_time + length,
         };
         let pred = predictor.predict(&query);
-        prop_assert!(!pred.answers.is_empty());
-        prop_assert!(pred.answers.len() <= k);
-        prop_assert!(pred.answers.iter().all(|a| a.location.is_finite()));
-        prop_assert!(pred.answers.windows(2).all(|w| w[0].score >= w[1].score));
+        require!(!pred.answers.is_empty());
+        require!(pred.answers.len() <= k);
+        require!(pred.answers.iter().all(|a| a.location.is_finite()));
+        require!(pred.answers.windows(2).all(|w| w[0].score >= w[1].score));
         for a in &pred.answers {
             if let Some(pid) = a.pattern {
                 let pattern = &predictor.patterns()[pid as usize];
                 // The answer is that pattern's consequence centre.
-                prop_assert_eq!(
+                require_eq!(
                     a.location,
                     predictor.regions().get(pattern.consequence).centroid
                 );
                 // FQP answers must sit at the query's time offset.
                 if pred.source == hpm_core::PredictionSource::ForwardPatterns {
                     let tq_off = (query.query_time % period as u64) as u32;
-                    prop_assert_eq!(
+                    require_eq!(
                         pattern.consequence_offset(predictor.regions()),
                         tq_off
                     );
                 }
             } else {
-                prop_assert_eq!(pred.source, hpm_core::PredictionSource::MotionFunction);
+                require_eq!(pred.source, hpm_core::PredictionSource::MotionFunction);
             }
         }
     }
 
     /// Distinct consequence regions in the answer list (no duplicate
     /// locations wasting the k budget).
-    #[test]
-    fn answers_are_distinct_regions((set, patterns) in arb_world(), spot in 0u32..12) {
+    fn answers_are_distinct_regions(world in arb_world(), spot in int(0u32..12)) {
+        let (set, patterns) = world;
         let period = set.period();
         let predictor = HybridPredictor::from_parts(
             set,
@@ -210,6 +214,6 @@ proptest! {
         let before = locs.len();
         locs.sort_unstable();
         locs.dedup();
-        prop_assert_eq!(locs.len(), before, "duplicate answer locations");
+        require_eq!(locs.len(), before, "duplicate answer locations");
     }
 }

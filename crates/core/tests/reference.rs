@@ -2,6 +2,7 @@
 //! straight-from-the-paper reference implementations that scan every
 //! pattern with no index and no shared code paths.
 
+use hpm_check::prelude::*;
 use hpm_core::{
     consequence_similarity, premise_similarity, HpmConfig, HybridPredictor, PredictionSource,
     PredictiveQuery, RankedAnswer,
@@ -9,7 +10,6 @@ use hpm_core::{
 use hpm_geo::Point;
 use hpm_patterns::{RegionId, RegionSet, TrajectoryPattern};
 use hpm_tpt::KeyTable;
-use proptest::prelude::*;
 
 /// Reference FQP (Algorithm 2): filter all patterns by "consequence
 /// offset == tq offset AND premise shares a region with the recent
@@ -122,8 +122,8 @@ fn dedupe_top_k(
 }
 
 /// Random worlds: up to 3 regions per offset, random valid patterns.
-fn arb_world() -> impl Strategy<Value = (RegionSet, Vec<TrajectoryPattern>)> {
-    (3u32..10, 0usize..60, 0u64..10_000).prop_map(|(period, n_patterns, seed)| {
+fn arb_world() -> Gen<(RegionSet, Vec<TrajectoryPattern>)> {
+    tuple((int(3u32..10), int(0usize..60), int(0u64..10_000))).map(|(period, n_patterns, seed)| {
         use hpm_geo::BoundingBox;
         use hpm_patterns::FrequentRegion;
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -188,20 +188,19 @@ fn answers_equal(a: &[RankedAnswer], b: &[RankedAnswer]) -> bool {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
+props! {
+    #[cases(128)]
     /// The production predictor and the index-free reference agree on
     /// every query, for both processing paths and the fallback switch.
-    #[test]
     fn predictor_matches_reference(
-        (set, patterns) in arb_world(),
-        k in 1usize..4,
-        distant in 1u32..8,
-        spot in 0u32..32,
-        length in 1u64..12,
-        t_eps in 1u32..4,
+        world in arb_world(),
+        k in int(1usize..4),
+        distant in int(1u32..8),
+        spot in int(0u32..32),
+        length in int(1u64..12),
+        t_eps in int(1u32..4),
     ) {
+        let (set, patterns) = world;
         let period = set.period();
         let config = HpmConfig {
             k,
@@ -247,8 +246,8 @@ proptest! {
         };
         match expected {
             Some(answers) => {
-                prop_assert_ne!(got.source, PredictionSource::MotionFunction);
-                prop_assert!(
+                require_ne!(got.source, PredictionSource::MotionFunction);
+                require!(
                     answers_equal(&got.answers, &answers),
                     "got {:?}\nexpected {:?}",
                     got.answers,
@@ -256,16 +255,21 @@ proptest! {
                 );
             }
             None => {
-                prop_assert_eq!(got.source, PredictionSource::MotionFunction);
+                require_eq!(got.source, PredictionSource::MotionFunction);
             }
         }
     }
 
+    #[cases(128)]
     /// BQP's all-ones search premise never admits a pattern the
     /// reference interval filter would exclude (search-key soundness).
-    #[test]
-    fn bqp_interval_soundness((set, patterns) in arb_world(), length in 1u64..20, t_eps in 1u32..4) {
-        prop_assume!(!patterns.is_empty());
+    fn bqp_interval_soundness(
+        world in arb_world(),
+        length in int(1u64..20),
+        t_eps in int(1u32..4),
+    ) {
+        let (set, patterns) = world;
+        assume!(!patterns.is_empty());
         let period = set.period();
         let config = HpmConfig {
             k: 32,
@@ -291,7 +295,7 @@ proptest! {
             // circle distance reachable from tq before lo hits tc.
             for a in &pred.answers {
                 let p = &patterns[a.pattern.unwrap() as usize];
-                prop_assert!(p.consequence_offset(&set) < period);
+                require!(p.consequence_offset(&set) < period);
             }
         }
     }

@@ -11,8 +11,7 @@
 use crate::NormalSampler;
 use hpm_geo::{resample_uniform, Point};
 use hpm_trajectory::Trajectory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hpm_rand::{Rng, SmallRng};
 
 /// A seed route the object habitually follows, with a selection
 /// weight. Weights need not sum to 1; they are normalised internally.
@@ -138,12 +137,12 @@ impl PeriodicGenerator {
     /// Generates a trajectory with an explicit number of periods
     /// (used by the sub-trajectory-count sweeps of Fig. 6/10).
     pub fn generate_subs(&self, num_subs: usize) -> Trajectory {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut normal = NormalSampler::new();
         let t = self.config.period as usize;
         let mut points = Vec::with_capacity(num_subs * t);
         for _ in 0..num_subs {
-            if rng.gen::<f64>() < self.config.similarity_prob {
+            if rng.gen_f64() < self.config.similarity_prob {
                 self.push_pattern_period(&mut rng, &mut normal, &mut points);
             } else {
                 self.push_wander_period(&mut rng, &mut normal, &mut points);
@@ -155,7 +154,7 @@ impl PeriodicGenerator {
     /// One period following a weighted-random archetype.
     fn push_pattern_period(
         &self,
-        rng: &mut StdRng,
+        rng: &mut SmallRng,
         normal: &mut NormalSampler,
         out: &mut Vec<Point>,
     ) {
@@ -177,7 +176,7 @@ impl PeriodicGenerator {
     /// waypoints of the extent.
     fn push_wander_period(
         &self,
-        rng: &mut StdRng,
+        rng: &mut SmallRng,
         normal: &mut NormalSampler,
         out: &mut Vec<Point>,
     ) {
@@ -201,12 +200,12 @@ impl PeriodicGenerator {
         }
     }
 
-    fn pick_archetype(&self, rng: &mut StdRng) -> usize {
+    fn pick_archetype(&self, rng: &mut SmallRng) -> usize {
         let total = *self
             .cumulative_weights
             .last()
             .expect("non-empty archetypes");
-        let x = rng.gen::<f64>() * total;
+        let x = rng.gen_f64() * total;
         self.cumulative_weights
             .iter()
             .position(|&w| x < w)

@@ -7,7 +7,6 @@ use crate::Point;
 /// Fig. 2(b) and what region-membership tests use when a query's recent
 /// movement is matched against discovered regions.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoundingBox {
     pub min: Point,
     pub max: Point,

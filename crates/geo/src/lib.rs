@@ -5,9 +5,8 @@
 //! value types every other crate builds on: [`Point`], [`BoundingBox`]
 //! and polyline helpers.
 //!
-//! All types are plain `f64` value types: cheap to copy, `PartialEq`
-//! for tests, and (optionally) `serde`-serialisable behind the `serde`
-//! feature.
+//! All types are plain `f64` value types: cheap to copy and
+//! `PartialEq` for tests.
 
 mod bbox;
 mod hull;

@@ -1,127 +1,113 @@
 //! Property-based invariants for the geometry substrate.
 
+use hpm_check::prelude::*;
 use hpm_geo::{path_length, resample_uniform, walk_along, BoundingBox, Point};
-use proptest::prelude::*;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1.0e4..1.0e4_f64, -1.0e4..1.0e4_f64).prop_map(|(x, y)| Point::new(x, y))
+fn arb_point() -> Gen<Point> {
+    tuple((float(-1.0e4..1.0e4), float(-1.0e4..1.0e4))).map(|(x, y)| Point::new(x, y))
 }
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec(arb_point(), 1..max)
+fn arb_points(max: usize) -> Gen<Vec<Point>> {
+    vec(arb_point(), 1..max)
 }
 
-proptest! {
-    #[test]
+props! {
     fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        require!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
     }
 
-    #[test]
     fn distance_symmetry_and_identity(a in arb_point(), b in arb_point()) {
-        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
-        prop_assert_eq!(a.distance(&a), 0.0);
+        require!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        require_eq!(a.distance(&a), 0.0);
     }
 
-    #[test]
     fn bbox_contains_all_inputs(pts in arb_points(64)) {
         let bb = BoundingBox::from_points(&pts).unwrap();
         for p in &pts {
-            prop_assert!(bb.contains(p));
+            require!(bb.contains(p));
         }
     }
 
-    #[test]
     fn bbox_center_inside(pts in arb_points(64)) {
         let bb = BoundingBox::from_points(&pts).unwrap();
-        prop_assert!(bb.contains(&bb.center()));
+        require!(bb.contains(&bb.center()));
     }
 
-    #[test]
     fn bbox_union_is_superset(p1 in arb_points(16), p2 in arb_points(16)) {
         let a = BoundingBox::from_points(&p1).unwrap();
         let b = BoundingBox::from_points(&p2).unwrap();
         let u = a.union(&b);
         for p in p1.iter().chain(p2.iter()) {
-            prop_assert!(u.contains(p));
+            require!(u.contains(p));
         }
     }
 
-    #[test]
-    fn walk_along_stays_on_path_extent(pts in arb_points(16), d in 0.0..5.0e4_f64) {
+    fn walk_along_stays_on_path_extent(pts in arb_points(16), d in float(0.0..5.0e4)) {
         let bb = BoundingBox::from_points(&pts).unwrap();
         let p = walk_along(&pts, d).unwrap();
         // Any interpolated point lies inside the waypoint bounding box.
-        prop_assert!(bb.contains_within(&p, 1e-9));
+        require!(bb.contains_within(&p, 1e-9));
     }
 
-    #[test]
-    fn resample_preserves_endpoints(pts in arb_points(16), n in 2usize..128) {
+    fn resample_preserves_endpoints(pts in arb_points(16), n in int(2usize..128)) {
         let r = resample_uniform(&pts, n).unwrap();
-        prop_assert_eq!(r.len(), n);
-        prop_assert!(r[0].distance(&pts[0]) < 1e-9);
-        prop_assert!(r[n - 1].distance(pts.last().unwrap()) < 1e-9);
+        require_eq!(r.len(), n);
+        require!(r[0].distance(&pts[0]) < 1e-9);
+        require!(r[n - 1].distance(pts.last().unwrap()) < 1e-9);
     }
 
-    #[test]
     fn resample_length_close_to_original(pts in arb_points(8)) {
         // A dense resampling's polyline length never exceeds the
         // original (shortcuts only) and converges towards it.
         let r = resample_uniform(&pts, 512).unwrap();
         let orig = path_length(&pts);
         let res = path_length(&r);
-        prop_assert!(res <= orig + 1e-6);
+        require!(res <= orig + 1e-6);
     }
 }
 
-proptest! {
+fn arb_small_points(lo: usize, hi: usize) -> Gen<Vec<Point>> {
+    vec(
+        tuple((float(-100.0..100.0), float(-100.0..100.0))).map(|(x, y)| Point::new(x, y)),
+        lo..hi,
+    )
+}
+
+props! {
     /// Convex hull invariants: contains every input point, hull of the
     /// hull is the hull, and its area never exceeds the bounding box's.
-    #[test]
-    fn convex_hull_invariants(
-        pts in proptest::collection::vec(
-            (-100.0..100.0_f64, -100.0..100.0_f64).prop_map(|(x, y)| Point::new(x, y)),
-            1..60,
-        ),
-    ) {
+    fn convex_hull_invariants(pts in arb_small_points(1, 60)) {
         use hpm_geo::{convex_contains, convex_hull, polygon_area, BoundingBox};
         let hull = convex_hull(&pts);
         for p in &pts {
-            prop_assert!(convex_contains(&hull, p), "point {p} escapes its hull");
+            require!(convex_contains(&hull, p), "point {p} escapes its hull");
         }
         // Idempotent.
         let again = convex_hull(&hull);
-        prop_assert_eq!(&again, &hull);
+        require_eq!(&again, &hull);
         // Orientation and area bound.
         let area = polygon_area(&hull);
-        prop_assert!(area >= 0.0, "clockwise hull");
+        require!(area >= 0.0, "clockwise hull");
         let bbox = BoundingBox::from_points(&pts).unwrap();
-        prop_assert!(area <= bbox.area() + 1e-9);
+        require!(area <= bbox.area() + 1e-9);
         // Hull vertices are input points.
         for v in &hull {
-            prop_assert!(pts.iter().any(|p| p == v));
+            require!(pts.iter().any(|p| p == v));
         }
     }
 
     /// RDP never moves a surviving vertex and keeps the endpoints.
-    #[test]
-    fn rdp_invariants(
-        pts in proptest::collection::vec(
-            (-100.0..100.0_f64, -100.0..100.0_f64).prop_map(|(x, y)| Point::new(x, y)),
-            2..50,
-        ),
-        eps in 0.0..20.0_f64,
-    ) {
+    fn rdp_invariants(pts in arb_small_points(2, 50), eps in float(0.0..20.0)) {
         use hpm_geo::{point_segment_distance, simplify_rdp};
         let s = simplify_rdp(&pts, eps);
-        prop_assert!(!s.is_empty());
-        prop_assert_eq!(s[0], pts[0]);
-        prop_assert_eq!(*s.last().unwrap(), *pts.last().unwrap());
+        require!(!s.is_empty());
+        require_eq!(s[0], pts[0]);
+        require_eq!(*s.last().unwrap(), *pts.last().unwrap());
         // Every kept vertex is an input vertex, in input order.
         let mut cursor = 0usize;
         for v in &s {
             let found = pts[cursor..].iter().position(|p| p == v);
-            prop_assert!(found.is_some(), "vertex {v} out of order");
+            require!(found.is_some(), "vertex {v} out of order");
             cursor += found.unwrap();
         }
         // Every dropped point stays within eps of the simplified chain.
@@ -131,7 +117,7 @@ proptest! {
                     .windows(2)
                     .map(|w| point_segment_distance(p, &w[0], &w[1]))
                     .fold(f64::INFINITY, f64::min);
-                prop_assert!(d <= eps + 1e-9, "deviation {d} > {eps}");
+                require!(d <= eps + 1e-9, "deviation {d} > {eps}");
             }
         }
     }

@@ -1,68 +1,61 @@
 //! Property-based invariants for the linear-algebra substrate.
 
+use hpm_check::prelude::*;
 use hpm_linalg::{lstsq, solve, Matrix, Svd};
-use proptest::prelude::*;
 
 /// Well-scaled random matrices (entries in [-10, 10]) with modest sizes
 /// — the regime RMF actually exercises.
-fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim)
-        .prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-10.0..10.0_f64, r * c)
-                .prop_map(move |data| Matrix::from_rows(r, c, &data))
-        })
+fn arb_matrix(max_dim: usize) -> Gen<Matrix> {
+    tuple((int(1usize..=max_dim), int(1usize..=max_dim))).flat_map(|(r, c)| {
+        vec(float(-10.0..10.0), r * c..r * c + 1).map(move |data| Matrix::from_rows(r, c, &data))
+    })
 }
 
-fn arb_square(max_dim: usize) -> impl Strategy<Value = (Matrix, Vec<f64>)> {
-    (1..=max_dim)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(-10.0..10.0_f64, n * n),
-                proptest::collection::vec(-10.0..10.0_f64, n),
-            )
-                .prop_map(move |(data, b)| (Matrix::from_rows(n, n, &data), b))
-        })
+fn arb_square(max_dim: usize) -> Gen<(Matrix, Vec<f64>)> {
+    int(1usize..=max_dim).flat_map(|n| {
+        tuple((
+            vec(float(-10.0..10.0), n * n..n * n + 1),
+            vec(float(-10.0..10.0), n..n + 1),
+        ))
+        .map(move |(data, b)| (Matrix::from_rows(n, n, &data), b))
+    })
 }
 
-proptest! {
-    #[test]
+props! {
     fn svd_reconstruction(a in arb_matrix(6)) {
         let svd = Svd::compute(&a);
         let recon = svd.reconstruct();
         let scale = a.frobenius_norm().max(1.0);
-        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-8 * scale);
+        require!(recon.max_abs_diff(&a).unwrap() < 1e-8 * scale);
     }
 
-    #[test]
     fn svd_sigma_sorted_nonnegative(a in arb_matrix(6)) {
         let svd = Svd::compute(&a);
-        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
-        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1]));
+        require!(svd.sigma.iter().all(|&s| s >= 0.0));
+        require!(svd.sigma.windows(2).all(|w| w[0] >= w[1]));
     }
 
-    #[test]
     fn pinv_penrose_condition_one(a in arb_matrix(5)) {
         // A · A⁺ · A = A for every matrix.
         let p = a.pseudo_inverse();
         let apa = &(&a * &p) * &a;
         let scale = a.frobenius_norm().max(1.0);
-        prop_assert!(apa.max_abs_diff(&a).unwrap() < 1e-7 * scale);
+        require!(apa.max_abs_diff(&a).unwrap() < 1e-7 * scale);
     }
 
-    #[test]
-    fn solve_matches_mul((a, b) in arb_square(6)) {
+    fn solve_matches_mul(ab in arb_square(6)) {
+        let (a, b) = ab;
         // When Gaussian elimination succeeds, A·x = b holds.
         if let Some(x) = solve(&a, &b) {
             let r = a.mul_vec(&x);
             let scale = a.frobenius_norm().max(1.0);
             for (ri, bi) in r.iter().zip(&b) {
-                prop_assert!((ri - bi).abs() < 1e-6 * scale.max(x.iter().fold(1.0_f64, |m, v| m.max(v.abs()))));
+                require!((ri - bi).abs() < 1e-6 * scale.max(x.iter().fold(1.0_f64, |m, v| m.max(v.abs()))));
             }
         }
     }
 
-    #[test]
-    fn lstsq_consistent_system_exact(a in arb_matrix(5), seed in proptest::collection::vec(-5.0..5.0_f64, 1..6)) {
+    fn lstsq_consistent_system_exact(a in arb_matrix(5), seed in vec(float(-5.0..5.0), 1..6)) {
         // Build B = A · X₀ so the system is consistent: lstsq must
         // reproduce A·X = B exactly (X itself may differ when A is
         // rank-deficient).
@@ -72,25 +65,23 @@ proptest! {
         let x = lstsq(&a, &b);
         let b2 = &a * &x;
         let scale = b.frobenius_norm().max(1.0);
-        prop_assert!(b2.max_abs_diff(&b).unwrap() < 1e-6 * scale);
+        require!(b2.max_abs_diff(&b).unwrap() < 1e-6 * scale);
     }
 
-    #[test]
     fn transpose_preserves_frobenius(a in arb_matrix(6)) {
-        prop_assert!((a.frobenius_norm() - a.transpose().frobenius_norm()).abs() < 1e-9);
+        require!((a.frobenius_norm() - a.transpose().frobenius_norm()).abs() < 1e-9);
     }
 }
 
-proptest! {
+props! {
     /// QR and SVD least squares agree whenever QR accepts the system
     /// (full column rank); both residuals are optimal.
-    #[test]
     fn qr_agrees_with_svd(
-        rows in 3usize..8,
-        cols in 1usize..4,
-        seed in 0u64..10_000,
+        rows in int(3usize..8),
+        cols in int(1usize..4),
+        seed in int(0u64..10_000),
     ) {
-        prop_assume!(rows >= cols);
+        assume!(rows >= cols);
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut next = move || {
             state ^= state << 13;
@@ -103,15 +94,14 @@ proptest! {
         if let Some(via_qr) = hpm_linalg::lstsq_qr(&a, &b) {
             let via_svd = lstsq(&a, &b);
             let diff = via_qr.max_abs_diff(&via_svd).unwrap();
-            prop_assert!(diff < 1e-6, "QR vs SVD differ by {diff}");
+            require!(diff < 1e-6, "QR vs SVD differ by {diff}");
         }
     }
 
     /// QR reconstruction: Q·R == A and QᵀQ == I for random full
     /// matrices.
-    #[test]
-    fn qr_reconstructs(rows in 2usize..8, cols in 1usize..5, seed in 0u64..10_000) {
-        prop_assume!(rows >= cols);
+    fn qr_reconstructs(rows in int(2usize..8), cols in int(1usize..5), seed in int(0u64..10_000)) {
+        assume!(rows >= cols);
         let mut state = seed.wrapping_mul(0xD1B54A32D192ED03) | 1;
         let mut next = move || {
             state ^= state << 13;
@@ -124,10 +114,10 @@ proptest! {
         let back = Matrix::from_fn(rows, cols, |i, j| {
             (0..cols).map(|k| qr.q[(i, k)] * qr.r[(k, j)]).sum()
         });
-        prop_assert!(a.max_abs_diff(&back).unwrap() < 1e-9);
+        require!(a.max_abs_diff(&back).unwrap() < 1e-9);
         let qtq = Matrix::from_fn(cols, cols, |i, j| {
             (0..rows).map(|r| qr.q[(r, i)] * qr.q[(r, j)]).sum()
         });
-        prop_assert!(qtq.max_abs_diff(&Matrix::identity(cols)).unwrap() < 1e-9);
+        require!(qtq.max_abs_diff(&Matrix::identity(cols)).unwrap() < 1e-9);
     }
 }

@@ -1,36 +1,38 @@
 //! Property-based invariants for the motion functions.
 
+use hpm_check::prelude::*;
 use hpm_geo::Point;
 use hpm_motion::{LinearMotion, MotionModel, Rmf};
-use proptest::prelude::*;
 
-fn arb_linear_track() -> impl Strategy<Value = (Vec<Point>, Point, Point)> {
-    (
-        (-100.0..100.0_f64, -100.0..100.0_f64),
-        (-5.0..5.0_f64, -5.0..5.0_f64),
-        4usize..40,
-    )
-        .prop_map(|((x, y), (vx, vy), n)| {
-            let origin = Point::new(x, y);
-            let v = Point::new(vx, vy);
-            let pts = (0..n).map(|i| origin + v * i as f64).collect();
-            (pts, origin, v)
-        })
+fn arb_linear_track() -> Gen<(Vec<Point>, Point, Point)> {
+    tuple((
+        float(-100.0..100.0),
+        float(-100.0..100.0),
+        float(-5.0..5.0),
+        float(-5.0..5.0),
+        int(4usize..40),
+    ))
+    .map(|(x, y, vx, vy, n)| {
+        let origin = Point::new(x, y);
+        let v = Point::new(vx, vy);
+        let pts = (0..n).map(|i| origin + v * i as f64).collect();
+        (pts, origin, v)
+    })
 }
 
-proptest! {
+props! {
     /// Both motion models recover exact constant-velocity motion.
-    #[test]
-    fn linear_motion_is_exact((pts, _, v) in arb_linear_track(), steps in 0u32..100) {
+    fn linear_motion_is_exact(track in arb_linear_track(), steps in int(0u32..100)) {
+        let (pts, _, v) = track;
         let last = *pts.last().unwrap();
         let expect = last + v * steps as f64;
         let lin = LinearMotion::fit(&pts).unwrap();
-        prop_assert!(lin.predict(steps).distance(&expect) < 1e-6 * (1.0 + expect.norm()));
+        require!(lin.predict(steps).distance(&expect) < 1e-6 * (1.0 + expect.norm()));
         let lt = LinearMotion::from_last_two(&pts).unwrap();
-        prop_assert!(lt.predict(steps).distance(&expect) < 1e-6 * (1.0 + expect.norm()));
+        require!(lt.predict(steps).distance(&expect) < 1e-6 * (1.0 + expect.norm()));
         if pts.len() >= 3 {
             let rmf = Rmf::fit(&pts, 2).unwrap();
-            prop_assert!(
+            require!(
                 rmf.predict(steps.min(20)).distance(&(last + v * steps.min(20) as f64))
                     < 1e-4 * (1.0 + expect.norm()),
                 "rmf {} vs {}", rmf.predict(steps.min(20)), last + v * steps.min(20) as f64
@@ -39,31 +41,29 @@ proptest! {
     }
 
     /// Predictions are always finite, whatever the (finite) window.
-    #[test]
     fn predictions_always_finite(
-        pts in proptest::collection::vec(
-            (-1e4..1e4_f64, -1e4..1e4_f64).prop_map(|(x, y)| Point::new(x, y)),
+        pts in vec(
+            tuple((float(-1e4..1e4), float(-1e4..1e4))).map(|(x, y)| Point::new(x, y)),
             5..30,
         ),
-        retrospect in 1usize..4,
-        steps in 0u32..500,
+        retrospect in int(1usize..4),
+        steps in int(0u32..500),
     ) {
         let rmf = Rmf::fit(&pts, retrospect).unwrap();
-        prop_assert!(rmf.predict(steps).is_finite());
+        require!(rmf.predict(steps).is_finite());
         let lin = LinearMotion::fit(&pts).unwrap();
-        prop_assert!(lin.predict(steps).is_finite());
+        require!(lin.predict(steps).is_finite());
     }
 
     /// Zero steps returns the last sample (both models anchor "now").
-    #[test]
     fn zero_steps_is_identity(
-        pts in proptest::collection::vec(
-            (-100.0..100.0_f64, -100.0..100.0_f64).prop_map(|(x, y)| Point::new(x, y)),
+        pts in vec(
+            tuple((float(-100.0..100.0), float(-100.0..100.0))).map(|(x, y)| Point::new(x, y)),
             4..20,
         ),
     ) {
         let last = *pts.last().unwrap();
-        prop_assert_eq!(Rmf::fit(&pts, 2).unwrap().predict(0), last);
+        require_eq!(Rmf::fit(&pts, 2).unwrap().predict(0), last);
         // The least-squares line is anchored at the *fitted* final
         // position, which smooths noise — so only check the recursive
         // model for exact identity.
@@ -72,16 +72,17 @@ proptest! {
     /// Fitting is invariant to rigid translation: predicting from a
     /// shifted window shifts the prediction (RMF is affine in the
     /// window for full-rank fits; verified on smooth tracks).
-    #[test]
     fn linear_fit_translation_equivariant(
-        (pts, _, _) in arb_linear_track(),
-        (dx, dy) in (-50.0..50.0_f64, -50.0..50.0_f64),
-        steps in 0u32..50,
+        track in arb_linear_track(),
+        dx in float(-50.0..50.0),
+        dy in float(-50.0..50.0),
+        steps in int(0u32..50),
     ) {
+        let (pts, _, _) = track;
         let d = Point::new(dx, dy);
         let shifted: Vec<Point> = pts.iter().map(|p| *p + d).collect();
         let a = LinearMotion::fit(&pts).unwrap().predict(steps);
         let b = LinearMotion::fit(&shifted).unwrap().predict(steps);
-        prop_assert!((b - d).distance(&a) < 1e-6 * (1.0 + a.norm()));
+        require!((b - d).distance(&a) < 1e-6 * (1.0 + a.norm()));
     }
 }

@@ -9,9 +9,9 @@
 //! accumulated" retraining policy rebuilds it every
 //! `retrain_every_subs` further periods.
 //!
-//! Reads and writes are object-granular: a `parking_lot` `RwLock`
-//! around the object map plus one lock per object, so queries against
-//! one object proceed while another object retrains.
+//! Reads and writes are object-granular: a `std::sync::RwLock` around
+//! the object map plus one lock per object, so queries against one
+//! object proceed while another object retrains.
 
 //! # Example
 //!

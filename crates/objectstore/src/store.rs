@@ -4,7 +4,7 @@ use hpm_core::{HpmConfig, HybridPredictor, Prediction, PredictiveQuery};
 use hpm_geo::Point;
 use hpm_patterns::{DiscoveryParams, MiningParams};
 use hpm_trajectory::{Timestamp, Trajectory};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -158,7 +158,7 @@ impl MovingObjectStore {
 
     /// Number of tracked objects.
     pub fn object_count(&self) -> usize {
-        self.objects.read().len()
+        self.objects.read().unwrap().len()
     }
 
     /// Ingests one location report. The first report of an object sets
@@ -170,7 +170,7 @@ impl MovingObjectStore {
             return Err(IngestError::NonFinitePosition);
         }
         let state = self.state_of(id, timestamp);
-        let mut state = state.write();
+        let mut state = state.write().unwrap();
         let expected = state.trajectory.end();
         if timestamp != expected {
             return Err(IngestError::NonContiguous {
@@ -197,7 +197,7 @@ impl MovingObjectStore {
             return Err(IngestError::NonFinitePosition);
         }
         let state = self.state_of(id, start);
-        let mut state = state.write();
+        let mut state = state.write().unwrap();
         let expected = state.trajectory.end();
         if start != expected {
             return Err(IngestError::NonContiguous {
@@ -216,13 +216,13 @@ impl MovingObjectStore {
     /// current predictor (or its motion function while untrained).
     pub fn predict(&self, id: ObjectId, query_time: Timestamp) -> Result<Prediction, QueryError> {
         let state = {
-            let objects = self.objects.read();
+            let objects = self.objects.read().unwrap();
             objects
                 .get(&id.0)
                 .cloned()
                 .ok_or(QueryError::UnknownObject(id))?
         };
-        let state = state.read();
+        let state = state.read().unwrap();
         if state.trajectory.is_empty() {
             return Err(QueryError::NoHistory(id));
         }
@@ -299,7 +299,7 @@ impl MovingObjectStore {
     /// Best predicted position of every object for which `query_time`
     /// is askable.
     fn predict_all(&self, query_time: Timestamp) -> Vec<(ObjectId, Point)> {
-        let ids: Vec<u64> = self.objects.read().keys().copied().collect();
+        let ids: Vec<u64> = self.objects.read().unwrap().keys().copied().collect();
         ids.into_iter()
             .filter_map(|raw| {
                 let id = ObjectId(raw);
@@ -311,13 +311,13 @@ impl MovingObjectStore {
     /// Current stats of an object.
     pub fn stats(&self, id: ObjectId) -> Result<ObjectStats, QueryError> {
         let state = {
-            let objects = self.objects.read();
+            let objects = self.objects.read().unwrap();
             objects
                 .get(&id.0)
                 .cloned()
                 .ok_or(QueryError::UnknownObject(id))?
         };
-        let state = state.read();
+        let state = state.read().unwrap();
         let period = self.config.discovery.period as usize;
         Ok(ObjectStats {
             samples: state.trajectory.len(),
@@ -332,19 +332,19 @@ impl MovingObjectStore {
     /// Returns `false` when the object was not tracked. (GDPR-style
     /// forget, or simply an object that left the fleet.)
     pub fn remove(&self, id: ObjectId) -> bool {
-        self.objects.write().remove(&id.0).is_some()
+        self.objects.write().unwrap().remove(&id.0).is_some()
     }
 
     /// Forces an immediate retrain of `id` over its full history.
     pub fn force_retrain(&self, id: ObjectId) -> Result<(), QueryError> {
         let state = {
-            let objects = self.objects.read();
+            let objects = self.objects.read().unwrap();
             objects
                 .get(&id.0)
                 .cloned()
                 .ok_or(QueryError::UnknownObject(id))?
         };
-        let mut state = state.write();
+        let mut state = state.write().unwrap();
         self.retrain(&mut state);
         Ok(())
     }
@@ -352,10 +352,10 @@ impl MovingObjectStore {
     /// Fetches or creates the state cell of an object. A new object's
     /// trajectory starts at the given timestamp.
     fn state_of(&self, id: ObjectId, start: Timestamp) -> Arc<RwLock<ObjectState>> {
-        if let Some(state) = self.objects.read().get(&id.0) {
+        if let Some(state) = self.objects.read().unwrap().get(&id.0) {
             return Arc::clone(state);
         }
-        let mut objects = self.objects.write();
+        let mut objects = self.objects.write().unwrap();
         Arc::clone(objects.entry(id.0).or_insert_with(|| {
             Arc::new(RwLock::new(ObjectState {
                 trajectory: Trajectory::new(start, Vec::new()),
@@ -573,11 +573,11 @@ mod tests {
         let store = MovingObjectStore::new(config());
         // Pre-train a queried object.
         feed_days(&store, ObjectId(0), 0..6);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             // 4 writer threads each own a distinct object.
             for w in 1u64..=4 {
                 let store = &store;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let id = ObjectId(w);
                     for d in 0..20 {
                         store
@@ -589,15 +589,14 @@ mod tests {
             // 2 reader threads hammer the pre-trained object.
             for _ in 0..2 {
                 let store = &store;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..200u64 {
                         let pred = store.predict(ObjectId(0), 24 + (i % 8)).unwrap();
                         assert!(pred.best().is_finite());
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(store.object_count(), 5);
         for w in 1..=4 {
             let s = store.stats(ObjectId(w)).unwrap();

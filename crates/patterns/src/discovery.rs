@@ -42,7 +42,6 @@ impl DiscoveryParams {
 /// a sub-trajectory occupies at most one cluster per offset), so each
 /// sequence is already a strictly-increasing-in-time itemset.
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VisitTable {
     visits: Vec<Vec<RegionId>>,
 }

@@ -15,7 +15,6 @@ use std::fmt;
 /// exceeds every premise offset. [`TrajectoryPattern::validate`] checks
 /// both against a [`RegionSet`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrajectoryPattern {
     /// Premise regions in ascending time-offset order.
     pub premise: Vec<RegionId>,

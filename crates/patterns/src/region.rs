@@ -10,7 +10,6 @@ use hpm_trajectory::TimeOffset;
 /// numbering them (§V.A), which is what gives premise keys Property 1
 /// (higher bit position ⇒ closer to the consequence in time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegionId(pub u32);
 
 impl RegionId {
@@ -24,7 +23,6 @@ impl RegionId {
 /// A dense cluster of an offset group `Gₜ`: somewhere the object
 /// frequently is at time offset `t`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FrequentRegion {
     /// Dense id (also this region's bit in premise keys).
     pub id: RegionId,
@@ -43,7 +41,6 @@ pub struct FrequentRegion {
 
 /// All frequent regions of one discovery run, with offset lookup.
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegionSet {
     regions: Vec<FrequentRegion>,
     /// `by_offset[t]` = ids of regions at offset `t`.

@@ -1,38 +1,40 @@
 //! Property-based invariants for discovery and Apriori mining.
 
+use hpm_check::prelude::*;
 use hpm_geo::Point;
 use hpm_patterns::{
     discover, mine, prune_statistics, visits_against, DiscoveryParams, MiningParams, RegionId,
 };
 use hpm_trajectory::Trajectory;
-use proptest::prelude::*;
 
 /// A random "commuter": a few anchor spots per offset, each day picks
 /// an anchor per offset with jitter — guaranteed periodic structure
 /// with controllable branching.
-fn arb_history() -> impl Strategy<Value = (Trajectory, u32)> {
-    (2u32..6, 5usize..30, 1usize..3, 0u64..1000).prop_map(|(period, days, branches, seed)| {
-        // Deterministic xorshift so the strategy itself shrinks well.
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut pts = Vec::with_capacity(days * period as usize);
-        for _ in 0..days {
-            for t in 0..period {
-                let branch = (next() % branches as u64) as f64;
-                let jitter = (next() % 100) as f64 / 100.0;
-                pts.push(Point::new(
-                    t as f64 * 50.0 + jitter,
-                    branch * 40.0 + jitter,
-                ));
+fn arb_history() -> Gen<(Trajectory, u32)> {
+    tuple((int(2u32..6), int(5usize..30), int(1usize..3), int(0u64..1000))).map(
+        |(period, days, branches, seed)| {
+            // Deterministic xorshift so the generator itself shrinks well.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut pts = Vec::with_capacity(days * period as usize);
+            for _ in 0..days {
+                for t in 0..period {
+                    let branch = (next() % branches as u64) as f64;
+                    let jitter = (next() % 100) as f64 / 100.0;
+                    pts.push(Point::new(
+                        t as f64 * 50.0 + jitter,
+                        branch * 40.0 + jitter,
+                    ));
+                }
             }
-        }
-        (Trajectory::from_points(pts), period)
-    })
+            (Trajectory::from_points(pts), period)
+        },
+    )
 }
 
 fn params(period: u32) -> DiscoveryParams {
@@ -53,46 +55,44 @@ fn mining_params() -> MiningParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+props! {
     /// Discovery invariants: region ids dense and offset-sorted, visit
     /// sequences strictly ascending, supports equal to visit counts.
-    #[test]
-    fn discovery_invariants((traj, period) in arb_history()) {
+    fn discovery_invariants(history in arb_history()) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         let regions = &out.regions;
         let mut prev_offset = 0;
         for (i, r) in regions.all().iter().enumerate() {
-            prop_assert_eq!(r.id.index(), i);
-            prop_assert!(r.offset >= prev_offset);
-            prop_assert!(r.offset < period);
+            require_eq!(r.id.index(), i);
+            require!(r.offset >= prev_offset);
+            require!(r.offset < period);
             prev_offset = r.offset;
-            prop_assert!(r.bbox.contains_within(&r.centroid, 1e-9));
+            require!(r.bbox.contains_within(&r.centroid, 1e-9));
         }
         let mut visit_counts = vec![0u32; regions.len()];
         for seq in out.visits.iter() {
-            prop_assert!(seq.windows(2).all(|w| w[0] < w[1]), "non-ascending visits");
+            require!(seq.windows(2).all(|w| w[0] < w[1]), "non-ascending visits");
             for id in seq {
                 visit_counts[id.index()] += 1;
             }
         }
         for r in regions.all() {
-            prop_assert_eq!(r.support, visit_counts[r.id.index()]);
+            require_eq!(r.support, visit_counts[r.id.index()]);
         }
     }
 
     /// Every mined pattern is Definition-1-valid, meets the thresholds,
     /// and its confidence matches a direct recount over transactions.
-    #[test]
-    fn mined_patterns_are_sound((traj, period) in arb_history()) {
+    fn mined_patterns_are_sound(history in arb_history()) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         let mp = mining_params();
         let patterns = mine(&out.regions, &out.visits, &mp);
         for p in &patterns {
-            prop_assert_eq!(p.validate(&out.regions), Ok(()));
-            prop_assert!(p.support >= mp.min_support);
-            prop_assert!(p.confidence >= mp.min_confidence);
+            require_eq!(p.validate(&out.regions), Ok(()));
+            require!(p.support >= mp.min_support);
+            require!(p.confidence >= mp.min_confidence);
             // Recount premise and full-itemset support directly.
             let contains = |seq: &[RegionId], ids: &[RegionId]| {
                 ids.iter().all(|id| seq.binary_search(id).is_ok())
@@ -105,25 +105,25 @@ proptest! {
                 .collect();
             let n_prem = out.visits.iter().filter(|s| contains(s, &p.premise)).count() as u32;
             let n_full = out.visits.iter().filter(|s| contains(s, &full)).count() as u32;
-            prop_assert_eq!(p.support, n_full);
-            prop_assert!((p.confidence - n_full as f64 / n_prem as f64).abs() < 1e-12);
+            require_eq!(p.support, n_full);
+            require!((p.confidence - n_full as f64 / n_prem as f64).abs() < 1e-12);
         }
     }
 
     /// Anti-monotonicity surfaced at the rule level: confidence never
     /// exceeds 1 and premise support bounds rule support.
-    #[test]
-    fn confidence_bounds((traj, period) in arb_history()) {
+    fn confidence_bounds(history in arb_history()) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         for p in mine(&out.regions, &out.visits, &mining_params()) {
-            prop_assert!(p.confidence > 0.0 && p.confidence <= 1.0);
+            require!(p.confidence > 0.0 && p.confidence <= 1.0);
         }
     }
 
     /// Raising min_support or min_confidence can only shrink the
     /// pattern set, and the survivors are exactly the qualifying ones.
-    #[test]
-    fn thresholds_are_monotone((traj, period) in arb_history()) {
+    fn thresholds_are_monotone(history in arb_history()) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         let loose = mine(&out.regions, &out.visits, &mining_params());
         let strict_params = MiningParams {
@@ -132,46 +132,42 @@ proptest! {
             ..mining_params()
         };
         let strict = mine(&out.regions, &out.visits, &strict_params);
-        prop_assert!(strict.len() <= loose.len());
+        require!(strict.len() <= loose.len());
         let expected: Vec<_> = loose
             .iter()
             .filter(|p| p.support >= 4 && p.confidence >= 0.5)
             .cloned()
             .collect();
-        prop_assert_eq!(strict, expected);
+        require_eq!(strict, expected);
     }
 
     /// The pruned rule set never exceeds the unpruned universe.
-    #[test]
-    fn pruning_only_removes((traj, period) in arb_history()) {
+    fn pruning_only_removes(history in arb_history()) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         let (patterns, stats) = prune_statistics(&out.regions, &out.visits, &mining_params());
-        prop_assert_eq!(stats.pruned_rules, patterns.len());
-        prop_assert!(stats.pruned_rules <= stats.unpruned_rules);
+        require_eq!(stats.pruned_rules, patterns.len());
+        require!(stats.pruned_rules <= stats.unpruned_rules);
         let r = stats.reduction();
-        prop_assert!((0.0..=1.0).contains(&r));
+        require!((0.0..=1.0).contains(&r));
     }
 
     /// Re-mapping the training trajectory onto its own regions with
     /// zero margin reproduces the discovery visit table.
-    #[test]
-    fn visits_against_roundtrip((traj, period) in arb_history()) {
+    fn visits_against_roundtrip(history in arb_history()) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         let remapped = visits_against(&traj, &out.regions, 0.0);
-        prop_assert_eq!(remapped.len(), out.visits.len());
+        require_eq!(remapped.len(), out.visits.len());
         for s in 0..remapped.len() {
-            prop_assert_eq!(remapped.sequence(s), out.visits.sequence(s));
+            require_eq!(remapped.sequence(s), out.visits.sequence(s));
         }
     }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Parallel mining produces exactly the serial result for any
     /// thread count.
-    #[test]
-    fn parallel_mining_equals_serial((traj, period) in arb_history(), threads in 2usize..6) {
+    fn parallel_mining_equals_serial(history in arb_history(), threads in int(2usize..6)) {
+        let (traj, period) = history;
         let out = discover(&traj, &params(period));
         let serial = mine(&out.regions, &out.visits, &mining_params());
         let parallel =
@@ -183,6 +179,6 @@ proptest! {
             });
             v
         };
-        prop_assert_eq!(canon(serial), canon(parallel));
+        require_eq!(canon(serial), canon(parallel));
     }
 }

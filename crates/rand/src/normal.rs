@@ -1,0 +1,72 @@
+//! Gaussian sampling on top of the uniform primitives.
+//!
+//! No `rand_distr` offline, so the Box–Muller transform is implemented
+//! here directly (moved from `hpm-datagen`, which re-exports it).
+
+use crate::Rng;
+
+/// A zero-mean Gaussian sampler with configurable standard deviation.
+///
+/// Uses the Box–Muller transform and caches the second variate, so two
+/// consecutive draws cost one pair of uniforms.
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with no cached variate.
+    pub fn new() -> Self {
+        NormalSampler { spare: None }
+    }
+
+    /// Draws one `N(0, sigma²)` sample.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R, sigma: f64) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z * sigma;
+        }
+        // Box–Muller: u1 in (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen_f64();
+        let u2: f64 = rng.gen_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmallRng;
+
+    #[test]
+    fn moments_are_roughly_gaussian() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut n = NormalSampler::new();
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let draw = || {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut n = NormalSampler::new();
+            (0..10).map(|_| n.sample(&mut rng, 1.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn all_samples_finite() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut n = NormalSampler::new();
+        for _ in 0..10_000 {
+            assert!(n.sample(&mut rng, 1.0).is_finite());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal in-tree byte-cursor traits (the slice of the `bytes` crate
+//! the codec used, reimplemented std-only for the hermetic build).
+//!
+//! `BufMut` appends to a growable buffer; `Buf` is a consuming cursor
+//! over a shrinking `&[u8]`. Reads past the end are programming errors
+//! here — callers check `remaining()` first, as `codec` does — so the
+//! impls panic like the originals rather than returning options.
+
+/// An append-only byte sink.
+pub(crate) trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends an `f64` as little-endian bits.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// A consuming read cursor.
+pub(crate) trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        f64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_f64_le(-1.25);
+        buf.put_u8(0x01);
+
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.remaining(), 10);
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_f64_le(), -1.25);
+        assert!(cursor.has_remaining());
+        assert_eq!(cursor.get_u8(), 0x01);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut cursor: &[u8] = &data;
+        cursor.advance(2);
+        assert_eq!(cursor.remaining(), 2);
+        assert_eq!(cursor.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overread_panics() {
+        let mut cursor: &[u8] = &[1u8];
+        let _ = cursor.get_f64_le();
+    }
+}

@@ -1,8 +1,8 @@
 //! Primitive encoders/decoders: LEB128 varints, doubles, and the
 //! FNV-1a checksum.
 
+use crate::bytes::{Buf, BufMut};
 use crate::DecodeError;
-use bytes::{Buf, BufMut};
 
 /// Writes an unsigned LEB128 varint.
 pub(crate) fn put_varint(buf: &mut impl BufMut, mut v: u64) {

@@ -10,9 +10,9 @@
 //! layout choices.)
 //!
 //! No serialization-format crate is available offline, so the format
-//! is hand-rolled on top of [`bytes`]: a magic/version header, LEB128
-//! varints for integers, IEEE-754 little-endian doubles, and an FNV-1a
-//! trailer checksum. The format is documented in [`format`] and
+//! is hand-rolled on top of small in-tree byte-cursor traits: a
+//! magic/version header, LEB128 varints for integers, IEEE-754
+//! little-endian doubles, and an FNV-1a trailer checksum. The format is documented in [`format`] and
 //! guarded by round-trip property tests.
 
 //! # Example
@@ -43,6 +43,7 @@
 //! assert_eq!(restored.patterns, patterns);
 //! ```
 
+mod bytes;
 mod codec;
 mod error;
 pub mod format;

@@ -2,8 +2,8 @@
 
 use crate::codec::{fnv1a, get_count, get_f64, get_varint, put_f64, put_varint};
 use crate::format::{MAGIC, MAX_PATTERNS, MAX_PREMISE, MAX_REGIONS, VERSION};
+use crate::bytes::Buf;
 use crate::DecodeError;
-use bytes::Buf;
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
 use hpm_trajectory::TimeOffset;

@@ -1,94 +1,145 @@
 //! Property tests: encode/decode is a bijection on valid models, and
 //! decode never panics on arbitrary bytes.
 
+use hpm_check::prelude::*;
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
 use hpm_store::{decode_model, encode_model};
-use proptest::prelude::*;
 
 /// Random valid model: one region per offset over a random period,
 /// random forward-chained patterns.
-fn arb_model() -> impl Strategy<Value = (RegionSet, Vec<TrajectoryPattern>)> {
-    (2u32..20, proptest::collection::vec((0.0..1e4_f64, 0.0..1e4_f64, 1u32..50), 0..40))
-        .prop_map(|(period, raw_patterns)| {
-            let regions: Vec<FrequentRegion> = (0..period)
-                .map(|t| {
-                    let c = Point::new(t as f64 * 11.0, t as f64);
-                    FrequentRegion {
-                        id: RegionId(t),
-                        offset: t,
-                        local_index: 0,
-                        centroid: c,
-                        bbox: BoundingBox {
-                            min: c - Point::new(1.0, 1.0),
-                            max: c + Point::new(1.0, 1.0),
-                        },
-                        support: 3 + t,
-                    }
-                })
-                .collect();
-            let set = RegionSet::new(regions, period);
-            let patterns: Vec<TrajectoryPattern> = raw_patterns
-                .into_iter()
-                .map(|(a, conf_raw, support)| {
-                    let start = (a as u32) % (period - 1);
-                    let two = start + 2 < period && support % 2 == 0;
-                    let (premise, consequence) = if two {
-                        (
-                            vec![RegionId(start), RegionId(start + 1)],
-                            RegionId(start + 2),
-                        )
-                    } else {
-                        (vec![RegionId(start)], RegionId(start + 1))
-                    };
-                    TrajectoryPattern {
-                        premise,
-                        consequence,
-                        confidence: (conf_raw / 1e4).clamp(0.01, 1.0),
-                        support,
-                    }
-                })
-                .collect();
-            (set, patterns)
-        })
+fn arb_model() -> Gen<(RegionSet, Vec<TrajectoryPattern>)> {
+    tuple((
+        int(2u32..20),
+        vec(
+            tuple((float(0.0..1e4), float(0.0..1e4), int(1u32..50))),
+            0..40,
+        ),
+    ))
+    .map(|(period, raw_patterns)| {
+        let regions: Vec<FrequentRegion> = (0..period)
+            .map(|t| {
+                let c = Point::new(t as f64 * 11.0, t as f64);
+                FrequentRegion {
+                    id: RegionId(t),
+                    offset: t,
+                    local_index: 0,
+                    centroid: c,
+                    bbox: BoundingBox {
+                        min: c - Point::new(1.0, 1.0),
+                        max: c + Point::new(1.0, 1.0),
+                    },
+                    support: 3 + t,
+                }
+            })
+            .collect();
+        let set = RegionSet::new(regions, period);
+        let patterns: Vec<TrajectoryPattern> = raw_patterns
+            .into_iter()
+            .map(|(a, conf_raw, support)| {
+                let start = (a as u32) % (period - 1);
+                let two = start + 2 < period && support % 2 == 0;
+                let (premise, consequence) = if two {
+                    (
+                        vec![RegionId(start), RegionId(start + 1)],
+                        RegionId(start + 2),
+                    )
+                } else {
+                    (vec![RegionId(start)], RegionId(start + 1))
+                };
+                TrajectoryPattern {
+                    premise,
+                    consequence,
+                    confidence: (conf_raw / 1e4).clamp(0.01, 1.0),
+                    support,
+                }
+            })
+            .collect();
+        (set, patterns)
+    })
 }
 
-proptest! {
+props! {
     /// decode(encode(m)) == m.
-    #[test]
-    fn roundtrip((regions, patterns) in arb_model()) {
+    fn roundtrip(model in arb_model()) {
+        let (regions, patterns) = model;
         let blob = encode_model(&regions, &patterns);
         let model = decode_model(&blob).unwrap();
-        prop_assert_eq!(model.regions.period(), regions.period());
-        prop_assert_eq!(model.regions.all(), regions.all());
-        prop_assert_eq!(model.patterns, patterns);
+        require_eq!(model.regions.period(), regions.period());
+        require_eq!(model.regions.all(), regions.all());
+        require_eq!(model.patterns, patterns);
     }
 
     /// Encoding is deterministic.
-    #[test]
-    fn deterministic((regions, patterns) in arb_model()) {
-        prop_assert_eq!(
+    fn deterministic(model in arb_model()) {
+        let (regions, patterns) = model;
+        require_eq!(
             encode_model(&regions, &patterns),
             encode_model(&regions, &patterns)
         );
     }
 
     /// Decoding arbitrary bytes never panics — it errors cleanly.
-    #[test]
-    fn decode_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+    fn decode_total_on_garbage(bytes in vec(int(0u8..=255), 0..600)) {
         // Any result is fine; the property is "no panic, no hang".
         let _ = decode_model(&bytes);
     }
 
     /// Flipping any single byte of a valid blob is detected.
-    #[test]
-    fn corruption_detected((regions, patterns) in arb_model(), idx in any::<prop::sample::Index>(), mask in 1u8..=255) {
+    fn corruption_detected(model in arb_model(), idx in index(), mask in int(1u8..=255)) {
+        let (regions, patterns) = model;
         let blob = encode_model(&regions, &patterns);
         let i = idx.index(blob.len());
         let mut bad = blob.clone();
         bad[i] ^= mask;
-        prop_assert!(bad != blob);
-        prop_assert!(decode_model(&bad).is_err(), "corruption at byte {i} undetected");
+        require!(bad != blob);
+        require!(decode_model(&bad).is_err(), "corruption at byte {i} undetected");
+    }
+
+    /// End-to-end: a model mined from a *generated trajectory* (the
+    /// full datagen → discover → mine pipeline, varying generator seed
+    /// and training length) survives encode/decode exactly.
+    fn mined_model_roundtrips_over_generated_trajectories(
+        seed in int(0u64..1_000),
+        subs in int(6usize..14),
+    ) {
+        use hpm_datagen::{Archetype, GeneratorConfig, PeriodicGenerator};
+        use hpm_patterns::{discover, mine, DiscoveryParams, MiningParams};
+
+        let config = GeneratorConfig {
+            period: 40,
+            num_subs: subs,
+            similarity_prob: 0.9,
+            point_noise: 2.0,
+            route_noise: 3.0,
+            extent: 1_000.0,
+            seed,
+        };
+        let archetypes = vec![
+            Archetype::new(vec![Point::new(0.0, 100.0), Point::new(900.0, 100.0)], 2.0),
+            Archetype::new(vec![Point::new(0.0, 100.0), Point::new(900.0, 800.0)], 1.0),
+        ];
+        let traj = PeriodicGenerator::new(config, archetypes).generate();
+        let out = discover(
+            &traj,
+            &DiscoveryParams { period: 40, eps: 12.0, min_pts: 3 },
+        );
+        let patterns = mine(
+            &out.regions,
+            &out.visits,
+            &MiningParams {
+                min_support: 2,
+                min_confidence: 0.2,
+                max_premise_len: 2,
+                max_premise_gap: 4,
+                max_span: 16,
+            },
+        );
+        let blob = encode_model(&out.regions, &patterns);
+        let model = decode_model(&blob).unwrap();
+        require_eq!(model.regions.period(), out.regions.period());
+        require_eq!(model.regions.all(), out.regions.all());
+        require_eq!(model.patterns, patterns);
     }
 }
 

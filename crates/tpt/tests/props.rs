@@ -1,25 +1,26 @@
 //! Property-based invariants for the signature bitmaps and the TPT.
 
+use hpm_check::prelude::*;
 use hpm_tpt::{Bitmap, BruteForce, PatternIndex, PatternKey, Tpt, TptConfig};
-use proptest::prelude::*;
 
 const CK_LEN: usize = 12;
 const RK_LEN: usize = 90;
 
-fn arb_bitmap(len: usize, max_ones: usize) -> impl Strategy<Value = Bitmap> {
-    proptest::collection::vec(0..len, 1..=max_ones)
-        .prop_map(move |ones| Bitmap::from_indices(len, &ones))
+fn arb_bitmap(len: usize, max_ones: usize) -> Gen<Bitmap> {
+    vec(int(0usize..len), 1..max_ones + 1).map(move |ones| Bitmap::from_indices(len, &ones))
 }
 
-fn arb_key() -> impl Strategy<Value = PatternKey> {
-    (arb_bitmap(CK_LEN, 2), arb_bitmap(RK_LEN, 4)).prop_map(|(consequence, premise)| PatternKey {
-        consequence,
-        premise,
+fn arb_key() -> Gen<PatternKey> {
+    tuple((arb_bitmap(CK_LEN, 2), arb_bitmap(RK_LEN, 4))).map(|(consequence, premise)| {
+        PatternKey {
+            consequence,
+            premise,
+        }
     })
 }
 
-fn arb_entries(max: usize) -> impl Strategy<Value = Vec<(PatternKey, f64, u32)>> {
-    proptest::collection::vec((arb_key(), 0.01..=1.0_f64), 0..max).prop_map(|v| {
+fn arb_entries(max: usize) -> Gen<Vec<(PatternKey, f64, u32)>> {
+    vec(tuple((arb_key(), float(0.01..=1.0))), 0..max).map(|v| {
         v.into_iter()
             .enumerate()
             .map(|(i, (k, c))| (k, c, i as u32))
@@ -27,52 +28,49 @@ fn arb_entries(max: usize) -> impl Strategy<Value = Vec<(PatternKey, f64, u32)>>
     })
 }
 
-proptest! {
+props! {
     /// §V.A operation algebra on bitmaps.
-    #[test]
     fn bitmap_algebra(a in arb_bitmap(RK_LEN, 6), b in arb_bitmap(RK_LEN, 6)) {
         // Contain is reflexive and implies Intersect for non-zero keys.
-        prop_assert!(a.contains(&a));
+        require!(a.contains(&a));
         if a.contains(&b) && !b.is_zero() {
-            prop_assert!(a.intersects(&b));
+            require!(a.intersects(&b));
         }
         // Intersect is symmetric and agrees with and_count.
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
-        prop_assert_eq!(a.intersects(&b), a.and_count(&b) > 0);
+        require_eq!(a.intersects(&b), b.intersects(&a));
+        require_eq!(a.intersects(&b), a.and_count(&b) > 0);
         // Difference decomposition: |a| = |a∩b| + |a∖b|.
-        prop_assert_eq!(a.count_ones(), a.and_count(&b) + a.difference(&b));
+        require_eq!(a.count_ones(), a.and_count(&b) + a.difference(&b));
         // Union is the contain-least-upper-bound.
         let mut u = a.clone();
         u.or_assign(&b);
-        prop_assert!(u.contains(&a) && u.contains(&b));
-        prop_assert_eq!(u.count_ones(), a.count_ones() + b.difference(&a));
+        require!(u.contains(&a) && u.contains(&b));
+        require_eq!(u.count_ones(), a.count_ones() + b.difference(&a));
         // iter_ones roundtrip.
         let rebuilt = Bitmap::from_indices(RK_LEN, &a.iter_ones().collect::<Vec<_>>());
-        prop_assert_eq!(&rebuilt, &a);
+        require_eq!(&rebuilt, &a);
     }
 
     /// Pattern-key operations decompose over the two parts.
-    #[test]
     fn pattern_key_part_decomposition(a in arb_key(), b in arb_key()) {
-        prop_assert_eq!(
+        require_eq!(
             a.intersects(&b),
             a.consequence.intersects(&b.consequence) && a.premise.intersects(&b.premise)
         );
-        prop_assert_eq!(
+        require_eq!(
             a.contains(&b),
             a.consequence.contains(&b.consequence) && a.premise.contains(&b.premise)
         );
-        prop_assert_eq!(
+        require_eq!(
             a.difference(&b),
             a.consequence.difference(&b.consequence) + a.premise.difference(&b.premise)
         );
-        prop_assert_eq!(a.size(), a.consequence.count_ones() + a.premise.count_ones());
+        require_eq!(a.size(), a.consequence.count_ones() + a.premise.count_ones());
     }
 
     /// Incrementally built TPT returns exactly the brute-force result
     /// set, stays structurally valid, and never misses a self-query.
-    #[test]
-    fn tpt_insert_equals_brute(entries in arb_entries(300), queries in proptest::collection::vec(arb_key(), 1..10)) {
+    fn tpt_insert_equals_brute(entries in arb_entries(300), queries in vec(arb_key(), 1..10)) {
         let mut tpt = Tpt::new(TptConfig::new(6));
         let mut brute = BruteForce::new();
         for (k, c, p) in &entries {
@@ -80,19 +78,18 @@ proptest! {
             brute.insert(k.clone(), *c, *p);
         }
         tpt.validate().unwrap();
-        prop_assert_eq!(tpt.len(), entries.len());
+        require_eq!(tpt.len(), entries.len());
         for q in queries.iter().chain(entries.iter().map(|(k, _, _)| k)) {
             let mut a: Vec<u32> = tpt.search(q).iter().map(|m| m.pattern).collect();
             let mut b: Vec<u32> = brute.search(q).iter().map(|m| m.pattern).collect();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            require_eq!(a, b);
         }
     }
 
     /// Bulk loading is search-equivalent to incremental insertion.
-    #[test]
-    fn bulk_load_equals_insert(entries in arb_entries(300), queries in proptest::collection::vec(arb_key(), 1..10)) {
+    fn bulk_load_equals_insert(entries in arb_entries(300), queries in vec(arb_key(), 1..10)) {
         let bulk = Tpt::bulk_load(TptConfig::new(6), entries.clone());
         bulk.validate().unwrap();
         let mut inc = Tpt::new(TptConfig::new(6));
@@ -104,42 +101,39 @@ proptest! {
             let mut b: Vec<u32> = inc.search(q).iter().map(|m| m.pattern).collect();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            require_eq!(a, b);
         }
     }
 
     /// Every indexed entry is found by a query equal to its own key
     /// (keys always have ≥ 1 bit per part here), with its confidence.
-    #[test]
     fn self_query_finds_entry(entries in arb_entries(120)) {
         let tpt = Tpt::bulk_load(TptConfig::default(), entries.clone());
         for (k, c, p) in &entries {
             let found = tpt.search(k);
             let me = found.iter().find(|m| m.pattern == *p);
-            prop_assert!(me.is_some(), "entry {p} not found by its own key");
-            prop_assert_eq!(me.unwrap().confidence, *c);
+            require!(me.is_some(), "entry {p} not found by its own key");
+            require_eq!(me.unwrap().confidence, *c);
         }
     }
 
     /// Search visits no more entries than a full scan would.
-    #[test]
     fn search_never_worse_than_scan(entries in arb_entries(200), q in arb_key()) {
         let tpt = Tpt::bulk_load(TptConfig::default(), entries.clone());
         let (_, stats) = tpt.search_with_stats(&q);
         // Internal entries add overhead bounded by the tree fanout
         // structure; leaf entries checked can never exceed the total.
-        prop_assert!(stats.entries_checked <= entries.len() + tpt.node_count() * 32);
+        require!(stats.entries_checked <= entries.len() + tpt.node_count() * 32);
     }
 }
 
-proptest! {
+props! {
     /// Interleaved inserts and deletes keep the tree valid and
     /// search-equivalent to a brute-force mirror.
-    #[test]
     fn insert_delete_fuzz(
         entries in arb_entries(150),
-        delete_picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..60),
-        queries in proptest::collection::vec(arb_key(), 1..6),
+        delete_picks in vec(index(), 0..60),
+        queries in vec(arb_key(), 1..6),
     ) {
         let mut tree = Tpt::new(TptConfig::new(4));
         let mut mirror: Vec<(PatternKey, f64, u32)> = Vec::new();
@@ -153,35 +147,34 @@ proptest! {
             }
             let i = pick.index(mirror.len());
             let (k, _, p) = mirror.swap_remove(i);
-            prop_assert!(tree.delete(&k, p), "indexed entry must delete");
+            require!(tree.delete(&k, p), "indexed entry must delete");
         }
         tree.validate().unwrap();
-        prop_assert_eq!(tree.len(), mirror.len());
+        require_eq!(tree.len(), mirror.len());
         let brute = BruteForce::from_entries(mirror);
         for q in &queries {
             let mut a: Vec<u32> = tree.search(q).iter().map(|m| m.pattern).collect();
             let mut b: Vec<u32> = brute.search(q).iter().map(|m| m.pattern).collect();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            require_eq!(a, b);
         }
     }
 
     /// Deleting an entry and re-inserting it restores search results
     /// exactly.
-    #[test]
-    fn delete_insert_roundtrip(entries in arb_entries(80), pick in any::<prop::sample::Index>()) {
-        prop_assume!(!entries.is_empty());
+    fn delete_insert_roundtrip(entries in arb_entries(80), pick in index()) {
+        assume!(!entries.is_empty());
         let mut tree = Tpt::new(TptConfig::new(5));
         for (k, c, p) in &entries {
             tree.insert(k.clone(), *c, *p);
         }
         let (k, c, p) = &entries[pick.index(entries.len())];
-        prop_assert!(tree.delete(k, *p));
-        prop_assert!(!tree.search(k).iter().any(|m| m.pattern == *p));
+        require!(tree.delete(k, *p));
+        require!(!tree.search(k).iter().any(|m| m.pattern == *p));
         tree.insert(k.clone(), *c, *p);
         tree.validate().unwrap();
-        prop_assert!(tree.search(k).iter().any(|m| m.pattern == *p));
-        prop_assert_eq!(tree.len(), entries.len());
+        require!(tree.search(k).iter().any(|m| m.pattern == *p));
+        require_eq!(tree.len(), entries.len());
     }
 }

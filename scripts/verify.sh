@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline to prove the build is hermetic.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (tier-1: root package)"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --workspace (all crates)"
+cargo test -q --offline --workspace
+
+echo "==> hermetic manifest scan"
+if grep -En '^(proptest|rand|criterion|serde|bytes|crossbeam|parking_lot)' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: registry dependency declared in a manifest" >&2
+    exit 1
+fi
+
+echo "OK: offline build + tests green, no registry dependencies"

@@ -1,0 +1,129 @@
+//! Hermetic-build guard: the workspace must compile with zero registry
+//! dependencies. Every dependency declared in any Cargo.toml — root or
+//! crate, normal/dev/build/workspace — must be an in-tree `hpm-*` path
+//! crate. A violation here means `cargo build --offline` will break on
+//! machines without a vendored registry.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries are dependency names.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifest_paths(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates dir") {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out
+}
+
+/// Minimal TOML section walk: track the current `[section]` (with
+/// `[target.'cfg'.dependencies]` normalised to its trailing part) and
+/// collect the keys of dependency sections. No TOML parser needed —
+/// manifests in this repo are plain `key = ...` / `key.workspace = true`
+/// lines.
+fn dependency_names(manifest: &Path) -> Vec<String> {
+    let text = fs::read_to_string(manifest).expect("read manifest");
+    let mut section = String::new();
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = header.trim().to_string();
+            // `[dependencies.foo]`-style table headers declare `foo`.
+            for base in DEP_SECTIONS {
+                if let Some(rest) = section.strip_prefix(&format!("{base}.")) {
+                    deps.push(rest.to_string());
+                }
+            }
+            // `[target.'cfg(..)'.dependencies]` ends with the section.
+            if let Some(i) = section.rfind('.') {
+                let tail = &section[i + 1..];
+                if DEP_SECTIONS.contains(&tail) {
+                    section = tail.to_string();
+                }
+            }
+            continue;
+        }
+        if DEP_SECTIONS.contains(&section.as_str()) {
+            if let Some(eq) = line.find('=') {
+                let key = line[..eq].trim().trim_matches('"');
+                // `foo.workspace = true` keys come through as `foo.workspace`.
+                let name = key.split('.').next().unwrap_or(key);
+                deps.push(name.to_string());
+            }
+        }
+    }
+    deps
+}
+
+#[test]
+fn all_dependencies_are_in_tree() {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    let mut checked = 0;
+    for manifest in manifest_paths(&root) {
+        checked += 1;
+        for dep in dependency_names(&manifest) {
+            if !dep.starts_with("hpm-") {
+                violations.push(format!("{}: `{}`", manifest.display(), dep));
+            }
+        }
+    }
+    assert!(checked >= 14, "expected root + all crate manifests, saw {checked}");
+    assert!(
+        violations.is_empty(),
+        "registry (non hpm-*) dependencies found — the build is no longer \
+         hermetic:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn every_in_tree_dependency_resolves_to_a_path() {
+    // The workspace dependency table must map every hpm-* name to a
+    // `crates/<dir>` path that actually exists.
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let mut in_table = false;
+    let mut seen = 0;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let path = line
+            .split("path =")
+            .nth(1)
+            .and_then(|s| s.split('"').nth(1))
+            .unwrap_or_else(|| panic!("workspace dep without a path: {line}"));
+        assert!(
+            root.join(path).join("Cargo.toml").is_file(),
+            "workspace dep path does not exist: {path}"
+        );
+        seen += 1;
+    }
+    assert!(seen >= 14, "expected the full hpm-* dependency table, saw {seen}");
+}
