@@ -23,6 +23,11 @@ use hpm_tpt::{BruteForce, KeyTable, PatternIndex, Tpt, TptConfig};
 use std::time::Instant;
 
 fn main() -> std::io::Result<()> {
+    // HPM_OBS=1 runs every experiment instrumented and appends the
+    // metrics snapshot to the run, same convention as the benches.
+    if std::env::var("HPM_OBS").is_ok_and(|v| v == "1") {
+        hpm_obs::enable();
+    }
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match arg.as_str() {
         "tables" => tables()?,
@@ -61,6 +66,10 @@ fn main() -> std::io::Result<()> {
             );
             std::process::exit(2);
         }
+    }
+    if hpm_obs::enabled() {
+        println!("\n-- metrics (HPM_OBS=1) --");
+        print!("{}", hpm_obs::snapshot());
     }
     Ok(())
 }

@@ -151,6 +151,12 @@ impl Criterion {
                 a => c.filter = Some(a.to_string()),
             }
         }
+        // HPM_OBS=1 benches the instrumented path (and the closing
+        // summary prints the metrics snapshot); the default bench run
+        // measures the disabled path the acceptance budget refers to.
+        if std::env::var("HPM_OBS").is_ok_and(|v| v == "1") {
+            hpm_obs::enable();
+        }
         c
     }
 
@@ -229,6 +235,10 @@ impl Criterion {
         match self.mode {
             Mode::Smoke => println!("{} benchmark smoke tests passed", self.ran),
             Mode::Measure => println!("{} benchmarks measured", self.ran),
+        }
+        if hpm_obs::enabled() {
+            println!("\n-- metrics (HPM_OBS=1) --");
+            print!("{}", hpm_obs::snapshot());
         }
     }
 }

@@ -67,6 +67,7 @@ SUBCOMMANDS
             --model model.hpm  --input traj.csv  --at T
             [--recent 20] [--k 1] [--distant 60] [--teps 2] [--margin 30]
             [--fill-gaps true] [--despike MAX_STEP]
+            [--metrics true] [--metrics-json FILE|-]  (FILE `-` = stdout)
   eval      compare HPM / RMF / linear accuracy on held-out data
             --input traj.csv  --period N  --train-subs N  --length N
             [--queries 50] [--recent 20] [--extent 10000]
@@ -246,8 +247,19 @@ fn region_map(regions: &hpm_patterns::RegionSet, cols: usize, rows: usize) -> St
 fn cmd_predict(args: &Args) -> Result<(), String> {
     args.expect_only(&[
         "model", "input", "at", "recent", "k", "distant", "teps", "margin", "fill-gaps",
-        "despike",
+        "despike", "metrics", "metrics-json",
     ])?;
+    let metrics_text: bool = args.get_or("metrics", false)?;
+    let metrics_json = args.optional("metrics-json");
+    if metrics_text || metrics_json.is_some() {
+        // Register the full catalogue up front so the snapshot lists
+        // every hot-path metric, including the zero-valued ones (a
+        // single query only fires one of the FQP/BQP dispatch arms).
+        hpm_core::metrics::register();
+        hpm_patterns::metrics::register();
+        hpm_store::metrics::register();
+        hpm_obs::enable();
+    }
     let model = load_model(args.required("model")?)
         .map_err(|e| e.to_string())?
         .map_err(|e| e.to_string())?;
@@ -281,6 +293,21 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     );
     for (rank, a) in pred.answers.iter().enumerate() {
         println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
+    }
+    if metrics_text || metrics_json.is_some() {
+        let snap = hpm_obs::snapshot();
+        if metrics_text {
+            println!("\n-- metrics --");
+            print!("{snap}");
+        }
+        if let Some(path) = metrics_json {
+            if path == "-" {
+                println!("{}", snap.to_json());
+            } else {
+                std::fs::write(path, snap.to_json())
+                    .map_err(|e| format!("cannot write --metrics-json {path}: {e}"))?;
+            }
+        }
     }
     Ok(())
 }

@@ -96,6 +96,84 @@ fn full_workflow() {
 }
 
 #[test]
+fn predict_metrics_json_covers_hot_path() {
+    // Own subdirectory: sibling tests remove the shared tmpdir.
+    let dir = tmpdir().join("metrics_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("bike.csv");
+    let model = dir.join("bike.hpm");
+    let csv_s = csv.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    let out = hpm(&[
+        "generate", "--dataset", "bike", "--subs", "45", "--seed", "3", "--output", csv_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = hpm(&["train", "--input", csv_s, "--period", "300", "--output", model_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // --metrics-json - appends the snapshot JSON to stdout; --metrics
+    // true adds the text table.
+    let out = hpm(&[
+        "predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--metrics", "true",
+        "--metrics-json", "-",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("predicted via"));
+    assert!(text.contains("-- metrics --"));
+    let json_line = text
+        .lines()
+        .find(|l| l.starts_with("{\"counters\""))
+        .expect("snapshot JSON on stdout");
+    let doc = hpm_obs::json::parse(json_line).expect("valid snapshot JSON");
+    let counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(hpm_obs::json::Json::as_f64)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    // One query was answered and dispatched to exactly one arm.
+    assert_eq!(counter("core.predict.calls"), 1.0);
+    assert_eq!(
+        counter("core.predict.fqp_dispatch") + counter("core.predict.bqp_dispatch"),
+        1.0
+    );
+    // The model was decoded and, if a pattern path ran, the TPT was
+    // searched; either way the names exist because the CLI registers
+    // the full catalogue.
+    assert!(counter("store.model.bytes_read") > 0.0);
+    let hists = doc
+        .get("histograms")
+        .and_then(hpm_obs::json::Json::as_array)
+        .expect("histograms array");
+    let hist_count = |name: &str| {
+        hists
+            .iter()
+            .find(|h| h.get("name").and_then(hpm_obs::json::Json::as_str) == Some(name))
+            .and_then(|h| h.get("count"))
+            .and_then(hpm_obs::json::Json::as_f64)
+            .unwrap_or_else(|| panic!("histogram {name} missing"))
+    };
+    // Per-stage latency histograms fired along the executed path.
+    assert_eq!(hist_count("core.predict"), 1.0);
+    assert!(hist_count("store.model.decode") >= 1.0);
+
+    // File output matches the documented shape too.
+    let json_file = dir.join("metrics.json");
+    let out = hpm(&[
+        "predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--metrics-json",
+        json_file.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = hpm_obs::json::parse(&std::fs::read_to_string(&json_file).unwrap())
+        .expect("valid snapshot JSON file");
+    assert!(doc.get("counters").is_some() && doc.get("histograms").is_some());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn predict_rejects_past_query_time() {
     let dir = tmpdir();
     let csv = dir.join("tiny.csv");

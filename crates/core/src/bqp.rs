@@ -28,6 +28,7 @@ pub(crate) fn run(
     recent_ids: &[RegionId],
     query: &PredictiveQuery<'_>,
 ) -> Option<Vec<RankedAnswer>> {
+    let _span = hpm_obs::span!(crate::metrics::BQP_SPAN);
     let period = predictor.period as i64;
     let t_eps = predictor.config.time_relaxation as i64;
     let tc = query.current_time as i64;
@@ -42,6 +43,9 @@ pub(crate) fn run(
         if !qkey.consequence.is_zero() {
             let matches = predictor.tpt.search(&qkey);
             if !matches.is_empty() {
+                hpm_obs::histogram!(crate::metrics::BQP_CANDIDATES)
+                    .record(matches.len() as u64);
+                hpm_obs::counter!(crate::metrics::BQP_WIDENINGS).add((i - 1) as u64);
                 let scored = score(predictor, &matches, &rkq, tc, tq);
                 return Some(rank_answers(predictor, scored, predictor.config.k));
             }

@@ -18,6 +18,7 @@ pub(crate) fn run(
     recent_ids: &[RegionId],
     query: &PredictiveQuery<'_>,
 ) -> Option<Vec<RankedAnswer>> {
+    let _span = hpm_obs::span!(crate::metrics::FQP_SPAN);
     if recent_ids.is_empty() {
         return None; // no premise: the query key cannot intersect
     }
@@ -29,6 +30,7 @@ pub(crate) fn run(
         return None; // no pattern predicts this time offset
     }
     let matches = predictor.tpt.search(&qkey);
+    hpm_obs::histogram!(crate::metrics::FQP_CANDIDATES).record(matches.len() as u64);
     if matches.is_empty() {
         return None;
     }

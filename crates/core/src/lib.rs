@@ -66,6 +66,7 @@ mod similarity;
 mod types;
 
 pub mod eval;
+pub mod metrics;
 
 #[cfg(test)]
 pub(crate) mod test_fixtures;

@@ -175,16 +175,23 @@ impl HybridPredictor {
     /// `query.recent` is empty.
     pub fn predict(&self, query: &PredictiveQuery<'_>) -> Prediction {
         assert!(!query.recent.is_empty(), "query needs recent movements");
+        let _span = hpm_obs::span!(crate::metrics::PREDICT_SPAN);
+        hpm_obs::counter!(crate::metrics::PREDICT_CALLS).add(1);
         let length = query.prediction_length();
         let recent_ids = self.recent_regions(query.recent, query.current_time);
         let from_patterns = if length < self.config.distant_threshold {
+            hpm_obs::counter!(crate::metrics::FQP_DISPATCH).add(1);
             fqp::run(self, &recent_ids, query).map(|answers| (answers, PredictionSource::ForwardPatterns))
         } else {
+            hpm_obs::counter!(crate::metrics::BQP_DISPATCH).add(1);
             bqp::run(self, &recent_ids, query).map(|answers| (answers, PredictionSource::BackwardPatterns))
         };
         match from_patterns {
             Some((answers, source)) => Prediction { answers, source },
-            None => self.motion_fallback(query),
+            None => {
+                hpm_obs::counter!(crate::metrics::RMF_FALLBACK).add(1);
+                self.motion_fallback(query)
+            }
         }
     }
 
@@ -242,6 +249,7 @@ pub(crate) fn rank_answers(
     mut scored: Vec<(u32, f64)>,
     k: usize,
 ) -> Vec<RankedAnswer> {
+    let _span = hpm_obs::span!(crate::metrics::RANK_SPAN);
     scored.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("finite scores")

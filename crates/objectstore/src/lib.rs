@@ -51,6 +51,7 @@
 //! assert!(pred.best().distance(&Point::new(100.0, 0.0)) < 2.0);
 //! ```
 
+pub mod metrics;
 mod store;
 
 pub use store::{

@@ -1,0 +1,34 @@
+//! Metric names this crate emits, and their registration.
+//!
+//! Names follow the workspace `crate.module.op` convention; the full
+//! catalogue lives in `docs/OBSERVABILITY.md`.
+
+/// Latency span around one location-report ingest (retrain included
+/// when a threshold was crossed).
+pub const REPORT_SPAN: &str = "objectstore.report";
+/// Latency span around one per-object predictive query.
+pub const PREDICT_SPAN: &str = "objectstore.predict";
+/// Latency span around one per-object predictor rebuild.
+pub const RETRAIN_SPAN: &str = "objectstore.retrain";
+
+/// Location reports accepted (single and batched samples alike).
+pub const REPORTS: &str = "objectstore.reports";
+/// Per-object predictive queries answered (range/nearest queries count
+/// once per object examined).
+pub const PREDICTS: &str = "objectstore.predicts";
+/// Predictor rebuilds performed.
+pub const RETRAINS: &str = "objectstore.retrains";
+/// Currently tracked objects (gauge).
+pub const OBJECTS: &str = "objectstore.objects";
+
+/// Registers every metric above so snapshots cover them even before
+/// the first report (zero-valued metrics are still listed).
+pub fn register() {
+    hpm_obs::registry().counter(REPORTS);
+    hpm_obs::registry().counter(PREDICTS);
+    hpm_obs::registry().counter(RETRAINS);
+    hpm_obs::registry().gauge(OBJECTS);
+    for span in [REPORT_SPAN, PREDICT_SPAN, RETRAIN_SPAN] {
+        hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
+    }
+}

@@ -166,6 +166,7 @@ impl MovingObjectStore {
     /// consecutive timestamp. Crossing a retraining threshold rebuilds
     /// the object's predictor synchronously (other objects unaffected).
     pub fn report(&self, id: ObjectId, timestamp: Timestamp, position: Point) -> Result<(), IngestError> {
+        let _span = hpm_obs::span!(crate::metrics::REPORT_SPAN);
         if !position.is_finite() {
             return Err(IngestError::NonFinitePosition);
         }
@@ -179,6 +180,7 @@ impl MovingObjectStore {
             });
         }
         state.trajectory.push(position);
+        hpm_obs::counter!(crate::metrics::REPORTS).add(1);
         self.maybe_retrain(&mut state);
         Ok(())
     }
@@ -192,6 +194,7 @@ impl MovingObjectStore {
         start: Timestamp,
         positions: &[Point],
     ) -> Result<(), IngestError> {
+        let _span = hpm_obs::span!(crate::metrics::REPORT_SPAN);
         if let Some(bad) = positions.iter().find(|p| !p.is_finite()) {
             let _ = bad;
             return Err(IngestError::NonFinitePosition);
@@ -208,6 +211,7 @@ impl MovingObjectStore {
         for p in positions {
             state.trajectory.push(*p);
         }
+        hpm_obs::counter!(crate::metrics::REPORTS).add(positions.len() as u64);
         self.maybe_retrain(&mut state);
         Ok(())
     }
@@ -215,6 +219,8 @@ impl MovingObjectStore {
     /// Answers "where will `id` be at `query_time`" from the object's
     /// current predictor (or its motion function while untrained).
     pub fn predict(&self, id: ObjectId, query_time: Timestamp) -> Result<Prediction, QueryError> {
+        let _span = hpm_obs::span!(crate::metrics::PREDICT_SPAN);
+        hpm_obs::counter!(crate::metrics::PREDICTS).add(1);
         let state = {
             let objects = self.objects.read().unwrap();
             objects
@@ -356,13 +362,15 @@ impl MovingObjectStore {
             return Arc::clone(state);
         }
         let mut objects = self.objects.write().unwrap();
-        Arc::clone(objects.entry(id.0).or_insert_with(|| {
+        let state = Arc::clone(objects.entry(id.0).or_insert_with(|| {
             Arc::new(RwLock::new(ObjectState {
                 trajectory: Trajectory::new(start, Vec::new()),
                 predictor: None,
                 trained_subs: 0,
             }))
-        }))
+        }));
+        hpm_obs::gauge!(crate::metrics::OBJECTS).set(objects.len() as i64);
+        state
     }
 
     /// Retrains when a threshold was crossed.
@@ -383,6 +391,8 @@ impl MovingObjectStore {
         if state.trajectory.is_empty() {
             return;
         }
+        let _span = hpm_obs::span!(crate::metrics::RETRAIN_SPAN);
+        hpm_obs::counter!(crate::metrics::RETRAINS).add(1);
         state.predictor = Some(HybridPredictor::build(
             &state.trajectory,
             &self.config.discovery,

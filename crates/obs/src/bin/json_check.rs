@@ -1,0 +1,187 @@
+//! `obs-json-check`: validates that a metrics snapshot JSON document
+//! (from `hpm-cli predict --metrics-json`) has the documented shape,
+//! and optionally that named metrics exist and are nonzero.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs-json-check <FILE|-> [counter:NAME]... [any-counter:A,B,...]... [histogram:NAME]...
+//! ```
+//!
+//! `-` reads stdin. `counter:NAME` requires that counter to exist with
+//! a nonzero total; `any-counter:A,B` requires at least one of the
+//! listed counters to be nonzero (e.g. FQP-or-BQP dispatch);
+//! `histogram:NAME` requires that histogram to exist with at least one
+//! sample. Exits 0 when every check passes, 1 otherwise, printing one
+//! line per failure. Used by `scripts/verify.sh`.
+
+use hpm_obs::json::{self, Json};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((source, requirements)) = args.split_first() else {
+        eprintln!("usage: obs-json-check <FILE|-> [counter:NAME] [any-counter:A,B] [histogram:NAME]...");
+        return ExitCode::FAILURE;
+    };
+
+    let input = match read_source(source) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs-json-check: cannot read {source}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = match json::parse(&input) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("obs-json-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = Vec::new();
+    check_shape(&doc, &mut failures);
+    if failures.is_empty() {
+        for req in requirements {
+            check_requirement(&doc, req, &mut failures);
+        }
+    }
+
+    if failures.is_empty() {
+        println!("obs-json-check: ok ({} checks)", 1 + requirements.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("obs-json-check: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn read_source(source: &str) -> std::io::Result<String> {
+    if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(source)
+    }
+}
+
+/// The documented snapshot schema: `counters` and `gauges` are objects
+/// of numbers; `histograms` is an array of objects carrying name,
+/// unit, count, sum, min, max, and `[upper_bound, count]` buckets.
+fn check_shape(doc: &Json, failures: &mut Vec<String>) {
+    let Some(_) = doc.as_object() else {
+        failures.push("top level is not an object".into());
+        return;
+    };
+    for section in ["counters", "gauges"] {
+        match doc.get(section).and_then(Json::as_object) {
+            None => failures.push(format!("missing object field {section:?}")),
+            Some(map) => {
+                for (name, v) in map {
+                    if v.as_f64().is_none() {
+                        failures.push(format!("{section}[{name:?}] is not a number"));
+                    }
+                }
+            }
+        }
+    }
+    let Some(hists) = doc.get("histograms").and_then(Json::as_array) else {
+        failures.push("missing array field \"histograms\"".into());
+        return;
+    };
+    for (i, h) in hists.iter().enumerate() {
+        let label = h
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{i}"));
+        if h.get("name").and_then(Json::as_str).is_none() {
+            failures.push(format!("histogram {label}: missing string \"name\""));
+        }
+        match h.get("unit").and_then(Json::as_str) {
+            Some("count" | "ns" | "bytes") => {}
+            _ => failures.push(format!("histogram {label}: unit is not count/ns/bytes")),
+        }
+        for field in ["count", "sum", "min", "max", "p50", "p99"] {
+            if h.get(field).and_then(Json::as_f64).is_none() {
+                failures.push(format!("histogram {label}: missing number {field:?}"));
+            }
+        }
+        match h.get("buckets").and_then(Json::as_array) {
+            None => failures.push(format!("histogram {label}: missing array \"buckets\"")),
+            Some(buckets) => {
+                let mut bucket_total = 0.0;
+                for b in buckets {
+                    match b.as_array() {
+                        Some([upper, count])
+                            if upper.as_f64().is_some() && count.as_f64().is_some() =>
+                        {
+                            bucket_total += count.as_f64().expect("checked");
+                        }
+                        _ => {
+                            failures.push(format!(
+                                "histogram {label}: bucket is not [upper, count]"
+                            ));
+                            break;
+                        }
+                    }
+                }
+                let count = h.get("count").and_then(Json::as_f64).unwrap_or(-1.0);
+                if count >= 0.0 && bucket_total != count {
+                    failures.push(format!(
+                        "histogram {label}: buckets sum to {bucket_total} but count is {count}"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn counter_value(doc: &Json, name: &str) -> Option<f64> {
+    doc.get("counters")?.get(name)?.as_f64()
+}
+
+fn check_requirement(doc: &Json, req: &str, failures: &mut Vec<String>) {
+    match req.split_once(':') {
+        Some(("counter", name)) => match counter_value(doc, name) {
+            None => failures.push(format!("required counter {name:?} is absent")),
+            Some(v) if v <= 0.0 => failures.push(format!("required counter {name:?} is zero")),
+            Some(_) => {}
+        },
+        Some(("any-counter", names)) => {
+            let hit = names
+                .split(',')
+                .any(|n| counter_value(doc, n).is_some_and(|v| v > 0.0));
+            if !hit {
+                failures.push(format!("none of the counters {names:?} is nonzero"));
+            }
+        }
+        Some(("histogram", name)) => {
+            let count = doc
+                .get("histograms")
+                .and_then(Json::as_array)
+                .and_then(|hs| {
+                    hs.iter()
+                        .find(|h| h.get("name").and_then(Json::as_str) == Some(name))
+                })
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64);
+            match count {
+                None => failures.push(format!("required histogram {name:?} is absent")),
+                Some(c) if c <= 0.0 => {
+                    failures.push(format!("required histogram {name:?} has no samples"));
+                }
+                Some(_) => {}
+            }
+        }
+        _ => failures.push(format!(
+            "unknown requirement {req:?} (want counter:/any-counter:/histogram:)"
+        )),
+    }
+}

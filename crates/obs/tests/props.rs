@@ -1,0 +1,93 @@
+//! Property tests for the histogram invariants the operator surface
+//! relies on: bucket counts always sum to the recorded sample count,
+//! and snapshot merge is associative (with the empty snapshot as
+//! identity), so sharded or per-interval snapshots can be combined in
+//! any order.
+
+use hpm_check::prelude::*;
+use hpm_obs::{HistogramSnapshot, Unit};
+
+/// Samples spanning several bucket magnitudes, including the 0 and
+/// `u64::MAX` edge values that clamp into the first and last bucket.
+fn arb_samples() -> Gen<Vec<u64>> {
+    vec(
+        tuple((int(0u8..3), int(0u64..1_000_000))).map(|(kind, raw)| match kind {
+            0 => raw % 16,
+            1 => raw,
+            _ => u64::MAX - raw % 4,
+        }),
+        0..60,
+    )
+}
+
+/// Folds samples into a detached snapshot the same way the live
+/// `Histogram` does (modulo atomics).
+fn build(name: &str, values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty(name, Unit::Count);
+    for &v in values {
+        h.buckets[(63 - v.max(1).leading_zeros() as usize).min(hpm_obs::BUCKETS - 1)] += 1;
+        h.count += 1;
+        h.sum = h.sum.wrapping_add(v);
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+    h
+}
+
+props! {
+    fn live_histogram_buckets_sum_to_count(values in arb_samples()) {
+        // One registered histogram per property; cases within a
+        // property run sequentially, so reset-then-record is safe.
+        hpm_obs::enable();
+        let h = hpm_obs::registry().histogram("obs.props.live", Unit::Count);
+        h.reset();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        require_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        require_eq!(snap.count, values.len() as u64);
+        require_eq!(
+            snap.sum,
+            values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+        );
+        if let Some(&min) = values.iter().min() {
+            require_eq!(snap.min, min);
+            require_eq!(snap.max, *values.iter().max().expect("non-empty"));
+        } else {
+            require_eq!(snap.min, u64::MAX);
+            require_eq!(snap.max, 0);
+        }
+    }
+
+    fn merge_is_associative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (ha, hb, hc) = (build("a", &a), build("a", &b), build("a", &c));
+        let left = ha.merge(&hb).merge(&hc);
+        let right = ha.merge(&hb.merge(&hc));
+        require_eq!(left, right);
+    }
+
+    fn merge_agrees_with_concatenation(a in arb_samples(), b in arb_samples()) {
+        let merged = build("m", &a).merge(&build("m", &b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        require_eq!(merged, build("m", &concat));
+    }
+
+    fn empty_is_merge_identity(a in arb_samples()) {
+        let h = build("i", &a);
+        let empty = HistogramSnapshot::empty("i", Unit::Count);
+        require_eq!(h.merge(&empty), h);
+        require_eq!(empty.merge(&h).buckets, h.buckets);
+        require_eq!(empty.merge(&h).count, h.count);
+    }
+
+    fn quantiles_are_ordered_and_bounded(a in arb_samples()) {
+        assume!(!a.is_empty());
+        let h = build("q", &a);
+        let (p50, p99, p100) = (h.quantile(0.5), h.quantile(0.99), h.quantile(1.0));
+        require!(p50 <= p99 && p99 <= p100);
+        require!(p100 <= h.max);
+        // Each quantile upper-bounds at least one real sample.
+        require!(a.iter().any(|&v| v <= p50));
+    }
+}

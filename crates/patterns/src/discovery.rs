@@ -120,6 +120,7 @@ pub fn discover(traj: &Trajectory, params: &DiscoveryParams) -> DiscoveryOutput 
 /// only `eps`/`min_pts` reuse the decomposition).
 pub fn discover_from_groups(groups: &OffsetGroups, params: &DiscoveryParams) -> DiscoveryOutput {
     assert_eq!(groups.period(), params.period, "period mismatch");
+    let _span = hpm_obs::span!(crate::metrics::DISCOVER_SPAN);
     let db = DbscanParams::new(params.eps, params.min_pts);
     let mut regions: Vec<FrequentRegion> = Vec::new();
     let mut visits = VisitTable::with_subs(groups.sub_count());
@@ -149,6 +150,7 @@ pub fn discover_from_groups(groups: &OffsetGroups, params: &DiscoveryParams) -> 
         }
     }
 
+    hpm_obs::counter!(crate::metrics::DISCOVER_REGIONS).add(regions.len() as u64);
     DiscoveryOutput {
         regions: RegionSet::new(regions, params.period),
         visits,

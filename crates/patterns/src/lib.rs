@@ -56,6 +56,7 @@ mod pattern;
 mod region;
 
 pub mod discovery;
+pub mod metrics;
 pub mod mining;
 
 pub use discovery::{

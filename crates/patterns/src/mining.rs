@@ -137,8 +137,14 @@ pub fn mine_with_threads(
 ) -> Vec<TrajectoryPattern> {
     assert!(threads >= 1, "threads must be >= 1");
     params.validate();
+    let _span = hpm_obs::span!(crate::metrics::MINE_SPAN);
     let levels = frequent_itemsets(regions, visits, params, threads);
-    generate_rules(&levels, params.min_confidence)
+    let patterns = {
+        let _span = hpm_obs::span!(crate::metrics::RULES_SPAN);
+        generate_rules(&levels, params.min_confidence)
+    };
+    hpm_obs::counter!(crate::metrics::MINE_PATTERNS).add(patterns.len() as u64);
+    patterns
 }
 
 /// Mines and additionally reports the pruning-effect statistics.
@@ -167,6 +173,7 @@ fn frequent_itemsets(
     params: &MiningParams,
     threads: usize,
 ) -> Vec<Counts> {
+    let _span = hpm_obs::span!(crate::metrics::ITEMSETS_SPAN);
     let max_len = params.max_premise_len + 1;
 
     // Level 1: count singles.
@@ -202,6 +209,12 @@ fn frequent_itemsets(
             break;
         }
         levels.push(ck);
+    }
+    if hpm_obs::enabled() {
+        for counts in &levels {
+            hpm_obs::histogram!(crate::metrics::MINE_LEVEL_ITEMSETS)
+                .record(counts.len() as u64);
+        }
     }
     levels
 }

@@ -47,6 +47,7 @@ mod bytes;
 mod codec;
 mod error;
 pub mod format;
+pub mod metrics;
 mod model;
 
 pub use error::DecodeError;

@@ -1,0 +1,31 @@
+//! Metric names this crate emits, and their registration.
+//!
+//! Names follow the workspace `crate.module.op` convention; the full
+//! catalogue lives in `docs/OBSERVABILITY.md`.
+
+/// Latency span around in-memory model encoding.
+pub const ENCODE_SPAN: &str = "store.model.encode";
+/// Latency span around in-memory model decoding (checksum included).
+pub const DECODE_SPAN: &str = "store.model.decode";
+/// Latency span around encode + file write.
+pub const SAVE_SPAN: &str = "store.model.save";
+/// Latency span around file read + decode.
+pub const LOAD_SPAN: &str = "store.model.load";
+
+/// Model bytes produced by encoding, summed over calls.
+pub const BYTES_WRITTEN: &str = "store.model.bytes_written";
+/// Model bytes consumed by decoding (valid or not), summed over calls.
+pub const BYTES_READ: &str = "store.model.bytes_read";
+/// Decode attempts rejected (bad magic, version, checksum, bounds).
+pub const DECODE_ERRORS: &str = "store.model.decode_errors";
+
+/// Registers every metric above so snapshots cover them even before
+/// the first model round-trip (zero-valued metrics are still listed).
+pub fn register() {
+    hpm_obs::registry().counter(BYTES_WRITTEN);
+    hpm_obs::registry().counter(BYTES_READ);
+    hpm_obs::registry().counter(DECODE_ERRORS);
+    for span in [ENCODE_SPAN, DECODE_SPAN, SAVE_SPAN, LOAD_SPAN] {
+        hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
+    }
+}

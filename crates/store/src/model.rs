@@ -21,6 +21,7 @@ pub struct StoredModel {
 
 /// Encodes a model into the version-1 binary format.
 pub fn encode_model(regions: &RegionSet, patterns: &[TrajectoryPattern]) -> Vec<u8> {
+    let _span = hpm_obs::span!(crate::metrics::ENCODE_SPAN);
     // Rough pre-size: fixed 48 B per region, ~12 B per pattern.
     let mut buf = Vec::with_capacity(16 + regions.len() * 56 + patterns.len() * 16);
     buf.extend_from_slice(MAGIC);
@@ -60,6 +61,7 @@ pub fn encode_model(regions: &RegionSet, patterns: &[TrajectoryPattern]) -> Vec<
 
     let checksum = fnv1a(&buf);
     buf.extend_from_slice(&checksum.to_le_bytes());
+    hpm_obs::counter!(crate::metrics::BYTES_WRITTEN).add(buf.len() as u64);
     buf
 }
 
@@ -67,6 +69,16 @@ pub fn encode_model(regions: &RegionSet, patterns: &[TrajectoryPattern]) -> Vec<
 /// structural invariants (each pattern is validated against the
 /// decoded region set).
 pub fn decode_model(bytes: &[u8]) -> Result<StoredModel, DecodeError> {
+    let _span = hpm_obs::span!(crate::metrics::DECODE_SPAN);
+    hpm_obs::counter!(crate::metrics::BYTES_READ).add(bytes.len() as u64);
+    let result = decode_model_inner(bytes);
+    if result.is_err() {
+        hpm_obs::counter!(crate::metrics::DECODE_ERRORS).add(1);
+    }
+    result
+}
+
+fn decode_model_inner(bytes: &[u8]) -> Result<StoredModel, DecodeError> {
     if bytes.len() < MAGIC.len() + 8 {
         return Err(DecodeError::Truncated);
     }
@@ -183,11 +195,13 @@ pub fn save_model(
     regions: &RegionSet,
     patterns: &[TrajectoryPattern],
 ) -> std::io::Result<()> {
+    let _span = hpm_obs::span!(crate::metrics::SAVE_SPAN);
     std::fs::write(path, encode_model(regions, patterns))
 }
 
 /// Reads and decodes a model file.
 pub fn load_model(path: impl AsRef<Path>) -> std::io::Result<Result<StoredModel, DecodeError>> {
+    let _span = hpm_obs::span!(crate::metrics::LOAD_SPAN);
     Ok(decode_model(&std::fs::read(path)?))
 }
 

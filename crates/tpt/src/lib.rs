@@ -38,6 +38,7 @@ mod bitmap;
 mod brute;
 mod index;
 mod keys;
+pub mod metrics;
 mod tree;
 
 pub use bitmap::Bitmap;

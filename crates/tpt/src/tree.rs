@@ -74,6 +74,11 @@ pub struct SearchStats {
     pub nodes_visited: usize,
     /// Entry keys tested against the query.
     pub entries_checked: usize,
+    /// Signature false hits: leaf entries reached (their parent's
+    /// union key intersected the query) whose own key did not — the
+    /// superimposed-coding false drops §V's signature layout trades
+    /// against node size.
+    pub false_hits: usize,
 }
 
 /// The Trajectory Pattern Tree.
@@ -380,11 +385,13 @@ impl Tpt {
 
     /// Searches with instrumentation.
     pub fn search_with_stats(&self, query: &PatternKey) -> (Vec<Match>, SearchStats) {
+        let _span = hpm_obs::span!(crate::metrics::SEARCH_SPAN);
         let mut out = Vec::new();
         let mut stats = SearchStats::default();
         if !self.nodes.is_empty() {
             self.dfs(self.root, query, &mut out, &mut stats);
         }
+        crate::metrics::record_search(&stats, out.len());
         (out, stats)
     }
 
@@ -402,6 +409,8 @@ impl Tpt {
                 } else {
                     self.dfs(e.child, query, out, stats);
                 }
+            } else if node.leaf {
+                stats.false_hits += 1;
             }
         }
     }
@@ -627,10 +636,13 @@ fn choose_subtree(entries: &[Entry], pk: &PatternKey) -> usize {
 
 impl PatternIndex for Tpt {
     fn search_into(&self, query: &PatternKey, out: &mut Vec<Match>) {
+        let _span = hpm_obs::span!(crate::metrics::SEARCH_SPAN);
+        let before = out.len();
         let mut stats = SearchStats::default();
         if !self.nodes.is_empty() {
             self.dfs(self.root, query, out, &mut stats);
         }
+        crate::metrics::record_search(&stats, out.len() - before);
     }
 
     fn len(&self) -> usize {

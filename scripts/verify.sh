@@ -13,6 +13,24 @@ cargo test -q --offline
 echo "==> cargo test -q --offline --workspace (all crates)"
 cargo test -q --offline --workspace
 
+echo "==> metrics-json smoke (hpm predict --metrics-json + obs-json-check)"
+cargo build --release --offline -p hpm-cli -p hpm-obs
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/hpm generate --dataset bike --subs 45 --seed 3 \
+    --output "$SMOKE_DIR/bike.csv" >/dev/null
+./target/release/hpm train --input "$SMOKE_DIR/bike.csv" --period 300 \
+    --output "$SMOKE_DIR/bike.hpm" >/dev/null
+./target/release/hpm predict --model "$SMOKE_DIR/bike.hpm" \
+    --input "$SMOKE_DIR/bike.csv" --at 13540 \
+    --metrics-json "$SMOKE_DIR/metrics.json" >/dev/null
+./target/release/obs-json-check "$SMOKE_DIR/metrics.json" \
+    counter:core.predict.calls \
+    any-counter:core.predict.fqp_dispatch,core.predict.bqp_dispatch \
+    counter:store.model.bytes_read \
+    histogram:core.predict \
+    histogram:store.model.decode
+
 echo "==> hermetic manifest scan"
 if grep -En '^(proptest|rand|criterion|serde|bytes|crossbeam|parking_lot)' \
     Cargo.toml crates/*/Cargo.toml; then

@@ -11,6 +11,7 @@ pub use hpm_geo as geo;
 pub use hpm_linalg as linalg;
 pub use hpm_motion as motion;
 pub use hpm_objectstore as objectstore;
+pub use hpm_obs as obs;
 pub use hpm_patterns as patterns;
 pub use hpm_store as store;
 pub use hpm_tpt as tpt;

@@ -1,0 +1,146 @@
+//! Observability integration tests: a full predict over an in-tree
+//! fixture must emit the documented span tree and dispatch counters,
+//! and stay within the hot-path span budget (the regression guard for
+//! "someone added a span per candidate").
+
+use hybrid_prediction_model::core::{metrics as core_metrics, HpmConfig, HybridPredictor, PredictiveQuery};
+use hybrid_prediction_model::geo::Point;
+use hybrid_prediction_model::obs;
+use hybrid_prediction_model::patterns::{DiscoveryParams, MiningParams};
+use hybrid_prediction_model::trajectory::Trajectory;
+use std::sync::{Mutex, MutexGuard};
+
+/// Tests toggle the process-wide obs flag; serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// 40 days of a period-3 commute (home → road → work) with jitter —
+/// the same shape as the crate-level doctest, small enough to build in
+/// milliseconds but dense enough to mine patterns from.
+fn commuter() -> HybridPredictor {
+    let mut pts = Vec::new();
+    for day in 0..40 {
+        let j = (day % 3) as f64 * 0.1;
+        pts.push(Point::new(j, 0.0));
+        pts.push(Point::new(50.0 + j, 0.0));
+        pts.push(Point::new(100.0 + j, 0.0));
+    }
+    HybridPredictor::build(
+        &Trajectory::from_points(pts),
+        &DiscoveryParams {
+            period: 3,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        &MiningParams {
+            min_support: 4,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 2,
+        },
+        HpmConfig {
+            match_margin: 2.0,
+            ..HpmConfig::default()
+        },
+    )
+}
+
+fn near_query(recent: &[Point]) -> PredictiveQuery<'_> {
+    PredictiveQuery {
+        recent,
+        current_time: 120,
+        query_time: 122,
+    }
+}
+
+#[test]
+fn predict_emits_expected_span_tree_and_dispatch_counter() {
+    let _guard = serial();
+    let predictor = commuter();
+    core_metrics::register();
+    obs::enable();
+    let fqp_before = obs::snapshot().counter(core_metrics::FQP_DISPATCH).unwrap();
+    let recent = [Point::new(0.0, 0.0)];
+    let (prediction, roots) = obs::capture(|| predictor.predict(&near_query(&recent)));
+    obs::disable();
+
+    assert!(prediction.from_patterns());
+
+    // The span tree mirrors the call structure: predict wraps the FQP
+    // stage, which searches the TPT and then ranks candidates.
+    assert_eq!(roots.len(), 1, "roots: {roots:?}");
+    let predict = &roots[0];
+    assert_eq!(predict.name, core_metrics::PREDICT_SPAN);
+    let fqp = predict
+        .find(core_metrics::FQP_SPAN)
+        .expect("near query runs FQP");
+    assert!(fqp.find("tpt.search").is_some(), "FQP searches the TPT");
+    assert!(fqp.find(core_metrics::RANK_SPAN).is_some(), "FQP ranks");
+    assert!(predict.find(core_metrics::BQP_SPAN).is_none());
+
+    // Exactly one near query dispatched to the FQP arm.
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter(core_metrics::FQP_DISPATCH).unwrap() - fqp_before,
+        1
+    );
+    // The TPT search counters moved with it.
+    assert!(snap.counter("tpt.search.nodes_visited").unwrap() > 0);
+    // Every span fed its latency histogram (unit ns, nonzero samples).
+    for span in [core_metrics::PREDICT_SPAN, core_metrics::FQP_SPAN, "tpt.search"] {
+        let h = snap.histogram(span).unwrap_or_else(|| panic!("{span} missing"));
+        assert_eq!(h.unit, obs::Unit::Nanos);
+        assert!(h.count > 0, "{span} has no samples");
+    }
+}
+
+#[test]
+fn span_budget_stays_flat() {
+    let _guard = serial();
+    let predictor = commuter();
+    obs::enable();
+    let recent = [Point::new(0.0, 0.0)];
+    let (_, roots) = obs::capture(|| predictor.predict(&near_query(&recent)));
+    obs::disable();
+    let total: usize = roots.iter().map(|r| r.span_count()).sum();
+    // One predict currently opens 4 spans (predict, fqp, tpt.search,
+    // rank). The budget leaves room for one more stage; per-candidate
+    // or per-node spans would blow straight past it.
+    assert!(total >= 4, "span tree unexpectedly shallow: {roots:?}");
+    assert!(total <= 6, "hot-path span budget exceeded ({total}): {roots:?}");
+}
+
+#[test]
+fn fallback_path_counts_rmf() {
+    let _guard = serial();
+    let predictor = commuter();
+    core_metrics::register();
+    obs::enable();
+    let rmf_before = obs::snapshot().counter(core_metrics::RMF_FALLBACK).unwrap();
+    // Recent movements far outside every frequent region: no premise,
+    // FQP declines, the motion function answers.
+    let recent = [Point::new(900.0, 900.0), Point::new(905.0, 900.0)];
+    let prediction = predictor.predict(&near_query(&recent));
+    obs::disable();
+    assert!(!prediction.from_patterns());
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter(core_metrics::RMF_FALLBACK).unwrap() - rmf_before,
+        1
+    );
+}
+
+#[test]
+fn disabled_mode_captures_nothing() {
+    let _guard = serial();
+    let predictor = commuter();
+    obs::disable();
+    let recent = [Point::new(0.0, 0.0)];
+    let (prediction, roots) = obs::capture(|| predictor.predict(&near_query(&recent)));
+    assert!(prediction.from_patterns(), "prediction itself unaffected");
+    assert!(roots.is_empty(), "disabled mode must not record spans");
+}
