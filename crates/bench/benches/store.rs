@@ -45,6 +45,8 @@ fn bench_objectstore_ingest(c: &mut Criterion) {
         min_train_subs: 20,
         retrain_every_subs: 20,
         recent_len: 20,
+        shards: 8,
+        threads: 1,
     };
     group.throughput(Throughput::Elements(traj.len() as u64));
     group.bench_function("ingest_25_days_with_one_retrain", |b| {

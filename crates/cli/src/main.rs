@@ -5,6 +5,7 @@
 //! hpm train    --input traj.csv --period 300 --output model.hpm
 //! hpm info     --model model.hpm
 //! hpm predict  --model model.hpm --input traj.csv --at 18050 [--k 3]
+//! hpm predict  --model model.hpm --input traj.csv --batch times.txt --threads 4
 //! hpm eval     --input traj.csv --period 300 --train-subs 60 --length 50
 //! ```
 //!
@@ -63,8 +64,10 @@ SUBCOMMANDS
             [--fill-gaps true] [--despike MAX_STEP]
   info      summarise a saved model
             --model model.hpm  [--top 10] [--map true]
-  predict   answer a predictive query from a model + recent movements
-            --model model.hpm  --input traj.csv  --at T
+  predict   answer predictive queries from a model + recent movements
+            --model model.hpm  --input traj.csv  (--at T | --batch FILE)
+            [--threads N]  (batch mode: one query time per line,
+            `#` comments allowed; N=0 sizes from HPM_THREADS/cores)
             [--recent 20] [--k 1] [--distant 60] [--teps 2] [--margin 30]
             [--fill-gaps true] [--despike MAX_STEP]
             [--metrics true] [--metrics-json FILE|-]  (FILE `-` = stdout)
@@ -244,10 +247,32 @@ fn region_map(regions: &hpm_patterns::RegionSet, cols: usize, rows: usize) -> St
     out
 }
 
+/// Reads a batch-query file: one query time per line; blank lines and
+/// `#` comments are skipped.
+fn read_batch_times(path: &str) -> Result<Vec<u64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read --batch {path}: {e}"))?;
+    let mut times = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let t: u64 = line
+            .parse()
+            .map_err(|_| format!("{path}:{}: cannot parse query time `{line}`", lineno + 1))?;
+        times.push(t);
+    }
+    if times.is_empty() {
+        return Err(format!("--batch {path} holds no query times"));
+    }
+    Ok(times)
+}
+
 fn cmd_predict(args: &Args) -> Result<(), String> {
     args.expect_only(&[
-        "model", "input", "at", "recent", "k", "distant", "teps", "margin", "fill-gaps",
-        "despike", "metrics", "metrics-json",
+        "model", "input", "at", "batch", "threads", "recent", "k", "distant", "teps",
+        "margin", "fill-gaps", "despike", "metrics", "metrics-json",
     ])?;
     let metrics_text: bool = args.get_or("metrics", false)?;
     let metrics_json = args.optional("metrics-json");
@@ -275,24 +300,58 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let recent_len: usize = args.get_or("recent", 20)?;
     let (recent, _) = traj.recent_window(recent_len);
     let current_time = traj.end() - 1;
-    let query_time: u64 = args.get("at")?;
-    if query_time <= current_time {
-        return Err(format!(
-            "--at {query_time} is not after the trajectory's last timestamp {current_time}"
-        ));
-    }
-    let pred = predictor.predict(&PredictiveQuery {
-        recent,
-        current_time,
-        query_time,
-    });
-    println!(
-        "object now at {} (t={current_time}); at t={query_time} predicted via {:?}:",
-        recent.last().expect("non-empty trajectory"),
-        pred.source
-    );
-    for (rank, a) in pred.answers.iter().enumerate() {
-        println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
+    if let Some(batch) = args.optional("batch") {
+        if args.optional("at").is_some() {
+            return Err("--at and --batch are mutually exclusive".into());
+        }
+        let times = read_batch_times(batch)?;
+        if let Some(&bad) = times.iter().find(|&&t| t <= current_time) {
+            return Err(format!(
+                "batch query time {bad} is not after the trajectory's last timestamp {current_time}"
+            ));
+        }
+        let pool = hpm_objectstore::WorkerPool::sized(args.get_or("threads", 0)?);
+        let preds = pool.run(times.len(), |i| {
+            predictor.predict(&PredictiveQuery {
+                recent,
+                current_time,
+                query_time: times[i],
+            })
+        });
+        println!(
+            "object now at {} (t={current_time}); {} batch queries on {} threads:",
+            recent.last().expect("non-empty trajectory"),
+            times.len(),
+            pool.threads()
+        );
+        for (t, pred) in times.iter().zip(&preds) {
+            let score = pred.answers.first().map_or(0.0, |a| a.score);
+            println!(
+                "  t={t}: {} via {:?} (score {score:.3})",
+                pred.best(),
+                pred.source
+            );
+        }
+    } else {
+        let query_time: u64 = args.get("at")?;
+        if query_time <= current_time {
+            return Err(format!(
+                "--at {query_time} is not after the trajectory's last timestamp {current_time}"
+            ));
+        }
+        let pred = predictor.predict(&PredictiveQuery {
+            recent,
+            current_time,
+            query_time,
+        });
+        println!(
+            "object now at {} (t={current_time}); at t={query_time} predicted via {:?}:",
+            recent.last().expect("non-empty trajectory"),
+            pred.source
+        );
+        for (rank, a) in pred.answers.iter().enumerate() {
+            println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
+        }
     }
     if metrics_text || metrics_json.is_some() {
         let snap = hpm_obs::snapshot();

@@ -174,6 +174,74 @@ fn predict_metrics_json_covers_hot_path() {
 }
 
 #[test]
+fn predict_batch_mode_parallel_matches_sequential() {
+    // Own subdirectory: sibling tests remove the shared tmpdir.
+    let dir = tmpdir().join("batch_predict");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("bike.csv");
+    let model = dir.join("bike.hpm");
+    let csv_s = csv.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    let out = hpm(&[
+        "generate", "--dataset", "bike", "--subs", "45", "--seed", "3", "--output", csv_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = hpm(&["train", "--input", csv_s, "--period", "300", "--output", model_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Query-time file: comments and blank lines tolerated, answers in
+    // file order.
+    let batch = dir.join("times.txt");
+    std::fs::write(
+        &batch,
+        "# predictive query times\n13540\n\n13600\n13700\n13800\n",
+    )
+    .unwrap();
+    let batch_s = batch.to_str().unwrap();
+
+    let run = |threads: &str| {
+        let out = hpm(&[
+            "predict", "--model", model_s, "--input", csv_s, "--batch", batch_s, "--threads",
+            threads,
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    let seq = run("1");
+    assert!(seq.contains("4 batch queries on 1 threads"), "{seq}");
+    for t in ["t=13540:", "t=13600:", "t=13700:", "t=13800:"] {
+        assert!(seq.contains(t), "{seq}");
+    }
+    // Input order is preserved.
+    assert!(seq.find("t=13540:").unwrap() < seq.find("t=13800:").unwrap());
+
+    // 4 threads: identical answers, only the reported width differs.
+    let par = run("4");
+    assert_eq!(
+        seq.replace("on 1 threads", "on N threads"),
+        par.replace("on 4 threads", "on N threads")
+    );
+
+    // --at and --batch together is an error.
+    let out = hpm(&[
+        "predict", "--model", model_s, "--input", csv_s, "--batch", batch_s, "--at", "13540",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("mutually exclusive"));
+
+    // A past query time anywhere in the file is rejected.
+    std::fs::write(&batch, "13540\n5\n").unwrap();
+    let out = hpm(&[
+        "predict", "--model", model_s, "--input", csv_s, "--batch", batch_s,
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not after"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn predict_rejects_past_query_time() {
     let dir = tmpdir();
     let csv = dir.join("tiny.csv");

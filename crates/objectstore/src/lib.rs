@@ -9,9 +9,15 @@
 //! accumulated" retraining policy rebuilds it every
 //! `retrain_every_subs` further periods.
 //!
-//! Reads and writes are object-granular: a `std::sync::RwLock` around
-//! the object map plus one lock per object, so queries against one
-//! object proceed while another object retrains.
+//! Reads and writes are object-granular and shard-partitioned: the
+//! object population is split across `StoreConfig::shards` maps
+//! (`id % shards`), each behind its own `std::sync::RwLock`, plus one
+//! lock per object — no global lock exists on the hot path, so queries
+//! against one object proceed while another object retrains, and
+//! writers to different shards never contend. Batch calls
+//! ([`MovingObjectStore::predict_batch`],
+//! [`MovingObjectStore::report_many`]) fan work across an internal
+//! [`WorkerPool`] sized by `StoreConfig::threads` / `HPM_THREADS`.
 
 //! # Example
 //!
@@ -34,6 +40,8 @@
 //!     min_train_subs: 5,
 //!     retrain_every_subs: 5,
 //!     recent_len: 2,
+//!     shards: 4,
+//!     threads: 0, // auto: HPM_THREADS, else available parallelism
 //! });
 //!
 //! // Stream 10 "days" of home -> road -> work.
@@ -52,8 +60,10 @@
 //! ```
 
 pub mod metrics;
+pub mod pool;
 mod store;
 
+pub use pool::WorkerPool;
 pub use store::{
     IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig,
 };

@@ -3,6 +3,9 @@
 //! Names follow the workspace `crate.module.op` convention; the full
 //! catalogue lives in `docs/OBSERVABILITY.md`.
 
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
 /// Latency span around one location-report ingest (retrain included
 /// when a threshold was crossed).
 pub const REPORT_SPAN: &str = "objectstore.report";
@@ -10,6 +13,11 @@ pub const REPORT_SPAN: &str = "objectstore.report";
 pub const PREDICT_SPAN: &str = "objectstore.predict";
 /// Latency span around one per-object predictor rebuild.
 pub const RETRAIN_SPAN: &str = "objectstore.retrain";
+/// Latency span around one batch predictive call (`predict_batch` /
+/// `predict_range_batch`), pool fan-out included.
+pub const PREDICT_BATCH_SPAN: &str = "objectstore.predict_batch";
+/// Latency span around one multi-object `report_many` ingest.
+pub const REPORT_MANY_SPAN: &str = "objectstore.report_many";
 
 /// Location reports accepted (single and batched samples alike).
 pub const REPORTS: &str = "objectstore.reports";
@@ -21,14 +29,44 @@ pub const RETRAINS: &str = "objectstore.retrains";
 /// Currently tracked objects (gauge).
 pub const OBJECTS: &str = "objectstore.objects";
 
+/// Queue depth observed by pool workers at each job pop — deep means
+/// batches arrive faster than workers drain them, shallow means the
+/// pool is wider than the work.
+pub const POOL_QUEUE_DEPTH: &str = "objectstore.pool.queue_depth";
+
+/// Per-shard occupancy gauge (`objectstore.shard.objects.<i>`).
+///
+/// Metric names are `&'static str` throughout the obs layer, so shard
+/// names are leaked once into a process-wide cache — the set of shard
+/// indices a process ever sees is small and fixed by `StoreConfig`.
+pub fn shard_objects_gauge(shard: usize) -> &'static hpm_obs::Gauge {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(Vec::new()));
+    let mut names = names.lock().unwrap_or_else(|e| e.into_inner());
+    while names.len() <= shard {
+        let name: &'static str =
+            Box::leak(format!("objectstore.shard.objects.{}", names.len()).into_boxed_str());
+        names.push(name);
+    }
+    hpm_obs::registry().gauge(names[shard])
+}
+
 /// Registers every metric above so snapshots cover them even before
 /// the first report (zero-valued metrics are still listed).
+/// Per-shard gauges register themselves lazily on first touch.
 pub fn register() {
     hpm_obs::registry().counter(REPORTS);
     hpm_obs::registry().counter(PREDICTS);
     hpm_obs::registry().counter(RETRAINS);
     hpm_obs::registry().gauge(OBJECTS);
-    for span in [REPORT_SPAN, PREDICT_SPAN, RETRAIN_SPAN] {
+    hpm_obs::registry().histogram(POOL_QUEUE_DEPTH, hpm_obs::Unit::Count);
+    for span in [
+        REPORT_SPAN,
+        PREDICT_SPAN,
+        RETRAIN_SPAN,
+        PREDICT_BATCH_SPAN,
+        REPORT_MANY_SPAN,
+    ] {
         hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
     }
 }

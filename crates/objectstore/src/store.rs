@@ -1,5 +1,6 @@
 //! The store implementation.
 
+use crate::pool::WorkerPool;
 use hpm_core::{HpmConfig, HybridPredictor, Prediction, PredictiveQuery};
 use hpm_geo::Point;
 use hpm_patterns::{DiscoveryParams, MiningParams};
@@ -36,6 +37,13 @@ pub struct StoreConfig {
     /// Recent samples handed to each query (premise matching + motion
     /// fallback fitting).
     pub recent_len: usize,
+    /// Shards the object map is split across (`id % shards`); each
+    /// shard has its own lock, so the hot path never takes a global
+    /// one. Must be at least 1.
+    pub shards: usize,
+    /// Worker threads for the batch APIs; `0` = auto (`HPM_THREADS`
+    /// environment variable, else available parallelism).
+    pub threads: usize,
 }
 
 impl StoreConfig {
@@ -46,6 +54,7 @@ impl StoreConfig {
             "retrain_every_subs must be >= 1"
         );
         assert!(self.recent_len >= 1, "recent_len must be >= 1");
+        assert!(self.shards >= 1, "shards must be >= 1");
         self.hpm.validate();
     }
 }
@@ -131,11 +140,29 @@ struct ObjectState {
     trained_subs: usize,
 }
 
-/// The store: a map of tracked objects, each with its history and a
-/// lazily retrained predictor.
+/// One partition of the object population: its own map under its own
+/// lock. Writers to different shards never contend.
+struct Shard {
+    objects: RwLock<HashMap<u64, Arc<RwLock<ObjectState>>>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            objects: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+/// The store: the tracked-object population partitioned into
+/// `config.shards` shards (`id % shards`), each object with its
+/// history and a lazily retrained predictor. Single-object calls touch
+/// exactly one shard lock plus the object's own lock; batch calls fan
+/// work across an internal [`WorkerPool`].
 pub struct MovingObjectStore {
     config: StoreConfig,
-    objects: RwLock<HashMap<u64, Arc<RwLock<ObjectState>>>>,
+    shards: Box<[Shard]>,
+    pool: WorkerPool,
 }
 
 impl MovingObjectStore {
@@ -145,9 +172,12 @@ impl MovingObjectStore {
     /// Panics when `config` is inconsistent.
     pub fn new(config: StoreConfig) -> Self {
         config.validate();
+        let shards: Box<[Shard]> = (0..config.shards).map(|_| Shard::new()).collect();
+        let pool = WorkerPool::sized(config.threads);
         MovingObjectStore {
             config,
-            objects: RwLock::new(HashMap::new()),
+            shards,
+            pool,
         }
     }
 
@@ -156,9 +186,39 @@ impl MovingObjectStore {
         &self.config
     }
 
+    /// The batch-API worker pool (sized by `StoreConfig::threads` /
+    /// `HPM_THREADS`).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Number of shards the object population is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of tracked objects.
     pub fn object_count(&self) -> usize {
-        self.objects.read().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.objects.read().unwrap().len())
+            .sum()
+    }
+
+    /// The shard index `id` lives in.
+    #[inline]
+    fn shard_index(&self, raw: u64) -> usize {
+        (raw % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn shard_of(&self, raw: u64) -> &Shard {
+        &self.shards[self.shard_index(raw)]
+    }
+
+    /// The state cell of a tracked object, if any.
+    fn lookup(&self, id: ObjectId) -> Option<Arc<RwLock<ObjectState>>> {
+        self.shard_of(id.0).objects.read().unwrap().get(&id.0).cloned()
     }
 
     /// Ingests one location report. The first report of an object sets
@@ -187,7 +247,8 @@ impl MovingObjectStore {
 
     /// Ingests a contiguous batch starting at `start` — a convenience
     /// over repeated [`report`](Self::report) calls that retrains at
-    /// most once.
+    /// most once. The object's lock is held across the whole batch, so
+    /// a concurrent reader sees either none or all of it.
     pub fn report_batch(
         &self,
         id: ObjectId,
@@ -195,8 +256,7 @@ impl MovingObjectStore {
         positions: &[Point],
     ) -> Result<(), IngestError> {
         let _span = hpm_obs::span!(crate::metrics::REPORT_SPAN);
-        if let Some(bad) = positions.iter().find(|p| !p.is_finite()) {
-            let _ = bad;
+        if positions.iter().any(|p| !p.is_finite()) {
             return Err(IngestError::NonFinitePosition);
         }
         let state = self.state_of(id, start);
@@ -216,18 +276,112 @@ impl MovingObjectStore {
         Ok(())
     }
 
+    /// Ingests a mixed multi-object batch, fanned across the worker
+    /// pool **by shard** (an object lives in exactly one shard, so its
+    /// reports are applied by one worker, in input order). Returns one
+    /// result per input report, in input order.
+    ///
+    /// Atomicity: all of an object's reports in one call are applied
+    /// under a single hold of its write lock — a concurrent reader
+    /// sees the object's pre-call or post-call history, never a
+    /// partial prefix. Each object retrains at most once per call.
+    pub fn report_many(
+        &self,
+        reports: &[(ObjectId, Timestamp, Point)],
+    ) -> Vec<Result<(), IngestError>> {
+        let _span = hpm_obs::span!(crate::metrics::REPORT_MANY_SPAN);
+        // Partition input indices by shard, preserving input order.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (id, _, _)) in reports.iter().enumerate() {
+            by_shard[self.shard_index(id.0)].push(i);
+        }
+        let groups: Vec<Vec<usize>> = by_shard.into_iter().filter(|g| !g.is_empty()).collect();
+        let per_group: Vec<Vec<(usize, Result<(), IngestError>)>> =
+            self.pool.run(groups.len(), |g| {
+                // Sub-group the shard's reports by object, preserving
+                // first-appearance order and per-object input order.
+                let mut order: Vec<u64> = Vec::new();
+                let mut per_object: HashMap<u64, Vec<usize>> = HashMap::new();
+                for &i in &groups[g] {
+                    let raw = reports[i].0 .0;
+                    per_object
+                        .entry(raw)
+                        .or_insert_with(|| {
+                            order.push(raw);
+                            Vec::new()
+                        })
+                        .push(i);
+                }
+                let mut out = Vec::with_capacity(groups[g].len());
+                for raw in order {
+                    self.apply_object_reports(ObjectId(raw), &per_object[&raw], reports, &mut out);
+                }
+                out
+            });
+        let mut results: Vec<Option<Result<(), IngestError>>> =
+            (0..reports.len()).map(|_| None).collect();
+        for group in per_group {
+            for (i, r) in group {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every report dispatched to exactly one shard"))
+            .collect()
+    }
+
+    /// Applies one object's slice of a [`report_many`](Self::report_many)
+    /// call under a single write-lock hold.
+    fn apply_object_reports(
+        &self,
+        id: ObjectId,
+        idxs: &[usize],
+        reports: &[(ObjectId, Timestamp, Point)],
+        out: &mut Vec<(usize, Result<(), IngestError>)>,
+    ) {
+        // Non-finite reports never create the object (mirrors
+        // `report`, which validates before touching the map).
+        let mut start = 0;
+        while start < idxs.len() && !reports[idxs[start]].2.is_finite() {
+            out.push((idxs[start], Err(IngestError::NonFinitePosition)));
+            start += 1;
+        }
+        let Some(&first) = idxs.get(start) else {
+            return;
+        };
+        let state = self.state_of(id, reports[first].1);
+        let mut state = state.write().unwrap();
+        let mut accepted = 0u64;
+        for &i in &idxs[start..] {
+            let (_, t, p) = reports[i];
+            let result = if !p.is_finite() {
+                Err(IngestError::NonFinitePosition)
+            } else {
+                let expected = state.trajectory.end();
+                if t != expected {
+                    Err(IngestError::NonContiguous {
+                        expected,
+                        got: t,
+                    })
+                } else {
+                    state.trajectory.push(p);
+                    accepted += 1;
+                    Ok(())
+                }
+            };
+            out.push((i, result));
+        }
+        hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
+        self.maybe_retrain(&mut state);
+    }
+
     /// Answers "where will `id` be at `query_time`" from the object's
     /// current predictor (or its motion function while untrained).
     pub fn predict(&self, id: ObjectId, query_time: Timestamp) -> Result<Prediction, QueryError> {
         let _span = hpm_obs::span!(crate::metrics::PREDICT_SPAN);
         hpm_obs::counter!(crate::metrics::PREDICTS).add(1);
-        let state = {
-            let objects = self.objects.read().unwrap();
-            objects
-                .get(&id.0)
-                .cloned()
-                .ok_or(QueryError::UnknownObject(id))?
-        };
+        let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
         let state = state.read().unwrap();
         if state.trajectory.is_empty() {
             return Err(QueryError::NoHistory(id));
@@ -260,11 +414,66 @@ impl MovingObjectStore {
         }
     }
 
+    /// Answers a batch of per-object predictive queries, partitioned
+    /// across the store's worker pool. Results are in input order and
+    /// bit-identical to calling [`predict`](Self::predict) one query
+    /// at a time (prediction is a pure read; the pool only changes who
+    /// computes what).
+    pub fn predict_batch(
+        &self,
+        queries: &[(ObjectId, Timestamp)],
+    ) -> Vec<Result<Prediction, QueryError>> {
+        self.predict_batch_with(queries, &self.pool)
+    }
+
+    /// [`predict_batch`](Self::predict_batch) on an explicit pool
+    /// (equivalence tests compare pools of different widths).
+    pub fn predict_batch_with(
+        &self,
+        queries: &[(ObjectId, Timestamp)],
+        pool: &WorkerPool,
+    ) -> Vec<Result<Prediction, QueryError>> {
+        let _span = hpm_obs::span!(crate::metrics::PREDICT_BATCH_SPAN);
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let chunk = queries.len().div_ceil(pool.threads());
+        let chunks: Vec<&[(ObjectId, Timestamp)]> = queries.chunks(chunk).collect();
+        let per_chunk = pool.run(chunks.len(), |i| {
+            chunks[i]
+                .iter()
+                .map(|&(id, t)| self.predict(id, t))
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Answers a batch of predictive range queries (each one a full
+    /// [`predict_range`](Self::predict_range)), fanned across the
+    /// worker pool. Results are in input order.
+    pub fn predict_range_batch(
+        &self,
+        queries: &[(hpm_geo::BoundingBox, Timestamp)],
+    ) -> Vec<Vec<(ObjectId, Point)>> {
+        let _span = hpm_obs::span!(crate::metrics::PREDICT_BATCH_SPAN);
+        self.pool.run(queries.len(), |i| {
+            self.predict_range_inner(&queries[i].0, queries[i].1)
+        })
+    }
+
     /// Predictive **range query**: which tracked objects are predicted
     /// to be inside `region` at `query_time`? Objects whose query is
     /// invalid (no history, or `query_time` not in their future) are
     /// skipped. Results are ordered by object id.
     pub fn predict_range(
+        &self,
+        region: &hpm_geo::BoundingBox,
+        query_time: Timestamp,
+    ) -> Vec<(ObjectId, Point)> {
+        self.predict_range_inner(region, query_time)
+    }
+
+    fn predict_range_inner(
         &self,
         region: &hpm_geo::BoundingBox,
         query_time: Timestamp,
@@ -303,26 +512,23 @@ impl MovingObjectStore {
     }
 
     /// Best predicted position of every object for which `query_time`
-    /// is askable.
+    /// is askable. Walks shard by shard; no global lock exists to
+    /// take, so concurrent reports to other shards proceed untouched.
     fn predict_all(&self, query_time: Timestamp) -> Vec<(ObjectId, Point)> {
-        let ids: Vec<u64> = self.objects.read().unwrap().keys().copied().collect();
-        ids.into_iter()
-            .filter_map(|raw| {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let ids: Vec<u64> = shard.objects.read().unwrap().keys().copied().collect();
+            out.extend(ids.into_iter().filter_map(|raw| {
                 let id = ObjectId(raw);
                 self.predict(id, query_time).ok().map(|p| (id, p.best()))
-            })
-            .collect()
+            }));
+        }
+        out
     }
 
     /// Current stats of an object.
     pub fn stats(&self, id: ObjectId) -> Result<ObjectStats, QueryError> {
-        let state = {
-            let objects = self.objects.read().unwrap();
-            objects
-                .get(&id.0)
-                .cloned()
-                .ok_or(QueryError::UnknownObject(id))?
-        };
+        let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
         let state = state.read().unwrap();
         let period = self.config.discovery.period as usize;
         Ok(ObjectStats {
@@ -338,18 +544,19 @@ impl MovingObjectStore {
     /// Returns `false` when the object was not tracked. (GDPR-style
     /// forget, or simply an object that left the fleet.)
     pub fn remove(&self, id: ObjectId) -> bool {
-        self.objects.write().unwrap().remove(&id.0).is_some()
+        let shard_idx = self.shard_index(id.0);
+        let mut objects = self.shards[shard_idx].objects.write().unwrap();
+        let removed = objects.remove(&id.0).is_some();
+        if removed {
+            crate::metrics::shard_objects_gauge(shard_idx).set(objects.len() as i64);
+            hpm_obs::gauge!(crate::metrics::OBJECTS).add(-1);
+        }
+        removed
     }
 
     /// Forces an immediate retrain of `id` over its full history.
     pub fn force_retrain(&self, id: ObjectId) -> Result<(), QueryError> {
-        let state = {
-            let objects = self.objects.read().unwrap();
-            objects
-                .get(&id.0)
-                .cloned()
-                .ok_or(QueryError::UnknownObject(id))?
-        };
+        let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
         let mut state = state.write().unwrap();
         self.retrain(&mut state);
         Ok(())
@@ -358,10 +565,13 @@ impl MovingObjectStore {
     /// Fetches or creates the state cell of an object. A new object's
     /// trajectory starts at the given timestamp.
     fn state_of(&self, id: ObjectId, start: Timestamp) -> Arc<RwLock<ObjectState>> {
-        if let Some(state) = self.objects.read().unwrap().get(&id.0) {
+        let shard_idx = self.shard_index(id.0);
+        let shard = &self.shards[shard_idx];
+        if let Some(state) = shard.objects.read().unwrap().get(&id.0) {
             return Arc::clone(state);
         }
-        let mut objects = self.objects.write().unwrap();
+        let mut objects = shard.objects.write().unwrap();
+        let before = objects.len();
         let state = Arc::clone(objects.entry(id.0).or_insert_with(|| {
             Arc::new(RwLock::new(ObjectState {
                 trajectory: Trajectory::new(start, Vec::new()),
@@ -369,7 +579,10 @@ impl MovingObjectStore {
                 trained_subs: 0,
             }))
         }));
-        hpm_obs::gauge!(crate::metrics::OBJECTS).set(objects.len() as i64);
+        if objects.len() > before {
+            crate::metrics::shard_objects_gauge(shard_idx).set(objects.len() as i64);
+            hpm_obs::gauge!(crate::metrics::OBJECTS).add(1);
+        }
         state
     }
 
@@ -434,6 +647,8 @@ mod tests {
             min_train_subs: 5,
             retrain_every_subs: 5,
             recent_len: 2,
+            shards: 4,
+            threads: 2,
         }
     }
 
@@ -624,6 +839,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "shards")]
+    fn zero_shards_rejected() {
+        let mut c = config();
+        c.shards = 0;
+        MovingObjectStore::new(c);
+    }
+
+    #[test]
     fn remove_forgets_object() {
         let store = MovingObjectStore::new(config());
         feed_days(&store, ObjectId(1), 0..6);
@@ -638,6 +861,115 @@ mod tests {
         // Re-tracking starts a fresh history.
         store.report(ObjectId(1), 500, Point::ORIGIN).unwrap();
         assert_eq!(store.stats(ObjectId(1)).unwrap().samples, 1);
+    }
+
+    #[test]
+    fn one_shard_store_still_works() {
+        let mut c = config();
+        c.shards = 1;
+        c.threads = 1;
+        let store = MovingObjectStore::new(c);
+        feed_days(&store, ObjectId(0), 0..6);
+        feed_days(&store, ObjectId(1), 0..6);
+        assert_eq!(store.object_count(), 2);
+        assert_eq!(store.shard_count(), 1);
+        assert!(store.predict(ObjectId(1), 30).is_ok());
+    }
+
+    #[test]
+    fn report_many_spreads_and_orders() {
+        let store = MovingObjectStore::new(config());
+        // Interleave two days of three objects (ids hit distinct
+        // shards for shards = 4) in one flat batch.
+        let mut batch: Vec<(ObjectId, Timestamp, Point)> = Vec::new();
+        for d in 0..2usize {
+            for id in [1u64, 2, 7] {
+                for (k, p) in day(d).into_iter().enumerate() {
+                    batch.push((ObjectId(id), (d * 4 + k) as Timestamp, p));
+                }
+            }
+        }
+        let results = store.report_many(&batch);
+        assert_eq!(results.len(), batch.len());
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        for id in [1u64, 2, 7] {
+            assert_eq!(store.stats(ObjectId(id)).unwrap().samples, 8);
+        }
+    }
+
+    #[test]
+    fn report_many_reports_per_item_errors() {
+        let store = MovingObjectStore::new(config());
+        store.report(ObjectId(1), 0, Point::ORIGIN).unwrap();
+        let batch = vec![
+            (ObjectId(1), 1, Point::new(1.0, 0.0)),            // ok
+            (ObjectId(1), 5, Point::new(2.0, 0.0)),            // gap
+            (ObjectId(1), 2, Point::new(3.0, 0.0)),            // ok again
+            (ObjectId(2), 9, Point::new(f64::NAN, 0.0)),       // non-finite
+            (ObjectId(2), 9, Point::new(4.0, 0.0)),            // creates object 2
+        ];
+        let results = store.report_many(&batch);
+        assert_eq!(results[0], Ok(()));
+        assert_eq!(
+            results[1],
+            Err(IngestError::NonContiguous {
+                expected: 2,
+                got: 5
+            })
+        );
+        assert_eq!(results[2], Ok(()));
+        assert_eq!(results[3], Err(IngestError::NonFinitePosition));
+        assert_eq!(results[4], Ok(()));
+        assert_eq!(store.stats(ObjectId(1)).unwrap().samples, 3);
+        assert_eq!(store.stats(ObjectId(2)).unwrap().samples, 1);
+    }
+
+    #[test]
+    fn report_many_never_creates_object_from_invalid_reports() {
+        let store = MovingObjectStore::new(config());
+        let results = store.report_many(&[
+            (ObjectId(9), 0, Point::new(f64::NAN, 0.0)),
+            (ObjectId(9), 1, Point::new(f64::INFINITY, 0.0)),
+        ]);
+        assert!(results.iter().all(Result::is_err));
+        assert_eq!(store.object_count(), 0);
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_in_order() {
+        let store = MovingObjectStore::new(config());
+        for id in 0..6u64 {
+            feed_days(&store, ObjectId(id), 0..6);
+        }
+        let queries: Vec<(ObjectId, Timestamp)> = (0..40u64)
+            .map(|i| (ObjectId(i % 8), 24 + i % 12)) // ids 6,7 unknown; some times invalid
+            .collect();
+        let sequential: Vec<_> = queries.iter().map(|&(id, t)| store.predict(id, t)).collect();
+        for threads in [1usize, 4] {
+            let batch = store.predict_batch_with(&queries, &WorkerPool::new(threads));
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+        // The store's own pool agrees too.
+        assert_eq!(store.predict_batch(&queries), sequential);
+    }
+
+    #[test]
+    fn predict_range_batch_matches_individual_queries() {
+        let store = range_store();
+        let everywhere = hpm_geo::BoundingBox {
+            min: Point::new(-1e6, -1e6),
+            max: Point::new(1e6, 1e6),
+        };
+        let work = hpm_geo::BoundingBox {
+            min: Point::new(90.0, -10.0),
+            max: Point::new(110.0, 10.0),
+        };
+        let queries = vec![(everywhere, 46u64), (work, 46), (everywhere, 47)];
+        let batch = store.predict_range_batch(&queries);
+        assert_eq!(batch.len(), 3);
+        for (i, (region, t)) in queries.iter().enumerate() {
+            assert_eq!(batch[i], store.predict_range(region, *t), "query {i}");
+        }
     }
 
     /// Three commuters at staggered points of the same day template.

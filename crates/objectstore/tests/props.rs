@@ -1,0 +1,123 @@
+//! Property: the parallel batch query engine is a pure scheduling
+//! change — `predict_batch` over any pool width returns bit-identical
+//! results, in input order, to calling `predict` sequentially.
+
+use hpm_check::prelude::*;
+use hpm_core::HpmConfig;
+use hpm_geo::Point;
+use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig, WorkerPool};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_rand::{Rng, SmallRng};
+use hpm_trajectory::Timestamp;
+
+const PERIOD: u32 = 4;
+
+fn config() -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 5,
+        retrain_every_subs: 5,
+        recent_len: 2,
+        shards: 4,
+        threads: 2,
+    }
+}
+
+/// A store populated from the seed: a handful of commuter objects with
+/// per-object route jitter and varying history lengths, some trained,
+/// some not, plus ids that are never reported (so batches exercise the
+/// error paths too).
+fn build_store(seed: u64, n_objects: u64) -> MovingObjectStore {
+    let store = MovingObjectStore::new(config());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for id in 0..n_objects {
+        let days = rng.gen_range(2..8usize); // some below min_train_subs
+        let jitter = rng.gen_f64();
+        for d in 0..days {
+            let j = (d % 3) as f64 * 0.2 + jitter;
+            let pts = [
+                Point::new(j, 0.0),
+                Point::new(50.0 + j, 0.0),
+                Point::new(100.0 + j, 0.0),
+                Point::new(100.0 + j, 50.0),
+            ];
+            store
+                .report_batch(ObjectId(id), (d * PERIOD as usize) as Timestamp, &pts)
+                .unwrap();
+        }
+    }
+    store
+}
+
+props! {
+    /// Satellite acceptance property: `predict_batch` with pools of 1
+    /// and 4 threads is bit-identical to sequential `predict`, in
+    /// input order, on generated workloads (replayable seeds via
+    /// hpm-check's regression files).
+    fn predict_batch_equivalent_to_sequential(
+        seed in int(0u64..1_000_000),
+        n_objects in int(2u64..7),
+        n_queries in int(1usize..60),
+    ) {
+        let store = build_store(seed, n_objects);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
+        let queries: Vec<(ObjectId, Timestamp)> = (0..n_queries)
+            .map(|_| {
+                // Over-range ids hit UnknownObject; small times hit
+                // NotInFuture; the rest answer.
+                let id = ObjectId(rng.gen_range(0..n_objects + 2));
+                let t = rng.gen_range(1..40u64);
+                (id, t)
+            })
+            .collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|&(id, t)| store.predict(id, t))
+            .collect();
+        for threads in [1usize, 4] {
+            let batch = store.predict_batch_with(&queries, &WorkerPool::new(threads));
+            require_eq!(batch.len(), sequential.len());
+            for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+                require!(
+                    b == s,
+                    "threads={threads} query {i}: batch {b:?} != sequential {s:?}"
+                );
+            }
+        }
+    }
+
+    /// The store's own pool (config-sized) agrees as well.
+    fn predict_batch_default_pool_equivalent(
+        seed in int(0u64..1_000_000),
+        n_queries in int(0usize..30),
+    ) {
+        let store = build_store(seed, 4);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB00);
+        let queries: Vec<(ObjectId, Timestamp)> = (0..n_queries)
+            .map(|_| (ObjectId(rng.gen_range(0..6u64)), rng.gen_range(1..40u64)))
+            .collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|&(id, t)| store.predict(id, t))
+            .collect();
+        require!(store.predict_batch(&queries) == sequential);
+    }
+}

@@ -45,4 +45,4 @@ pub use bitmap::Bitmap;
 pub use brute::BruteForce;
 pub use index::{Match, PatternIndex};
 pub use keys::{KeyTable, PatternKey};
-pub use tree::{SearchStats, Tpt, TptConfig};
+pub use tree::{SearchCursor, SearchStats, Tpt, TptConfig};

@@ -81,6 +81,51 @@ pub struct SearchStats {
     pub false_hits: usize,
 }
 
+/// A reusable search cursor: owns the match buffer and the
+/// instrumentation, so a query loop (the FQP/BQP hot path re-searches
+/// per candidate time id) reuses one allocation instead of building a
+/// fresh `Vec` per call.
+///
+/// Stats are **per-search**: every [`search`](SearchCursor::search)
+/// resets them before traversing, so [`stats`](SearchCursor::stats)
+/// always describes the most recent search alone — reusing a cursor
+/// never accumulates `false_hits` (or any other field) across calls.
+#[derive(Debug, Clone, Default)]
+pub struct SearchCursor {
+    out: Vec<Match>,
+    stats: SearchStats,
+}
+
+impl SearchCursor {
+    /// An empty cursor.
+    pub fn new() -> Self {
+        SearchCursor::default()
+    }
+
+    /// Searches `tree`, replacing the cursor's previous matches and
+    /// stats, and returns the matches found.
+    pub fn search<'c>(&'c mut self, tree: &Tpt, query: &PatternKey) -> &'c [Match] {
+        let _span = hpm_obs::span!(crate::metrics::SEARCH_SPAN);
+        self.out.clear();
+        self.stats = SearchStats::default();
+        if !tree.nodes.is_empty() {
+            tree.dfs(tree.root, query, &mut self.out, &mut self.stats);
+        }
+        crate::metrics::record_search(&self.stats, self.out.len());
+        &self.out
+    }
+
+    /// The most recent search's matches.
+    pub fn matches(&self) -> &[Match] {
+        &self.out
+    }
+
+    /// The most recent search's stats (zeroed if no search ran yet).
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+}
+
 /// The Trajectory Pattern Tree.
 #[derive(Debug, Clone)]
 pub struct Tpt {
@@ -785,6 +830,42 @@ mod tests {
             "checked {} of 2000",
             stats.entries_checked
         );
+    }
+
+    #[test]
+    fn cursor_stats_are_per_search_not_accumulated() {
+        // Regression: a reused cursor must report each search's own
+        // stats; false_hits (and the other counters) must never carry
+        // over from the previous search.
+        let keys = synth_keys(2000, 16, 200);
+        let tree = Tpt::bulk_load(TptConfig::default(), keys);
+        let queries = synth_keys(8, 16, 200);
+        let mut cursor = SearchCursor::new();
+        for (q, _, _) in &queries {
+            let (fresh_matches, fresh_stats) = tree.search_with_stats(q);
+            let cursor_matches = cursor.search(&tree, q).to_vec();
+            assert_eq!(cursor_matches, fresh_matches);
+            assert_eq!(cursor.stats(), fresh_stats, "stats accumulated across searches");
+        }
+        // Same query twice through one cursor: identical stats, not 2x.
+        let (q, _, _) = &queries[0];
+        cursor.search(&tree, q);
+        let first = cursor.stats();
+        cursor.search(&tree, q);
+        assert_eq!(cursor.stats(), first);
+        assert_eq!(cursor.matches(), &tree.search_with_stats(q).0[..]);
+    }
+
+    #[test]
+    fn cursor_on_empty_tree() {
+        let tree = Tpt::new(TptConfig::default());
+        let mut cursor = SearchCursor::new();
+        let q = PatternKey {
+            consequence: Bitmap::ones(2),
+            premise: Bitmap::ones(5),
+        };
+        assert!(cursor.search(&tree, &q).is_empty());
+        assert_eq!(cursor.stats(), SearchStats::default());
     }
 
     #[test]

@@ -31,6 +31,8 @@ fn main() {
         min_train_subs: 20,
         retrain_every_subs: 10,
         recent_len: 20,
+        shards: 8,
+        threads: 0,
     });
 
     // Three vehicles with different route habits stream 45 "days" of

@@ -13,6 +13,16 @@ cargo test -q --offline
 echo "==> cargo test -q --offline --workspace (all crates)"
 cargo test -q --offline --workspace
 
+echo "==> concurrency stress + equivalence props, optimized (release)"
+# Timing-sensitive paths (shard locking, pool fan-out) get exercised at
+# full speed. HPM_STRESS_RUNS=N loops them; the acceptance bar of 100
+# consecutive green runs is HPM_STRESS_RUNS=100 (see CONTRIBUTING.md).
+STRESS_RUNS="${HPM_STRESS_RUNS:-1}"
+for i in $(seq 1 "$STRESS_RUNS"); do
+    [ "$STRESS_RUNS" -gt 1 ] && echo "  stress run $i/$STRESS_RUNS"
+    cargo test -q --release --offline -p hpm-objectstore --test stress --test props
+done
+
 echo "==> metrics-json smoke (hpm predict --metrics-json + obs-json-check)"
 cargo build --release --offline -p hpm-cli -p hpm-obs
 SMOKE_DIR="$(mktemp -d)"
@@ -30,6 +40,18 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     counter:store.model.bytes_read \
     histogram:core.predict \
     histogram:store.model.decode
+
+echo "==> CLI batch-predict smoke (--batch --threads 4)"
+printf '# smoke queries\n13540\n13600\n13700\n' > "$SMOKE_DIR/times.txt"
+./target/release/hpm predict --model "$SMOKE_DIR/bike.hpm" \
+    --input "$SMOKE_DIR/bike.csv" --batch "$SMOKE_DIR/times.txt" \
+    --threads 4 | tee "$SMOKE_DIR/batch4.out" | grep -q "3 batch queries on 4 threads"
+./target/release/hpm predict --model "$SMOKE_DIR/bike.hpm" \
+    --input "$SMOKE_DIR/bike.csv" --batch "$SMOKE_DIR/times.txt" \
+    --threads 1 > "$SMOKE_DIR/batch1.out"
+# Parallel answers must be byte-identical to sequential ones.
+diff <(sed 's/on 4 threads/on N threads/' "$SMOKE_DIR/batch4.out") \
+     <(sed 's/on 1 threads/on N threads/' "$SMOKE_DIR/batch1.out")
 
 echo "==> hermetic manifest scan"
 if grep -En '^(proptest|rand|criterion|serde|bytes|crossbeam|parking_lot)' \

@@ -24,6 +24,8 @@ fn store() -> MovingObjectStore {
         min_train_subs: 20,
         retrain_every_subs: 20,
         recent_len: 20,
+        shards: 8,
+        threads: 0,
     })
 }
 
