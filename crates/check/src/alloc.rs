@@ -1,0 +1,78 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! Wraps [`System`] and counts every `alloc`/`alloc_zeroed`/`realloc`
+//! call with a relaxed atomic, so a test can assert that a hot path is
+//! allocation-free after warmup:
+//!
+//! ```ignore
+//! use hpm_check::alloc::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! warm_up();
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Install it with `#[global_allocator]` in a dedicated integration
+//! test file holding a *single* test function — the count is
+//! process-global, so unrelated concurrent tests (the libtest harness
+//! runs them on threads) would otherwise bleed into the window being
+//! measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global allocator that delegates to [`System`] and counts
+/// allocations (frees are not counted: a regression test for an
+/// allocation-free path only cares about acquisitions).
+#[derive(Debug)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `alloc` + `alloc_zeroed` + `realloc` calls so far, across
+    /// all threads. Diff two readings to count a window.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates every operation unchanged to `System`; the counter
+// has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

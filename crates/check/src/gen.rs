@@ -10,9 +10,12 @@ use hpm_rand::{Rng, SmallRng};
 use std::ops::{Bound, RangeBounds};
 use std::rc::Rc;
 
+/// The shared tree-drawing closure inside a [`Gen`].
+type RunFn<T> = Rc<dyn Fn(&mut SmallRng) -> Tree<T>>;
+
 /// A generator of shrinkable `T` values.
 pub struct Gen<T> {
-    run: Rc<dyn Fn(&mut SmallRng) -> Tree<T>>,
+    run: RunFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -32,6 +32,7 @@
 //! | `HPM_CHECK_SHRINKS` | 2048    | shrink-candidate evaluation budget   |
 //! | `HPM_CHECK_PERSIST` | 1       | write new failure seeds (`0` = off)  |
 
+pub mod alloc;
 pub mod gen;
 pub mod runner;
 pub mod tree;

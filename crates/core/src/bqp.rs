@@ -15,39 +15,75 @@
 //! similarity `S_c` (Eq. 3) rewards consequences temporally close to
 //! `tq`.
 
-use crate::predictor::{rank_answers, HybridPredictor};
-use crate::{consequence_similarity, premise_similarity, PredictiveQuery, RankedAnswer};
+use crate::predictor::{rank_answers_into, HybridPredictor};
+use crate::scratch::SearchScratch;
+use crate::{consequence_similarity, premise_similarity_with, Prediction, PredictiveQuery};
 use hpm_patterns::RegionId;
-use hpm_tpt::{Bitmap, PatternIndex, PatternKey};
+use hpm_tpt::Bitmap;
 use hpm_trajectory::TimeOffset;
 
-/// Retrieves and ranks BQP candidates; `None` sends the caller to the
-/// motion function.
+/// Retrieves and ranks BQP candidates into `out.answers`; `false`
+/// sends the caller to the motion function. Allocation-free once
+/// `scratch` is warm.
 pub(crate) fn run(
     predictor: &HybridPredictor,
     recent_ids: &[RegionId],
     query: &PredictiveQuery<'_>,
-) -> Option<Vec<RankedAnswer>> {
+    scratch: &mut SearchScratch,
+    out: &mut Prediction,
+) -> bool {
     let _span = hpm_obs::span!(crate::metrics::BQP_SPAN);
     let period = predictor.period as i64;
     let t_eps = predictor.config.time_relaxation as i64;
     let tc = query.current_time as i64;
     let tq = query.query_time as i64;
-    let rkq = predictor.key_table.premise_key(recent_ids.iter().copied());
+    let SearchScratch {
+        cursor,
+        qkey,
+        rkq,
+        scored,
+        seen,
+    } = scratch;
+    predictor
+        .key_table
+        .premise_key_into(recent_ids.iter().copied(), rkq);
+
+    // The reusable interval key: the all-ones premise (BQP drops the
+    // premise constraint) is built once, and each widening round only
+    // sets the consequence bits of the *newly covered* interval flanks
+    // instead of rebuilding the whole key from scratch.
+    qkey.consequence.reset(predictor.key_table.consequence_count());
+    qkey.premise.reset(predictor.key_table.region_count());
+    qkey.premise.set_all();
 
     let mut i = 1i64;
+    let mut covered: Option<(i64, i64)> = None;
     loop {
         let lo = (tq - i * t_eps).max(tc + 1);
         let hi = tq + i * t_eps;
-        let qkey = interval_query_key(predictor, lo, hi);
+        match covered {
+            None => extend(predictor, lo, hi, &mut qkey.consequence),
+            Some((plo, phi)) => {
+                // [lo, hi] ⊇ [plo, phi]: lo only moves down, hi only up.
+                if lo < plo {
+                    extend(predictor, lo, plo - 1, &mut qkey.consequence);
+                }
+                if hi > phi {
+                    extend(predictor, phi + 1, hi, &mut qkey.consequence);
+                }
+            }
+        }
+        covered = Some((lo, hi));
         if !qkey.consequence.is_zero() {
-            let matches = predictor.tpt.search(&qkey);
+            let matches = cursor.search_packed(&predictor.packed, qkey);
             if !matches.is_empty() {
                 hpm_obs::histogram!(crate::metrics::BQP_CANDIDATES)
                     .record(matches.len() as u64);
                 hpm_obs::counter!(crate::metrics::BQP_WIDENINGS).add((i - 1) as u64);
-                let scored = score(predictor, &matches, &rkq, tc, tq);
-                return Some(rank_answers(predictor, scored, predictor.config.k));
+                scored.clear();
+                score_into(predictor, matches, rkq, tc, tq, scored);
+                rank_answers_into(predictor, scored, predictor.config.k, seen, &mut out.answers);
+                return true;
             }
         }
         i += 1;
@@ -55,54 +91,50 @@ pub(crate) fn run(
         // the current time (also stop when it already spans the whole
         // period and still found nothing).
         if tq - i * t_eps <= tc || (hi - lo) >= period {
-            return None;
+            return false;
         }
     }
 }
 
-/// Builds the search key for consequence times in `[lo, hi]` (absolute
-/// times, mapped onto period offsets) with the premise constraint
-/// dropped.
-fn interval_query_key(predictor: &HybridPredictor, lo: i64, hi: i64) -> PatternKey {
+/// Sets the consequence bits for absolute times in `[lo, hi]` (mapped
+/// onto period offsets) into the reusable interval key.
+fn extend(predictor: &HybridPredictor, lo: i64, hi: i64, consequence: &mut Bitmap) {
     let period = predictor.period as i64;
-    let offsets = (lo..=hi)
-        .take(period as usize) // a full period covers every offset
-        .map(|t| (t.rem_euclid(period)) as TimeOffset);
-    PatternKey {
-        consequence: predictor.key_table.consequence_key(offsets),
-        premise: Bitmap::ones(predictor.key_table.region_count()),
-    }
+    let hi = hi.min(lo + period - 1); // a full period covers every offset
+    predictor.key_table.extend_consequence_key(
+        (lo..=hi).map(|t| (t.rem_euclid(period)) as TimeOffset),
+        consequence,
+    );
 }
 
 /// Eq. 5 scores for each candidate.
-fn score(
+fn score_into(
     predictor: &HybridPredictor,
     matches: &[hpm_tpt::Match],
     rkq: &Bitmap,
     tc: i64,
     tq: i64,
-) -> Vec<(u32, f64)> {
+    out: &mut Vec<(u32, f64)>,
+) {
     let period = predictor.period as i64;
     let t_eps = predictor.config.time_relaxation;
     let d = predictor.config.distant_threshold as f64;
     let tq_offset = tq.rem_euclid(period);
-    matches
-        .iter()
-        .map(|m| {
-            let pattern = &predictor.patterns[m.pattern as usize];
-            let rk = &predictor.pattern_keys[m.pattern as usize].premise;
-            let sr = premise_similarity(rk, rkq, predictor.config.weight_fn);
-            // Temporal distance of the consequence offset to the query
-            // offset, on the period circle.
-            let t_off = pattern.consequence_offset(&predictor.regions) as i64;
-            let delta = (t_off - tq_offset).rem_euclid(period);
-            let dist = delta.min(period - delta);
-            let sc = consequence_similarity(0, dist, t_eps);
-            // Eq. 5: premise similarity penalised by d / (tq − tc) ≤ 1.
-            let penalty = (d / (tq - tc) as f64).min(1.0);
-            (m.pattern, (sr * penalty + sc) * m.confidence)
-        })
-        .collect()
+    out.extend(matches.iter().map(|m| {
+        let pattern = &predictor.patterns[m.pattern as usize];
+        let rk = &predictor.pattern_keys[m.pattern as usize].premise;
+        let weights = predictor.weight_table.weights(rk.count_ones());
+        let sr = premise_similarity_with(rk, rkq, weights);
+        // Temporal distance of the consequence offset to the query
+        // offset, on the period circle.
+        let t_off = pattern.consequence_offset(&predictor.regions) as i64;
+        let delta = (t_off - tq_offset).rem_euclid(period);
+        let dist = delta.min(period - delta);
+        let sc = consequence_similarity(0, dist, t_eps);
+        // Eq. 5: premise similarity penalised by d / (tq − tc) ≤ 1.
+        let penalty = (d / (tq - tc) as f64).min(1.0);
+        (m.pattern, (sr * penalty + sc) * m.confidence)
+    }));
 }
 
 #[cfg(test)]

@@ -1,14 +1,15 @@
 //! Forward Query Processing (Algorithm 2): non-distant-time queries,
 //! ranked by premise similarity × confidence (Eq. 2).
 
-use crate::predictor::{rank_answers, HybridPredictor};
-use crate::{premise_similarity, PredictiveQuery, RankedAnswer};
+use crate::predictor::{rank_answers_into, HybridPredictor};
+use crate::scratch::SearchScratch;
+use crate::{premise_similarity_with, Prediction, PredictiveQuery};
 use hpm_patterns::RegionId;
-use hpm_tpt::PatternIndex;
 use hpm_trajectory::TimeOffset;
 
-/// Retrieves and ranks FQP candidates; `None` means no pattern
-/// qualified and the caller should invoke the motion function.
+/// Retrieves and ranks FQP candidates into `out.answers`; `false`
+/// means no pattern qualified and the caller should invoke the motion
+/// function. Allocation-free once `scratch` is warm.
 ///
 /// Candidates must intersect the query key on both parts: share at
 /// least one premise region with the object's recent movements *and*
@@ -17,33 +18,42 @@ pub(crate) fn run(
     predictor: &HybridPredictor,
     recent_ids: &[RegionId],
     query: &PredictiveQuery<'_>,
-) -> Option<Vec<RankedAnswer>> {
+    scratch: &mut SearchScratch,
+    out: &mut Prediction,
+) -> bool {
     let _span = hpm_obs::span!(crate::metrics::FQP_SPAN);
     if recent_ids.is_empty() {
-        return None; // no premise: the query key cannot intersect
+        return false; // no premise: the query key cannot intersect
     }
+    let SearchScratch {
+        cursor,
+        qkey,
+        scored,
+        seen,
+        ..
+    } = scratch;
     let tq_offset = (query.query_time % predictor.period as u64) as TimeOffset;
-    let qkey = predictor
+    predictor
         .key_table
-        .fqp_query(recent_ids.iter().copied(), tq_offset);
+        .fqp_query_into(recent_ids.iter().copied(), tq_offset, qkey);
     if qkey.consequence.is_zero() {
-        return None; // no pattern predicts this time offset
+        return false; // no pattern predicts this time offset
     }
-    let matches = predictor.tpt.search(&qkey);
+    let matches = cursor.search_packed(&predictor.packed, qkey);
     hpm_obs::histogram!(crate::metrics::FQP_CANDIDATES).record(matches.len() as u64);
     if matches.is_empty() {
-        return None;
+        return false;
     }
     // Eq. 2: S_p = S_r × c.
-    let scored: Vec<(u32, f64)> = matches
-        .iter()
-        .map(|m| {
-            let rk = &predictor.pattern_keys[m.pattern as usize].premise;
-            let sr = premise_similarity(rk, &qkey.premise, predictor.config.weight_fn);
-            (m.pattern, sr * m.confidence)
-        })
-        .collect();
-    Some(rank_answers(predictor, scored, predictor.config.k))
+    scored.clear();
+    scored.extend(matches.iter().map(|m| {
+        let rk = &predictor.pattern_keys[m.pattern as usize].premise;
+        let weights = predictor.weight_table.weights(rk.count_ones());
+        let sr = premise_similarity_with(rk, &qkey.premise, weights);
+        (m.pattern, sr * m.confidence)
+    }));
+    rank_answers_into(predictor, scored, predictor.config.k, seen, &mut out.answers);
+    true
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ mod bqp;
 mod config;
 mod fqp;
 mod predictor;
+mod scratch;
 mod similarity;
 mod types;
 
@@ -73,5 +74,9 @@ pub(crate) mod test_fixtures;
 
 pub use config::HpmConfig;
 pub use predictor::HybridPredictor;
-pub use similarity::{consequence_similarity, premise_similarity, WeightFunction};
+pub use scratch::PredictScratch;
+pub use similarity::{
+    consequence_similarity, premise_similarity, premise_similarity_with, WeightFunction,
+    WeightTable,
+};
 pub use types::{Prediction, PredictionSource, PredictiveQuery, RankedAnswer};

@@ -1,15 +1,19 @@
 //! The Hybrid Prediction Model itself (§VI): pattern store + TPT +
 //! motion-function fallback behind one `predict` call.
 
-use crate::{bqp, fqp, HpmConfig, Prediction, PredictionSource, PredictiveQuery, RankedAnswer};
+use crate::scratch::PredictScratch;
+use crate::{
+    bqp, fqp, HpmConfig, Prediction, PredictionSource, PredictiveQuery, RankedAnswer, WeightTable,
+};
 use hpm_geo::Point;
 use hpm_motion::{LinearMotion, MotionModel, Rmf};
 use hpm_patterns::{
     discover, mine_with_threads, DiscoveryParams, MiningParams, RegionId, RegionSet,
     TrajectoryPattern,
 };
-use hpm_tpt::{KeyTable, PatternKey, Tpt, TptConfig};
+use hpm_tpt::{KeyTable, PackedTpt, PatternKey, Tpt, TptConfig};
 use hpm_trajectory::{TimeOffset, Timestamp, Trajectory};
+use std::cell::RefCell;
 
 /// A built Hybrid Prediction Model: discovered frequent regions, mined
 /// trajectory patterns, their TPT index, and the query processors.
@@ -20,9 +24,26 @@ pub struct HybridPredictor {
     pub(crate) key_table: KeyTable,
     /// Pattern key of `patterns[i]`, aligned by index.
     pub(crate) pattern_keys: Vec<PatternKey>,
+    /// The builder tree: keeps balance under inserts/deletes.
     pub(crate) tpt: Tpt,
+    /// The arena-packed search image queries actually run against;
+    /// re-compacted from `tpt` after every mutation.
+    pub(crate) packed: PackedTpt,
+    /// Precomputed Eq. 1 weight rows for every premise size among
+    /// `pattern_keys` (keyed to `config.weight_fn`).
+    pub(crate) weight_table: WeightTable,
     pub(crate) config: HpmConfig,
     pub(crate) period: u32,
+}
+
+/// Largest number of premise ones among the pattern keys — the weight
+/// table must cover every `m` the scorers can encounter.
+fn max_premise_ones(pattern_keys: &[PatternKey]) -> usize {
+    pattern_keys
+        .iter()
+        .map(|k| k.premise.count_ones())
+        .max()
+        .unwrap_or(0)
 }
 
 impl HybridPredictor {
@@ -86,12 +107,16 @@ impl HybridPredictor {
                 .map(|(i, (k, p))| (k.clone(), p.confidence, i as u32)),
         );
         let period = regions.period();
+        let packed = tpt.compact();
+        let weight_table = WeightTable::build(config.weight_fn, max_premise_ones(&pattern_keys));
         HybridPredictor {
             regions,
             patterns,
             key_table,
             pattern_keys,
             tpt,
+            packed,
+            weight_table,
             config,
             period,
         }
@@ -108,6 +133,10 @@ impl HybridPredictor {
     /// Panics when `config` is inconsistent.
     pub fn with_config(mut self, config: HpmConfig) -> Self {
         config.validate();
+        if config.weight_fn != self.config.weight_fn {
+            self.weight_table =
+                WeightTable::build(config.weight_fn, max_premise_ones(&self.pattern_keys));
+        }
         self.config = config;
         self
     }
@@ -119,6 +148,9 @@ impl HybridPredictor {
     /// time offsets already present in the key table (a full rebuild is
     /// needed when the region or offset vocabulary grows).
     pub fn insert_patterns(&mut self, new_patterns: Vec<TrajectoryPattern>) {
+        if new_patterns.is_empty() {
+            return;
+        }
         for p in new_patterns {
             p.validate(&self.regions)
                 .unwrap_or_else(|e| panic!("inserted pattern invalid: {e}"));
@@ -127,6 +159,12 @@ impl HybridPredictor {
             self.tpt.insert(key.clone(), p.confidence, id);
             self.pattern_keys.push(key);
             self.patterns.push(p);
+        }
+        // The packed image is immutable: one repack covers the batch.
+        self.packed = self.tpt.compact();
+        let max_m = max_premise_ones(&self.pattern_keys);
+        if max_m > self.weight_table.max_ones() {
+            self.weight_table = WeightTable::build(self.config.weight_fn, max_m);
         }
     }
 
@@ -142,10 +180,16 @@ impl HybridPredictor {
         &self.patterns
     }
 
-    /// The pattern index.
+    /// The builder pattern index (mutations and validation).
     #[inline]
     pub fn tpt(&self) -> &Tpt {
         &self.tpt
+    }
+
+    /// The arena-packed search image queries run against.
+    #[inline]
+    pub fn packed_tpt(&self) -> &PackedTpt {
+        &self.packed
     }
 
     /// The key tables (region + consequence).
@@ -174,23 +218,52 @@ impl HybridPredictor {
     /// Panics when `query.query_time <= query.current_time` or
     /// `query.recent` is empty.
     pub fn predict(&self, query: &PredictiveQuery<'_>) -> Prediction {
+        thread_local! {
+            static SCRATCH: RefCell<PredictScratch> = RefCell::new(PredictScratch::new());
+        }
+        let mut out = Prediction::default();
+        SCRATCH.with(|scratch| {
+            self.predict_with(query, &mut scratch.borrow_mut(), &mut out);
+        });
+        out
+    }
+
+    /// [`predict`](Self::predict) into caller-owned scratch and output
+    /// — the allocation-free hot path: after one warmup query has grown
+    /// the scratch buffers, the FQP/BQP pattern paths perform zero heap
+    /// allocations (the motion-function fallback still allocates inside
+    /// its least-squares fit; it is only taken when no pattern
+    /// qualifies). `out` is fully overwritten.
+    ///
+    /// # Panics
+    /// Panics when `query.query_time <= query.current_time` or
+    /// `query.recent` is empty.
+    pub fn predict_with(
+        &self,
+        query: &PredictiveQuery<'_>,
+        scratch: &mut PredictScratch,
+        out: &mut Prediction,
+    ) {
         assert!(!query.recent.is_empty(), "query needs recent movements");
         let _span = hpm_obs::span!(crate::metrics::PREDICT_SPAN);
         hpm_obs::counter!(crate::metrics::PREDICT_CALLS).add(1);
         let length = query.prediction_length();
-        let recent_ids = self.recent_regions(query.recent, query.current_time);
-        let from_patterns = if length < self.config.distant_threshold {
+        let PredictScratch { recent_ids, search } = scratch;
+        self.recent_regions_into(query.recent, query.current_time, recent_ids);
+        let found = if length < self.config.distant_threshold {
             hpm_obs::counter!(crate::metrics::FQP_DISPATCH).add(1);
-            fqp::run(self, &recent_ids, query).map(|answers| (answers, PredictionSource::ForwardPatterns))
+            fqp::run(self, recent_ids, query, search, out)
+                .then_some(PredictionSource::ForwardPatterns)
         } else {
             hpm_obs::counter!(crate::metrics::BQP_DISPATCH).add(1);
-            bqp::run(self, &recent_ids, query).map(|answers| (answers, PredictionSource::BackwardPatterns))
+            bqp::run(self, recent_ids, query, search, out)
+                .then_some(PredictionSource::BackwardPatterns)
         };
-        match from_patterns {
-            Some((answers, source)) => Prediction { answers, source },
+        match found {
+            Some(source) => out.source = source,
             None => {
                 hpm_obs::counter!(crate::metrics::RMF_FALLBACK).add(1);
-                self.motion_fallback(query)
+                self.motion_fallback(query, out);
             }
         }
     }
@@ -199,39 +272,46 @@ impl HybridPredictor {
     /// deduplicated and in region-id order — the query premise of
     /// §V.C.
     pub fn recent_regions(&self, recent: &[Point], current_time: Timestamp) -> Vec<RegionId> {
-        let n = recent.len();
-        let mut ids: Vec<RegionId> = recent
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| {
-                let back = (n - 1 - i) as Timestamp;
-                let ts = current_time.checked_sub(back)?;
-                let offset = (ts % self.period as Timestamp) as TimeOffset;
-                self.regions.region_at(offset, p, self.config.match_margin)
-            })
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
+        let mut ids = Vec::new();
+        self.recent_regions_into(recent, current_time, &mut ids);
         ids
+    }
+
+    /// [`recent_regions`](Self::recent_regions) into a reusable buffer.
+    pub fn recent_regions_into(
+        &self,
+        recent: &[Point],
+        current_time: Timestamp,
+        out: &mut Vec<RegionId>,
+    ) {
+        let n = recent.len();
+        out.clear();
+        out.extend(recent.iter().enumerate().filter_map(|(i, p)| {
+            let back = (n - 1 - i) as Timestamp;
+            let ts = current_time.checked_sub(back)?;
+            let offset = (ts % self.period as Timestamp) as TimeOffset;
+            self.regions.region_at(offset, p, self.config.match_margin)
+        }));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Motion-function answer (Algorithm 2/3 fallback): RMF over the
     /// recent window, degrading to a linear fit and finally to the last
     /// known position when the window is too short to fit anything.
-    fn motion_fallback(&self, query: &PredictiveQuery<'_>) -> Prediction {
+    fn motion_fallback(&self, query: &PredictiveQuery<'_>, out: &mut Prediction) {
         let steps = query.prediction_length();
         let location = Rmf::fit(query.recent, self.config.rmf_retrospect)
             .map(|m| m.predict(steps))
             .or_else(|| LinearMotion::fit(query.recent).map(|m| m.predict(steps)))
             .unwrap_or_else(|| *query.recent.last().expect("non-empty recent"));
-        Prediction {
-            answers: vec![RankedAnswer {
-                location,
-                score: 0.0,
-                pattern: None,
-            }],
-            source: PredictionSource::MotionFunction,
-        }
+        out.answers.clear();
+        out.answers.push(RankedAnswer {
+            location,
+            score: 0.0,
+            pattern: None,
+        });
+        out.source = PredictionSource::MotionFunction;
     }
 }
 
@@ -244,20 +324,22 @@ impl HybridPredictor {
 /// keys); returning the same centre `k` times would waste the caller's
 /// answer budget, so each region appears once, represented by its
 /// best-scored supporting pattern.
-pub(crate) fn rank_answers(
+pub(crate) fn rank_answers_into(
     predictor: &HybridPredictor,
-    mut scored: Vec<(u32, f64)>,
+    scored: &mut [(u32, f64)],
     k: usize,
-) -> Vec<RankedAnswer> {
+    seen: &mut Vec<RegionId>,
+    out: &mut Vec<RankedAnswer>,
+) {
     let _span = hpm_obs::span!(crate::metrics::RANK_SPAN);
     scored.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("finite scores")
             .then_with(|| a.0.cmp(&b.0))
     });
-    let mut seen: Vec<hpm_patterns::RegionId> = Vec::with_capacity(k);
-    let mut out = Vec::with_capacity(k);
-    for (pattern, score) in scored {
+    seen.clear();
+    out.clear();
+    for &(pattern, score) in scored.iter() {
         let consequence = predictor.patterns[pattern as usize].consequence;
         if seen.contains(&consequence) {
             continue;
@@ -272,7 +354,6 @@ pub(crate) fn rank_answers(
             break;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -75,6 +75,44 @@ impl WeightFunction {
     }
 }
 
+/// Precomputed [`WeightFunction::weights`] rows for every premise size
+/// `m` up to a maximum — the allocation-free path to Eq. 1 on the
+/// predict hot loop: `weights(m)` is a slice read, not a fresh `Vec`.
+///
+/// A predictor builds one table sized to the largest premise among its
+/// pattern keys (rebuilt when the weight function changes), and the
+/// FQP/BQP scorers pass `table.weights(rk.count_ones())` to
+/// [`premise_similarity_with`].
+#[derive(Debug, Clone, Default)]
+pub struct WeightTable {
+    /// `rows[m]` = the normalised weights for a key with `m` ones.
+    rows: Vec<Vec<f64>>,
+}
+
+impl WeightTable {
+    /// Builds rows for `m = 0..=max_ones` under `wf`.
+    pub fn build(wf: WeightFunction, max_ones: usize) -> Self {
+        WeightTable {
+            rows: (0..=max_ones).map(|m| wf.weights(m)).collect(),
+        }
+    }
+
+    /// The weight row for a premise key with `m` ones — identical to
+    /// `wf.weights(m)` without the allocation.
+    ///
+    /// # Panics
+    /// Panics when `m > max_ones`.
+    #[inline]
+    pub fn weights(&self, m: usize) -> &[f64] {
+        &self.rows[m]
+    }
+
+    /// Largest `m` this table covers.
+    pub fn max_ones(&self) -> usize {
+        self.rows.len().saturating_sub(1)
+    }
+}
+
 /// Premise similarity `S_r` (Eq. 1): the summed weights of the ones of
 /// `rk` (a pattern's premise key) that are also set in `rkq` (the query
 /// premise key). Weights are positional over `rk`'s own ones, so
@@ -83,14 +121,20 @@ impl WeightFunction {
 /// # Panics
 /// Panics on key-length mismatch.
 pub fn premise_similarity(rk: &Bitmap, rkq: &Bitmap, wf: WeightFunction) -> f64 {
+    let weights = wf.weights(rk.count_ones());
+    premise_similarity_with(rk, rkq, &weights)
+}
+
+/// [`premise_similarity`] against a precomputed weight row (from a
+/// [`WeightTable`]): the caller supplies `wf.weights(rk.count_ones())`
+/// and no allocation happens.
+///
+/// # Panics
+/// Panics on key-length mismatch.
+pub fn premise_similarity_with(rk: &Bitmap, rkq: &Bitmap, weights: &[f64]) -> f64 {
     assert_eq!(rk.len(), rkq.len(), "premise key length mismatch");
-    let m = rk.count_ones();
-    if m == 0 {
-        return 0.0;
-    }
-    let weights = wf.weights(m);
     rk.iter_ones()
-        .zip(&weights)
+        .zip(weights)
         .filter(|(bit, _)| rkq.get(*bit))
         .map(|(_, w)| w)
         .sum()
@@ -214,6 +258,26 @@ mod tests {
         // Widened-interval candidates clamp at 0 instead of going
         // negative.
         assert_eq!(consequence_similarity(100, 90, 2), 0.0);
+    }
+
+    #[test]
+    fn weight_table_matches_direct_computation() {
+        let rk = bits(12, &[0, 3, 7, 11]);
+        let rkq = bits(12, &[3, 11]);
+        for wf in WeightFunction::ALL {
+            let table = WeightTable::build(wf, 8);
+            assert_eq!(table.max_ones(), 8);
+            for m in 0..=8 {
+                assert_eq!(table.weights(m), wf.weights(m).as_slice());
+            }
+            // Bit-identical scores through the table path.
+            let direct = premise_similarity(&rk, &rkq, wf);
+            let via_table = premise_similarity_with(&rk, &rkq, table.weights(rk.count_ones()));
+            assert_eq!(direct.to_bits(), via_table.to_bits(), "{}", wf.name());
+        }
+        let empty = WeightTable::build(WeightFunction::Linear, 0);
+        assert_eq!(empty.max_ones(), 0);
+        assert!(empty.weights(0).is_empty());
     }
 
     #[test]

@@ -66,6 +66,21 @@ pub struct Prediction {
     pub source: PredictionSource,
 }
 
+impl Default for Prediction {
+    /// An empty placeholder for out-parameter APIs
+    /// ([`HybridPredictor::predict_with`] overwrites both fields): no
+    /// answers, motion-function source. Calling [`best`] on it panics.
+    ///
+    /// [`HybridPredictor::predict_with`]: crate::HybridPredictor::predict_with
+    /// [`best`]: Prediction::best
+    fn default() -> Self {
+        Prediction {
+            answers: Vec::new(),
+            source: PredictionSource::MotionFunction,
+        }
+    }
+}
+
 impl Prediction {
     /// The highest-ranked predicted location.
     pub fn best(&self) -> Point {

@@ -1,0 +1,135 @@
+//! Allocation-count regression test for the predict hot path.
+//!
+//! Installs [`hpm_check::alloc::CountingAllocator`] as the global
+//! allocator (hence: a dedicated integration-test file with a single
+//! test, so no concurrent test's allocations bleed into the measured
+//! window) and asserts that after warmup:
+//!
+//! * [`HybridPredictor::predict_with`] performs **zero** heap
+//!   allocations per call, for both FQP and BQP queries;
+//! * the by-value [`HybridPredictor::predict`] wrapper allocates only
+//!   the returned `Prediction`'s answer vector (≤ 2 allocations per
+//!   call).
+//!
+//! The motion-function fallback is exempt by design (the RMF
+//! least-squares fit allocates; see DESIGN.md "Memory layout"), so the
+//! fixture guarantees every measured query is answered by patterns.
+
+use hpm_check::alloc::CountingAllocator;
+use hpm_core::{
+    HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery, WeightFunction,
+};
+use hpm_geo::{BoundingBox, Point};
+use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Hand-built three-region commuter world (period 3): R0@0 → R1@1 and
+/// R0∧R1 → R2@2, so both offsets 1 and 2 have consequences.
+fn predictor() -> HybridPredictor {
+    let mk = |id: u32, offset: u32, cx: f64| FrequentRegion {
+        id: RegionId(id),
+        offset,
+        local_index: 0,
+        centroid: Point::new(cx, cx),
+        bbox: BoundingBox {
+            min: Point::new(cx - 1.0, cx - 1.0),
+            max: Point::new(cx + 1.0, cx + 1.0),
+        },
+        support: 5,
+    };
+    let regions = RegionSet::new(vec![mk(0, 0, 0.0), mk(1, 1, 50.0), mk(2, 2, 100.0)], 3);
+    let patterns = vec![
+        TrajectoryPattern {
+            premise: vec![RegionId(0)],
+            consequence: RegionId(1),
+            confidence: 0.9,
+            support: 5,
+        },
+        TrajectoryPattern {
+            premise: vec![RegionId(0), RegionId(1)],
+            consequence: RegionId(2),
+            confidence: 0.5,
+            support: 5,
+        },
+    ];
+    HybridPredictor::from_parts(
+        regions,
+        patterns,
+        HpmConfig {
+            k: 2,
+            distant_threshold: 2,
+            time_relaxation: 1,
+            weight_fn: WeightFunction::Linear,
+            match_margin: 0.5,
+            rmf_retrospect: 2,
+            tpt_fanout: 8,
+        },
+    )
+}
+
+#[test]
+fn predict_hot_path_is_allocation_free_after_warmup() {
+    let p = predictor();
+    let recent = [Point::new(0.0, 0.0)];
+    // Prediction length 1 ≤ d = 2: Forward Query Processing.
+    let fqp = PredictiveQuery {
+        recent: &recent,
+        current_time: 0,
+        query_time: 1,
+    };
+    // Prediction length 7 > d = 2: Backward Query Processing.
+    let bqp = PredictiveQuery {
+        recent: &recent,
+        current_time: 0,
+        query_time: 7,
+    };
+    let mut scratch = PredictScratch::new();
+    let mut out = Prediction::default();
+
+    // Warmup: grows every scratch buffer to steady-state capacity and
+    // registers the observability handles (cold paths may allocate).
+    for _ in 0..4 {
+        p.predict_with(&fqp, &mut scratch, &mut out);
+        assert!(out.from_patterns(), "fixture must not hit the fallback");
+        p.predict_with(&bqp, &mut scratch, &mut out);
+        assert!(out.from_patterns(), "fixture must not hit the fallback");
+    }
+
+    // The counter is process-global, so the libtest harness thread can
+    // inject the odd stray allocation into a window. Taking the best of
+    // several windows filters that out while still catching any real
+    // per-call allocation (which would show up in *every* window,
+    // ≥ 1024 times).
+    let grew = (0..8)
+        .map(|_| {
+            let before = ALLOC.allocations();
+            for _ in 0..512 {
+                p.predict_with(&fqp, &mut scratch, &mut out);
+                p.predict_with(&bqp, &mut scratch, &mut out);
+            }
+            ALLOC.allocations() - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        grew, 0,
+        "warm predict_with made {grew} heap allocations over 1024 calls"
+    );
+
+    // The by-value wrapper reuses a thread-local scratch; only the
+    // returned Prediction's answer vector may allocate.
+    let _ = p.predict(&fqp); // warm the thread-local scratch
+    const CALLS: u64 = 64;
+    let before = ALLOC.allocations();
+    for _ in 0..CALLS {
+        std::hint::black_box(p.predict(&fqp));
+    }
+    let grew = ALLOC.allocations() - before;
+    assert!(
+        grew <= 2 * CALLS,
+        "warm predict() made {grew} heap allocations over {CALLS} calls \
+         (expected ≤ 2 per call: the returned answer vector)"
+    );
+}

@@ -1,7 +1,7 @@
 //! The store implementation.
 
 use crate::pool::WorkerPool;
-use hpm_core::{HpmConfig, HybridPredictor, Prediction, PredictiveQuery};
+use hpm_core::{HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery};
 use hpm_geo::Point;
 use hpm_patterns::{DiscoveryParams, MiningParams};
 use hpm_trajectory::{Timestamp, Trajectory};
@@ -163,6 +163,10 @@ pub struct MovingObjectStore {
     config: StoreConfig,
     shards: Box<[Shard]>,
     pool: WorkerPool,
+    /// Shared pattern-free predictor answering queries for objects
+    /// that have not trained yet (motion function only) — built once
+    /// instead of per untrained query.
+    empty_predictor: HybridPredictor,
 }
 
 impl MovingObjectStore {
@@ -174,10 +178,16 @@ impl MovingObjectStore {
         config.validate();
         let shards: Box<[Shard]> = (0..config.shards).map(|_| Shard::new()).collect();
         let pool = WorkerPool::sized(config.threads);
+        let empty_predictor = HybridPredictor::from_parts(
+            hpm_patterns::RegionSet::new(Vec::new(), config.discovery.period),
+            Vec::new(),
+            config.hpm,
+        );
         MovingObjectStore {
             config,
             shards,
             pool,
+            empty_predictor,
         }
     }
 
@@ -379,6 +389,41 @@ impl MovingObjectStore {
     /// Answers "where will `id` be at `query_time`" from the object's
     /// current predictor (or its motion function while untrained).
     pub fn predict(&self, id: ObjectId, query_time: Timestamp) -> Result<Prediction, QueryError> {
+        // Reuses the predictor's thread-local scratch internally.
+        self.predict_question(id, query_time, |p, query| p.predict(query))
+    }
+
+    /// [`predict`](Self::predict) through caller-owned scratch — the
+    /// per-worker reuse path of [`predict_batch`](Self::predict_batch):
+    /// one warm [`PredictScratch`] serves a whole chunk of queries
+    /// without per-query heap traffic (beyond the returned
+    /// `Prediction`'s own answer vector).
+    pub fn predict_with_scratch(
+        &self,
+        id: ObjectId,
+        query_time: Timestamp,
+        scratch: &mut PredictScratch,
+    ) -> Result<Prediction, QueryError> {
+        self.predict_question(id, query_time, |p, query| {
+            let mut out = Prediction::default();
+            p.predict_with(query, scratch, &mut out);
+            out
+        })
+    }
+
+    /// Shared validation/dispatch for the predict variants: resolves
+    /// the object, checks the query is askable, and hands the object's
+    /// predictor (or the shared pattern-free one while untrained — the
+    /// motion-function-only world the paper improves on) to `answer`.
+    fn predict_question<F>(
+        &self,
+        id: ObjectId,
+        query_time: Timestamp,
+        answer: F,
+    ) -> Result<Prediction, QueryError>
+    where
+        F: FnOnce(&HybridPredictor, &PredictiveQuery<'_>) -> Prediction,
+    {
         let _span = hpm_obs::span!(crate::metrics::PREDICT_SPAN);
         hpm_obs::counter!(crate::metrics::PREDICTS).add(1);
         let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
@@ -399,19 +444,8 @@ impl MovingObjectStore {
             current_time,
             query_time,
         };
-        match &state.predictor {
-            Some(p) => Ok(p.predict(&query)),
-            // Untrained: behave like the motion-function-only world the
-            // paper improves on, via an empty predictor.
-            None => {
-                let empty = HybridPredictor::from_parts(
-                    hpm_patterns::RegionSet::new(Vec::new(), self.config.discovery.period),
-                    Vec::new(),
-                    self.config.hpm,
-                );
-                Ok(empty.predict(&query))
-            }
-        }
+        let predictor = state.predictor.as_ref().unwrap_or(&self.empty_predictor);
+        Ok(answer(predictor, &query))
     }
 
     /// Answers a batch of per-object predictive queries, partitioned
@@ -440,9 +474,12 @@ impl MovingObjectStore {
         let chunk = queries.len().div_ceil(pool.threads());
         let chunks: Vec<&[(ObjectId, Timestamp)]> = queries.chunks(chunk).collect();
         let per_chunk = pool.run(chunks.len(), |i| {
+            // One scratch per chunk: the first query warms it, the rest
+            // of the chunk predicts allocation-free.
+            let mut scratch = PredictScratch::new();
             chunks[i]
                 .iter()
-                .map(|&(id, t)| self.predict(id, t))
+                .map(|&(id, t)| self.predict_with_scratch(id, t, &mut scratch))
                 .collect::<Vec<_>>()
         });
         per_chunk.into_iter().flatten().collect()

@@ -4,43 +4,67 @@
 //! evaluates 80/400/800), so keys are dynamically sized bitsets rather
 //! than machine words. All the §V.A key operations reduce to word-wise
 //! logic here.
+//!
+//! Storage is hybrid: keys of up to [`INLINE_WORDS`]` * 64` bits live
+//! in a fixed inline array (no heap allocation at all — this covers
+//! the paper's 80-region scale and every consequence key), and only
+//! longer keys spill to a heap `Vec<u64>`. [`Bitmap::reset`] recycles
+//! an existing heap buffer when it is large enough, so hot-path query
+//! keys reach a steady state where re-encoding a query allocates
+//! nothing.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Number of 64-bit words stored inline before spilling to the heap.
+///
+/// Three words = 192 bits: enough for the paper's 80-region premise
+/// keys and for every realistic consequence key (one bit per distinct
+/// consequence time offset), while keeping `Bitmap` at four words
+/// total — small enough to move around by value cheaply.
+pub const INLINE_WORDS: usize = 3;
+
+/// Word storage: small bitmaps inline, large ones on the heap.
+///
+/// Invariant: a `Heap` vector always has exactly `len.div_ceil(64)`
+/// elements; an `Inline` array keeps every word at index
+/// `>= len.div_ceil(64)` zero.
+#[derive(Clone)]
+enum WordStore {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
 
 /// A fixed-length bit vector.
 ///
 /// Bit `i` corresponds to region id `i` (premise keys) or time id `i`
 /// (consequence keys). Equality and hashing include the length, so keys
 /// from different key tables never compare equal by accident.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Bitmap {
     /// Number of valid bits.
     len: usize,
     /// Little-endian words; bits past `len` are kept zero.
-    words: Vec<u64>,
+    words: WordStore,
 }
 
 impl Bitmap {
     /// All-zero bitmap of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Bitmap {
-            len,
-            words: vec![0; len.div_ceil(64)],
-        }
+        let wc = len.div_ceil(64);
+        let words = if wc <= INLINE_WORDS {
+            WordStore::Inline([0; INLINE_WORDS])
+        } else {
+            WordStore::Heap(vec![0; wc])
+        };
+        Bitmap { len, words }
     }
 
     /// All-ones bitmap of `len` bits (the BQP search key's premise:
     /// intersects every non-empty premise).
     pub fn ones(len: usize) -> Self {
         let mut b = Bitmap::zeros(len);
-        for (i, w) in b.words.iter_mut().enumerate() {
-            let remaining = len - i * 64;
-            *w = if remaining >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << remaining) - 1
-            };
-        }
+        b.set_all();
         b
     }
 
@@ -68,6 +92,61 @@ impl Bitmap {
         self.len == 0
     }
 
+    /// The backing words, little-endian, exactly `len().div_ceil(64)`
+    /// of them. This is the slice the packed TPT arena copies from.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        match &self.words {
+            WordStore::Inline(a) => &a[..self.len.div_ceil(64)],
+            WordStore::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            WordStore::Inline(a) => &mut a[..self.len.div_ceil(64)],
+            WordStore::Heap(v) => v,
+        }
+    }
+
+    /// Resizes to `len` bits, all zero, reusing existing storage when
+    /// possible: a heap buffer with enough capacity is recycled
+    /// (no allocation), and any `len` small enough for inline storage
+    /// never allocates. Repeated resets to the same length therefore
+    /// allocate at most once — the hot-path steady state.
+    pub fn reset(&mut self, len: usize) {
+        let wc = len.div_ceil(64);
+        self.len = len;
+        match &mut self.words {
+            WordStore::Heap(v) if v.capacity() >= wc => {
+                v.clear();
+                v.resize(wc, 0);
+            }
+            _ if wc <= INLINE_WORDS => self.words = WordStore::Inline([0; INLINE_WORDS]),
+            _ => self.words = WordStore::Heap(vec![0; wc]),
+        }
+    }
+
+    /// Clears every bit, keeping the length and storage.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words_mut().fill(0);
+    }
+
+    /// Sets every bit in `0..len()`.
+    pub fn set_all(&mut self) {
+        let len = self.len;
+        for (i, w) in self.words_mut().iter_mut().enumerate() {
+            let remaining = len - i * 64;
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+    }
+
     /// Sets bit `i`.
     ///
     /// # Panics
@@ -75,7 +154,7 @@ impl Bitmap {
     #[inline]
     pub fn set(&mut self, i: usize) {
         assert!(i < self.len, "bit {i} out of range (len {})", self.len);
-        self.words[i / 64] |= 1 << (i % 64);
+        self.words_mut()[i / 64] |= 1 << (i % 64);
     }
 
     /// Reads bit `i`.
@@ -85,19 +164,19 @@ impl Bitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} out of range (len {})", self.len);
-        self.words[i / 64] & (1 << (i % 64)) != 0
+        self.words()[i / 64] & (1 << (i % 64)) != 0
     }
 
     /// The paper's `Size`: number of set bits.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True when no bit is set.
     #[inline]
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// In-place union (the paper's `Union`, used to maintain internal
@@ -107,7 +186,7 @@ impl Bitmap {
     /// Panics on length mismatch.
     pub fn or_assign(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -115,24 +194,27 @@ impl Bitmap {
     /// The paper's `Contain`: `self & other == other`.
     pub fn contains(&self, other: &Bitmap) -> bool {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & b == *b)
     }
 
     /// Whether any bit is set in both (`Size(self & other) > 0`).
     pub fn intersects(&self, other: &Bitmap) -> bool {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// `Size(self & other)`: number of common set bits.
     pub fn and_count(&self, other: &Bitmap) -> usize {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
     }
@@ -142,16 +224,16 @@ impl Bitmap {
     /// `other`.
     pub fn difference(&self, other: &Bitmap) -> usize {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .map(|(a, b)| (a & !b).count_ones() as usize)
             .sum()
     }
 
     /// Iterates the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
             let mut w = w;
             std::iter::from_fn(move || {
                 if w == 0 {
@@ -166,10 +248,39 @@ impl Bitmap {
     }
 
     /// Heap bytes used by the word storage (for Fig. 11a's storage
-    /// accounting).
+    /// accounting). Inline bitmaps report zero: their words live in
+    /// the `Bitmap` itself.
     #[inline]
     pub fn storage_bytes(&self) -> usize {
-        self.words.len() * 8
+        match &self.words {
+            WordStore::Inline(_) => 0,
+            WordStore::Heap(v) => v.len() * 8,
+        }
+    }
+}
+
+impl Default for Bitmap {
+    /// The zero-length bitmap (a scratch placeholder;
+    /// [`reset`](Bitmap::reset) gives it a real geometry).
+    fn default() -> Self {
+        Bitmap::zeros(0)
+    }
+}
+
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for Bitmap {}
+
+impl Hash for Bitmap {
+    /// Hashes length then words, so inline and heap bitmaps of equal
+    /// content hash identically (required by `Eq`).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -186,7 +297,7 @@ impl Ord for Bitmap {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.len
             .cmp(&other.len)
-            .then_with(|| self.words.iter().rev().cmp(other.words.iter().rev()))
+            .then_with(|| self.words().iter().rev().cmp(other.words().iter().rev()))
     }
 }
 
@@ -311,5 +422,75 @@ mod tests {
         assert_eq!(b.count_ones(), 0);
         assert!(b.contains(&Bitmap::zeros(0)));
         assert!(!b.intersects(&Bitmap::zeros(0)));
+    }
+
+    #[test]
+    fn inline_below_heap_above_threshold() {
+        // Up to INLINE_WORDS * 64 bits the words live inline (no heap
+        // bytes); one bit more spills to the heap.
+        let max_inline = INLINE_WORDS * 64;
+        assert_eq!(Bitmap::zeros(max_inline).storage_bytes(), 0);
+        let spilled = Bitmap::zeros(max_inline + 1);
+        assert_eq!(spilled.storage_bytes(), (INLINE_WORDS + 1) * 8);
+        // Same ops on both sides of the boundary.
+        let a = Bitmap::from_indices(max_inline, &[0, 191]);
+        let b = Bitmap::from_indices(max_inline + 1, &[0, 192]);
+        assert_eq!(a.count_ones(), 2);
+        assert_eq!(b.count_ones(), 2);
+        assert!(b.get(192));
+    }
+
+    #[test]
+    fn inline_and_heap_compare_and_hash_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        // Force a heap bitmap down to an inline-sized length via
+        // reset-with-reuse, then compare against a natural inline one.
+        let mut heap = Bitmap::zeros(1000);
+        heap.reset(70);
+        heap.set(3);
+        assert!(heap.storage_bytes() > 0, "buffer was recycled, not freed");
+        let inline = Bitmap::from_indices(70, &[3]);
+        assert_eq!(inline.storage_bytes(), 0);
+        assert_eq!(heap, inline);
+        assert_eq!(heap.cmp(&inline), std::cmp::Ordering::Equal);
+        let h = |b: &Bitmap| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&heap), h(&inline));
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut b = Bitmap::ones(1000);
+        b.reset(1000);
+        assert!(b.is_zero());
+        assert_eq!(b.len(), 1000);
+        // Shrinking reuses the heap buffer; growing past it reallocates.
+        b.set_all();
+        b.reset(500);
+        assert!(b.is_zero());
+        assert_eq!(b.len(), 500);
+        assert_eq!(b.words().len(), 8);
+        // Inline-sized reset on an inline bitmap stays inline.
+        let mut small = Bitmap::ones(64);
+        small.reset(128);
+        assert!(small.is_zero());
+        assert_eq!(small.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_and_set_all_keep_len_invariant() {
+        for len in [0usize, 1, 63, 64, 65, 192, 193, 500] {
+            let mut b = Bitmap::ones(len);
+            assert_eq!(b.count_ones(), len);
+            b.clear();
+            assert!(b.is_zero());
+            b.set_all();
+            assert_eq!(b.count_ones(), len);
+            // No stray bits past len: and_count with itself == len.
+            assert_eq!(b.and_count(&Bitmap::ones(len)), len);
+        }
     }
 }

@@ -17,7 +17,7 @@ use hpm_trajectory::TimeOffset;
 use std::fmt;
 
 /// The symbolization of a trajectory pattern (or of a query).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct PatternKey {
     /// One bit per distinct consequence time offset.
     pub consequence: Bitmap,
@@ -150,10 +150,18 @@ impl KeyTable {
     /// (§V.A: premise key = `OR` of `2^id`).
     pub fn premise_key(&self, regions: impl IntoIterator<Item = RegionId>) -> Bitmap {
         let mut b = Bitmap::zeros(self.region_count);
-        for id in regions {
-            b.set(id.index());
-        }
+        self.premise_key_into(regions, &mut b);
         b
+    }
+
+    /// [`premise_key`](KeyTable::premise_key) into a reusable bitmap:
+    /// resizes `out` to the premise length (recycling its storage) and
+    /// sets the region bits — no allocation once `out` has capacity.
+    pub fn premise_key_into(&self, regions: impl IntoIterator<Item = RegionId>, out: &mut Bitmap) {
+        out.reset(self.region_count);
+        for id in regions {
+            out.set(id.index());
+        }
     }
 
     /// Consequence key with bits for every listed offset that exists in
@@ -161,12 +169,39 @@ impl KeyTable {
     /// then simply cannot intersect on them).
     pub fn consequence_key(&self, offsets: impl IntoIterator<Item = TimeOffset>) -> Bitmap {
         let mut b = Bitmap::zeros(self.consequence_count());
+        self.consequence_key_into(offsets, &mut b);
+        b
+    }
+
+    /// [`consequence_key`](KeyTable::consequence_key) into a reusable
+    /// bitmap (see [`premise_key_into`](KeyTable::premise_key_into)).
+    pub fn consequence_key_into(
+        &self,
+        offsets: impl IntoIterator<Item = TimeOffset>,
+        out: &mut Bitmap,
+    ) {
+        out.reset(self.consequence_count());
         for t in offsets {
             if let Some(tid) = self.time_id(t) {
-                b.set(tid);
+                out.set(tid);
             }
         }
-        b
+    }
+
+    /// Sets the consequence bits of the given offsets into an
+    /// **existing** key part without resizing or clearing it first —
+    /// the BQP widening loop grows one consequence key incrementally
+    /// instead of rebuilding it every step.
+    pub fn extend_consequence_key(
+        &self,
+        offsets: impl IntoIterator<Item = TimeOffset>,
+        out: &mut Bitmap,
+    ) {
+        for t in offsets {
+            if let Some(tid) = self.time_id(t) {
+                out.set(tid);
+            }
+        }
     }
 
     /// FQP query key (§V.C): premise from the recently visited regions,
@@ -180,6 +215,19 @@ impl KeyTable {
             consequence: self.consequence_key([query_offset]),
             premise: self.premise_key(recent_regions),
         }
+    }
+
+    /// [`fqp_query`](KeyTable::fqp_query) into a reusable key: both
+    /// parts are reset in place, so a steady-state query loop encodes
+    /// without touching the heap.
+    pub fn fqp_query_into(
+        &self,
+        recent_regions: impl IntoIterator<Item = RegionId>,
+        query_offset: TimeOffset,
+        out: &mut PatternKey,
+    ) {
+        self.consequence_key_into([query_offset], &mut out.consequence);
+        self.premise_key_into(recent_regions, &mut out.premise);
     }
 
     /// BQP query key (§VI.C): the premise constraint is dropped
@@ -316,6 +364,35 @@ mod tests {
         let q2 = t.bqp_query(2, 2);
         assert_eq!(format!("{:?}", q2.consequence), "10");
         assert_eq!(q2.premise.count_ones(), 5);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let (_, _, t) = table();
+        // Start from deliberately wrong-sized scratch: reset must fix
+        // the geometry.
+        let mut key = PatternKey::zeros(40, 3);
+        t.fqp_query_into([RegionId(0), RegionId(1)], 2, &mut key);
+        assert_eq!(key, t.fqp_query([RegionId(0), RegionId(1)], 2));
+        let mut rk = Bitmap::zeros(1);
+        t.premise_key_into([RegionId(4)], &mut rk);
+        assert_eq!(rk, t.premise_key([RegionId(4)]));
+        let mut ck = Bitmap::zeros(9);
+        t.consequence_key_into([1, 2, 7], &mut ck);
+        assert_eq!(ck, t.consequence_key([1, 2, 7]));
+    }
+
+    #[test]
+    fn extend_consequence_key_grows_incrementally() {
+        let (_, _, t) = table();
+        // Widening [2,2] -> [1,3] by extending the flanks equals a
+        // from-scratch [1,3] key.
+        let mut ck = Bitmap::zeros(t.consequence_count());
+        t.extend_consequence_key([2], &mut ck);
+        assert_eq!(ck, t.consequence_key([2]));
+        t.extend_consequence_key([1], &mut ck);
+        t.extend_consequence_key([3], &mut ck);
+        assert_eq!(ck, t.consequence_key(1..=3));
     }
 
     #[test]

@@ -39,10 +39,12 @@ mod brute;
 mod index;
 mod keys;
 pub mod metrics;
+mod packed;
 mod tree;
 
-pub use bitmap::Bitmap;
+pub use bitmap::{Bitmap, INLINE_WORDS};
 pub use brute::BruteForce;
 pub use index::{Match, PatternIndex};
 pub use keys::{KeyTable, PatternKey};
+pub use packed::PackedTpt;
 pub use tree::{SearchCursor, SearchStats, Tpt, TptConfig};

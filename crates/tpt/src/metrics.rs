@@ -20,6 +20,16 @@ pub const SEARCH_ENTRIES_CHECKED: &str = "tpt.search.entries_checked";
 pub const SEARCH_FALSE_HITS: &str = "tpt.search.false_hits";
 /// Matches returned per search (histogram, unit `count`).
 pub const SEARCH_MATCHES: &str = "tpt.search.matches";
+/// Latency span (and histogram, unit `ns`) around [`Tpt::compact`]
+/// building a packed image.
+///
+/// [`Tpt::compact`]: crate::Tpt::compact
+pub const REPACK_SPAN: &str = "tpt.repack";
+/// Packed images built (one per `compact()` call).
+pub const REPACK_CALLS: &str = "tpt.repack.calls";
+/// Arena bytes of the most recently built packed image (gauge; with
+/// one predictor per object this tracks the last repack, not a sum).
+pub const PACKED_ARENA_BYTES: &str = "tpt.packed.arena_bytes";
 
 /// Registers every metric above so snapshots cover them even before
 /// the first search (zero-valued metrics are still listed).
@@ -30,6 +40,9 @@ pub fn register() {
     hpm_obs::registry().counter(SEARCH_FALSE_HITS);
     hpm_obs::registry().histogram(SEARCH_MATCHES, hpm_obs::Unit::Count);
     hpm_obs::registry().histogram(SEARCH_SPAN, hpm_obs::Unit::Nanos);
+    hpm_obs::registry().counter(REPACK_CALLS);
+    hpm_obs::registry().gauge(PACKED_ARENA_BYTES);
+    hpm_obs::registry().histogram(REPACK_SPAN, hpm_obs::Unit::Nanos);
 }
 
 /// Publishes one search's [`SearchStats`] to the counters.
@@ -42,4 +55,14 @@ pub(crate) fn record_search(stats: &SearchStats, matches: usize) {
     hpm_obs::counter!(SEARCH_ENTRIES_CHECKED).add(stats.entries_checked as u64);
     hpm_obs::counter!(SEARCH_FALSE_HITS).add(stats.false_hits as u64);
     hpm_obs::histogram!(SEARCH_MATCHES).record(matches as u64);
+}
+
+/// Publishes one repack: bumps the call counter and points the arena
+/// gauge at the fresh image's size.
+pub(crate) fn record_repack(arena_bytes: usize) {
+    if !hpm_obs::enabled() {
+        return;
+    }
+    hpm_obs::counter!(REPACK_CALLS).add(1);
+    hpm_obs::gauge!(PACKED_ARENA_BYTES).set(arena_bytes as i64);
 }

@@ -43,18 +43,18 @@ impl Default for TptConfig {
 /// One slot of a node: key plus either a child node (internal) or a
 /// pattern payload (leaf).
 #[derive(Debug, Clone)]
-struct Entry {
-    key: PatternKey,
+pub(crate) struct Entry {
+    pub(crate) key: PatternKey,
     /// Internal: child node id. Leaf: pattern id.
-    child: u32,
+    pub(crate) child: u32,
     /// Leaf only; 0 for internal entries.
-    confidence: f64,
+    pub(crate) confidence: f64,
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    leaf: bool,
-    entries: Vec<Entry>,
+pub(crate) struct Node {
+    pub(crate) leaf: bool,
+    pub(crate) entries: Vec<Entry>,
 }
 
 impl Node {
@@ -92,8 +92,8 @@ pub struct SearchStats {
 /// never accumulates `false_hits` (or any other field) across calls.
 #[derive(Debug, Clone, Default)]
 pub struct SearchCursor {
-    out: Vec<Match>,
-    stats: SearchStats,
+    pub(crate) out: Vec<Match>,
+    pub(crate) stats: SearchStats,
 }
 
 impl SearchCursor {
@@ -130,10 +130,10 @@ impl SearchCursor {
 #[derive(Debug, Clone)]
 pub struct Tpt {
     config: TptConfig,
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     /// Arena slots freed by deletions, reused by later allocations.
     free: Vec<u32>,
-    root: u32,
+    pub(crate) root: u32,
     len: usize,
     height: usize,
 }

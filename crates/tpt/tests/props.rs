@@ -6,12 +6,18 @@ use hpm_tpt::{Bitmap, BruteForce, PatternIndex, PatternKey, Tpt, TptConfig};
 const CK_LEN: usize = 12;
 const RK_LEN: usize = 90;
 
+/// Key lengths whose signatures spill past `hpm_tpt::INLINE_WORDS`
+/// (12 + 200 bits → 1 + 4 words > 3): exercises the heap-backed bitmap
+/// representation and wider arena blocks.
+const CK_LEN_WIDE: usize = 12;
+const RK_LEN_WIDE: usize = 200;
+
 fn arb_bitmap(len: usize, max_ones: usize) -> Gen<Bitmap> {
     vec(int(0usize..len), 1..max_ones + 1).map(move |ones| Bitmap::from_indices(len, &ones))
 }
 
-fn arb_key() -> Gen<PatternKey> {
-    tuple((arb_bitmap(CK_LEN, 2), arb_bitmap(RK_LEN, 4))).map(|(consequence, premise)| {
+fn arb_key_of(ck_len: usize, rk_len: usize) -> Gen<PatternKey> {
+    tuple((arb_bitmap(ck_len, 2), arb_bitmap(rk_len, 4))).map(|(consequence, premise)| {
         PatternKey {
             consequence,
             premise,
@@ -19,13 +25,21 @@ fn arb_key() -> Gen<PatternKey> {
     })
 }
 
-fn arb_entries(max: usize) -> Gen<Vec<(PatternKey, f64, u32)>> {
-    vec(tuple((arb_key(), float(0.01..=1.0))), 0..max).map(|v| {
+fn arb_key() -> Gen<PatternKey> {
+    arb_key_of(CK_LEN, RK_LEN)
+}
+
+fn arb_entries_of(ck_len: usize, rk_len: usize, max: usize) -> Gen<Vec<(PatternKey, f64, u32)>> {
+    vec(tuple((arb_key_of(ck_len, rk_len), float(0.01..=1.0))), 0..max).map(|v| {
         v.into_iter()
             .enumerate()
             .map(|(i, (k, c))| (k, c, i as u32))
             .collect()
     })
+}
+
+fn arb_entries(max: usize) -> Gen<Vec<(PatternKey, f64, u32)>> {
+    arb_entries_of(CK_LEN, RK_LEN, max)
 }
 
 props! {
@@ -159,6 +173,82 @@ props! {
             b.sort_unstable();
             require_eq!(a, b);
         }
+    }
+
+    /// The arena-packed tree is **bit-identical** to the pointer tree:
+    /// same matches in the same order, same search statistics — and
+    /// both agree with brute force on the result *set*. Covers the
+    /// empty tree (0-entry case) and self-queries.
+    fn packed_equals_tree_and_brute(
+        entries in arb_entries(300),
+        queries in vec(arb_key(), 1..10),
+    ) {
+        let tree = Tpt::bulk_load(TptConfig::new(6), entries.clone());
+        let packed = tree.compact();
+        require_eq!(packed.len(), tree.len());
+        require_eq!(packed.height(), tree.height());
+        require_eq!(packed.node_count(), tree.node_count());
+        for q in queries.iter().chain(entries.iter().map(|(k, _, _)| k)) {
+            let (tm, ts) = tree.search_with_stats(q);
+            let (pm, ps) = packed.search_with_stats(q);
+            require_eq!(&pm, &tm, "packed matches/order differ from tree");
+            require_eq!(ps, ts, "packed search stats differ from tree");
+            let mut p: Vec<u32> = pm.iter().map(|m| m.pattern).collect();
+            let mut b: Vec<u32> = BruteForce::from_entries(entries.clone())
+                .search(q).iter().map(|m| m.pattern).collect();
+            p.sort_unstable();
+            b.sort_unstable();
+            require_eq!(p, b, "packed result set differs from brute force");
+        }
+    }
+
+    /// Packed equivalence holds for keys wider than the bitmap's
+    /// inline storage (heap-backed words, multi-word arena blocks).
+    fn packed_equals_tree_wide_keys(
+        entries in arb_entries_of(CK_LEN_WIDE, RK_LEN_WIDE, 150),
+        queries in vec(arb_key_of(CK_LEN_WIDE, RK_LEN_WIDE), 1..8),
+    ) {
+        let tree = Tpt::bulk_load(TptConfig::new(4), entries.clone());
+        let packed = tree.compact();
+        for q in queries.iter().chain(entries.iter().map(|(k, _, _)| k)) {
+            require_eq!(packed.search_with_stats(q), tree.search_with_stats(q));
+        }
+    }
+
+    /// Re-packing after a retrain-style mutation burst (deletes and
+    /// fresh inserts on the builder tree) stays bit-identical to the
+    /// mutated tree.
+    fn packed_repack_after_retrain(
+        entries in arb_entries(150),
+        delete_picks in vec(index(), 0..40),
+        extra in arb_entries(60),
+        queries in vec(arb_key(), 1..8),
+    ) {
+        let mut tree = Tpt::new(TptConfig::new(4));
+        for (k, c, p) in &entries {
+            tree.insert(k.clone(), *c, *p);
+        }
+        let stale = tree.compact(); // pre-mutation snapshot
+        let mut mirror = entries.clone();
+        for pick in &delete_picks {
+            if mirror.is_empty() {
+                break;
+            }
+            let i = pick.index(mirror.len());
+            let (k, _, p) = mirror.swap_remove(i);
+            require!(tree.delete(&k, p));
+        }
+        for (k, c, p) in &extra {
+            tree.insert(k.clone(), *c, *p + entries.len() as u32);
+        }
+        let packed = tree.compact();
+        require_eq!(packed.len(), tree.len());
+        for q in &queries {
+            require_eq!(packed.search_with_stats(q), tree.search_with_stats(q));
+        }
+        // The stale snapshot still answers for the *old* entry set
+        // (packing is a copy, not a view).
+        require_eq!(stale.len(), entries.len());
     }
 
     /// Deleting an entry and re-inserting it restores search results

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo test -q --offline (tier-1: root package)"
 cargo test -q --offline
 
