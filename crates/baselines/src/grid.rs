@@ -19,7 +19,10 @@ impl CellGrid {
     /// # Panics
     /// Panics when `extent` or `cell_size` is not positive/finite.
     pub fn new(extent: f64, cell_size: f64) -> Self {
-        assert!(extent > 0.0 && extent.is_finite(), "extent must be positive");
+        assert!(
+            extent > 0.0 && extent.is_finite(),
+            "extent must be positive"
+        );
         assert!(
             cell_size > 0.0 && cell_size.is_finite(),
             "cell_size must be positive"
@@ -46,9 +49,8 @@ impl CellGrid {
 
     /// The cell containing `p` (clamped into the grid).
     pub fn cell_of(&self, p: &Point) -> u32 {
-        let clamp = |v: f64| {
-            ((v / self.cell_size) as i64).clamp(0, i64::from(self.cols) - 1) as u32
-        };
+        let clamp =
+            |v: f64| ((v / self.cell_size) as i64).clamp(0, i64::from(self.cols) - 1) as u32;
         clamp(p.y) * self.cols + clamp(p.x)
     }
 

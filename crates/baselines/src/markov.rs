@@ -138,10 +138,7 @@ mod tests {
                 pts.push(Point::new(45.0, 5.0));
             }
         }
-        let m = MarkovPredictor::train(
-            &Trajectory::from_points(pts),
-            CellGrid::new(50.0, 10.0),
-        );
+        let m = MarkovPredictor::train(&Trajectory::from_points(pts), CellGrid::new(50.0, 10.0));
         let home = m.grid().cell_of(&Point::new(5.0, 5.0));
         let east = m.grid().cell_of(&Point::new(45.0, 5.0));
         let north = m.grid().cell_of(&Point::new(5.0, 45.0));
@@ -175,10 +172,7 @@ mod tests {
 
     #[test]
     fn empty_history_still_predicts() {
-        let m = MarkovPredictor::train(
-            &Trajectory::from_points(vec![]),
-            CellGrid::new(50.0, 10.0),
-        );
+        let m = MarkovPredictor::train(&Trajectory::from_points(vec![]), CellGrid::new(50.0, 10.0));
         assert_eq!(m.trained_cells(), 0);
         assert!(m.predict(&Point::new(25.0, 25.0), 5).is_finite());
     }

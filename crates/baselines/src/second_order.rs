@@ -68,10 +68,9 @@ impl SecondOrderMarkov {
                 Some(outs) => outs[0].0,
                 // Degrade to first-order (which itself degrades to a
                 // pseudo-random neighbour on unseen cells).
-                None => self.grid.cell_of(&self.fallback.predict(
-                    &self.grid.center(b),
-                    1,
-                )),
+                None => self
+                    .grid
+                    .cell_of(&self.fallback.predict(&self.grid.center(b), 1)),
             };
             a = b;
             b = next;

@@ -1,8 +1,8 @@
 //! Apriori mining cost, with and without computing the unpruned rule
 //! universe (the §IV pruning ablation).
 
-use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_bench::setup::{paper_discovery, paper_mining};
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_core::eval::training_slice;
 use hpm_datagen::{paper_dataset, PaperDataset, PERIOD};
 use hpm_patterns::{discover, mine, prune_statistics};
@@ -18,9 +18,7 @@ fn bench_mining(c: &mut Criterion) {
             BenchmarkId::new("pruned", dataset.name()),
             &out,
             |b, out| {
-                b.iter(|| {
-                    std::hint::black_box(mine(&out.regions, &out.visits, &paper_mining(0.3)))
-                })
+                b.iter(|| std::hint::black_box(mine(&out.regions, &out.visits, &paper_mining(0.3))))
             },
         );
         // Only the small airplane set is cheap enough for the full

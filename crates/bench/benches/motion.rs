@@ -35,7 +35,9 @@ fn bench_predict(c: &mut Criterion) {
     let lin = LinearMotion::fit(&pts).unwrap();
     let mut group = c.benchmark_group("motion_predict_200");
     group.bench_function("rmf", |b| b.iter(|| std::hint::black_box(rmf.predict(200))));
-    group.bench_function("linear", |b| b.iter(|| std::hint::black_box(lin.predict(200))));
+    group.bench_function("linear", |b| {
+        b.iter(|| std::hint::black_box(lin.predict(200)))
+    });
     group.finish();
 }
 

@@ -1,8 +1,8 @@
 //! Per-query cost of the Hybrid Prediction Model vs a standalone RMF
 //! (Fig. 10's microbenchmark form).
 
-use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_bench::setup::Experiment;
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpm_datagen::PaperDataset;
 use hpm_motion::{MotionModel, Rmf};
 

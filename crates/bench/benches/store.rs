@@ -1,7 +1,7 @@
 //! Persistence-codec and object-store throughput benches.
 
-use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpm_bench::synthetic_patterns;
+use hpm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hpm_core::HpmConfig;
 use hpm_datagen::{paper_dataset, PaperDataset, PERIOD};
 use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};

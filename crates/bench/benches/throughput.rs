@@ -146,10 +146,7 @@ fn main() {
         println!("throughput benchmark smoke test passed");
         return;
     }
-    let default_out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_throughput.json"
-    );
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let out = std::env::var("HPM_THROUGHPUT_OUT").unwrap_or_else(|_| default_out.into());
     run(10_000, 10_000, 3, Some(&out));
 }

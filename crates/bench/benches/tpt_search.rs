@@ -20,8 +20,8 @@ fn queries(table: &KeyTable, n: usize, regions: usize) -> Vec<PatternKey> {
     (0..n)
         .map(|i| {
             let seed = i * 7919 + 17;
-            let recent = (0..1 + i % 3)
-                .map(|j| hpm_patterns::RegionId(((seed + j * 131) % regions) as u32));
+            let recent =
+                (0..1 + i % 3).map(|j| hpm_patterns::RegionId(((seed + j * 131) % regions) as u32));
             let offsets = table.consequence_offsets();
             table.fqp_query(recent, offsets[seed % offsets.len()])
         })

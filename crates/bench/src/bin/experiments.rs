@@ -10,9 +10,7 @@
 //! a TSV table and writes it to `experiments_output/<id>.tsv`.
 
 use hpm_bench::report::{f1, f3, us, Report};
-use hpm_bench::setup::{
-    paper_discovery, paper_mining, Experiment, ACCURACY_QUERIES, COST_QUERIES,
-};
+use hpm_bench::setup::{paper_discovery, paper_mining, Experiment, ACCURACY_QUERIES, COST_QUERIES};
 use hpm_bench::synth::synthetic_patterns;
 use hpm_core::eval::{avg_error_hpm, avg_error_rmf, EvalQuery};
 use hpm_core::{HpmConfig, HybridPredictor, WeightFunction};
@@ -92,7 +90,13 @@ fn tables() -> std::io::Result<()> {
         }
     };
     let regions = RegionSet::new(
-        vec![mk(0, 0, 0), mk(1, 1, 0), mk(2, 1, 1), mk(3, 2, 0), mk(4, 2, 1)],
+        vec![
+            mk(0, 0, 0),
+            mk(1, 1, 0),
+            mk(2, 1, 1),
+            mk(3, 2, 0),
+            mk(4, 2, 1),
+        ],
         3,
     );
     let pat = |premise: &[u32], consequence: u32, confidence: f64| TrajectoryPattern {
@@ -131,7 +135,10 @@ fn tables() -> std::io::Result<()> {
         t2.row(&[offset.to_string(), tid.to_string(), format!("{key:?}")])?;
     }
 
-    let mut t3 = Report::new("table3-pattern-keys", &["trajectory_pattern", "pattern_key"])?;
+    let mut t3 = Report::new(
+        "table3-pattern-keys",
+        &["trajectory_pattern", "pattern_key"],
+    )?;
     for p in &patterns {
         let key = table.encode_pattern(p, &regions);
         t3.row(&[p.display(&regions).to_string(), format!("{key:?}")])?;
@@ -277,7 +284,13 @@ fn fig9() -> std::io::Result<()> {
 fn fig10() -> std::io::Result<()> {
     let mut r = Report::new(
         "fig10-query-cost",
-        &["dataset", "train_subs", "hpm_us", "rmf_us", "pattern_hit_rate"],
+        &[
+            "dataset",
+            "train_subs",
+            "hpm_us",
+            "rmf_us",
+            "pattern_hit_rate",
+        ],
     )?;
     // Both systems receive the same 60-sample recent window: the
     // paper's RMF comparator trains on the object's history per query
@@ -430,7 +443,12 @@ fn prune() -> std::io::Result<()> {
 fn weights() -> std::io::Result<()> {
     let mut r = Report::new(
         "weights-ablation",
-        &["dataset", "weight_fn", "hpm_error_len50", "top1_differs_vs_linear_pct"],
+        &[
+            "dataset",
+            "weight_fn",
+            "hpm_error_len50",
+            "top1_differs_vs_linear_pct",
+        ],
     )?;
     // Weight functions only differ on *partially matched* premises of
     // length ≥ 3 (for m = 2 the linear, exponential, and factorial
@@ -548,7 +566,12 @@ fn baselines() -> std::io::Result<()> {
     let mut r = Report::new(
         "baselines-comparison",
         &[
-            "dataset", "prediction_length", "hpm", "rmf", "linear", "markov_200",
+            "dataset",
+            "prediction_length",
+            "hpm",
+            "rmf",
+            "linear",
+            "markov_200",
             "slotted_markov_200",
         ],
     )?;
@@ -605,8 +628,14 @@ fn baselines() -> std::io::Result<()> {
     let mut b = Report::new(
         "hpm-source-breakdown",
         &[
-            "dataset", "prediction_length", "fqp_n", "fqp_err", "bqp_n", "bqp_err",
-            "motion_n", "motion_err",
+            "dataset",
+            "prediction_length",
+            "fqp_n",
+            "fqp_err",
+            "bqp_n",
+            "bqp_err",
+            "motion_n",
+            "motion_err",
         ],
     )?;
     for row in breakdown_rows {

@@ -158,7 +158,8 @@ fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "dataset\tx\tya\tyb\nBike\t0\t0\t10\nBike\t10\t5\t5\nCow\t0\t10\t0\nCow\t10\t10\t10\n";
+    const SAMPLE: &str =
+        "dataset\tx\tya\tyb\nBike\t0\t0\t10\nBike\t10\t5\t5\nCow\t0\t10\t0\nCow\t10\t10\t10\n";
 
     #[test]
     fn parse_roundtrip() {
@@ -191,7 +192,14 @@ mod tests {
     #[test]
     fn render_multiple_y_columns() {
         let t = Table::parse(SAMPLE).unwrap();
-        let chart = render(&t, "x", &["ya", "yb"], Some("dataset"), PlotConfig::default()).unwrap();
+        let chart = render(
+            &t,
+            "x",
+            &["ya", "yb"],
+            Some("dataset"),
+            PlotConfig::default(),
+        )
+        .unwrap();
         assert!(chart.contains("d = Cow yb"));
     }
 
@@ -219,8 +227,17 @@ mod tests {
     #[test]
     fn overlapping_points_star() {
         let t = Table::parse("x\ty1\ty2\n0\t5\t5\n1\t6\t7\n").unwrap();
-        let chart = render(&t, "x", &["y1", "y2"], None, PlotConfig { width: 10, height: 5 })
-            .unwrap();
+        let chart = render(
+            &t,
+            "x",
+            &["y1", "y2"],
+            None,
+            PlotConfig {
+                width: 10,
+                height: 5,
+            },
+        )
+        .unwrap();
         assert!(chart.contains('*'), "{chart}");
     }
 }

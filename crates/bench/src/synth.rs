@@ -7,8 +7,8 @@
 
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
-use hpm_trajectory::TimeOffset;
 use hpm_rand::{Rng, SmallRng};
+use hpm_trajectory::TimeOffset;
 
 /// Builds `num_regions` frequent regions spread evenly over a period of
 /// 300, plus `num_patterns` random (but Definition-1-valid) trajectory
@@ -30,10 +30,7 @@ pub fn synthetic_patterns(
     for id in 0..num_regions {
         let offset = (id / per_offset) as TimeOffset;
         let local = (id % per_offset) as u32;
-        let c = Point::new(
-            rng.gen_range(0.0..10_000.0),
-            rng.gen_range(0.0..10_000.0),
-        );
+        let c = Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0));
         regions.push(FrequentRegion {
             id: RegionId(id as u32),
             offset: offset.min(period - 1),

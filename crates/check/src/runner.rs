@@ -130,8 +130,7 @@ impl Runner {
         }
 
         // 2. Fresh deterministic cases.
-        let mut master =
-            SmallRng::seed_from_u64(self.config.seed ^ fnv1a(self.name.as_bytes()));
+        let mut master = SmallRng::seed_from_u64(self.config.seed ^ fnv1a(self.name.as_bytes()));
         let mut accepted = 0u32;
         let mut discarded = 0u32;
         let discard_budget = self.config.cases.saturating_mul(20);
@@ -288,7 +287,10 @@ pub fn read_regression_seeds(path: &Path) -> Vec<u64> {
 fn persist_seed<T: Debug>(path: &Path, seed: u64, shrunk: &T) {
     let token = format!("{seed:016x}{:048}", 0);
     if let Ok(existing) = fs::read_to_string(path) {
-        if existing.lines().any(|l| l.trim().starts_with(&format!("cc {token}"))) {
+        if existing
+            .lines()
+            .any(|l| l.trim().starts_with(&format!("cc {token}")))
+        {
             return;
         }
     }

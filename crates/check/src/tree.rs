@@ -91,10 +91,7 @@ pub fn vec_tree<T: Clone + 'static>(elements: Vec<Tree<T>>, min_len: usize) -> T
             let n = elements.len();
             let mut out: Vec<Tree<Vec<T>>> = Vec::new();
             let keep = |idxs: Vec<usize>| {
-                vec_tree(
-                    idxs.iter().map(|&i| elements[i].clone()).collect(),
-                    min_len,
-                )
+                vec_tree(idxs.iter().map(|&i| elements[i].clone()).collect(), min_len)
             };
             // Truncate hard: down to min_len, then to half.
             if n > min_len {

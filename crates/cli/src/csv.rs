@@ -22,8 +22,8 @@ pub fn write_trajectory(path: impl AsRef<Path>, traj: &Trajectory) -> std::io::R
 /// `hpm_trajectory::from_sparse_samples` to obtain a gap-free
 /// trajectory.
 pub fn read_samples(path: impl AsRef<Path>) -> Result<Vec<(Timestamp, Point)>, String> {
-    let file = std::fs::File::open(&path)
-        .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+    let file =
+        std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
     let reader = std::io::BufReader::new(file);
     let mut samples: Vec<(Timestamp, Point)> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
@@ -103,7 +103,11 @@ mod tests {
     fn roundtrip() {
         let traj = Trajectory::new(
             100,
-            vec![Point::new(1.5, -2.0), Point::new(3.0, 4.0), Point::new(0.0, 0.25)],
+            vec![
+                Point::new(1.5, -2.0),
+                Point::new(3.0, 4.0),
+                Point::new(0.0, 0.25),
+            ],
         );
         let path = tmp("roundtrip.csv");
         write_trajectory(&path, &traj).unwrap();

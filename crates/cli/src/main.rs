@@ -19,9 +19,9 @@ use args::Args;
 use hpm_core::eval::{
     error_stats, make_workload, source_breakdown, training_slice, WorkloadParams,
 };
-use hpm_motion::{LinearMotion, MotionModel, Rmf};
 use hpm_core::{HpmConfig, HybridPredictor, PredictiveQuery};
 use hpm_datagen::{paper_dataset, PaperDataset};
+use hpm_motion::{LinearMotion, MotionModel, Rmf};
 use hpm_patterns::{discover, mine, DiscoveryParams, MiningParams};
 use hpm_store::{load_model, save_model};
 use hpm_trajectory::{despike, from_sparse_samples, Trajectory};
@@ -148,8 +148,18 @@ fn mining_from(args: &Args) -> Result<MiningParams, String> {
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     args.expect_only(&[
-        "input", "period", "output", "eps", "min-pts", "min-conf", "min-support",
-        "max-premise", "max-gap", "max-span", "fill-gaps", "despike",
+        "input",
+        "period",
+        "output",
+        "eps",
+        "min-pts",
+        "min-conf",
+        "min-support",
+        "max-premise",
+        "max-gap",
+        "max-span",
+        "fill-gaps",
+        "despike",
     ])?;
     let traj = load_input(args)?;
     let discovery = DiscoveryParams {
@@ -204,9 +214,9 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 /// ASCII density map of frequent-region centroids (support-weighted).
 fn region_map(regions: &hpm_patterns::RegionSet, cols: usize, rows: usize) -> String {
     let all = regions.all();
-    let Some(bbox) = hpm_geo::BoundingBox::from_points(
-        &all.iter().map(|r| r.centroid).collect::<Vec<_>>(),
-    ) else {
+    let Some(bbox) =
+        hpm_geo::BoundingBox::from_points(&all.iter().map(|r| r.centroid).collect::<Vec<_>>())
+    else {
         return "(no regions)\n".into();
     };
     let w = bbox.width().max(1e-9);
@@ -250,8 +260,8 @@ fn region_map(regions: &hpm_patterns::RegionSet, cols: usize, rows: usize) -> St
 /// Reads a batch-query file: one query time per line; blank lines and
 /// `#` comments are skipped.
 fn read_batch_times(path: &str) -> Result<Vec<u64>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read --batch {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read --batch {path}: {e}"))?;
     let mut times = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -271,8 +281,20 @@ fn read_batch_times(path: &str) -> Result<Vec<u64>, String> {
 
 fn cmd_predict(args: &Args) -> Result<(), String> {
     args.expect_only(&[
-        "model", "input", "at", "batch", "threads", "recent", "k", "distant", "teps",
-        "margin", "fill-gaps", "despike", "metrics", "metrics-json",
+        "model",
+        "input",
+        "at",
+        "batch",
+        "threads",
+        "recent",
+        "k",
+        "distant",
+        "teps",
+        "margin",
+        "fill-gaps",
+        "despike",
+        "metrics",
+        "metrics-json",
     ])?;
     let metrics_text: bool = args.get_or("metrics", false)?;
     let metrics_json = args.optional("metrics-json");
@@ -412,8 +434,7 @@ fn cmd_simplify(args: &Args) -> Result<(), String> {
     writeln!(w, "t,x,y").map_err(|e| e.to_string())?;
     for &i in &kept {
         let v = traj.points()[i];
-        writeln!(w, "{},{},{}", traj.start() + i as u64, v.x, v.y)
-            .map_err(|e| e.to_string())?;
+        writeln!(w, "{},{},{}", traj.start() + i as u64, v.x, v.y).map_err(|e| e.to_string())?;
     }
     w.flush().map_err(|e| e.to_string())?;
     println!(
@@ -426,8 +447,18 @@ fn cmd_simplify(args: &Args) -> Result<(), String> {
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
     args.expect_only(&[
-        "input", "period", "train-subs", "length", "queries", "recent", "extent", "eps",
-        "min-pts", "min-conf", "fill-gaps", "despike",
+        "input",
+        "period",
+        "train-subs",
+        "length",
+        "queries",
+        "recent",
+        "extent",
+        "eps",
+        "min-pts",
+        "min-conf",
+        "fill-gaps",
+        "despike",
     ])?;
     let traj = load_input(args)?;
     let period: u32 = args.get("period")?;
@@ -461,7 +492,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         predictor.regions().len(),
         queries.len()
     );
-    println!("{:<8} {:>9} {:>9} {:>9} {:>9}", "", "mean", "median", "p95", "max");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9}",
+        "", "mean", "median", "p95", "max"
+    );
     let hpm = error_stats(|q| predictor.predict(q).best(), &queries, extent);
     let rmf = error_stats(
         |q| {

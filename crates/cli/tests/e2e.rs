@@ -43,7 +43,15 @@ fn unknown_subcommand_fails_cleanly() {
 
 #[test]
 fn unknown_flag_fails_cleanly() {
-    let out = hpm(&["generate", "--dataset", "bike", "--output", "/dev/null", "--bogus", "1"]);
+    let out = hpm(&[
+        "generate",
+        "--dataset",
+        "bike",
+        "--output",
+        "/dev/null",
+        "--bogus",
+        "1",
+    ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--bogus"));
 }
@@ -58,13 +66,23 @@ fn full_workflow() {
 
     // generate
     let out = hpm(&[
-        "generate", "--dataset", "bike", "--subs", "45", "--seed", "3", "--output", csv_s,
+        "generate",
+        "--dataset",
+        "bike",
+        "--subs",
+        "45",
+        "--seed",
+        "3",
+        "--output",
+        csv_s,
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("13500 samples"));
 
     // train
-    let out = hpm(&["train", "--input", csv_s, "--period", "300", "--output", model_s]);
+    let out = hpm(&[
+        "train", "--input", csv_s, "--period", "300", "--output", model_s,
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("patterns ->"));
 
@@ -77,14 +95,25 @@ fn full_workflow() {
     assert!(text.contains("-->"));
 
     // predict (mid-period query so patterns can apply)
-    let out = hpm(&["predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--k", "2"]);
+    let out = hpm(&[
+        "predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--k", "2",
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("predicted via"));
 
     // eval
     let out = hpm(&[
-        "eval", "--input", csv_s, "--period", "300", "--train-subs", "35", "--length", "40",
-        "--queries", "20",
+        "eval",
+        "--input",
+        csv_s,
+        "--period",
+        "300",
+        "--train-subs",
+        "35",
+        "--length",
+        "40",
+        "--queries",
+        "20",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -106,17 +135,36 @@ fn predict_metrics_json_covers_hot_path() {
     let model_s = model.to_str().unwrap();
 
     let out = hpm(&[
-        "generate", "--dataset", "bike", "--subs", "45", "--seed", "3", "--output", csv_s,
+        "generate",
+        "--dataset",
+        "bike",
+        "--subs",
+        "45",
+        "--seed",
+        "3",
+        "--output",
+        csv_s,
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
-    let out = hpm(&["train", "--input", csv_s, "--period", "300", "--output", model_s]);
+    let out = hpm(&[
+        "train", "--input", csv_s, "--period", "300", "--output", model_s,
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
     // --metrics-json - appends the snapshot JSON to stdout; --metrics
     // true adds the text table.
     let out = hpm(&[
-        "predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--metrics", "true",
-        "--metrics-json", "-",
+        "predict",
+        "--model",
+        model_s,
+        "--input",
+        csv_s,
+        "--at",
+        "13540",
+        "--metrics",
+        "true",
+        "--metrics-json",
+        "-",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -162,7 +210,14 @@ fn predict_metrics_json_covers_hot_path() {
     // File output matches the documented shape too.
     let json_file = dir.join("metrics.json");
     let out = hpm(&[
-        "predict", "--model", model_s, "--input", csv_s, "--at", "13540", "--metrics-json",
+        "predict",
+        "--model",
+        model_s,
+        "--input",
+        csv_s,
+        "--at",
+        "13540",
+        "--metrics-json",
         json_file.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -184,10 +239,20 @@ fn predict_batch_mode_parallel_matches_sequential() {
     let model_s = model.to_str().unwrap();
 
     let out = hpm(&[
-        "generate", "--dataset", "bike", "--subs", "45", "--seed", "3", "--output", csv_s,
+        "generate",
+        "--dataset",
+        "bike",
+        "--subs",
+        "45",
+        "--seed",
+        "3",
+        "--output",
+        csv_s,
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
-    let out = hpm(&["train", "--input", csv_s, "--period", "300", "--output", model_s]);
+    let out = hpm(&[
+        "train", "--input", csv_s, "--period", "300", "--output", model_s,
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
     // Query-time file: comments and blank lines tolerated, answers in
@@ -202,7 +267,14 @@ fn predict_batch_mode_parallel_matches_sequential() {
 
     let run = |threads: &str| {
         let out = hpm(&[
-            "predict", "--model", model_s, "--input", csv_s, "--batch", batch_s, "--threads",
+            "predict",
+            "--model",
+            model_s,
+            "--input",
+            csv_s,
+            "--batch",
+            batch_s,
+            "--threads",
             threads,
         ]);
         assert!(out.status.success(), "{}", stderr(&out));
@@ -248,14 +320,33 @@ fn predict_rejects_past_query_time() {
     std::fs::write(&csv, "t,x,y\n0,1,1\n1,2,2\n2,3,3\n").unwrap();
     let model = dir.join("tiny.hpm");
     let out = hpm(&[
-        "train", "--input", csv.to_str().unwrap(), "--period", "3", "--output",
-        model.to_str().unwrap(), "--min-pts", "1", "--min-support", "1", "--max-gap", "1",
-        "--max-span", "2", "--eps", "5",
+        "train",
+        "--input",
+        csv.to_str().unwrap(),
+        "--period",
+        "3",
+        "--output",
+        model.to_str().unwrap(),
+        "--min-pts",
+        "1",
+        "--min-support",
+        "1",
+        "--max-gap",
+        "1",
+        "--max-span",
+        "2",
+        "--eps",
+        "5",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let out = hpm(&[
-        "predict", "--model", model.to_str().unwrap(), "--input", csv.to_str().unwrap(),
-        "--at", "1",
+        "predict",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        csv.to_str().unwrap(),
+        "--at",
+        "1",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("not after"));
@@ -268,7 +359,12 @@ fn train_reports_gap_errors_without_fill() {
     let csv = dir.join("gappy.csv");
     std::fs::write(&csv, "t,x,y\n0,1,1\n2,2,2\n").unwrap();
     let out = hpm(&[
-        "train", "--input", csv.to_str().unwrap(), "--period", "2", "--output",
+        "train",
+        "--input",
+        csv.to_str().unwrap(),
+        "--period",
+        "2",
+        "--output",
         dir.join("x.hpm").to_str().unwrap(),
     ]);
     assert!(!out.status.success());
@@ -294,7 +390,13 @@ fn staypoints_and_simplify() {
     std::fs::write(&csv, rows).unwrap();
 
     let out = hpm(&[
-        "staypoints", "--input", csv.to_str().unwrap(), "--radius", "5", "--min-duration", "4",
+        "staypoints",
+        "--input",
+        csv.to_str().unwrap(),
+        "--radius",
+        "5",
+        "--min-duration",
+        "4",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -302,7 +404,12 @@ fn staypoints_and_simplify() {
 
     let simplified = dir.join("sp_simple.csv");
     let out = hpm(&[
-        "simplify", "--input", csv.to_str().unwrap(), "--epsilon", "1", "--output",
+        "simplify",
+        "--input",
+        csv.to_str().unwrap(),
+        "--epsilon",
+        "1",
+        "--output",
         simplified.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));

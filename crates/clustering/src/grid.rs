@@ -128,7 +128,9 @@ mod tests {
 
     #[test]
     fn count_matches_neighbors_len() {
-        let pts: Vec<Point> = (0..50).map(|i| Point::new((i % 7) as f64, (i / 7) as f64)).collect();
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 7) as f64, (i / 7) as f64))
+            .collect();
         let idx = GridIndex::build(&pts, 1.0);
         for c in &pts {
             assert_eq!(idx.count_within(c, 1.0), idx.neighbors_within(c, 1.0).len());

@@ -1,0 +1,424 @@
+//! Incremental DBSCAN point insertion (IncDBSCAN-style, Ester et al.
+//! 1998): classify one new point against the existing density
+//! structure and either absorb it *locally* — provably without
+//! changing any other point's label — or report **structure drift**
+//! and let the caller rebuild.
+//!
+//! The batch [`dbscan`](crate::dbscan) sweep is deterministic in a way
+//! the incremental path can replicate exactly:
+//!
+//! * cluster ids are assigned in ascending order of each cluster's
+//!   smallest core-point index (seeds are tried in index order and a
+//!   cluster expands fully before the next seed is considered);
+//! * a border point belongs to the **lowest-id** cluster with a core
+//!   point in its `Eps`-neighbourhood (that cluster expands first and
+//!   assigned points are never re-claimed);
+//! * cluster summaries fold members in ascending index order.
+//!
+//! A new point is appended at the highest index, so the *safe* cases —
+//! noise, border join, core join that reaches only one cluster's
+//! members — provably leave every existing label, every cluster id and
+//! every summary fold-order unchanged, and the updated state is
+//! *identical* to re-running batch DBSCAN over the extended point set
+//! (property-tested in `tests/props.rs`). Every other case (a
+//! neighbour crossing the `MinPts` core threshold, a merge, a brand
+//! new cluster, absorption of non-members) is conservatively reported
+//! as [`InsertOutcome::Drift`]: the caller falls back to a batch
+//! rebuild. Over-reporting drift costs only time, never correctness.
+
+use crate::{dbscan, Cluster, DbscanParams, Label};
+use hpm_geo::{BoundingBox, Point};
+use std::collections::HashMap;
+
+/// Why an insertion could not be absorbed locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// A neighbour crossed the `MinPts` threshold and became core.
+    Promotion,
+    /// The new point is core but reaches no existing cluster.
+    NewCluster,
+    /// The new point is core and connects two or more clusters.
+    Merge,
+    /// The new point is core and would pull non-members (noise or
+    /// other-cluster points) into its cluster.
+    Absorption,
+}
+
+/// Result of one [`IncrementalDbscan::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The point joined no cluster; no other label changed.
+    Noise,
+    /// The point joined this cluster (as core or border); no other
+    /// label changed.
+    Member(u32),
+    /// The structure changed: the state is now stale and must be
+    /// re-seeded from a batch run.
+    Drift(DriftKind),
+}
+
+/// Running aggregate of one cluster, maintained so that emitted
+/// summaries are bit-identical to the batch fold (members ascending).
+#[derive(Debug, Clone)]
+struct ClusterState {
+    members: Vec<u32>,
+    sum: Point,
+    bbox: BoundingBox,
+}
+
+/// Persistent per-group clustering state supporting single-point
+/// insertion with exact batch equivalence on the safe path.
+#[derive(Debug, Clone)]
+pub struct IncrementalDbscan {
+    params: DbscanParams,
+    cell: f64,
+    points: Vec<Point>,
+    /// `Eps`-sized grid buckets over `points` (indices).
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    /// `|N_Eps(p)|` including the point itself.
+    counts: Vec<u32>,
+    labels: Vec<Label>,
+    clusters: Vec<ClusterState>,
+    drift_events: u64,
+    poisoned: bool,
+}
+
+impl IncrementalDbscan {
+    /// Seeds the state from a batch DBSCAN run over `points`.
+    pub fn seed(points: Vec<Point>, params: DbscanParams) -> Self {
+        let cell = params.eps.max(f64::MIN_POSITIVE);
+        let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets
+                .entry(Self::key_of(p, cell))
+                .or_default()
+                .push(i as u32);
+        }
+        let (labels, batch_clusters) = dbscan(&points, params);
+        let clusters = batch_clusters
+            .into_iter()
+            .map(|c| {
+                // Re-fold in the same ascending-member order the batch
+                // summaries use, so later appends extend the very same
+                // fold.
+                let mut sum = Point::ORIGIN;
+                let mut bbox: Option<BoundingBox> = None;
+                for &m in &c.members {
+                    let p = points[m as usize];
+                    sum += p;
+                    match &mut bbox {
+                        None => bbox = Some(BoundingBox::from_point(p)),
+                        Some(b) => b.expand(p),
+                    }
+                }
+                ClusterState {
+                    bbox: bbox.expect("batch clusters are non-empty"),
+                    members: c.members,
+                    sum,
+                }
+            })
+            .collect();
+        let mut state = IncrementalDbscan {
+            params,
+            cell,
+            counts: Vec::with_capacity(points.len()),
+            points,
+            buckets,
+            labels,
+            clusters,
+            drift_events: 0,
+            poisoned: false,
+        };
+        let mut scratch = Vec::new();
+        for i in 0..state.points.len() {
+            let p = state.points[i];
+            scratch.clear();
+            state.neighbors_into(&p, &mut scratch);
+            state.counts.push(scratch.len() as u32);
+        }
+        state
+    }
+
+    fn key_of(p: &Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Indices of existing points within `Eps` of `p` (any order).
+    fn neighbors_into(&self, p: &Point, out: &mut Vec<u32>) {
+        let (cx, cy) = Self::key_of(p, self.cell);
+        let eps2 = self.params.eps * self.params.eps;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &i in bucket {
+                        if self.points[i as usize].distance_sq(p) <= eps2 {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn is_core(&self, i: u32) -> bool {
+        self.counts[i as usize] as usize >= self.params.min_pts
+    }
+
+    /// Inserts one point (appended at the highest index) and reports
+    /// how it was absorbed. On [`InsertOutcome::Drift`] the state is
+    /// *poisoned* — stale with respect to the inserted point — and only
+    /// [`IncrementalDbscan::seed`] can produce a fresh one.
+    ///
+    /// # Panics
+    /// Panics when called on a poisoned state.
+    pub fn insert(&mut self, p: Point) -> InsertOutcome {
+        assert!(!self.poisoned, "insert on a drifted IncrementalDbscan");
+        let mut neighbors = Vec::new();
+        self.neighbors_into(&p, &mut neighbors);
+
+        // Any neighbour crossing the core threshold can re-route
+        // borders, absorb noise, or merge clusters: bail out first.
+        if neighbors
+            .iter()
+            .any(|&i| self.counts[i as usize] as usize + 1 == self.params.min_pts)
+        {
+            return self.drift(DriftKind::Promotion);
+        }
+
+        let count_q = neighbors.len() as u32 + 1; // neighbourhood includes self
+        if count_q as usize >= self.params.min_pts {
+            // The new point is core: it may only join a cluster whose
+            // members already cover its whole neighbourhood.
+            let mut target: Option<u32> = None;
+            for &i in &neighbors {
+                if !self.is_core(i) {
+                    continue;
+                }
+                match (target, self.labels[i as usize]) {
+                    (_, Label::Noise) => unreachable!("core points are always clustered"),
+                    (None, Label::Cluster(c)) => target = Some(c),
+                    (Some(t), Label::Cluster(c)) if c != t => return self.drift(DriftKind::Merge),
+                    _ => {}
+                }
+            }
+            let Some(c) = target else {
+                return self.drift(DriftKind::NewCluster);
+            };
+            if neighbors
+                .iter()
+                .any(|&i| self.labels[i as usize] != Label::Cluster(c))
+            {
+                return self.drift(DriftKind::Absorption);
+            }
+            self.commit(p, &neighbors, Label::Cluster(c));
+            InsertOutcome::Member(c)
+        } else {
+            // Border or noise: joins the lowest-id cluster with a core
+            // neighbour — exactly the cluster the batch sweep (which
+            // expands clusters in id order) would hand it to.
+            let joined = neighbors
+                .iter()
+                .filter(|&&i| self.is_core(i))
+                .filter_map(|&i| match self.labels[i as usize] {
+                    Label::Cluster(c) => Some(c),
+                    Label::Noise => None,
+                })
+                .min();
+            match joined {
+                Some(c) => {
+                    self.commit(p, &neighbors, Label::Cluster(c));
+                    InsertOutcome::Member(c)
+                }
+                None => {
+                    self.commit(p, &neighbors, Label::Noise);
+                    InsertOutcome::Noise
+                }
+            }
+        }
+    }
+
+    /// Applies a safe insertion: appends the point, bumps neighbour
+    /// counts, and extends the joined cluster's running fold.
+    fn commit(&mut self, p: Point, neighbors: &[u32], label: Label) {
+        let idx = self.points.len() as u32;
+        for &i in neighbors {
+            self.counts[i as usize] += 1;
+        }
+        self.counts.push(neighbors.len() as u32 + 1);
+        self.points.push(p);
+        self.buckets
+            .entry(Self::key_of(&p, self.cell))
+            .or_default()
+            .push(idx);
+        self.labels.push(label);
+        if let Label::Cluster(c) = label {
+            let cl = &mut self.clusters[c as usize];
+            cl.members.push(idx);
+            cl.sum += p;
+            cl.bbox.expand(p);
+        }
+    }
+
+    fn drift(&mut self, kind: DriftKind) -> InsertOutcome {
+        self.drift_events += 1;
+        self.poisoned = true;
+        InsertOutcome::Drift(kind)
+    }
+
+    /// Number of points in the state.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the state holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Per-point labels, batch-identical on the safe path.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Structure-drift events observed so far (at most one per state:
+    /// a drifted state is poisoned until re-seeded, so callers
+    /// accumulate this across re-seeds).
+    #[inline]
+    pub fn drift_events(&self) -> u64 {
+        self.drift_events
+    }
+
+    /// Whether a drift has poisoned this state.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Cluster summaries, bit-identical to what [`dbscan`] over the
+    /// same point sequence returns (same fold order).
+    pub fn clusters(&self) -> Vec<Cluster> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(id, c)| Cluster {
+                id: id as u32,
+                members: c.members.clone(),
+                centroid: c.sum / c.members.len() as f64,
+                bbox: c.bbox,
+            })
+            .collect()
+    }
+
+    /// Summary of one cluster without allocating the members list:
+    /// `(member count, centroid, bbox)`.
+    pub fn cluster_summary(&self, id: u32) -> (usize, Point, BoundingBox) {
+        let c = &self.clusters[id as usize];
+        (c.members.len(), c.sum / c.members.len() as f64, c.bbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_blob(cx: f64, n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(cx + i as f64 * 0.01, 0.0))
+            .collect()
+    }
+
+    fn params() -> DbscanParams {
+        DbscanParams::new(1.0, 3)
+    }
+
+    #[test]
+    fn seed_matches_batch() {
+        let mut pts = dense_blob(0.0, 5);
+        pts.extend(dense_blob(50.0, 4));
+        pts.push(Point::new(25.0, 25.0));
+        let state = IncrementalDbscan::seed(pts.clone(), params());
+        let (labels, clusters) = dbscan(&pts, params());
+        assert_eq!(state.labels(), &labels[..]);
+        assert_eq!(state.clusters(), clusters);
+    }
+
+    #[test]
+    fn safe_core_join_matches_batch() {
+        let mut pts = dense_blob(0.0, 5);
+        pts.extend(dense_blob(50.0, 4));
+        let mut state = IncrementalDbscan::seed(pts.clone(), params());
+        // Inside the first blob: all neighbours are blob-0 members.
+        let p = Point::new(0.02, 0.0);
+        assert_eq!(state.insert(p), InsertOutcome::Member(0));
+        pts.push(p);
+        let (labels, clusters) = dbscan(&pts, params());
+        assert_eq!(state.labels(), &labels[..]);
+        assert_eq!(state.clusters(), clusters);
+    }
+
+    #[test]
+    fn far_point_is_noise() {
+        let mut state = IncrementalDbscan::seed(dense_blob(0.0, 5), params());
+        assert_eq!(state.insert(Point::new(100.0, 100.0)), InsertOutcome::Noise);
+        assert_eq!(state.cluster_count(), 1);
+        assert_eq!(*state.labels().last().unwrap(), Label::Noise);
+    }
+
+    #[test]
+    fn second_blob_appearing_reports_drift() {
+        // Two isolated points, then a third making them dense: the
+        // closing point first promotes its neighbours.
+        let mut pts = dense_blob(0.0, 5);
+        pts.push(Point::new(50.0, 0.0));
+        pts.push(Point::new(50.3, 0.0));
+        let mut state = IncrementalDbscan::seed(pts, params());
+        let out = state.insert(Point::new(50.6, 0.0));
+        assert_eq!(out, InsertOutcome::Drift(DriftKind::Promotion));
+        assert!(state.is_poisoned());
+        assert_eq!(state.drift_events(), 1);
+    }
+
+    #[test]
+    fn isolated_core_reports_new_cluster_drift() {
+        // min_pts = 1: every point is core on arrival.
+        let p = DbscanParams::new(1.0, 1);
+        let mut state = IncrementalDbscan::seed(vec![Point::new(0.0, 0.0)], p);
+        assert_eq!(
+            state.insert(Point::new(10.0, 0.0)),
+            InsertOutcome::Drift(DriftKind::NewCluster)
+        );
+    }
+
+    #[test]
+    fn bridging_point_reports_merge_or_absorption() {
+        // Two dense blobs 2.4 apart; a point in between reaches cores
+        // of both.
+        let mut pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 0.01, 0.0)).collect();
+        pts.extend((0..4).map(|i| Point::new(1.6 + i as f64 * 0.01, 0.0)));
+        let mut state = IncrementalDbscan::seed(pts, params());
+        assert_eq!(state.cluster_count(), 2);
+        match state.insert(Point::new(0.8, 0.0)) {
+            InsertOutcome::Drift(DriftKind::Merge | DriftKind::Promotion) => {}
+            other => panic!("expected merge-ish drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drifted")]
+    fn poisoned_state_rejects_inserts() {
+        let p = DbscanParams::new(1.0, 1);
+        let mut state = IncrementalDbscan::seed(vec![Point::new(0.0, 0.0)], p);
+        let _ = state.insert(Point::new(10.0, 0.0));
+        let _ = state.insert(Point::new(20.0, 0.0));
+    }
+}

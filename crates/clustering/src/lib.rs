@@ -30,6 +30,8 @@
 
 mod dbscan;
 mod grid;
+mod incremental;
 
 pub use dbscan::{dbscan, dbscan_naive, Cluster, DbscanParams, Label};
 pub use grid::GridIndex;
+pub use incremental::{DriftKind, IncrementalDbscan, InsertOutcome};

@@ -1,7 +1,7 @@
 //! Property-based invariants for DBSCAN.
 
 use hpm_check::prelude::*;
-use hpm_clustering::{dbscan, dbscan_naive, DbscanParams, Label};
+use hpm_clustering::{dbscan, dbscan_naive, DbscanParams, IncrementalDbscan, InsertOutcome, Label};
 use hpm_geo::Point;
 
 fn arb_points() -> Gen<Vec<Point>> {
@@ -86,6 +86,32 @@ props! {
                 let n = pts.iter().filter(|q| q.distance_sq(&pts[i]) <= eps2).count();
                 require!(n < params.min_pts);
             }
+        }
+    }
+
+    // Incremental insertion with reseed-on-drift is *exactly* the
+    // batch algorithm at every prefix: after each insert (or fallback
+    // reseed) the labels and summaries equal a fresh batch run over
+    // the same point sequence. This simultaneously checks that the
+    // safe path changes nothing it should not, and that every
+    // structure-changing insertion is caught as drift.
+    #[cases(96)]
+    fn incremental_equals_batch_at_every_prefix(
+        pts in arb_points(),
+        params in arb_params(),
+        split in float(0.0..1.0),
+    ) {
+        let cut = (pts.len() as f64 * split) as usize;
+        let mut state = IncrementalDbscan::seed(pts[..cut].to_vec(), params);
+        for (extra, &p) in pts[cut..].iter().enumerate() {
+            let n = cut + extra + 1;
+            if let InsertOutcome::Drift(_) = state.insert(p) {
+                require!(state.is_poisoned());
+                state = IncrementalDbscan::seed(pts[..n].to_vec(), params);
+            }
+            let (labels, clusters) = dbscan(&pts[..n], params);
+            require_eq!(state.labels(), &labels[..]);
+            require_eq!(state.clusters(), clusters);
         }
     }
 }

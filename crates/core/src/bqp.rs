@@ -52,7 +52,8 @@ pub(crate) fn run(
     // premise constraint) is built once, and each widening round only
     // sets the consequence bits of the *newly covered* interval flanks
     // instead of rebuilding the whole key from scratch.
-    qkey.consequence.reset(predictor.key_table.consequence_count());
+    qkey.consequence
+        .reset(predictor.key_table.consequence_count());
     qkey.premise.reset(predictor.key_table.region_count());
     qkey.premise.set_all();
 
@@ -77,12 +78,17 @@ pub(crate) fn run(
         if !qkey.consequence.is_zero() {
             let matches = cursor.search_packed(&predictor.packed, qkey);
             if !matches.is_empty() {
-                hpm_obs::histogram!(crate::metrics::BQP_CANDIDATES)
-                    .record(matches.len() as u64);
+                hpm_obs::histogram!(crate::metrics::BQP_CANDIDATES).record(matches.len() as u64);
                 hpm_obs::counter!(crate::metrics::BQP_WIDENINGS).add((i - 1) as u64);
                 scored.clear();
                 score_into(predictor, matches, rkq, tc, tq, scored);
-                rank_answers_into(predictor, scored, predictor.config.k, seen, &mut out.answers);
+                rank_answers_into(
+                    predictor,
+                    scored,
+                    predictor.config.k,
+                    seen,
+                    &mut out.answers,
+                );
                 return true;
             }
         }
@@ -190,8 +196,8 @@ mod tests {
     fn interval_widens_until_pattern_found() {
         // One pattern with consequence at offset 5 in a period of 10;
         // query offset 9 with tε = 1 needs i = 4 widenings to reach it.
-        use hpm_patterns::{FrequentRegion, RegionSet, TrajectoryPattern};
         use hpm_geo::BoundingBox;
+        use hpm_patterns::{FrequentRegion, RegionSet, TrajectoryPattern};
         let mk = |id: u32, offset: u32, cx: f64| FrequentRegion {
             id: RegionId(id),
             offset,
@@ -243,8 +249,7 @@ mod tests {
         use hpm_patterns::RegionSet;
         let mut cfg = commuter_config();
         cfg.distant_threshold = 1;
-        let p =
-            crate::HybridPredictor::from_parts(RegionSet::new(Vec::new(), 3), Vec::new(), cfg);
+        let p = crate::HybridPredictor::from_parts(RegionSet::new(Vec::new(), 3), Vec::new(), cfg);
         let recent = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
         let pred = p.predict(&PredictiveQuery {
             recent: &recent,

@@ -49,7 +49,10 @@ impl HpmConfig {
     /// retrospect, or a TPT fanout below 4.
     pub fn validate(&self) {
         assert!(self.k >= 1, "k must be at least 1");
-        assert!(self.distant_threshold >= 1, "distant_threshold must be >= 1");
+        assert!(
+            self.distant_threshold >= 1,
+            "distant_threshold must be >= 1"
+        );
         assert!(self.time_relaxation >= 1, "time_relaxation must be >= 1");
         assert!(
             self.match_margin >= 0.0 && self.match_margin.is_finite(),

@@ -359,10 +359,7 @@ mod tests {
             // Queries only touch held-out subs.
             assert!(q.current_time as usize / 4 >= 60);
             // Same sub-trajectory for tc and tq.
-            assert_eq!(
-                q.current_time as usize / 4,
-                q.query_time as usize / 4
-            );
+            assert_eq!(q.current_time as usize / 4, q.query_time as usize / 4);
             assert_eq!(traj.at(q.query_time), Some(q.truth));
         }
     }

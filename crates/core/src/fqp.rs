@@ -52,7 +52,13 @@ pub(crate) fn run(
         let sr = premise_similarity_with(rk, &qkey.premise, weights);
         (m.pattern, sr * m.confidence)
     }));
-    rank_answers_into(predictor, scored, predictor.config.k, seen, &mut out.answers);
+    rank_answers_into(
+        predictor,
+        scored,
+        predictor.config.k,
+        seen,
+        &mut out.answers,
+    );
     true
 }
 

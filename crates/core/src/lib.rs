@@ -68,6 +68,7 @@ mod types;
 
 pub mod eval;
 pub mod metrics;
+pub mod train;
 
 #[cfg(test)]
 pub(crate) mod test_fixtures;
@@ -79,4 +80,5 @@ pub use similarity::{
     consequence_similarity, premise_similarity, premise_similarity_with, WeightFunction,
     WeightTable,
 };
+pub use train::{NewVisit, TrainerState, UpdateTier};
 pub use types::{Prediction, PredictionSource, PredictiveQuery, RankedAnswer};

@@ -18,6 +18,10 @@ pub const BQP_SPAN: &str = "core.bqp";
 /// Latency span around similarity ranking (Eq. 2 / Eq. 5 sort +
 /// distinct-consequence top-k), shared by FQP and BQP.
 pub const RANK_SPAN: &str = "core.rank";
+/// Latency span around applying a retrain result to the live index
+/// ([`crate::HybridPredictor::apply_update`]: confidence patches, TPT
+/// deltas + repack, or re-assembly).
+pub const APPLY_UPDATE_SPAN: &str = "core.apply_update";
 
 /// Predictive queries answered.
 pub const PREDICT_CALLS: &str = "core.predict.calls";
@@ -47,7 +51,13 @@ pub fn register() {
     hpm_obs::registry().counter(BQP_WIDENINGS);
     hpm_obs::registry().histogram(FQP_CANDIDATES, hpm_obs::Unit::Count);
     hpm_obs::registry().histogram(BQP_CANDIDATES, hpm_obs::Unit::Count);
-    for span in [PREDICT_SPAN, FQP_SPAN, BQP_SPAN, RANK_SPAN] {
+    for span in [
+        PREDICT_SPAN,
+        FQP_SPAN,
+        BQP_SPAN,
+        RANK_SPAN,
+        APPLY_UPDATE_SPAN,
+    ] {
         hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
     }
     hpm_tpt::metrics::register();

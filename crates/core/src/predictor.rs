@@ -38,7 +38,7 @@ pub struct HybridPredictor {
 
 /// Largest number of premise ones among the pattern keys — the weight
 /// table must cover every `m` the scorers can encounter.
-fn max_premise_ones(pattern_keys: &[PatternKey]) -> usize {
+pub(crate) fn max_premise_ones(pattern_keys: &[PatternKey]) -> usize {
     pattern_keys
         .iter()
         .map(|k| k.premise.count_ones())
@@ -430,10 +430,7 @@ mod tests {
     fn recent_regions_dedupes_and_sorts() {
         let p = commuter_predictor();
         // Samples at offsets 0 and 1 near home and road.
-        let recent = [
-            Point::new(0.1, 0.0),
-            Point::new(50.1, 0.0),
-        ];
+        let recent = [Point::new(0.1, 0.0), Point::new(50.1, 0.0)];
         let day = 10 * COMMUTER_PERIOD as Timestamp;
         let ids = p.recent_regions(&recent, day + 1);
         assert!(!ids.is_empty());

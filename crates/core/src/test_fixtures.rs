@@ -12,8 +12,13 @@ pub(crate) const COMMUTER_PERIOD: u32 = 4;
 
 /// 100 "days" of period 4: home → road → work → {pub | gym}.
 pub(crate) fn commuter_trajectory() -> Trajectory {
-    let mut pts = Vec::with_capacity(400);
-    for day in 0..100 {
+    commuter_history(100)
+}
+
+/// The commuter world truncated to `days` days.
+pub(crate) fn commuter_history(days: usize) -> Trajectory {
+    let mut pts = Vec::with_capacity(days * COMMUTER_PERIOD as usize);
+    for day in 0..days {
         let jitter = (day % 3) as f64 * 0.2;
         pts.push(Point::new(jitter, 0.0)); // home
         pts.push(Point::new(50.0 + jitter, 0.0)); // road
@@ -80,11 +85,11 @@ pub(crate) fn fig3_regions() -> RegionSet {
     };
     RegionSet::new(
         vec![
-            mk(0, 0, 0, 0.0, 0.0),   // R0^0 home
-            mk(1, 1, 0, 10.0, 0.0),  // R1^0 city
-            mk(2, 1, 1, 0.0, 10.0),  // R1^1 shopping centre
-            mk(3, 2, 0, 20.0, 0.0),  // R2^0 work
-            mk(4, 2, 1, 0.0, 20.0),  // R2^1 beach
+            mk(0, 0, 0, 0.0, 0.0),  // R0^0 home
+            mk(1, 1, 0, 10.0, 0.0), // R1^0 city
+            mk(2, 1, 1, 0.0, 10.0), // R1^1 shopping centre
+            mk(3, 2, 0, 20.0, 0.0), // R2^0 work
+            mk(4, 2, 1, 0.0, 20.0), // R2^1 beach
         ],
         3,
     )

@@ -1,0 +1,547 @@
+//! Incremental training state: retrain on deltas, not on the full
+//! history.
+//!
+//! [`HybridPredictor::build`] reruns the whole §III–§V pipeline —
+//! decomposition, DBSCAN, Apriori, TPT bulk load — over the *entire*
+//! movement history on every call. [`TrainerState`] is the persistent
+//! counterpart: it remembers where the last training pass stopped and
+//! folds only the samples reported since then into per-offset
+//! clustering states ([`IncrementalDbscan`]) and persistent support
+//! counts ([`SupportCounts`]).
+//!
+//! The stages mirror the batch pipeline one-to-one so callers can time
+//! them individually:
+//!
+//! 1. [`stage_decompose`](TrainerState::stage_decompose) — the
+//!    [`DecomposeCursor`] yields the samples appended since the last
+//!    pass, already placed as `(sub, offset, point)` (§III).
+//! 2. [`stage_cluster`](TrainerState::stage_cluster) — each sample is
+//!    inserted into its offset's density structure; safe insertions
+//!    become region visits, anything structural reports
+//!    [`DriftKind`] and the caller falls back to a full rebuild.
+//! 3. [`stage_mine`](TrainerState::stage_mine) — new visits extend
+//!    their sub-trajectory's transaction, support counts absorb the
+//!    tails, and the full pattern list is re-derived from counts.
+//! 4. [`HybridPredictor::apply_update`] — the derived regions +
+//!    patterns are applied to the live index as deltas (confidence
+//!    patches, or TPT insert/delete plus one repack).
+//!
+//! **Equivalence guarantee**: after a successful incremental pass the
+//! resulting predictor answers every query exactly like
+//! `HybridPredictor::build` over the full history would — same
+//! regions, same patterns (ids included), same ranked answers. Drift
+//! is detected conservatively, so the guarantee holds *because* every
+//! case that could perturb batch output falls back to the batch path
+//! (property-tested in `tests/train_props.rs`).
+
+use crate::predictor::max_premise_ones;
+use crate::HybridPredictor;
+use hpm_clustering::{DbscanParams, DriftKind, IncrementalDbscan, InsertOutcome};
+use hpm_patterns::{
+    DiscoveryParams, FrequentRegion, MiningParams, RegionId, RegionSet, SupportCounts,
+    TrajectoryPattern, Transaction,
+};
+use hpm_tpt::PatternKey;
+use hpm_trajectory::{DecomposeCursor, DeltaSample, OffsetGroups, TimeOffset, Trajectory};
+use std::collections::HashMap;
+
+/// One region visit produced by the clustering stage: sub-trajectory
+/// `sub` passed through region `region` at time offset `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewVisit {
+    /// Sub-trajectory index (cursor numbering).
+    pub sub: usize,
+    /// The frequent region visited.
+    pub region: RegionId,
+    /// Its time offset.
+    pub offset: TimeOffset,
+}
+
+/// Persistent incremental-training state of one object: the cursor
+/// into its history plus per-offset density structures and support
+/// counts, all grown in lock-step with the trajectory.
+#[derive(Debug, Clone)]
+pub struct TrainerState {
+    discovery: DiscoveryParams,
+    mining: MiningParams,
+    cursor: DecomposeCursor,
+    /// One clustering state per time offset (`Gₜ` of §III).
+    offsets: Vec<IncrementalDbscan>,
+    /// `region_index[t][c]` = global region id of offset `t`'s cluster
+    /// `c`. Frozen between re-seeds: the safe insertion path never
+    /// creates, merges, or renumbers clusters.
+    region_index: Vec<Vec<u32>>,
+    /// Per-sub-trajectory visit transactions, ascending in offset.
+    txs: Vec<Transaction>,
+    counts: SupportCounts,
+    /// Structure-drift events accumulated across re-seeds.
+    drift_events: u64,
+}
+
+impl TrainerState {
+    /// Empty state (no history consumed yet).
+    ///
+    /// # Panics
+    /// Panics when `discovery.period == 0` or `mining` is inconsistent.
+    pub fn new(discovery: DiscoveryParams, mining: MiningParams) -> Self {
+        let db = DbscanParams::new(discovery.eps, discovery.min_pts);
+        TrainerState {
+            cursor: DecomposeCursor::new(discovery.period),
+            offsets: (0..discovery.period)
+                .map(|_| IncrementalDbscan::seed(Vec::new(), db))
+                .collect(),
+            region_index: vec![Vec::new(); discovery.period as usize],
+            txs: Vec::new(),
+            counts: SupportCounts::new(mining),
+            discovery,
+            mining,
+            drift_events: 0,
+        }
+    }
+
+    /// The discovery parameters in use.
+    #[inline]
+    pub fn discovery(&self) -> &DiscoveryParams {
+        &self.discovery
+    }
+
+    /// The mining parameters in use.
+    #[inline]
+    pub fn mining(&self) -> &MiningParams {
+        &self.mining
+    }
+
+    /// Samples of `traj` already folded into this state.
+    #[inline]
+    pub fn consumed(&self) -> usize {
+        self.cursor.consumed()
+    }
+
+    /// Structure-drift events seen over this state's lifetime
+    /// (including before re-seeds).
+    #[inline]
+    pub fn drift_events(&self) -> u64 {
+        self.drift_events
+    }
+
+    /// Re-derives the whole state from the full history — the seeding
+    /// path taken on first training and after structure drift. The
+    /// cursor is caught up to the end of `traj`.
+    pub fn seed(&mut self, traj: &Trajectory) {
+        let drift = self.drift_events + self.offset_drifts();
+        let db = DbscanParams::new(self.discovery.eps, self.discovery.min_pts);
+        let groups = OffsetGroups::build(traj, self.discovery.period);
+        self.offsets.clear();
+        self.region_index.clear();
+        self.txs = vec![Transaction::new(); groups.sub_count()];
+        let mut next_id = 0u32;
+        for (t, group) in groups.iter() {
+            let pts = group.iter().map(|&(_, p)| p).collect();
+            let state = IncrementalDbscan::seed(pts, db);
+            let mut index = Vec::with_capacity(state.cluster_count());
+            for cluster in state.clusters() {
+                index.push(next_id);
+                for &m in &cluster.members {
+                    let (sub, _) = group[m as usize];
+                    self.txs[sub].push((next_id, t as TimeOffset));
+                }
+                next_id += 1;
+            }
+            self.region_index.push(index);
+            self.offsets.push(state);
+        }
+        self.counts.rebuild(&self.txs);
+        self.cursor = DecomposeCursor::new(self.discovery.period);
+        self.cursor.catch_up(traj);
+        self.drift_events = drift;
+    }
+
+    /// Stage 1 — §III decomposition delta: the samples appended to
+    /// `traj` since the last pass, placed into `(sub, offset)` slots.
+    ///
+    /// # Panics
+    /// Panics when `traj` shrank below the consumed watermark (the
+    /// caller must [`seed`](Self::seed) a fresh state instead).
+    pub fn stage_decompose(&mut self, traj: &Trajectory) -> Vec<DeltaSample> {
+        self.cursor.advance(traj)
+    }
+
+    /// Stage 2 — incremental region discovery: inserts each delta
+    /// sample into its offset's density structure. Safe insertions
+    /// that land in a cluster become [`NewVisit`]s; any structural
+    /// change aborts with the observed [`DriftKind`], poisoning the
+    /// state — the caller must fall back to a full rebuild and
+    /// [`seed`](Self::seed).
+    pub fn stage_cluster(&mut self, samples: &[DeltaSample]) -> Result<Vec<NewVisit>, DriftKind> {
+        let mut visits = Vec::new();
+        for s in samples {
+            let state = &mut self.offsets[s.offset as usize];
+            match state.insert(s.point) {
+                InsertOutcome::Noise => {}
+                InsertOutcome::Member(c) => visits.push(NewVisit {
+                    sub: s.sub,
+                    region: RegionId(self.region_index[s.offset as usize][c as usize]),
+                    offset: s.offset,
+                }),
+                InsertOutcome::Drift(kind) => {
+                    self.drift_events += 1;
+                    return Err(kind);
+                }
+            }
+        }
+        Ok(visits)
+    }
+
+    /// Stage 3 — incremental mining: extends the visited
+    /// sub-trajectories' transactions, folds the new tails into the
+    /// support counts, and derives the full canonical pattern list
+    /// (identical to a batch [`mine`](hpm_patterns::mine) over the
+    /// whole history).
+    pub fn stage_mine(&mut self, visits: &[NewVisit]) -> Vec<TrajectoryPattern> {
+        for v in visits {
+            if self.txs.len() <= v.sub {
+                self.txs.resize(v.sub + 1, Transaction::new());
+            }
+            self.txs[v.sub].push((v.region.0, v.offset));
+            self.counts.record_tail(&self.txs[v.sub]);
+        }
+        self.counts.derive()
+    }
+
+    /// The current frequent regions, rebuilt from the per-offset
+    /// cluster summaries — bit-identical to what batch discovery over
+    /// the full consumed history produces.
+    pub fn regions(&self) -> RegionSet {
+        let mut regions = Vec::new();
+        for (t, state) in self.offsets.iter().enumerate() {
+            for cluster in state.clusters() {
+                debug_assert_eq!(
+                    self.region_index[t][cluster.id as usize],
+                    regions.len() as u32,
+                    "cluster structure changed without drift"
+                );
+                regions.push(FrequentRegion {
+                    id: RegionId(regions.len() as u32),
+                    offset: t as TimeOffset,
+                    local_index: cluster.id,
+                    centroid: cluster.centroid,
+                    bbox: cluster.bbox,
+                    support: cluster.members.len() as u32,
+                });
+            }
+        }
+        RegionSet::new(regions, self.discovery.period)
+    }
+
+    fn offset_drifts(&self) -> u64 {
+        self.offsets
+            .iter()
+            .map(IncrementalDbscan::drift_events)
+            .sum()
+    }
+}
+
+/// How [`HybridPredictor::apply_update`] absorbed a retrain result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateTier {
+    /// Pattern key set unchanged: confidences patched in place, no
+    /// repack.
+    Confidences,
+    /// Patterns added/removed: TPT deltas plus one repack.
+    Deltas {
+        /// Patterns inserted.
+        added: usize,
+        /// Patterns deleted.
+        removed: usize,
+    },
+    /// Vocabulary changed (region count or consequence offsets): full
+    /// index re-assembly from parts (no re-mining).
+    Rebuild,
+}
+
+impl HybridPredictor {
+    /// Applies a retrain result — fresh regions and the full derived
+    /// pattern list — to this predictor as *deltas* against the live
+    /// TPT, producing a new predictor equivalent to
+    /// [`from_parts`](Self::from_parts) over the same inputs:
+    ///
+    /// * same `(premise, consequence)` key set → pattern ids are
+    ///   unchanged, confidences are patched in the tree and the packed
+    ///   image, no repack ([`UpdateTier::Confidences`]);
+    /// * keys added/removed → removed patterns are deleted, surviving
+    ///   payload ids are remapped to the new canonical numbering, new
+    ///   patterns inserted, then **one** repack covers the whole batch
+    ///   ([`UpdateTier::Deltas`]) — the amortised-repack policy;
+    /// * region count or consequence-offset vocabulary changed → the
+    ///   key encoding itself is stale and the index is re-assembled
+    ///   with [`from_parts`](Self::from_parts)
+    ///   ([`UpdateTier::Rebuild`]; still no re-discovery/re-mining).
+    ///
+    /// # Panics
+    /// Panics when a pattern fails validation against `regions` (only
+    /// reachable on the rebuild tier; delta tiers reuse validated
+    /// keys).
+    pub fn apply_update(
+        &self,
+        regions: RegionSet,
+        patterns: Vec<TrajectoryPattern>,
+    ) -> (HybridPredictor, UpdateTier) {
+        let _span = hpm_obs::span!(crate::metrics::APPLY_UPDATE_SPAN);
+        let vocabulary_unchanged = regions.len() == self.regions.len()
+            && regions.period() == self.period
+            && patterns.iter().all(|p| {
+                self.key_table
+                    .time_id(p.consequence_offset(&regions))
+                    .is_some()
+            });
+        if !vocabulary_unchanged {
+            let rebuilt = Self::from_parts(regions, patterns, self.config);
+            return (rebuilt, UpdateTier::Rebuild);
+        }
+
+        let same_keys = patterns.len() == self.patterns.len()
+            && patterns
+                .iter()
+                .zip(&self.patterns)
+                .all(|(n, o)| n.premise == o.premise && n.consequence == o.consequence);
+        let mut out = self.clone();
+        out.regions = regions;
+        if same_keys {
+            for (i, (n, o)) in patterns.iter().zip(&self.patterns).enumerate() {
+                if n.confidence != o.confidence {
+                    let patched =
+                        out.tpt
+                            .update_confidence(&out.pattern_keys[i], i as u32, n.confidence);
+                    debug_assert!(patched, "pattern {i} missing from its own tree");
+                }
+            }
+            out.packed.patch_confidences(|id| {
+                let n = patterns[id as usize].confidence;
+                (n != self.patterns[id as usize].confidence).then_some(n)
+            });
+            out.patterns = patterns;
+            return (out, UpdateTier::Confidences);
+        }
+
+        // Structural delta: match old patterns to new by key.
+        let old_ids: HashMap<(&[RegionId], RegionId), u32> = self
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((p.premise.as_slice(), p.consequence), i as u32))
+            .collect();
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut added: Vec<u32> = Vec::new();
+        for (n, p) in patterns.iter().enumerate() {
+            match old_ids.get(&(p.premise.as_slice(), p.consequence)) {
+                Some(&o) => {
+                    remap.insert(o, n as u32);
+                }
+                None => added.push(n as u32),
+            }
+        }
+        let removed: Vec<u32> = (0..self.patterns.len() as u32)
+            .filter(|o| !remap.contains_key(o))
+            .collect();
+
+        for &o in &removed {
+            let deleted = out.tpt.delete(&self.pattern_keys[o as usize], o);
+            debug_assert!(deleted, "pattern {o} missing from its own tree");
+        }
+        out.tpt.remap_payloads(|o| remap[&o]);
+        let new_keys: Vec<PatternKey> = patterns
+            .iter()
+            .map(|p| out.key_table.encode_pattern(p, &out.regions))
+            .collect();
+        for &n in &added {
+            out.tpt.insert(
+                new_keys[n as usize].clone(),
+                patterns[n as usize].confidence,
+                n,
+            );
+        }
+        for (&o, &n) in &remap {
+            let (old_c, new_c) = (
+                self.patterns[o as usize].confidence,
+                patterns[n as usize].confidence,
+            );
+            if old_c != new_c {
+                let patched = out.tpt.update_confidence(&new_keys[n as usize], n, new_c);
+                debug_assert!(patched, "pattern {n} missing from its own tree");
+            }
+        }
+        // One repack covers the whole batch of deltas.
+        out.packed = out.tpt.compact();
+        let max_m = max_premise_ones(&new_keys);
+        if max_m > out.weight_table.max_ones() {
+            out.weight_table = crate::WeightTable::build(out.config.weight_fn, max_m);
+        }
+        out.pattern_keys = new_keys;
+        out.patterns = patterns;
+        let tier = UpdateTier::Deltas {
+            added: added.len(),
+            removed: removed.len(),
+        };
+        (out, tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{commuter_config, commuter_history, COMMUTER_PERIOD};
+    use crate::PredictiveQuery;
+    use hpm_geo::Point;
+    use hpm_trajectory::Timestamp;
+
+    fn discovery() -> DiscoveryParams {
+        DiscoveryParams {
+            period: COMMUTER_PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        }
+    }
+
+    fn mining() -> MiningParams {
+        MiningParams {
+            min_support: 3,
+            min_confidence: 0.2,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        }
+    }
+
+    /// Asserts the full-equivalence contract between an incrementally
+    /// maintained predictor and a batch build over the same history.
+    fn assert_equivalent(incremental: &HybridPredictor, traj: &Trajectory) {
+        let batch = HybridPredictor::build(traj, &discovery(), &mining(), *incremental.config());
+        assert_eq!(incremental.regions().all(), batch.regions().all());
+        assert_eq!(incremental.patterns(), batch.patterns());
+        let day =
+            (traj.len() as Timestamp / COMMUTER_PERIOD as Timestamp) * COMMUTER_PERIOD as Timestamp;
+        for (recent, len) in [
+            (vec![Point::new(0.0, 0.0)], 1),
+            (vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)], 1),
+            (vec![Point::new(0.1, 0.0)], 3),
+            (vec![Point::new(700.0, 700.0)], 2),
+        ] {
+            let q = PredictiveQuery {
+                recent: &recent,
+                current_time: day + recent.len() as Timestamp - 1,
+                query_time: day + recent.len() as Timestamp - 1 + len,
+            };
+            assert_eq!(incremental.predict(&q), batch.predict(&q), "query {q:?}");
+        }
+    }
+
+    /// Runs one incremental retrain pass, falling back to seed+rebuild
+    /// on drift (the store's retrain logic, inlined).
+    fn retrain(
+        trainer: &mut TrainerState,
+        predictor: &HybridPredictor,
+        traj: &Trajectory,
+    ) -> HybridPredictor {
+        let delta = trainer.stage_decompose(traj);
+        match trainer.stage_cluster(&delta) {
+            Ok(visits) => {
+                let patterns = trainer.stage_mine(&visits);
+                predictor.apply_update(trainer.regions(), patterns).0
+            }
+            Err(_) => {
+                trainer.seed(traj);
+                HybridPredictor::build(traj, &discovery(), &mining(), *predictor.config())
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_pass_tracks_batch_build() {
+        let full = commuter_history(60);
+        let mut cfg = commuter_config();
+        cfg.k = 2;
+        // Start from 40 days, feed the rest day by day.
+        let warm = Trajectory::from_points(full.points()[..40 * COMMUTER_PERIOD as usize].to_vec());
+        let mut trainer = TrainerState::new(discovery(), mining());
+        trainer.seed(&warm);
+        let mut predictor = HybridPredictor::build(&warm, &discovery(), &mining(), cfg);
+        for day in 41..=60 {
+            let traj =
+                Trajectory::from_points(full.points()[..day * COMMUTER_PERIOD as usize].to_vec());
+            predictor = retrain(&mut trainer, &predictor, &traj);
+            assert_equivalent(&predictor, &traj);
+        }
+        assert!(!predictor.patterns().is_empty());
+    }
+
+    #[test]
+    fn wild_day_drifts_and_reseeds() {
+        let mut pts = commuter_history(40).points().to_vec();
+        let mut trainer = TrainerState::new(discovery(), mining());
+        let warm = Trajectory::from_points(pts.clone());
+        trainer.seed(&warm);
+        let predictor = HybridPredictor::build(&warm, &discovery(), &mining(), commuter_config());
+        // A brand-new dense hotspot must eventually register as drift
+        // (promotion/new-cluster), never silently change structure.
+        for _ in 0..4 {
+            for t in 0..COMMUTER_PERIOD {
+                pts.push(Point::new(400.0 + t as f64 * 0.1, 400.0));
+            }
+        }
+        let traj = Trajectory::from_points(pts);
+        let mut drifted = trainer.clone();
+        let delta = drifted.stage_decompose(&traj);
+        assert!(drifted.stage_cluster(&delta).is_err(), "expected drift");
+        assert!(drifted.drift_events() > trainer.drift_events());
+        // Recovery: seed + batch build is again equivalent going
+        // forward.
+        drifted.seed(&traj);
+        assert_eq!(drifted.consumed(), traj.len());
+        let rebuilt = HybridPredictor::build(&traj, &discovery(), &mining(), *predictor.config());
+        let (next, tier) = rebuilt.apply_update(drifted.regions(), drifted.stage_mine(&[]));
+        assert_eq!(tier, UpdateTier::Confidences);
+        assert_eq!(next.patterns(), rebuilt.patterns());
+    }
+
+    #[test]
+    fn apply_update_same_inputs_is_identity_tier() {
+        let traj = commuter_history(30);
+        let p = HybridPredictor::build(&traj, &discovery(), &mining(), commuter_config());
+        let (q, tier) = p.apply_update(p.regions().clone(), p.patterns().to_vec());
+        assert_eq!(tier, UpdateTier::Confidences);
+        assert_eq!(q.patterns(), p.patterns());
+    }
+
+    #[test]
+    fn apply_update_vocabulary_growth_rebuilds() {
+        let traj = commuter_history(30);
+        let p = HybridPredictor::build(&traj, &discovery(), &mining(), commuter_config());
+        let mut trainer = TrainerState::new(
+            DiscoveryParams {
+                eps: 2.5,
+                ..discovery()
+            },
+            mining(),
+        );
+        trainer.seed(&traj);
+        // Different eps can change the region vocabulary; force the
+        // mismatch by dropping a region from the trainer's view.
+        let shrunk = RegionSet::new(
+            trainer.regions().all()[..p.regions().len() - 1].to_vec(),
+            COMMUTER_PERIOD,
+        );
+        let keep: Vec<_> = p
+            .patterns()
+            .iter()
+            .filter(|pat| {
+                pat.consequence.index() < shrunk.len()
+                    && pat.premise.iter().all(|r| r.index() < shrunk.len())
+            })
+            .cloned()
+            .collect();
+        let (q, tier) = p.apply_update(shrunk.clone(), keep.clone());
+        assert_eq!(tier, UpdateTier::Rebuild);
+        assert_eq!(q.patterns(), keep.as_slice());
+        assert_eq!(q.regions().len(), shrunk.len());
+    }
+}

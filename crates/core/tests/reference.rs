@@ -67,8 +67,10 @@ fn reference_bqp(
     loop {
         let lo = (tq - i * t_eps).max(tc + 1);
         let hi = tq + i * t_eps;
-        let offsets: std::collections::HashSet<i64> =
-            (lo..=hi).take(period as usize).map(|t| t.rem_euclid(period)).collect();
+        let offsets: std::collections::HashSet<i64> = (lo..=hi)
+            .take(period as usize)
+            .map(|t| t.rem_euclid(period))
+            .collect();
         let mut scored: Vec<(u32, f64)> = patterns
             .iter()
             .enumerate()

@@ -10,8 +10,8 @@
 
 use crate::NormalSampler;
 use hpm_geo::{resample_uniform, Point};
-use hpm_trajectory::Trajectory;
 use hpm_rand::{Rng, SmallRng};
+use hpm_trajectory::Trajectory;
 
 /// A seed route the object habitually follows, with a selection
 /// weight. Weights need not sum to 1; they are normalised internally.
@@ -98,8 +98,7 @@ impl PeriodicGenerator {
         let resampled = archetypes
             .iter()
             .map(|a| {
-                resample_uniform(&a.waypoints, config.period as usize)
-                    .expect("non-empty archetype")
+                resample_uniform(&a.waypoints, config.period as usize).expect("non-empty archetype")
             })
             .collect();
         let mut acc = 0.0;
@@ -279,10 +278,7 @@ mod tests {
         let t = g.generate();
         for k in 0..10 {
             let mid = t.points()[k * 50 + 25];
-            assert!(
-                (mid.y - 5000.0).abs() < 20.0,
-                "period {k} strays: {mid}"
-            );
+            assert!((mid.y - 5000.0).abs() < 20.0, "period {k} strays: {mid}");
         }
     }
 
@@ -305,8 +301,14 @@ mod tests {
     fn weighted_archetype_selection() {
         // 9:1 weights -> first route dominates.
         let arch = vec![
-            Archetype::new(vec![Point::new(0.0, 1000.0), Point::new(10_000.0, 1000.0)], 9.0),
-            Archetype::new(vec![Point::new(0.0, 9000.0), Point::new(10_000.0, 9000.0)], 1.0),
+            Archetype::new(
+                vec![Point::new(0.0, 1000.0), Point::new(10_000.0, 1000.0)],
+                9.0,
+            ),
+            Archetype::new(
+                vec![Point::new(0.0, 9000.0), Point::new(10_000.0, 9000.0)],
+                1.0,
+            ),
         ];
         let mut cfg = small_cfg();
         cfg.num_subs = 200;

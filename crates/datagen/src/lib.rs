@@ -18,6 +18,8 @@ mod datasets;
 mod generator;
 mod rand_ext;
 
-pub use datasets::{airplane, bike, car, cow, paper_dataset, PaperDataset, EXTENT, PERIOD, SUB_COUNT};
+pub use datasets::{
+    airplane, bike, car, cow, paper_dataset, PaperDataset, EXTENT, PERIOD, SUB_COUNT,
+};
 pub use generator::{Archetype, GeneratorConfig, PeriodicGenerator};
 pub use rand_ext::NormalSampler;

@@ -19,7 +19,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     if n < 3 {
         return pts;
     }
-    let cross = |o: &Point, a: &Point, b: &Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+    let cross =
+        |o: &Point, a: &Point, b: &Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for p in &pts {
@@ -31,7 +32,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for p in pts.iter().rev() {
-        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }

@@ -226,7 +226,11 @@ mod tests {
         let s = simplify_rdp(&pts, 0.05);
         assert_eq!(
             s,
-            vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(3.0, 4.0)]
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 0.0),
+                Point::new(3.0, 4.0)
+            ]
         );
     }
 

@@ -104,13 +104,7 @@ impl Matrix {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         let mut out = Vec::with_capacity(self.rows);
         for r in 0..self.rows {
-            out.push(
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>(),
-            );
+            out.push(self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>());
         }
         out
     }
@@ -201,7 +195,12 @@ impl Add<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -213,7 +212,12 @@ impl Sub<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

@@ -108,9 +108,7 @@ impl Qr {
     /// would divide by ~0.
     pub fn is_rank_deficient(&self, tol: f64) -> bool {
         let n = self.r.cols();
-        let max_diag = (0..n)
-            .map(|i| self.r[(i, i)].abs())
-            .fold(0.0f64, f64::max);
+        let max_diag = (0..n).map(|i| self.r[(i, i)].abs()).fold(0.0f64, f64::max);
         (0..n).any(|i| self.r[(i, i)].abs() <= tol * max_diag.max(1.0))
     }
 
@@ -178,7 +176,13 @@ mod tests {
 
     #[test]
     fn reconstructs_a() {
-        let a = mat(4, 3, &[2.0, -1.0, 0.5, 1.0, 3.0, -2.0, 0.0, 1.0, 1.0, -1.5, 2.0, 4.0]);
+        let a = mat(
+            4,
+            3,
+            &[
+                2.0, -1.0, 0.5, 1.0, 3.0, -2.0, 0.0, 1.0, 1.0, -1.5, 2.0, 4.0,
+            ],
+        );
         let qr = Qr::compute(&a);
         let back = mat_mul(&qr.q, &qr.r);
         assert!(a.max_abs_diff(&back).unwrap() < 1e-10);
@@ -194,7 +198,11 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let a = mat(4, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 1.0, 1.0, 1.0]);
+        let a = mat(
+            4,
+            3,
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 1.0, 1.0, 1.0],
+        );
         let qr = Qr::compute(&a);
         for i in 0..3 {
             for j in 0..i {

@@ -107,7 +107,9 @@ fn jacobi_svd(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
     let m = a.rows();
     let n = a.cols();
     // Column-major working copy of A for cache-friendly column ops.
-    let mut cols: Vec<Vec<f64>> = (0..n).map(|c| (0..m).map(|r| a[(r, c)]).collect()).collect();
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .map(|c| (0..m).map(|r| a[(r, c)]).collect())
+        .collect();
     // V accumulated as columns too.
     let mut v: Vec<Vec<f64>> = (0..n)
         .map(|c| {

@@ -236,9 +236,7 @@ mod tests {
     fn divergence_freezes_at_last_finite() {
         // A geometric blow-up: l_t = 3 l_{t-1} fits exactly, and long
         // rollouts overflow; predict must still return a finite point.
-        let pts: Vec<Point> = (0..12)
-            .map(|i| Point::new(3.0_f64.powi(i), 0.0))
-            .collect();
+        let pts: Vec<Point> = (0..12).map(|i| Point::new(3.0_f64.powi(i), 0.0)).collect();
         let rmf = Rmf::fit(&pts, 1).unwrap();
         let p = rmf.predict(10_000);
         assert!(p.is_finite());

@@ -64,6 +64,4 @@ pub mod pool;
 mod store;
 
 pub use pool::WorkerPool;
-pub use store::{
-    IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig,
-};
+pub use store::{IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig};

@@ -11,8 +11,21 @@ use std::sync::OnceLock;
 pub const REPORT_SPAN: &str = "objectstore.report";
 /// Latency span around one per-object predictive query.
 pub const PREDICT_SPAN: &str = "objectstore.predict";
-/// Latency span around one per-object predictor rebuild.
+/// Latency span around one per-object predictor retrain (incremental
+/// or full).
 pub const RETRAIN_SPAN: &str = "objectstore.retrain";
+/// Latency span around the decomposition phase of a retrain (§III
+/// delta cursor).
+pub const RETRAIN_DECOMPOSE_SPAN: &str = "objectstore.retrain.decompose";
+/// Latency span around the region-discovery phase of a retrain
+/// (incremental DBSCAN insertions, or batch DBSCAN on the full path).
+pub const RETRAIN_DISCOVER_SPAN: &str = "objectstore.retrain.discover";
+/// Latency span around the pattern-mining phase of a retrain
+/// (support-count deltas + rule derivation, or a full Apriori pass).
+pub const RETRAIN_MINE_SPAN: &str = "objectstore.retrain.mine";
+/// Latency span around the TPT phase of a retrain (delta application
+/// + one repack, or a bulk load on the full path).
+pub const RETRAIN_TPT_SPAN: &str = "objectstore.retrain.tpt";
 /// Latency span around one batch predictive call (`predict_batch` /
 /// `predict_range_batch`), pool fan-out included.
 pub const PREDICT_BATCH_SPAN: &str = "objectstore.predict_batch";
@@ -24,8 +37,22 @@ pub const REPORTS: &str = "objectstore.reports";
 /// Per-object predictive queries answered (range/nearest queries count
 /// once per object examined).
 pub const PREDICTS: &str = "objectstore.predicts";
-/// Predictor rebuilds performed.
+/// Predictor retrains performed (incremental and full alike).
 pub const RETRAINS: &str = "objectstore.retrains";
+/// Retrains absorbed incrementally (delta pipeline, no full rebuild).
+pub const RETRAINS_INCREMENTAL: &str = "objectstore.retrains.incremental";
+/// Retrains that ran the full pipeline (first train, forced, or
+/// drift fallback).
+pub const RETRAINS_FULL: &str = "objectstore.retrains.full";
+/// Incremental retrains that aborted on structure drift and fell back
+/// to the full pipeline (a subset of `objectstore.retrains.full`).
+pub const RETRAIN_DRIFT_FALLBACKS: &str = "objectstore.retrains.drift_fallback";
+/// Sub-trajectories accumulated beyond the trained watermark at
+/// retrain entry (gauge, last retrain wins) — how stale the predictor
+/// was when retraining kicked in. (`store.`-prefixed: the one
+/// deployment-facing SLO name, kept stable across internal crate
+/// moves.)
+pub const RETRAIN_STALENESS: &str = "store.retrain.staleness";
 /// Currently tracked objects (gauge).
 pub const OBJECTS: &str = "objectstore.objects";
 
@@ -58,12 +85,20 @@ pub fn register() {
     hpm_obs::registry().counter(REPORTS);
     hpm_obs::registry().counter(PREDICTS);
     hpm_obs::registry().counter(RETRAINS);
+    hpm_obs::registry().counter(RETRAINS_INCREMENTAL);
+    hpm_obs::registry().counter(RETRAINS_FULL);
+    hpm_obs::registry().counter(RETRAIN_DRIFT_FALLBACKS);
+    hpm_obs::registry().gauge(RETRAIN_STALENESS);
     hpm_obs::registry().gauge(OBJECTS);
     hpm_obs::registry().histogram(POOL_QUEUE_DEPTH, hpm_obs::Unit::Count);
     for span in [
         REPORT_SPAN,
         PREDICT_SPAN,
         RETRAIN_SPAN,
+        RETRAIN_DECOMPOSE_SPAN,
+        RETRAIN_DISCOVER_SPAN,
+        RETRAIN_MINE_SPAN,
+        RETRAIN_TPT_SPAN,
         PREDICT_BATCH_SPAN,
         REPORT_MANY_SPAN,
     ] {

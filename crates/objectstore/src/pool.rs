@@ -45,9 +45,7 @@ impl WorkerPool {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         WorkerPool::new(auto)
     }
 

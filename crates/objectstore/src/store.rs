@@ -1,14 +1,15 @@
 //! The store implementation.
 
 use crate::pool::WorkerPool;
-use hpm_core::{HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery};
+use hpm_core::{
+    HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery, TrainerState,
+};
 use hpm_geo::Point;
-use hpm_patterns::{DiscoveryParams, MiningParams};
-use hpm_trajectory::{Timestamp, Trajectory};
-use std::sync::RwLock;
+use hpm_patterns::{discover_from_groups, mine, DiscoveryParams, MiningParams};
+use hpm_trajectory::{OffsetGroups, Timestamp, Trajectory};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Identifier of a tracked object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,15 +73,28 @@ pub enum IngestError {
     },
     /// The position contained NaN/∞.
     NonFinitePosition,
+    /// The object's state lock was poisoned by a panic in an earlier
+    /// operation; its history can no longer be trusted. Remove and
+    /// re-track the object to recover.
+    ObjectUnavailable(ObjectId),
 }
 
 impl fmt::Display for IngestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IngestError::NonContiguous { expected, got } => {
-                write!(f, "non-contiguous report: expected t={expected}, got t={got}")
+                write!(
+                    f,
+                    "non-contiguous report: expected t={expected}, got t={got}"
+                )
             }
             IngestError::NonFinitePosition => write!(f, "non-finite position"),
+            IngestError::ObjectUnavailable(id) => {
+                write!(
+                    f,
+                    "{id} is unavailable (state poisoned by an earlier panic)"
+                )
+            }
         }
     }
 }
@@ -101,6 +115,9 @@ pub enum QueryError {
         /// The requested query time.
         requested: Timestamp,
     },
+    /// The object's state lock was poisoned by a panic in an earlier
+    /// operation. Remove and re-track the object to recover.
+    ObjectUnavailable(ObjectId),
 }
 
 impl fmt::Display for QueryError {
@@ -112,6 +129,12 @@ impl fmt::Display for QueryError {
                 f,
                 "query time {requested} is not after the current time {current}"
             ),
+            QueryError::ObjectUnavailable(id) => {
+                write!(
+                    f,
+                    "{id} is unavailable (state poisoned by an earlier panic)"
+                )
+            }
         }
     }
 }
@@ -137,6 +160,9 @@ pub struct ObjectStats {
 struct ObjectState {
     trajectory: Trajectory,
     predictor: Option<HybridPredictor>,
+    /// Incremental-training state carried between retrains (None until
+    /// the first training pass seeds it).
+    trainer: Option<TrainerState>,
     trained_subs: usize,
 }
 
@@ -146,11 +172,27 @@ struct Shard {
     objects: RwLock<HashMap<u64, Arc<RwLock<ObjectState>>>>,
 }
 
+type ObjectMap = HashMap<u64, Arc<RwLock<ObjectState>>>;
+
 impl Shard {
     fn new() -> Self {
         Shard {
             objects: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Reads the shard map. Map mutations are single `HashMap` calls
+    /// whose invariants hold across panics, so a poisoned map lock is
+    /// recovered rather than propagated — only per-object state locks
+    /// surface poisoning as `ObjectUnavailable`.
+    fn read_map(&self) -> RwLockReadGuard<'_, ObjectMap> {
+        self.objects.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Writes the shard map (see [`read_map`](Self::read_map) on
+    /// poisoning).
+    fn write_map(&self) -> RwLockWriteGuard<'_, ObjectMap> {
+        self.objects.write().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -209,10 +251,7 @@ impl MovingObjectStore {
 
     /// Number of tracked objects.
     pub fn object_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.objects.read().unwrap().len())
-            .sum()
+        self.shards.iter().map(|s| s.read_map().len()).sum()
     }
 
     /// The shard index `id` lives in.
@@ -228,20 +267,27 @@ impl MovingObjectStore {
 
     /// The state cell of a tracked object, if any.
     fn lookup(&self, id: ObjectId) -> Option<Arc<RwLock<ObjectState>>> {
-        self.shard_of(id.0).objects.read().unwrap().get(&id.0).cloned()
+        self.shard_of(id.0).read_map().get(&id.0).cloned()
     }
 
     /// Ingests one location report. The first report of an object sets
     /// its start timestamp; every later report must be for the next
     /// consecutive timestamp. Crossing a retraining threshold rebuilds
     /// the object's predictor synchronously (other objects unaffected).
-    pub fn report(&self, id: ObjectId, timestamp: Timestamp, position: Point) -> Result<(), IngestError> {
+    pub fn report(
+        &self,
+        id: ObjectId,
+        timestamp: Timestamp,
+        position: Point,
+    ) -> Result<(), IngestError> {
         let _span = hpm_obs::span!(crate::metrics::REPORT_SPAN);
         if !position.is_finite() {
             return Err(IngestError::NonFinitePosition);
         }
         let state = self.state_of(id, timestamp);
-        let mut state = state.write().unwrap();
+        let mut state = state
+            .write()
+            .map_err(|_| IngestError::ObjectUnavailable(id))?;
         let expected = state.trajectory.end();
         if timestamp != expected {
             return Err(IngestError::NonContiguous {
@@ -270,7 +316,9 @@ impl MovingObjectStore {
             return Err(IngestError::NonFinitePosition);
         }
         let state = self.state_of(id, start);
-        let mut state = state.write().unwrap();
+        let mut state = state
+            .write()
+            .map_err(|_| IngestError::ObjectUnavailable(id))?;
         let expected = state.trajectory.end();
         if start != expected {
             return Err(IngestError::NonContiguous {
@@ -361,7 +409,12 @@ impl MovingObjectStore {
             return;
         };
         let state = self.state_of(id, reports[first].1);
-        let mut state = state.write().unwrap();
+        let Ok(mut state) = state.write() else {
+            for &i in &idxs[start..] {
+                out.push((i, Err(IngestError::ObjectUnavailable(id))));
+            }
+            return;
+        };
         let mut accepted = 0u64;
         for &i in &idxs[start..] {
             let (_, t, p) = reports[i];
@@ -370,10 +423,7 @@ impl MovingObjectStore {
             } else {
                 let expected = state.trajectory.end();
                 if t != expected {
-                    Err(IngestError::NonContiguous {
-                        expected,
-                        got: t,
-                    })
+                    Err(IngestError::NonContiguous { expected, got: t })
                 } else {
                     state.trajectory.push(p);
                     accepted += 1;
@@ -427,7 +477,9 @@ impl MovingObjectStore {
         let _span = hpm_obs::span!(crate::metrics::PREDICT_SPAN);
         hpm_obs::counter!(crate::metrics::PREDICTS).add(1);
         let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
-        let state = state.read().unwrap();
+        let state = state
+            .read()
+            .map_err(|_| QueryError::ObjectUnavailable(id))?;
         if state.trajectory.is_empty() {
             return Err(QueryError::NoHistory(id));
         }
@@ -539,11 +591,10 @@ impl MovingObjectStore {
             .into_iter()
             .map(|(id, p)| (id, p, p.distance(focus)))
             .collect();
-        out.sort_unstable_by(|a, b| {
-            a.2.partial_cmp(&b.2)
-                .expect("finite distances")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        // total_cmp: a NaN distance (never produced by finite-checked
+        // ingest, but cheap to be total about) sorts last instead of
+        // panicking inside a public query.
+        out.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }
@@ -554,7 +605,7 @@ impl MovingObjectStore {
     fn predict_all(&self, query_time: Timestamp) -> Vec<(ObjectId, Point)> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            let ids: Vec<u64> = shard.objects.read().unwrap().keys().copied().collect();
+            let ids: Vec<u64> = shard.read_map().keys().copied().collect();
             out.extend(ids.into_iter().filter_map(|raw| {
                 let id = ObjectId(raw);
                 self.predict(id, query_time).ok().map(|p| (id, p.best()))
@@ -566,7 +617,9 @@ impl MovingObjectStore {
     /// Current stats of an object.
     pub fn stats(&self, id: ObjectId) -> Result<ObjectStats, QueryError> {
         let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
-        let state = state.read().unwrap();
+        let state = state
+            .read()
+            .map_err(|_| QueryError::ObjectUnavailable(id))?;
         let period = self.config.discovery.period as usize;
         Ok(ObjectStats {
             samples: state.trajectory.len(),
@@ -582,7 +635,7 @@ impl MovingObjectStore {
     /// forget, or simply an object that left the fleet.)
     pub fn remove(&self, id: ObjectId) -> bool {
         let shard_idx = self.shard_index(id.0);
-        let mut objects = self.shards[shard_idx].objects.write().unwrap();
+        let mut objects = self.shards[shard_idx].write_map();
         let removed = objects.remove(&id.0).is_some();
         if removed {
             crate::metrics::shard_objects_gauge(shard_idx).set(objects.len() as i64);
@@ -591,11 +644,15 @@ impl MovingObjectStore {
         removed
     }
 
-    /// Forces an immediate retrain of `id` over its full history.
+    /// Forces an immediate **full** retrain of `id` over its complete
+    /// history, resetting the incremental trainer state (never the
+    /// delta path — this is the recovery hammer).
     pub fn force_retrain(&self, id: ObjectId) -> Result<(), QueryError> {
         let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
-        let mut state = state.write().unwrap();
-        self.retrain(&mut state);
+        let mut state = state
+            .write()
+            .map_err(|_| QueryError::ObjectUnavailable(id))?;
+        self.retrain(&mut state, true);
         Ok(())
     }
 
@@ -604,15 +661,16 @@ impl MovingObjectStore {
     fn state_of(&self, id: ObjectId, start: Timestamp) -> Arc<RwLock<ObjectState>> {
         let shard_idx = self.shard_index(id.0);
         let shard = &self.shards[shard_idx];
-        if let Some(state) = shard.objects.read().unwrap().get(&id.0) {
+        if let Some(state) = shard.read_map().get(&id.0) {
             return Arc::clone(state);
         }
-        let mut objects = shard.objects.write().unwrap();
+        let mut objects = shard.write_map();
         let before = objects.len();
         let state = Arc::clone(objects.entry(id.0).or_insert_with(|| {
             Arc::new(RwLock::new(ObjectState {
                 trajectory: Trajectory::new(start, Vec::new()),
                 predictor: None,
+                trainer: None,
                 trained_subs: 0,
             }))
         }));
@@ -633,23 +691,104 @@ impl MovingObjectStore {
             full >= state.trained_subs + self.config.retrain_every_subs
         };
         if due {
-            self.retrain(state);
+            self.retrain(state, false);
         }
     }
 
-    fn retrain(&self, state: &mut ObjectState) {
+    /// Retrains `state`: incrementally — folding only the samples
+    /// reported since the last pass into the trainer and applying the
+    /// result to the live index as deltas — when a trained predictor
+    /// and trainer exist, in full otherwise. Structure drift aborts
+    /// the incremental pass and falls back to the full pipeline
+    /// (equivalent output, by the `hpm-core` training contract).
+    /// `force_full` skips the incremental path outright.
+    fn retrain(&self, state: &mut ObjectState, force_full: bool) {
         if state.trajectory.is_empty() {
             return;
         }
         let _span = hpm_obs::span!(crate::metrics::RETRAIN_SPAN);
         hpm_obs::counter!(crate::metrics::RETRAINS).add(1);
-        state.predictor = Some(HybridPredictor::build(
-            &state.trajectory,
-            &self.config.discovery,
-            &self.config.mining,
-            self.config.hpm,
-        ));
-        state.trained_subs = state.trajectory.len() / self.config.discovery.period as usize;
+        let full = state.trajectory.len() / self.config.discovery.period as usize;
+        hpm_obs::gauge!(crate::metrics::RETRAIN_STALENESS)
+            .set(full.saturating_sub(state.trained_subs) as i64);
+        if force_full || !self.retrain_incremental(state) {
+            self.retrain_full(state);
+        }
+        state.trained_subs = full;
+    }
+
+    /// One incremental pass over the delta since the last training.
+    /// Returns `false` when there is nothing to update incrementally
+    /// (no predictor/trainer yet) or the pass aborted on structure
+    /// drift — the caller then runs the full pipeline, which re-seeds
+    /// the trainer.
+    fn retrain_incremental(&self, state: &mut ObjectState) -> bool {
+        let ObjectState {
+            trajectory,
+            predictor,
+            trainer,
+            ..
+        } = state;
+        let (Some(live), Some(trainer)) = (predictor.as_ref(), trainer.as_mut()) else {
+            return false;
+        };
+        let delta = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_DECOMPOSE_SPAN);
+            trainer.stage_decompose(trajectory)
+        };
+        let visits = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_DISCOVER_SPAN);
+            match trainer.stage_cluster(&delta) {
+                Ok(visits) => visits,
+                Err(_) => {
+                    hpm_obs::counter!(crate::metrics::RETRAIN_DRIFT_FALLBACKS).add(1);
+                    return false;
+                }
+            }
+        };
+        let patterns = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_MINE_SPAN);
+            trainer.stage_mine(&visits)
+        };
+        let updated = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_TPT_SPAN);
+            live.apply_update(trainer.regions(), patterns).0
+        };
+        *predictor = Some(updated);
+        hpm_obs::counter!(crate::metrics::RETRAINS_INCREMENTAL).add(1);
+        true
+    }
+
+    /// The full pipeline (first training, forced retrain, or drift
+    /// fallback): batch decomposition → discovery → mining → TPT bulk
+    /// load, then re-seeds the trainer so the next pass can be
+    /// incremental again.
+    fn retrain_full(&self, state: &mut ObjectState) {
+        hpm_obs::counter!(crate::metrics::RETRAINS_FULL).add(1);
+        let groups = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_DECOMPOSE_SPAN);
+            OffsetGroups::build(&state.trajectory, self.config.discovery.period)
+        };
+        let out = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_DISCOVER_SPAN);
+            discover_from_groups(&groups, &self.config.discovery)
+        };
+        let patterns = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_MINE_SPAN);
+            mine(&out.regions, &out.visits, &self.config.mining)
+        };
+        state.predictor = {
+            let _s = hpm_obs::span!(crate::metrics::RETRAIN_TPT_SPAN);
+            Some(HybridPredictor::from_parts(
+                out.regions,
+                patterns,
+                self.config.hpm,
+            ))
+        };
+        state
+            .trainer
+            .get_or_insert_with(|| TrainerState::new(self.config.discovery, self.config.mining))
+            .seed(&state.trajectory);
     }
 }
 
@@ -735,7 +874,11 @@ mod tests {
             .report_batch(
                 id,
                 0,
-                &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+                &[
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                    Point::new(2.0, 0.0),
+                ],
             )
             .unwrap();
         let pred = store.predict(id, 5).unwrap();
@@ -772,7 +915,10 @@ mod tests {
         let err = store
             .report_batch(id, 105, &[Point::new(0.0, 0.0)])
             .unwrap_err();
-        assert!(matches!(err, IngestError::NonContiguous { expected: 101, .. }));
+        assert!(matches!(
+            err,
+            IngestError::NonContiguous { expected: 101, .. }
+        ));
     }
 
     #[test]
@@ -939,11 +1085,11 @@ mod tests {
         let store = MovingObjectStore::new(config());
         store.report(ObjectId(1), 0, Point::ORIGIN).unwrap();
         let batch = vec![
-            (ObjectId(1), 1, Point::new(1.0, 0.0)),            // ok
-            (ObjectId(1), 5, Point::new(2.0, 0.0)),            // gap
-            (ObjectId(1), 2, Point::new(3.0, 0.0)),            // ok again
-            (ObjectId(2), 9, Point::new(f64::NAN, 0.0)),       // non-finite
-            (ObjectId(2), 9, Point::new(4.0, 0.0)),            // creates object 2
+            (ObjectId(1), 1, Point::new(1.0, 0.0)),      // ok
+            (ObjectId(1), 5, Point::new(2.0, 0.0)),      // gap
+            (ObjectId(1), 2, Point::new(3.0, 0.0)),      // ok again
+            (ObjectId(2), 9, Point::new(f64::NAN, 0.0)), // non-finite
+            (ObjectId(2), 9, Point::new(4.0, 0.0)),      // creates object 2
         ];
         let results = store.report_many(&batch);
         assert_eq!(results[0], Ok(()));
@@ -981,7 +1127,10 @@ mod tests {
         let queries: Vec<(ObjectId, Timestamp)> = (0..40u64)
             .map(|i| (ObjectId(i % 8), 24 + i % 12)) // ids 6,7 unknown; some times invalid
             .collect();
-        let sequential: Vec<_> = queries.iter().map(|&(id, t)| store.predict(id, t)).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|&(id, t)| store.predict(id, t))
+            .collect();
         for threads in [1usize, 4] {
             let batch = store.predict_batch_with(&queries, &WorkerPool::new(threads));
             assert_eq!(batch, sequential, "threads = {threads}");

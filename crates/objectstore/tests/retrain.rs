@@ -1,0 +1,200 @@
+//! Store-level guarantees of the incremental training pipeline:
+//! equivalence with full rebuilds, freshness bounds, concurrent-read
+//! safety, and clean trainer resets.
+
+use hpm_core::HpmConfig;
+use hpm_geo::Point;
+use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_trajectory::Timestamp;
+
+const PERIOD: u32 = 4;
+
+fn config(retrain_every_subs: usize) -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            k: 2,
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 3,
+        retrain_every_subs,
+        recent_len: 2,
+        shards: 4,
+        threads: 2,
+    }
+}
+
+/// One commuter day; `wild` days relocate to a remote hotspot (drives
+/// cluster formation/promotion -> structure drift -> full fallback).
+fn day(d: usize, wild: bool) -> Vec<Point> {
+    if wild {
+        let j = (d % 3) as f64 * 0.2;
+        return (0..PERIOD)
+            .map(|t| Point::new(400.0 + t as f64 * 0.3 + j, 400.0))
+            .collect();
+    }
+    let j = (d % 3) as f64 * 0.2;
+    vec![
+        Point::new(j, 0.0),
+        Point::new(50.0 + j, 0.0),
+        Point::new(100.0 + j, 0.0),
+        Point::new(100.0 + j, 50.0),
+    ]
+}
+
+/// A 30-day stream with a burst of wild days in the middle: quiet
+/// stretches retrain incrementally, the burst forces drift fallbacks.
+fn stream() -> Vec<Vec<Point>> {
+    (0..30).map(|d| day(d, (12..16).contains(&d))).collect()
+}
+
+/// The incremental path must be observationally identical to forced
+/// full rebuilds: a store retraining on every new sub-trajectory
+/// (delta pipeline) answers exactly like a store that rebuilt from
+/// the complete history in one shot.
+#[test]
+fn incremental_cadence_matches_forced_full_rebuild() {
+    let id = ObjectId(1);
+    let days = stream();
+    let incremental = MovingObjectStore::new(config(1));
+    let full = MovingObjectStore::new(config(usize::MAX >> 1));
+    for (d, pts) in days.iter().enumerate() {
+        let start = (d * PERIOD as usize) as Timestamp;
+        incremental.report_batch(id, start, pts).unwrap();
+        full.report_batch(id, start, pts).unwrap();
+
+        // Retrain `full` from scratch and compare at every point of
+        // the stream, drift fallbacks included.
+        full.force_retrain(id).unwrap();
+        let si = incremental.stats(id).unwrap();
+        let sf = full.stats(id).unwrap();
+        if si.trained_periods == 0 {
+            continue; // below min_train_subs: neither store trained
+        }
+        assert_eq!(si, sf, "stats diverged after day {d}");
+        let now = start + PERIOD as Timestamp - 1;
+        for dt in 1..=PERIOD as Timestamp {
+            assert_eq!(
+                incremental.predict(id, now + dt).unwrap(),
+                full.predict(id, now + dt).unwrap(),
+                "prediction diverged after day {d} at +{dt}"
+            );
+        }
+    }
+}
+
+/// With `retrain_every_subs = 1` the predictor is never stale by more
+/// than the sub-trajectory currently in flight: after every report
+/// the trained watermark equals the full-period count.
+#[test]
+fn staleness_is_bounded_by_the_retrain_cadence() {
+    let id = ObjectId(2);
+    let store = MovingObjectStore::new(config(1));
+    for (d, pts) in stream().iter().enumerate() {
+        store
+            .report_batch(id, (d * PERIOD as usize) as Timestamp, pts)
+            .unwrap();
+        let s = store.stats(id).unwrap();
+        if s.trained_periods > 0 {
+            assert_eq!(
+                s.trained_periods, s.full_periods,
+                "stale predictor after day {d}"
+            );
+        }
+    }
+}
+
+/// Readers racing a retraining writer must never observe a torn
+/// predictor: every prediction is answerable and finite, and the
+/// retrain settles to the trained watermark.
+#[test]
+fn concurrent_predict_during_retrain_never_torn() {
+    let store = MovingObjectStore::new(config(1));
+    let id = ObjectId(3);
+    let days = stream();
+    // Warm up past min_train_subs so readers always have a predictor.
+    for (d, pts) in days.iter().take(4).enumerate() {
+        store
+            .report_batch(id, (d * PERIOD as usize) as Timestamp, pts)
+            .unwrap();
+    }
+    std::thread::scope(|s| {
+        let writer = &store;
+        s.spawn(move || {
+            for (d, pts) in days.iter().enumerate().skip(4) {
+                writer
+                    .report_batch(id, (d * PERIOD as usize) as Timestamp, pts)
+                    .unwrap();
+            }
+        });
+        for _ in 0..2 {
+            let reader = &store;
+            s.spawn(move || {
+                for i in 0..500u64 {
+                    // Far enough ahead to stay in every concurrent
+                    // trajectory's future.
+                    let pred = reader.predict(id, 10_000 + i % 7).unwrap();
+                    assert!(pred.best().is_finite(), "torn prediction");
+                }
+            });
+        }
+    });
+    let s = store.stats(id).unwrap();
+    assert_eq!(s.trained_periods, 30);
+    assert_eq!(s.full_periods, 30);
+    assert!(s.patterns > 0);
+}
+
+/// `remove` + re-report must leave no residue: a forced retrain after
+/// re-tracking reflects only the new history, exactly like a store
+/// that never saw the old one.
+#[test]
+fn force_retrain_after_remove_resets_trainer_state() {
+    let id = ObjectId(4);
+    let store = MovingObjectStore::new(config(1));
+    // First life: wild history (trains, and drifts the trainer).
+    for d in 0..8usize {
+        store
+            .report_batch(id, (d * PERIOD as usize) as Timestamp, &day(d, true))
+            .unwrap();
+    }
+    assert!(store.stats(id).unwrap().trained_periods > 0);
+    assert!(store.remove(id));
+
+    // Second life: a clean commuter history at fresh timestamps.
+    let fresh = MovingObjectStore::new(config(1));
+    for (s, d) in [(&store, id), (&fresh, id)] {
+        for k in 0..6usize {
+            s.report_batch(d, (1000 + k * PERIOD as usize) as Timestamp, &day(k, false))
+                .unwrap();
+        }
+        s.force_retrain(d).unwrap();
+    }
+    let reborn = store.stats(id).unwrap();
+    assert_eq!(reborn, fresh.stats(id).unwrap());
+    assert_eq!(reborn.samples, 6 * PERIOD as usize);
+    let now = (1000 + 6 * PERIOD as usize - 1) as Timestamp;
+    for dt in 1..=PERIOD as Timestamp {
+        assert_eq!(
+            store.predict(id, now + dt).unwrap(),
+            fresh.predict(id, now + dt).unwrap(),
+            "residue from the first life at +{dt}"
+        );
+    }
+}

@@ -135,7 +135,9 @@ fn writers_and_readers_hammer_shards() {
                     if rng.gen_bool(0.5) {
                         store.remove(sc);
                     } else {
-                        store.report(sc, (d * 2 + 1) as Timestamp, Point::ORIGIN).ok();
+                        store
+                            .report(sc, (d * 2 + 1) as Timestamp, Point::ORIGIN)
+                            .ok();
                     }
                 }
                 // Deterministic final state for the scratch object.
@@ -182,11 +184,7 @@ fn writers_and_readers_hammer_shards() {
     for w in 0..WRITERS {
         for &id in &owned(w) {
             let stats = store.stats(id).unwrap();
-            assert_eq!(
-                stats.samples,
-                DAYS * PERIOD as usize,
-                "{id} lost reports"
-            );
+            assert_eq!(stats.samples, DAYS * PERIOD as usize, "{id} lost reports");
             assert!(stats.trained_periods >= 5, "{id} never trained");
         }
         assert_eq!(store.stats(scratch(w)).unwrap().samples, 3);
@@ -222,11 +220,7 @@ fn report_batch_is_atomic_under_concurrent_reads() {
             for d in 0..ROUNDS {
                 for id in 0..OBJECTS {
                     store
-                        .report_batch(
-                            ObjectId(id),
-                            (d * batch) as Timestamp,
-                            &day(d),
-                        )
+                        .report_batch(ObjectId(id), (d * batch) as Timestamp, &day(d))
                         .unwrap();
                 }
             }
@@ -281,11 +275,7 @@ fn report_many_is_atomic_per_object() {
                 let mut flat: Vec<(ObjectId, Timestamp, Point)> = Vec::new();
                 for k in 0..batch {
                     for id in 0..OBJECTS {
-                        flat.push((
-                            ObjectId(id),
-                            (d * batch + k) as Timestamp,
-                            day(d)[k],
-                        ));
+                        flat.push((ObjectId(id), (d * batch + k) as Timestamp, day(d)[k]));
                     }
                 }
                 let results = store.report_many(&flat);

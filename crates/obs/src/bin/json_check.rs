@@ -22,7 +22,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((source, requirements)) = args.split_first() else {
-        eprintln!("usage: obs-json-check <FILE|-> [counter:NAME] [any-counter:A,B] [histogram:NAME]...");
+        eprintln!(
+            "usage: obs-json-check <FILE|-> [counter:NAME] [any-counter:A,B] [histogram:NAME]..."
+        );
         return ExitCode::FAILURE;
     };
 
@@ -125,9 +127,8 @@ fn check_shape(doc: &Json, failures: &mut Vec<String>) {
                             bucket_total += count.as_f64().expect("checked");
                         }
                         _ => {
-                            failures.push(format!(
-                                "histogram {label}: bucket is not [upper, count]"
-                            ));
+                            failures
+                                .push(format!("histogram {label}: bucket is not [upper, count]"));
                             break;
                         }
                     }

@@ -88,8 +88,7 @@ pub fn reset() {
 #[macro_export]
 macro_rules! counter {
     ($name:expr) => {{
-        static SLOT: ::std::sync::OnceLock<&'static $crate::Counter> =
-            ::std::sync::OnceLock::new();
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
         *SLOT.get_or_init(|| $crate::registry().counter($name))
     }};
 }
@@ -98,8 +97,7 @@ macro_rules! counter {
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {{
-        static SLOT: ::std::sync::OnceLock<&'static $crate::Gauge> =
-            ::std::sync::OnceLock::new();
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
         *SLOT.get_or_init(|| $crate::registry().gauge($name))
     }};
 }

@@ -139,10 +139,7 @@ impl MetricsSnapshot {
 
     /// A gauge's value, if registered.
     pub fn gauge(&self, name: &str) -> Option<i64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// A histogram's snapshot, if registered.
@@ -285,11 +282,13 @@ mod tests {
                 .and_then(crate::json::Json::as_f64),
             Some(3.0)
         );
-        let hists = json.get("histograms").and_then(crate::json::Json::as_array).unwrap();
-        assert!(hists
-            .iter()
-            .any(|h| h.get("name").and_then(crate::json::Json::as_str)
-                == Some("obs.test.snap_hist")));
+        let hists = json
+            .get("histograms")
+            .and_then(crate::json::Json::as_array)
+            .unwrap();
+        assert!(hists.iter().any(
+            |h| h.get("name").and_then(crate::json::Json::as_str) == Some("obs.test.snap_hist")
+        ));
 
         // Names come out sorted.
         let names: Vec<&String> = snap.counters.iter().map(|(n, _)| n).collect();

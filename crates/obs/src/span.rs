@@ -27,7 +27,11 @@ impl SpanNode {
     /// Total spans in this subtree, the node itself included — the
     /// "span budget" a hot-path operation spends.
     pub fn span_count(&self) -> usize {
-        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
     }
 
     /// Depth-first search for a descendant (or self) by name.

@@ -1,0 +1,246 @@
+//! Incremental Apriori support counting: the persistent-state form of
+//! [`mine`](crate::mine) used by the delta-retraining pipeline.
+//!
+//! [`mine`] recounts every transaction on every call. But a growing
+//! trajectory only ever *appends* region visits — at the tail of the
+//! newest sub-trajectory's transaction, in ascending offset order — so
+//! support counts can be maintained as persistent state instead: every
+//! structurally valid itemset instance is counted exactly once, at the
+//! moment its time-wise **last** element is appended
+//! ([`SupportCounts::record_tail`]), at a cost proportional to the
+//! premise window, not to history length.
+//!
+//! [`SupportCounts::derive`] then replays [`mine`]'s rule generation
+//! verbatim — same `(level, itemset)` emission order, same confidence
+//! arithmetic over the same integer supports — so the derived pattern
+//! list is *identical* (ids included) to a fresh batch mine over the
+//! full visit table. The equivalence hinges on three structural facts,
+//! property-tested in `tests/incremental.rs`:
+//!
+//! * a region occurs at most once per transaction (it is bound to one
+//!   offset, sampled once per sub-trajectory), so instance counts are
+//!   transaction supports;
+//! * [`mine`]'s Apriori pruning and frequent-singles transaction
+//!   filtering never change the counts of *frequent* itemsets (every
+//!   prefix of a valid frequent itemset is valid and frequent);
+//! * this module counts the *unpruned* itemset universe (bounded by
+//!   the region vocabulary, not by history), so infrequent itemsets
+//!   simply fall out at derive time.
+
+use crate::{FxBuildHasher, MiningParams, RegionId, TrajectoryPattern};
+use hpm_trajectory::TimeOffset;
+use std::collections::HashMap;
+
+/// Itemset key: region ids in ascending (time) order.
+type Itemset = Box<[u32]>;
+type Counts = HashMap<Itemset, u32, FxBuildHasher>;
+
+/// One transaction: the `(region id, offset)` visit sequence of one
+/// sub-trajectory, strictly ascending in offset.
+pub type Transaction = Vec<(u32, TimeOffset)>;
+
+/// Persistent exact support counts over the structurally valid itemset
+/// universe (sizes `1..=max_premise_len + 1`).
+#[derive(Debug, Clone)]
+pub struct SupportCounts {
+    params: MiningParams,
+    counts: Counts,
+}
+
+impl SupportCounts {
+    /// Empty counts.
+    ///
+    /// # Panics
+    /// Panics when `params` are inconsistent (see [`MiningParams`]).
+    pub fn new(params: MiningParams) -> Self {
+        params.validate();
+        SupportCounts {
+            params,
+            counts: Counts::default(),
+        }
+    }
+
+    /// The mining parameters these counts were built under.
+    #[inline]
+    pub fn params(&self) -> &MiningParams {
+        &self.params
+    }
+
+    /// Number of distinct itemsets currently tracked (bounded by the
+    /// region vocabulary, not by history length).
+    #[inline]
+    pub fn tracked_itemsets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Counts every structurally valid itemset whose **final** element
+    /// is the last visit of `tx` — call exactly once right after
+    /// appending a visit to its transaction. Offsets in `tx` must be
+    /// strictly ascending (one region per offset per sub-trajectory).
+    pub fn record_tail(&mut self, tx: &[(u32, TimeOffset)]) {
+        let j = tx.len() - 1;
+        let (last_id, last_off) = tx[j];
+        debug_assert!(j == 0 || tx[j - 1].1 < last_off, "offsets must ascend");
+        *self.counts.entry(Box::new([last_id])).or_insert(0) += 1;
+        // Premise chains drawn from the window [anchor, j): consecutive
+        // premise gaps ≤ max_premise_gap; the final element (the new
+        // visit) is bound only by max_span from the anchor — the same
+        // constraints `mine`'s level-wise `extend` applies.
+        let mut stack: Vec<u32> = Vec::with_capacity(self.params.max_premise_len + 1);
+        for anchor in 0..j {
+            let (aid, aoff) = tx[anchor];
+            if last_off - aoff > self.params.max_span {
+                continue;
+            }
+            stack.push(aid);
+            self.extend_chain(tx, anchor, j, last_id, &mut stack);
+            stack.pop();
+        }
+    }
+
+    /// Emits `[chain…, last_id]` and grows the premise chain from
+    /// position `last` towards `j`.
+    fn extend_chain(
+        &mut self,
+        tx: &[(u32, TimeOffset)],
+        last: usize,
+        j: usize,
+        last_id: u32,
+        stack: &mut Vec<u32>,
+    ) {
+        stack.push(last_id);
+        *self.counts.entry(stack[..].into()).or_insert(0) += 1;
+        stack.pop();
+        if stack.len() == self.params.max_premise_len {
+            return;
+        }
+        let last_off = tx[last].1;
+        for next in last + 1..j {
+            let (id, off) = tx[next];
+            debug_assert!(off > last_off, "offsets must ascend");
+            if off - last_off > self.params.max_premise_gap {
+                continue;
+            }
+            stack.push(id);
+            self.extend_chain(tx, next, j, last_id, stack);
+            stack.pop();
+        }
+    }
+
+    /// Rebuilds the counts from scratch over complete transactions —
+    /// the seeding path after a full retrain. Equivalent to replaying
+    /// [`SupportCounts::record_tail`] for every visit in arrival
+    /// order.
+    pub fn rebuild(&mut self, txs: &[Transaction]) {
+        self.counts.clear();
+        for tx in txs {
+            for end in 1..=tx.len() {
+                self.record_tail(&tx[..end]);
+            }
+        }
+    }
+
+    /// Derives the canonical pattern list: exactly what
+    /// [`mine`](crate::mine) returns over the same visits — same
+    /// patterns, same order, bit-identical confidences.
+    pub fn derive(&self) -> Vec<TrajectoryPattern> {
+        let max_len = self.params.max_premise_len + 1;
+        let mut levels: Vec<Vec<(&Itemset, u32)>> = vec![Vec::new(); max_len];
+        for (set, &n) in &self.counts {
+            if n >= self.params.min_support {
+                levels[set.len() - 1].push((set, n));
+            }
+        }
+        let mut out = Vec::new();
+        for k in 2..=max_len {
+            let level = &mut levels[k - 1];
+            if level.is_empty() {
+                // Frequent itemsets shrink monotonically with size:
+                // nothing larger can be frequent either — the same
+                // early stop `mine`'s level loop takes.
+                break;
+            }
+            level.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            for &(set, support) in level.iter() {
+                let premise = &set[..k - 1];
+                let premise_support = *self
+                    .counts
+                    .get(premise)
+                    .expect("premise of a counted itemset is itself counted");
+                debug_assert!(premise_support >= support);
+                let confidence = support as f64 / premise_support as f64;
+                if confidence >= self.params.min_confidence {
+                    out.push(TrajectoryPattern {
+                        premise: premise.iter().map(|&id| RegionId(id)).collect(),
+                        consequence: RegionId(set[k - 1]),
+                        confidence,
+                        support,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MiningParams {
+        MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 4,
+        }
+    }
+
+    #[test]
+    fn tail_counting_equals_rebuild() {
+        let txs: Vec<Transaction> = vec![
+            vec![(0, 0), (2, 1), (5, 3)],
+            vec![(0, 0), (5, 3)],
+            vec![(2, 1), (5, 3)],
+        ];
+        let mut grown = SupportCounts::new(params());
+        for tx in &txs {
+            for end in 1..=tx.len() {
+                grown.record_tail(&tx[..end]);
+            }
+        }
+        let mut rebuilt = SupportCounts::new(params());
+        rebuilt.rebuild(&txs);
+        assert_eq!(grown.derive(), rebuilt.derive());
+        assert_eq!(grown.tracked_itemsets(), rebuilt.tracked_itemsets());
+    }
+
+    #[test]
+    fn span_and_gap_constraints_enforced() {
+        // Gap 0 -> 3 exceeds max_premise_gap = 2 for a premise pair,
+        // but the final element is bound only by max_span = 4.
+        let mut c = SupportCounts::new(params());
+        let tx: Transaction = vec![(1, 0), (2, 3), (3, 4)];
+        for end in 1..=tx.len() {
+            c.record_tail(&tx[..end]);
+        }
+        let pats = c.derive();
+        // min_support = 2 filters everything here.
+        assert!(pats.is_empty());
+        let mut c2 = SupportCounts::new(MiningParams {
+            min_support: 1,
+            ..params()
+        });
+        c2.rebuild(&[tx]);
+        let pats = c2.derive();
+        // [1,2] valid (1->2 as final is span-bound), [1,3] valid,
+        // [2,3] valid, [1,2,3] needs premise gap 0->3 > 2: absent.
+        assert!(pats
+            .iter()
+            .all(|p| !(p.premise.len() == 2 && p.premise[0] == RegionId(1))));
+        assert!(pats
+            .iter()
+            .any(|p| p.premise == vec![RegionId(1)] && p.consequence == RegionId(2)));
+    }
+}

@@ -56,6 +56,7 @@ mod pattern;
 mod region;
 
 pub mod discovery;
+pub mod incremental;
 pub mod metrics;
 pub mod mining;
 
@@ -63,6 +64,7 @@ pub use discovery::{
     discover, discover_from_groups, visits_against, DiscoveryOutput, DiscoveryParams, VisitTable,
 };
 pub use fxhash::FxBuildHasher;
+pub use incremental::{SupportCounts, Transaction};
 pub use mining::{mine, mine_with_threads, prune_statistics, MiningParams, PruneStats};
 pub use pattern::TrajectoryPattern;
 pub use region::{FrequentRegion, RegionId, RegionSet};

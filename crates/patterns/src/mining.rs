@@ -66,7 +66,7 @@ impl MiningParams {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.min_support >= 1, "min_support must be >= 1");
         assert!(
             (0.0..=1.0).contains(&self.min_confidence),
@@ -212,8 +212,7 @@ fn frequent_itemsets(
     }
     if hpm_obs::enabled() {
         for counts in &levels {
-            hpm_obs::histogram!(crate::metrics::MINE_LEVEL_ITEMSETS)
-                .record(counts.len() as u64);
+            hpm_obs::histogram!(crate::metrics::MINE_LEVEL_ITEMSETS).record(counts.len() as u64);
         }
     }
     levels
@@ -350,8 +349,7 @@ fn extend(
 fn generate_rules(levels: &[Counts], min_confidence: f64) -> Vec<TrajectoryPattern> {
     let mut out = Vec::new();
     for k in 2..=levels.len() {
-        let mut items: Vec<(&Itemset, u32)> =
-            levels[k - 1].iter().map(|(s, &n)| (s, n)).collect();
+        let mut items: Vec<(&Itemset, u32)> = levels[k - 1].iter().map(|(s, &n)| (s, n)).collect();
         items.sort_unstable_by(|a, b| a.0.cmp(b.0));
         for (set, support) in items {
             let premise = &set[..k - 1];
@@ -584,8 +582,8 @@ mod tests {
         // Direct check of Theorem 1 on the mined supports: for the
         // itemset {R0, R1⁰, R2⁰}, conf(R0 -> R1⁰ ∧ R2⁰) ≤ conf(R0 -> R1⁰).
         let (_, visits) = fig3();
-        let c_single =
-            transaction_support(&visits, &[0, 1]) as f64 / transaction_support(&visits, &[0]) as f64;
+        let c_single = transaction_support(&visits, &[0, 1]) as f64
+            / transaction_support(&visits, &[0]) as f64;
         let c_multi = transaction_support(&visits, &[0, 1, 3]) as f64
             / transaction_support(&visits, &[0]) as f64;
         assert!(c_multi <= c_single);

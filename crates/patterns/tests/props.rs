@@ -11,30 +11,31 @@ use hpm_trajectory::Trajectory;
 /// an anchor per offset with jitter — guaranteed periodic structure
 /// with controllable branching.
 fn arb_history() -> Gen<(Trajectory, u32)> {
-    tuple((int(2u32..6), int(5usize..30), int(1usize..3), int(0u64..1000))).map(
-        |(period, days, branches, seed)| {
-            // Deterministic xorshift so the generator itself shrinks well.
-            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            };
-            let mut pts = Vec::with_capacity(days * period as usize);
-            for _ in 0..days {
-                for t in 0..period {
-                    let branch = (next() % branches as u64) as f64;
-                    let jitter = (next() % 100) as f64 / 100.0;
-                    pts.push(Point::new(
-                        t as f64 * 50.0 + jitter,
-                        branch * 40.0 + jitter,
-                    ));
-                }
+    tuple((
+        int(2u32..6),
+        int(5usize..30),
+        int(1usize..3),
+        int(0u64..1000),
+    ))
+    .map(|(period, days, branches, seed)| {
+        // Deterministic xorshift so the generator itself shrinks well.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pts = Vec::with_capacity(days * period as usize);
+        for _ in 0..days {
+            for t in 0..period {
+                let branch = (next() % branches as u64) as f64;
+                let jitter = (next() % 100) as f64 / 100.0;
+                pts.push(Point::new(t as f64 * 50.0 + jitter, branch * 40.0 + jitter));
             }
-            (Trajectory::from_points(pts), period)
-        },
-    )
+        }
+        (Trajectory::from_points(pts), period)
+    })
 }
 
 fn params(period: u32) -> DiscoveryParams {
@@ -180,5 +181,91 @@ props! {
             v
         };
         require_eq!(canon(serial), canon(parallel));
+    }
+
+    // Incrementally grown support counts derive *exactly* the batch
+    // mine result — same patterns, same order, bit-identical
+    // confidences — after every single appended visit, including
+    // partially filled tail transactions.
+    #[cases(96)]
+    fn incremental_counts_equal_batch_mine_at_every_visit(
+        region_counts in vec(int(0u32..3), 3..8),
+        subs in int(1usize..10),
+        seed in int(0u64..10_000),
+        mp in tuple((
+            int(1u32..4),
+            choice(vec![0.0f64, 0.3, 0.6]),
+            int(1usize..4),
+            int(1u32..4),
+            int(1u32..5),
+        ))
+        .map(|(min_support, min_confidence, max_premise_len, max_premise_gap, slack)| {
+            MiningParams {
+                min_support,
+                min_confidence,
+                max_premise_len,
+                max_premise_gap,
+                max_span: max_premise_len.saturating_sub(1) as u32 * max_premise_gap + slack,
+            }
+        }),
+    ) {
+        use hpm_geo::BoundingBox;
+        use hpm_patterns::{FrequentRegion, RegionSet, SupportCounts, VisitTable};
+
+        let period = region_counts.len() as u32;
+        // Region vocabulary: `region_counts[t]` regions at offset t,
+        // dense ids in (offset, local) order, as discovery assigns.
+        let mut regions = Vec::new();
+        for (t, &n) in region_counts.iter().enumerate() {
+            for j in 0..n {
+                let c = Point::new(t as f64 * 10.0, j as f64 * 10.0);
+                regions.push(FrequentRegion {
+                    id: RegionId(regions.len() as u32),
+                    offset: t as u32,
+                    local_index: j,
+                    centroid: c,
+                    bbox: BoundingBox::from_point(c),
+                    support: 1,
+                });
+            }
+        }
+        let region_set = RegionSet::new(regions, period);
+
+        // Per-sub visit choices: at most one region per offset.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut stream: Vec<(usize, RegionId, u32)> = Vec::new(); // (sub, region, offset)
+        for s in 0..subs {
+            let mut id_base = 0u32;
+            for (t, &n) in region_counts.iter().enumerate() {
+                if n > 0 && next() % 3 != 0 {
+                    let pick = (next() % n as u64) as u32;
+                    stream.push((s, RegionId(id_base + pick), t as u32));
+                }
+                id_base += n;
+            }
+        }
+
+        // Replay the stream visit by visit, comparing against a batch
+        // mine over everything seen so far at each step.
+        let mut counts = SupportCounts::new(mp);
+        let mut visits = VisitTable::with_subs(subs);
+        let mut txs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); subs];
+        for &(s, id, t) in &stream {
+            visits.record(s, id);
+            txs[s].push((id.0, t));
+            counts.record_tail(&txs[s]);
+            require_eq!(counts.derive(), mine(&region_set, &visits, &mp));
+        }
+
+        // And the seed path reproduces the grown state.
+        let mut reseeded = SupportCounts::new(mp);
+        reseeded.rebuild(&txs);
+        require_eq!(reseeded.derive(), counts.derive());
     }
 }

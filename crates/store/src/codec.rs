@@ -89,7 +89,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrips() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             assert_eq!(roundtrip(v), v);
         }
     }

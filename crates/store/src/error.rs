@@ -66,10 +66,7 @@ mod tests {
             (DecodeError::Truncated, "truncated"),
             (DecodeError::BadMagic, "magic"),
             (DecodeError::UnsupportedVersion(9), "version 9"),
-            (
-                DecodeError::CountOutOfRange { got: 5, limit: 4 },
-                "count 5",
-            ),
+            (DecodeError::CountOutOfRange { got: 5, limit: 4 }, "count 5"),
             (
                 DecodeError::ChecksumMismatch {
                     stored: 1,

@@ -1,8 +1,8 @@
 //! Encoding and decoding of the (regions, patterns) model pair.
 
+use crate::bytes::Buf;
 use crate::codec::{fnv1a, get_count, get_f64, get_varint, put_f64, put_varint};
 use crate::format::{MAGIC, MAX_PATTERNS, MAX_PREMISE, MAX_REGIONS, VERSION};
-use crate::bytes::Buf;
 use crate::DecodeError;
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
@@ -226,7 +226,12 @@ mod tests {
             }
         };
         let regions = RegionSet::new(
-            vec![mk(0, 0, 0, 0.0), mk(1, 1, 0, 10.0), mk(2, 1, 1, 20.0), mk(3, 2, 0, 30.0)],
+            vec![
+                mk(0, 0, 0, 0.0),
+                mk(1, 1, 0, 10.0),
+                mk(2, 1, 1, 20.0),
+                mk(3, 2, 0, 30.0),
+            ],
             3,
         );
         let patterns = vec![

@@ -262,7 +262,13 @@ mod tests {
             support: 10,
         };
         RegionSet::new(
-            vec![mk(0, 0, 0), mk(1, 1, 0), mk(2, 1, 1), mk(3, 2, 0), mk(4, 2, 1)],
+            vec![
+                mk(0, 0, 0),
+                mk(1, 1, 0),
+                mk(2, 1, 1),
+                mk(3, 2, 0),
+                mk(4, 2, 1),
+            ],
             3,
         )
     }

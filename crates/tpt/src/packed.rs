@@ -161,6 +161,29 @@ impl PackedTpt {
         std::mem::size_of::<Self>() + self.arena_bytes()
     }
 
+    /// Patches leaf confidences in place through `patch` (pattern id →
+    /// new confidence; `None` leaves an entry untouched), avoiding a
+    /// full repack when a retrain changed only confidences. The caller
+    /// must apply the same updates to the builder tree so tree and
+    /// image stay bit-identical. Returns the number of patched
+    /// entries.
+    pub fn patch_confidences(&mut self, mut patch: impl FnMut(u32) -> Option<f64>) -> usize {
+        let mut patched = 0;
+        for node in &self.nodes {
+            if !node.leaf {
+                continue;
+            }
+            let meta = node.meta_start as usize..(node.meta_start + node.count) as usize;
+            for m in meta {
+                if let Some(c) = patch(self.child[m]) {
+                    self.confidence[m] = c;
+                    patched += 1;
+                }
+            }
+        }
+        patched
+    }
+
     /// Searches with instrumentation (allocates the match vector; the
     /// hot path uses [`SearchCursor::search_packed`]).
     pub fn search_with_stats(&self, query: &PatternKey) -> (Vec<Match>, SearchStats) {
@@ -184,14 +207,31 @@ impl PackedTpt {
             self.cons_bits,
             "bitmap length mismatch"
         );
-        assert_eq!(query.premise.len(), self.prem_bits, "bitmap length mismatch");
-        self.dfs(0, query.consequence.words(), query.premise.words(), out, stats);
+        assert_eq!(
+            query.premise.len(),
+            self.prem_bits,
+            "bitmap length mismatch"
+        );
+        self.dfs(
+            0,
+            query.consequence.words(),
+            query.premise.words(),
+            out,
+            stats,
+        );
     }
 
     /// The same traversal as `Tpt::dfs`, reading signature words
     /// straight from the arena. `cq`/`pq` are the query's consequence
     /// and premise words.
-    fn dfs(&self, node: u32, cq: &[u64], pq: &[u64], out: &mut Vec<Match>, stats: &mut SearchStats) {
+    fn dfs(
+        &self,
+        node: u32,
+        cq: &[u64],
+        pq: &[u64],
+        out: &mut Vec<Match>,
+        stats: &mut SearchStats,
+    ) {
         let n = self.nodes[node as usize];
         stats.nodes_visited += 1;
         stats.entries_checked += n.count as usize;
@@ -200,8 +240,8 @@ impl PackedTpt {
         for i in 0..n.count as usize {
             let block = &self.sig[sig..sig + stride];
             sig += stride;
-            let hit = words_intersect(&block[..self.cw], cq)
-                && words_intersect(&block[self.cw..], pq);
+            let hit =
+                words_intersect(&block[..self.cw], cq) && words_intersect(&block[self.cw..], pq);
             if hit {
                 let m = n.meta_start as usize + i;
                 if n.leaf {
@@ -295,6 +335,28 @@ mod tests {
             let (pm, ps) = packed.search_with_stats(&q);
             assert_eq!(pm, tm, "matches and order must be identical");
             assert_eq!(ps, ts, "stats must be identical");
+        }
+    }
+
+    #[test]
+    fn patch_confidences_tracks_tree_updates() {
+        let (table, mut tree) = fig3();
+        let mut packed = tree.compact();
+        let regions = fig3_regions();
+        let patterns = fig3_patterns();
+        let key = table.encode_pattern(&patterns[2], &regions);
+        assert!(tree.update_confidence(&key, 2, 0.77));
+        let patched = packed.patch_confidences(|p| (p == 2).then_some(0.77));
+        assert_eq!(patched, 1);
+        // Tree and image stay bit-identical after the paired patch.
+        for q in [
+            table.fqp_query([RegionId(0), RegionId(1)], 2),
+            table.bqp_query(1, 2),
+        ] {
+            let (tm, ts) = tree.search_with_stats(&q);
+            let (pm, ps) = packed.search_with_stats(&q);
+            assert_eq!(pm, tm);
+            assert_eq!(ps, ts);
         }
     }
 

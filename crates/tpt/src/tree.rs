@@ -332,6 +332,64 @@ impl Tpt {
     }
 
     /// Inserts an already-counted entry (condense-tree re-insertion).
+    /// Sets the confidence of the leaf entry holding `pattern` under
+    /// exactly `key`, leaving the tree shape untouched — the cheap
+    /// path for retrains where a pattern's support changed but its
+    /// premise/consequence did not. Returns `false` when no such entry
+    /// exists.
+    pub fn update_confidence(&mut self, key: &PatternKey, pattern: u32, confidence: f64) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        self.update_confidence_rec(self.root, key, pattern, confidence)
+    }
+
+    fn update_confidence_rec(
+        &mut self,
+        node: u32,
+        key: &PatternKey,
+        pattern: u32,
+        confidence: f64,
+    ) -> bool {
+        let idx = node as usize;
+        if self.nodes[idx].leaf {
+            if let Some(e) = self.nodes[idx]
+                .entries
+                .iter_mut()
+                .find(|e| e.child == pattern && e.key == *key)
+            {
+                e.confidence = confidence;
+                return true;
+            }
+            return false;
+        }
+        // Union keys contain every key in their subtree.
+        let slots: Vec<u32> = self.nodes[idx]
+            .entries
+            .iter()
+            .filter(|e| e.key.contains(key))
+            .map(|e| e.child)
+            .collect();
+        slots
+            .into_iter()
+            .any(|child| self.update_confidence_rec(child, key, pattern, confidence))
+    }
+
+    /// Rewrites every leaf payload through `map` — the pattern-id
+    /// renumbering step of an incremental pattern-set update, where
+    /// insertions/removals shift the canonical ids of surviving
+    /// patterns. Keys, confidences and the tree shape are untouched.
+    pub fn remap_payloads(&mut self, map: impl Fn(u32) -> u32) {
+        for node in &mut self.nodes {
+            if !node.leaf {
+                continue; // freed slots are leaves with no entries
+            }
+            for e in &mut node.entries {
+                e.child = map(e.child);
+            }
+        }
+    }
+
     fn reinsert(&mut self, entry: Entry) {
         if self.nodes.is_empty() {
             self.root = self.push_node(Node {
@@ -570,10 +628,7 @@ impl Tpt {
         }
 
         self.nodes[idx].entries = g1;
-        let sibling = self.push_node(Node {
-            leaf,
-            entries: g2,
-        });
+        let sibling = self.push_node(Node { leaf, entries: g2 });
         Entry {
             key: k2,
             child: sibling,
@@ -605,7 +660,12 @@ impl Tpt {
         Ok(())
     }
 
-    fn validate_node(&self, node: u32, depth: usize, leaf_entries: &mut usize) -> Result<(), String> {
+    fn validate_node(
+        &self,
+        node: u32,
+        depth: usize,
+        leaf_entries: &mut usize,
+    ) -> Result<(), String> {
         let n = &self.nodes[node as usize];
         if n.entries.is_empty() {
             return Err(format!("node {node} has no entries"));
@@ -845,7 +905,11 @@ mod tests {
             let (fresh_matches, fresh_stats) = tree.search_with_stats(q);
             let cursor_matches = cursor.search(&tree, q).to_vec();
             assert_eq!(cursor_matches, fresh_matches);
-            assert_eq!(cursor.stats(), fresh_stats, "stats accumulated across searches");
+            assert_eq!(
+                cursor.stats(),
+                fresh_stats,
+                "stats accumulated across searches"
+            );
         }
         // Same query twice through one cursor: identical stats, not 2x.
         let (q, _, _) = &queries[0];
@@ -1003,6 +1067,34 @@ mod tests {
         // fill = 3; 200 leaves entries -> ~67 leaves -> 23 -> 8 -> 3 -> 1.
         assert!(tree.height() >= 4, "height {}", tree.height());
         assert!(tree.height() <= 7, "height {}", tree.height());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn update_confidence_patches_in_place() {
+        let keys = synth_keys(50, 8, 40);
+        let mut tree = Tpt::bulk_load(TptConfig::new(4), keys.clone());
+        let (key, _, pattern) = &keys[17];
+        assert!(tree.update_confidence(key, *pattern, 0.123));
+        let (matches, _) = tree.search_with_stats(key);
+        let m = matches.iter().find(|m| m.pattern == *pattern).unwrap();
+        assert_eq!(m.confidence, 0.123);
+        // Shape untouched; a missing pattern is reported.
+        tree.validate().unwrap();
+        assert!(!tree.update_confidence(key, 9999, 0.5));
+        assert_eq!(tree.len(), 50);
+    }
+
+    #[test]
+    fn remap_payloads_renumbers_matches() {
+        let keys = synth_keys(30, 8, 40);
+        let mut tree = Tpt::bulk_load(TptConfig::new(4), keys.clone());
+        tree.remap_payloads(|p| p + 100);
+        for (key, _, pattern) in &keys {
+            let (matches, _) = tree.search_with_stats(key);
+            assert!(matches.iter().any(|m| m.pattern == pattern + 100));
+            assert!(matches.iter().all(|m| m.pattern >= 100));
+        }
         tree.validate().unwrap();
     }
 }

@@ -17,11 +17,9 @@ fn arb_bitmap(len: usize, max_ones: usize) -> Gen<Bitmap> {
 }
 
 fn arb_key_of(ck_len: usize, rk_len: usize) -> Gen<PatternKey> {
-    tuple((arb_bitmap(ck_len, 2), arb_bitmap(rk_len, 4))).map(|(consequence, premise)| {
-        PatternKey {
-            consequence,
-            premise,
-        }
+    tuple((arb_bitmap(ck_len, 2), arb_bitmap(rk_len, 4))).map(|(consequence, premise)| PatternKey {
+        consequence,
+        premise,
     })
 }
 
@@ -30,7 +28,11 @@ fn arb_key() -> Gen<PatternKey> {
 }
 
 fn arb_entries_of(ck_len: usize, rk_len: usize, max: usize) -> Gen<Vec<(PatternKey, f64, u32)>> {
-    vec(tuple((arb_key_of(ck_len, rk_len), float(0.01..=1.0))), 0..max).map(|v| {
+    vec(
+        tuple((arb_key_of(ck_len, rk_len), float(0.01..=1.0))),
+        0..max,
+    )
+    .map(|v| {
         v.into_iter()
             .enumerate()
             .map(|(i, (k, c))| (k, c, i as u32))

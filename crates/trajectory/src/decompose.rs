@@ -131,6 +131,111 @@ impl OffsetGroups {
             .filter(|(_, g)| !g.is_empty())
             .map(|(t, g)| (t as TimeOffset, g.as_slice()))
     }
+
+    /// Appends one sample of sub-trajectory `sub` at offset `t` —
+    /// the delta form of [`OffsetGroups::build`]: building groups over
+    /// a prefix and appending the remaining samples in timestamp order
+    /// yields exactly the groups built over the whole trajectory,
+    /// because `build` also fills each `Gₜ` in sub-trajectory order.
+    ///
+    /// # Panics
+    /// Panics when `t` is outside the period.
+    pub fn append(&mut self, sub: usize, t: TimeOffset, p: Point) {
+        assert!((t as usize) < self.groups.len(), "offset outside period");
+        self.groups[t as usize].push((sub, p));
+        self.sub_count = self.sub_count.max(sub + 1);
+    }
+}
+
+/// One trajectory sample placed within the periodic decomposition: the
+/// unit an incremental trainer consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaSample {
+    /// 0-based sub-trajectory (period) index the sample belongs to.
+    pub sub: usize,
+    /// Time offset of the sample within the period.
+    pub offset: TimeOffset,
+    /// The sampled location.
+    pub point: Point,
+}
+
+/// Incremental decomposition cursor (§III in delta form): remembers how
+/// many samples of a growing trajectory have been consumed and yields
+/// only the new ones, already placed into `(sub, offset)` coordinates —
+/// the information a full [`decompose`] + regroup would recompute from
+/// scratch.
+///
+/// The placement matches [`decompose`] exactly (including unaligned
+/// starts and partial tails): sample `i` of a trajectory starting at
+/// `s` has `sub = (s + i)/T − s/T` and `offset = (s + i) mod T`.
+#[derive(Debug, Clone)]
+pub struct DecomposeCursor {
+    period: u32,
+    consumed: usize,
+}
+
+impl DecomposeCursor {
+    /// A cursor that has consumed nothing.
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(period: u32) -> Self {
+        assert!(period > 0, "period must be positive");
+        DecomposeCursor {
+            period,
+            consumed: 0,
+        }
+    }
+
+    /// The period `T`.
+    #[inline]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Samples consumed so far.
+    #[inline]
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Yields the samples of `traj` not yet consumed, in timestamp
+    /// order, and marks them consumed. Trajectories only grow
+    /// (truncation must reset the cursor), so a shrunken `traj` is a
+    /// caller bug.
+    ///
+    /// # Panics
+    /// Panics when `traj` has fewer samples than already consumed.
+    pub fn advance(&mut self, traj: &Trajectory) -> Vec<DeltaSample> {
+        assert!(
+            traj.len() >= self.consumed,
+            "trajectory shrank under the cursor"
+        );
+        let t = self.period as Timestamp;
+        let start = traj.start();
+        let base = (start / t) as usize;
+        let out = traj.points()[self.consumed..]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let abs = start + (self.consumed + i) as Timestamp;
+                DeltaSample {
+                    sub: (abs / t) as usize - base,
+                    offset: (abs % t) as TimeOffset,
+                    point: p,
+                }
+            })
+            .collect();
+        self.consumed = traj.len();
+        out
+    }
+
+    /// Marks every sample of `traj` consumed without yielding them —
+    /// used after a full (non-incremental) rebuild already processed
+    /// the whole history.
+    pub fn catch_up(&mut self, traj: &Trajectory) {
+        self.consumed = traj.len();
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +337,69 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         decompose(&seq(3), 0);
+    }
+
+    fn groups_eq(a: &OffsetGroups, b: &OffsetGroups) -> bool {
+        a.period() == b.period()
+            && a.sub_count() == b.sub_count()
+            && (0..a.period()).all(|t| a.group(t) == b.group(t))
+    }
+
+    #[test]
+    fn cursor_yields_each_sample_once_in_order() {
+        let t = seq(7);
+        let mut cur = DecomposeCursor::new(3);
+        let first = cur.advance(&t);
+        assert_eq!(first.len(), 7);
+        assert_eq!(cur.consumed(), 7);
+        assert_eq!(
+            first[3],
+            DeltaSample {
+                sub: 1,
+                offset: 0,
+                point: Point::new(3.0, 0.0)
+            }
+        );
+        // Nothing new: nothing yielded.
+        assert!(cur.advance(&t).is_empty());
+    }
+
+    #[test]
+    fn cursor_placement_matches_decompose() {
+        // Unaligned start and a partial tail, consumed in two chunks.
+        let traj = Trajectory::new(2, (0..8).map(|i| Point::new(i as f64, 1.0)).collect());
+        let prefix = Trajectory::new(2, traj.points()[..3].to_vec());
+        let mut cur = DecomposeCursor::new(3);
+
+        let mut incremental = OffsetGroups::build(&prefix, 3);
+        cur.catch_up(&prefix);
+        for s in cur.advance(&traj) {
+            incremental.append(s.sub, s.offset, s.point);
+        }
+        let full = OffsetGroups::build(&traj, 3);
+        assert!(groups_eq(&incremental, &full));
+        assert_eq!(cur.consumed(), traj.len());
+    }
+
+    #[test]
+    fn cursor_chunked_appends_equal_full_regroup() {
+        let traj = seq(17);
+        let mut cur = DecomposeCursor::new(5);
+        let mut groups = OffsetGroups::build(&Trajectory::from_points(vec![]), 5);
+        for chunk_end in [1usize, 4, 5, 11, 17] {
+            let prefix = Trajectory::from_points(traj.points()[..chunk_end].to_vec());
+            for s in cur.advance(&prefix) {
+                groups.append(s.sub, s.offset, s.point);
+            }
+            assert!(groups_eq(&groups, &OffsetGroups::build(&prefix, 5)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shrank")]
+    fn cursor_rejects_shrunk_trajectory() {
+        let mut cur = DecomposeCursor::new(3);
+        cur.advance(&seq(5));
+        cur.advance(&seq(4));
     }
 }

@@ -33,7 +33,7 @@ mod preprocess;
 mod staypoints;
 mod traj;
 
-pub use decompose::{decompose, OffsetGroups, SubTrajectory};
+pub use decompose::{decompose, DecomposeCursor, DeltaSample, OffsetGroups, SubTrajectory};
 pub use preprocess::{despike, from_sparse_samples, PreprocessError};
 pub use staypoints::{stay_points, StayPoint};
 pub use traj::{TimeOffset, Timestamp, Trajectory};

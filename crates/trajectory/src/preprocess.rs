@@ -124,9 +124,7 @@ pub fn despike(traj: &Trajectory, max_step: f64) -> (Trajectory, usize) {
         out[0] = out[1];
         fixed += 1;
     }
-    if out[n - 1].distance(&out[n - 2]) > max_step
-        && out[n - 2].distance(&out[n - 3]) <= max_step
-    {
+    if out[n - 1].distance(&out[n - 2]) > max_step && out[n - 2].distance(&out[n - 3]) <= max_step {
         out[n - 1] = out[n - 2];
         fixed += 1;
     }
@@ -143,12 +141,8 @@ mod tests {
 
     #[test]
     fn sparse_samples_interpolate_gaps() {
-        let (traj, filled) = from_sparse_samples(vec![
-            (10, pt(0.0)),
-            (13, pt(3.0)),
-            (14, pt(4.0)),
-        ])
-        .unwrap();
+        let (traj, filled) =
+            from_sparse_samples(vec![(10, pt(0.0)), (13, pt(3.0)), (14, pt(4.0))]).unwrap();
         assert_eq!(filled, 2);
         assert_eq!(traj.start(), 10);
         assert_eq!(traj.len(), 5);
@@ -175,14 +169,16 @@ mod tests {
 
     #[test]
     fn conflicting_duplicates_rejected() {
-        let err =
-            from_sparse_samples(vec![(1, pt(1.0)), (1, pt(9.0))]).unwrap_err();
+        let err = from_sparse_samples(vec![(1, pt(1.0)), (1, pt(9.0))]).unwrap_err();
         assert_eq!(err, PreprocessError::ConflictingDuplicate(1));
     }
 
     #[test]
     fn empty_and_nonfinite_rejected() {
-        assert_eq!(from_sparse_samples(vec![]).unwrap_err(), PreprocessError::Empty);
+        assert_eq!(
+            from_sparse_samples(vec![]).unwrap_err(),
+            PreprocessError::Empty
+        );
         assert_eq!(
             from_sparse_samples(vec![(3, Point::new(f64::NAN, 0.0))]).unwrap_err(),
             PreprocessError::NonFinite(3)

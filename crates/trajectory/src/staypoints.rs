@@ -84,7 +84,13 @@ mod tests {
     #[test]
     fn detects_two_dwells() {
         // Home (5 samples), commute (3 spread samples), office (6).
-        let traj = seq(&[(0.0, 0.0, 5), (50.0, 0.0, 1), (100.0, 0.0, 1), (150.0, 0.0, 1), (200.0, 0.0, 6)]);
+        let traj = seq(&[
+            (0.0, 0.0, 5),
+            (50.0, 0.0, 1),
+            (100.0, 0.0, 1),
+            (150.0, 0.0, 1),
+            (200.0, 0.0, 6),
+        ]);
         let sp = stay_points(&traj, 2.0, 4);
         assert_eq!(sp.len(), 2);
         assert_eq!(sp[0].start, 0);
@@ -104,9 +110,8 @@ mod tests {
 
     #[test]
     fn moving_object_has_no_stay_points() {
-        let traj = Trajectory::from_points(
-            (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect(),
-        );
+        let traj =
+            Trajectory::from_points((0..20).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect());
         assert!(stay_points(&traj, 2.0, 3).is_empty());
     }
 
@@ -131,9 +136,8 @@ mod tests {
     fn anchor_semantics_slow_drift_splits() {
         // Slow drift: each step small, but the anchor pins the first
         // sample, so the interval breaks once drift exceeds the radius.
-        let traj = Trajectory::from_points(
-            (0..30).map(|i| Point::new(i as f64 * 0.5, 0.0)).collect(),
-        );
+        let traj =
+            Trajectory::from_points((0..30).map(|i| Point::new(i as f64 * 0.5, 0.0)).collect());
         let sp = stay_points(&traj, 2.0, 3);
         assert!(!sp.is_empty());
         for s in &sp {

@@ -73,7 +73,10 @@ impl Trajectory {
         let n = self.points.len();
         let take = len.min(n);
         let first_idx = n - take;
-        (&self.points[first_idx..], self.start + first_idx as Timestamp)
+        (
+            &self.points[first_idx..],
+            self.start + first_idx as Timestamp,
+        )
     }
 
     /// Appends a sample at the next timestamp.
@@ -131,7 +134,14 @@ mod tests {
         let t = traj(10);
         let (w, first_ts) = t.recent_window(3);
         assert_eq!(first_ts, 7);
-        assert_eq!(w, &[Point::new(7.0, 0.0), Point::new(8.0, 0.0), Point::new(9.0, 0.0)]);
+        assert_eq!(
+            w,
+            &[
+                Point::new(7.0, 0.0),
+                Point::new(8.0, 0.0),
+                Point::new(9.0, 0.0)
+            ]
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn main() {
     );
 
     println!("\nprediction-length sweep (50 queries each):");
-    println!("{:>8} {:>12} {:>12} {:>8}", "length", "HPM error", "RMF error", "ratio");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "length", "HPM error", "RMF error", "ratio"
+    );
     for length in [20u32, 50, 100, 150, 200] {
         let queries = make_workload(
             &traj,

@@ -15,14 +15,14 @@ fn main() {
     // days: home, two road positions, the office for three offsets,
     // then a gym-or-bar split, then home again.
     let day_template = [
-        Point::new(100.0, 100.0),  // 0: home
-        Point::new(400.0, 150.0),  // 1: arterial road
-        Point::new(700.0, 300.0),  // 2: downtown ramp
-        Point::new(900.0, 500.0),  // 3: office
-        Point::new(900.0, 500.0),  // 4: office
-        Point::new(900.0, 500.0),  // 5: office
-        Point::new(600.0, 800.0),  // 6: gym (odd days: bar, see below)
-        Point::new(100.0, 100.0),  // 7: home
+        Point::new(100.0, 100.0), // 0: home
+        Point::new(400.0, 150.0), // 1: arterial road
+        Point::new(700.0, 300.0), // 2: downtown ramp
+        Point::new(900.0, 500.0), // 3: office
+        Point::new(900.0, 500.0), // 4: office
+        Point::new(900.0, 500.0), // 5: office
+        Point::new(600.0, 800.0), // 6: gym (odd days: bar, see below)
+        Point::new(100.0, 100.0), // 7: home
     ];
     let bar = Point::new(300.0, 900.0);
     let mut samples = Vec::new();
@@ -43,8 +43,8 @@ fn main() {
     let predictor = HybridPredictor::build(
         &history,
         &DiscoveryParams {
-            period: 8,    // one "day"
-            eps: 20.0,    // DBSCAN neighbourhood
+            period: 8, // one "day"
+            eps: 20.0, // DBSCAN neighbourhood
             min_pts: 4,
         },
         &MiningParams {
@@ -85,7 +85,10 @@ fn main() {
         current_time: now,
         query_time: now + 2,
     });
-    println!("\nnear query (+2h, at the office hours) via {:?}:", near.source);
+    println!(
+        "\nnear query (+2h, at the office hours) via {:?}:",
+        near.source
+    );
     for (rank, a) in near.answers.iter().enumerate() {
         println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
     }
@@ -98,7 +101,10 @@ fn main() {
         current_time: now,
         query_time: now + 5,
     });
-    println!("distant query (+5h, the gym-or-bar hour) via {:?}:", distant.source);
+    println!(
+        "distant query (+5h, the gym-or-bar hour) via {:?}:",
+        distant.source
+    );
     for (rank, a) in distant.answers.iter().enumerate() {
         println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
     }

@@ -6,11 +6,11 @@
 //! cargo run --release --example trajectory_analytics
 //! ```
 
+use hybrid_prediction_model::datagen::{paper_dataset, PaperDataset, PERIOD};
 use hybrid_prediction_model::geo::{convex_hull, polygon_area, simplify_rdp_indices};
 use hybrid_prediction_model::motion::Rmf;
 use hybrid_prediction_model::patterns::{discover, DiscoveryParams};
 use hybrid_prediction_model::trajectory::stay_points;
-use hybrid_prediction_model::datagen::{paper_dataset, PaperDataset, PERIOD};
 
 fn main() {
     let traj = paper_dataset(PaperDataset::Cow, 11).generate_subs(40);
@@ -22,7 +22,10 @@ fn main() {
 
     // 1. Stay points: where does the animal dwell?
     let stays = stay_points(&traj, 120.0, 8);
-    println!("stay points (within 120 units for >= 8 timestamps): {}", stays.len());
+    println!(
+        "stay points (within 120 units for >= 8 timestamps): {}",
+        stays.len()
+    );
     for sp in stays.iter().take(5) {
         println!(
             "  t {:>6}..{:<6} ({} steps) around {}",
@@ -48,8 +51,7 @@ fn main() {
     );
     let mut hull_area = 0.0;
     let mut bbox_area = 0.0;
-    let groups =
-        hybrid_prediction_model::trajectory::OffsetGroups::build(&traj, PERIOD);
+    let groups = hybrid_prediction_model::trajectory::OffsetGroups::build(&traj, PERIOD);
     for region in out.regions.all().iter().take(50) {
         // Re-collect the member locations of this region's offset that
         // fall inside its box (a cheap stand-in for cluster members).

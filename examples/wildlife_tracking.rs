@@ -8,8 +8,8 @@
 //! cargo run --release --example wildlife_tracking
 //! ```
 
-use hybrid_prediction_model::core::{HpmConfig, HybridPredictor, PredictiveQuery};
 use hybrid_prediction_model::core::eval::training_slice;
+use hybrid_prediction_model::core::{HpmConfig, HybridPredictor, PredictiveQuery};
 use hybrid_prediction_model::datagen::{paper_dataset, PaperDataset, PERIOD};
 use hybrid_prediction_model::patterns::{mine, visits_against, DiscoveryParams, MiningParams};
 use hybrid_prediction_model::trajectory::Timestamp;

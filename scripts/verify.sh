@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -23,7 +26,8 @@ echo "==> concurrency stress + equivalence props, optimized (release)"
 STRESS_RUNS="${HPM_STRESS_RUNS:-1}"
 for i in $(seq 1 "$STRESS_RUNS"); do
     [ "$STRESS_RUNS" -gt 1 ] && echo "  stress run $i/$STRESS_RUNS"
-    cargo test -q --release --offline -p hpm-objectstore --test stress --test props
+    cargo test -q --release --offline -p hpm-objectstore \
+        --test stress --test props --test retrain
 done
 
 echo "==> metrics-json smoke (hpm predict --metrics-json + obs-json-check)"

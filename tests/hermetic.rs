@@ -88,7 +88,10 @@ fn all_dependencies_are_in_tree() {
             }
         }
     }
-    assert!(checked >= 14, "expected root + all crate manifests, saw {checked}");
+    assert!(
+        checked >= 14,
+        "expected root + all crate manifests, saw {checked}"
+    );
     assert!(
         violations.is_empty(),
         "registry (non hpm-*) dependencies found — the build is no longer \
@@ -125,5 +128,8 @@ fn every_in_tree_dependency_resolves_to_a_path() {
         );
         seen += 1;
     }
-    assert!(seen >= 14, "expected the full hpm-* dependency table, saw {seen}");
+    assert!(
+        seen >= 14,
+        "expected the full hpm-* dependency table, saw {seen}"
+    );
 }

@@ -39,7 +39,9 @@ fn bike_rider_becomes_predictable() {
     // answers.
     for d in 0..10usize {
         let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
-        store.report_batch(id, (d * PERIOD as usize) as u64, day).unwrap();
+        store
+            .report_batch(id, (d * PERIOD as usize) as u64, day)
+            .unwrap();
     }
     let now = 10 * PERIOD as u64 - 1;
     let early = store.predict(id, now + 50).unwrap();
@@ -49,7 +51,9 @@ fn bike_rider_becomes_predictable() {
     // Stream 15 more days: training kicks in at 20 full periods.
     for d in 10..25usize {
         let day = &traj.points()[d * PERIOD as usize..(d + 1) * PERIOD as usize];
-        store.report_batch(id, (d * PERIOD as usize) as u64, day).unwrap();
+        store
+            .report_batch(id, (d * PERIOD as usize) as u64, day)
+            .unwrap();
     }
     let stats = store.stats(id).unwrap();
     assert!(stats.trained_periods >= 20);
@@ -96,7 +100,9 @@ fn many_objects_round_robin() {
         let stats = store.stats(ObjectId(i)).unwrap();
         assert_eq!(stats.samples, 22 * PERIOD as usize);
         assert!(stats.trained_periods >= 20, "object {i} untrained");
-        let pred = store.predict(ObjectId(i), (22 * PERIOD) as u64 + 9).unwrap();
+        let pred = store
+            .predict(ObjectId(i), (22 * PERIOD) as u64 + 9)
+            .unwrap();
         assert!(pred.best().is_finite());
     }
     // The strongest-pattern dataset has at least as many patterns as

@@ -3,7 +3,9 @@
 //! and stay within the hot-path span budget (the regression guard for
 //! "someone added a span per candidate").
 
-use hybrid_prediction_model::core::{metrics as core_metrics, HpmConfig, HybridPredictor, PredictiveQuery};
+use hybrid_prediction_model::core::{
+    metrics as core_metrics, HpmConfig, HybridPredictor, PredictiveQuery,
+};
 use hybrid_prediction_model::geo::Point;
 use hybrid_prediction_model::obs;
 use hybrid_prediction_model::patterns::{DiscoveryParams, MiningParams};
@@ -91,8 +93,14 @@ fn predict_emits_expected_span_tree_and_dispatch_counter() {
     // The TPT search counters moved with it.
     assert!(snap.counter("tpt.search.nodes_visited").unwrap() > 0);
     // Every span fed its latency histogram (unit ns, nonzero samples).
-    for span in [core_metrics::PREDICT_SPAN, core_metrics::FQP_SPAN, "tpt.search"] {
-        let h = snap.histogram(span).unwrap_or_else(|| panic!("{span} missing"));
+    for span in [
+        core_metrics::PREDICT_SPAN,
+        core_metrics::FQP_SPAN,
+        "tpt.search",
+    ] {
+        let h = snap
+            .histogram(span)
+            .unwrap_or_else(|| panic!("{span} missing"));
         assert_eq!(h.unit, obs::Unit::Nanos);
         assert!(h.count > 0, "{span} has no samples");
     }
@@ -111,7 +119,10 @@ fn span_budget_stays_flat() {
     // rank). The budget leaves room for one more stage; per-candidate
     // or per-node spans would blow straight past it.
     assert!(total >= 4, "span tree unexpectedly shallow: {roots:?}");
-    assert!(total <= 6, "hot-path span budget exceeded ({total}): {roots:?}");
+    assert!(
+        total <= 6,
+        "hot-path span budget exceeded ({total}): {roots:?}"
+    );
 }
 
 #[test]

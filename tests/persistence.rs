@@ -30,13 +30,9 @@ fn restored_model_predicts_identically() {
     let blob = encode_model(&out.regions, &patterns);
     let restored = decode_model(&blob).expect("valid blob");
 
-    let original =
-        HybridPredictor::from_parts(out.regions, patterns, HpmConfig::default());
-    let reloaded = HybridPredictor::from_parts(
-        restored.regions,
-        restored.patterns,
-        HpmConfig::default(),
-    );
+    let original = HybridPredictor::from_parts(out.regions, patterns, HpmConfig::default());
+    let reloaded =
+        HybridPredictor::from_parts(restored.regions, restored.patterns, HpmConfig::default());
 
     let queries = make_workload(
         &traj,

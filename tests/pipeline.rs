@@ -55,13 +55,13 @@ fn build(dataset: PaperDataset, train_subs: usize) -> (HybridPredictor, Vec<f64>
 fn bike_hpm_beats_rmf_and_stays_flat() {
     let (predictor, errs) = build(PaperDataset::Bike, 60);
     let (hpm20, rmf20, hpm100, rmf100) = (errs[0], errs[1], errs[2], errs[3]);
-    assert!(
-        !predictor.patterns().is_empty(),
-        "bike must yield patterns"
-    );
+    assert!(!predictor.patterns().is_empty(), "bike must yield patterns");
     // Fig. 5's shape: HPM error low and roughly flat in prediction
     // length; RMF rises sharply.
-    assert!(hpm100 < rmf100, "hpm {hpm100} vs rmf {rmf100} at length 100");
+    assert!(
+        hpm100 < rmf100,
+        "hpm {hpm100} vs rmf {rmf100} at length 100"
+    );
     assert!(rmf100 > rmf20, "rmf must degrade with length");
     assert!(
         hpm100 < rmf100 / 2.0,
