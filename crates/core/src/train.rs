@@ -135,7 +135,11 @@ impl TrainerState {
         self.region_index.clear();
         self.txs = vec![Transaction::new(); groups.sub_count()];
         let mut next_id = 0u32;
-        for (t, group) in groups.iter() {
+        // Iterate offsets densely: `stage_cluster` and `regions` index
+        // `offsets`/`region_index` by absolute offset, so every offset
+        // needs a state even when the seeded history never covered it.
+        for t in 0..self.discovery.period {
+            let group = groups.group(t as TimeOffset);
             let pts = group.iter().map(|&(_, p)| p).collect();
             let state = IncrementalDbscan::seed(pts, db);
             let mut index = Vec::with_capacity(state.cluster_count());
@@ -472,6 +476,61 @@ mod tests {
             assert_equivalent(&predictor, &traj);
         }
         assert!(!predictor.patterns().is_empty());
+    }
+
+    /// Regression: seeding on a history shorter than one period (or
+    /// starting unaligned) must still produce one clustering state per
+    /// offset. The sparse seeding it replaced left `offsets` /
+    /// `region_index` shorter than `period`, so the next delta pass
+    /// panicked in `stage_cluster` (or silently clustered against the
+    /// wrong offset's state).
+    #[test]
+    fn seed_on_sub_period_history_stays_aligned() {
+        let full = commuter_history(41);
+        let mut cfg = commuter_config();
+        cfg.k = 2;
+        // Seed mid-period: offsets >= 3 have no samples yet.
+        let warm = Trajectory::from_points(full.points()[..3].to_vec());
+        let mut trainer = TrainerState::new(discovery(), mining());
+        trainer.seed(&warm);
+        assert_eq!(trainer.regions().period(), COMMUTER_PERIOD);
+        let mut predictor = HybridPredictor::build(&warm, &discovery(), &mining(), cfg);
+        // Grow past the period boundary and beyond — previously an
+        // index-out-of-bounds panic in stage_cluster.
+        for len in [
+            COMMUTER_PERIOD as usize + 2,
+            10 * COMMUTER_PERIOD as usize,
+            40 * COMMUTER_PERIOD as usize,
+        ] {
+            let traj = Trajectory::from_points(full.points()[..len].to_vec());
+            predictor = retrain(&mut trainer, &predictor, &traj);
+            assert_equivalent(&predictor, &traj);
+        }
+        assert!(!predictor.patterns().is_empty());
+    }
+
+    /// Same hazard, unaligned flavour: a trajectory whose start
+    /// timestamp is not a multiple of the period leaves early offsets
+    /// uncovered; the seeded state must still index by absolute offset.
+    #[test]
+    fn seed_on_unaligned_history_stays_aligned() {
+        let full = commuter_history(41);
+        let start: Timestamp = 2; // offsets 0..2 of the first sub empty
+        let warm = Trajectory::new(start, full.points()[2..COMMUTER_PERIOD as usize].to_vec());
+        let mut trainer = TrainerState::new(discovery(), mining());
+        trainer.seed(&warm);
+        let mut predictor =
+            HybridPredictor::build(&warm, &discovery(), &mining(), commuter_config());
+        for days in [2usize, 10, 40] {
+            let traj = Trajectory::new(
+                start,
+                full.points()[2..days * COMMUTER_PERIOD as usize].to_vec(),
+            );
+            predictor = retrain(&mut trainer, &predictor, &traj);
+            let batch = HybridPredictor::build(&traj, &discovery(), &mining(), *predictor.config());
+            assert_eq!(predictor.regions().all(), batch.regions().all());
+            assert_eq!(predictor.patterns(), batch.patterns());
+        }
     }
 
     #[test]

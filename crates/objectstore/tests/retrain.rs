@@ -161,6 +161,42 @@ fn concurrent_predict_during_retrain_never_torn() {
     assert!(s.patterns > 0);
 }
 
+/// Regression: `force_retrain` has no `min_train_subs` guard, so it
+/// can seed the trainer from less than one full period of history.
+/// The sparse per-offset seeding this covers used to leave the trainer
+/// misaligned, and the next automatic retrain panicked inside
+/// `report` while holding the object's write lock — poisoning the
+/// object permanently.
+#[test]
+fn force_retrain_on_sub_period_history_keeps_object_alive() {
+    let id = ObjectId(5);
+    let store = MovingObjectStore::new(config(1));
+    // Less than one period reported, then a forced (unguarded) train.
+    store.report_batch(id, 0, &day(0, false)[..2]).unwrap();
+    store.force_retrain(id).unwrap();
+    // Keep reporting across the period boundary: the automatic retrain
+    // path must survive and stay equivalent to full rebuilds.
+    let full = MovingObjectStore::new(config(usize::MAX >> 1));
+    full.report_batch(id, 0, &day(0, false)[..2]).unwrap();
+    for (d, pts) in stream().iter().enumerate() {
+        let start = (d * PERIOD as usize + 2) as Timestamp;
+        store.report_batch(id, start, pts).unwrap();
+        full.report_batch(id, start, pts).unwrap();
+    }
+    full.force_retrain(id).unwrap();
+    let s = store.stats(id).unwrap();
+    assert_eq!(s, full.stats(id).unwrap());
+    assert!(s.patterns > 0);
+    let now = (30 * PERIOD as usize + 2) as Timestamp;
+    for dt in 1..=PERIOD as Timestamp {
+        assert_eq!(
+            store.predict(id, now + dt).unwrap(),
+            full.predict(id, now + dt).unwrap(),
+            "diverged at +{dt}"
+        );
+    }
+}
+
 /// `remove` + re-report must leave no residue: a forced retrain after
 /// re-tracking reflects only the new history, exactly like a store
 /// that never saw the old one.
