@@ -33,6 +33,7 @@
 //! | `HPM_CHECK_PERSIST` | 1       | write new failure seeds (`0` = off)  |
 
 pub mod alloc;
+pub mod fail;
 pub mod gen;
 pub mod runner;
 pub mod tree;

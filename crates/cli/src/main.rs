@@ -37,6 +37,7 @@ fn main() {
         "train" => cmd_train(&args),
         "info" => cmd_info(&args),
         "predict" => cmd_predict(&args),
+        "ingest" => cmd_ingest(&args),
         "eval" => cmd_eval(&args),
         "staypoints" => cmd_staypoints(&args),
         "simplify" => cmd_simplify(&args),
@@ -71,6 +72,14 @@ SUBCOMMANDS
             [--recent 20] [--k 1] [--distant 60] [--teps 2] [--margin 30]
             [--fill-gaps true] [--despike MAX_STEP]
             [--metrics true] [--metrics-json FILE|-]  (FILE `-` = stdout)
+  ingest    stream a trajectory CSV into a durable store directory
+            (per-shard WAL + snapshots; re-run after a crash to resume)
+            --input traj.csv  --data-dir DIR  --period N
+            [--eps 2] [--min-pts 3] [--min-conf 0.3] [--min-support 4]
+            [--max-premise 2] [--max-gap 8] [--max-span 64]
+            [--min-train 3] [--retrain-every 1] [--k 1] [--margin 30]
+            [--group-commit 1] [--fsync always|never] [--snapshot-every 0]
+            [--resume true] [--predict-at T1,T2,...]
   eval      compare HPM / RMF / linear accuracy on held-out data
             --input traj.csv  --period N  --train-subs N  --length N
             [--queries 50] [--recent 20] [--extent 10000]
@@ -387,6 +396,116 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
             } else {
                 std::fs::write(path, snap.to_json())
                     .map_err(|e| format!("cannot write --metrics-json {path}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streams a trajectory CSV into a durable [`MovingObjectStore`] on
+/// `--data-dir`, recovering whatever an earlier (possibly crashed)
+/// run persisted there. With `--resume` (the default) reports that
+/// are already durable are skipped, so re-running the same command
+/// after a crash completes the ingest instead of failing on the
+/// overlap. `--predict-at` answers queries from the ingested store;
+/// the `PREDICT`/`STATS` lines print floats with `{:?}` so two runs
+/// can be diffed byte-for-byte.
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    use hpm_objectstore::{
+        DurabilityConfig, FsyncPolicy, IngestError, MovingObjectStore, ObjectId, StoreConfig,
+    };
+
+    args.expect_only(&[
+        "input",
+        "data-dir",
+        "period",
+        "eps",
+        "min-pts",
+        "min-conf",
+        "min-support",
+        "max-premise",
+        "max-gap",
+        "max-span",
+        "min-train",
+        "retrain-every",
+        "k",
+        "margin",
+        "group-commit",
+        "fsync",
+        "snapshot-every",
+        "resume",
+        "predict-at",
+        "fill-gaps",
+        "despike",
+    ])?;
+    let traj = load_input(args)?;
+    let config = StoreConfig {
+        discovery: DiscoveryParams {
+            period: args.get("period")?,
+            eps: args.get_or("eps", 2.0)?,
+            min_pts: args.get_or("min-pts", 3)?,
+        },
+        mining: mining_from(args)?,
+        hpm: HpmConfig {
+            k: args.get_or("k", 1)?,
+            match_margin: args.get_or("margin", 30.0)?,
+            ..HpmConfig::default()
+        },
+        min_train_subs: args.get_or("min-train", 3)?,
+        retrain_every_subs: args.get_or("retrain-every", 1)?,
+        recent_len: 2,
+        shards: 1,
+        threads: 1,
+    };
+    let durability = DurabilityConfig {
+        dir: args.required("data-dir")?.into(),
+        group_commit: args.get_or("group-commit", 1)?,
+        fsync: match args.get_or("fsync", "always".to_string())?.as_str() {
+            "always" => FsyncPolicy::Always,
+            "never" => FsyncPolicy::Never,
+            other => return Err(format!("--fsync must be always|never, got `{other}`")),
+        },
+        snapshot_every: args.get_or("snapshot-every", 0)?,
+    };
+    let resume: bool = args.get_or("resume", true)?;
+
+    let store = MovingObjectStore::open(config, durability).map_err(|e| e.to_string())?;
+    let id = ObjectId(1);
+    let (mut ingested, mut skipped) = (0u64, 0u64);
+    for (i, p) in traj.points().iter().enumerate() {
+        let t = traj.start() + i as hpm_trajectory::Timestamp;
+        match store.report(id, t, *p) {
+            Ok(()) => ingested += 1,
+            // Already durable from a previous run: the store is ahead
+            // of this sample, not diverged.
+            Err(IngestError::NonContiguous { expected, got }) if resume && got < expected => {
+                skipped += 1;
+            }
+            Err(e) => return Err(format!("report at t={t} failed: {e}")),
+        }
+    }
+    store.flush_wal().map_err(|e| e.to_string())?;
+    println!("INGESTED {ingested} skipped {skipped}");
+    let s = store.stats(id).map_err(|e| e.to_string())?;
+    println!(
+        "STATS samples={} full_periods={} trained_periods={} regions={} patterns={}",
+        s.samples, s.full_periods, s.trained_periods, s.regions, s.patterns
+    );
+    if let Some(list) = args.optional("predict-at") {
+        for raw in list.split(',') {
+            let t: u64 = raw
+                .trim()
+                .parse()
+                .map_err(|_| format!("--predict-at: cannot parse `{raw}`"))?;
+            match store.predict(id, t) {
+                Ok(pred) => {
+                    let best = pred.best();
+                    println!(
+                        "PREDICT t={t} x={:?} y={:?} source={:?}",
+                        best.x, best.y, pred.source
+                    );
+                }
+                Err(e) => println!("PREDICT t={t} error={e}"),
             }
         }
     }

@@ -59,9 +59,12 @@
 //! assert!(pred.best().distance(&Point::new(100.0, 0.0)) < 2.0);
 //! ```
 
+pub mod durability;
 pub mod metrics;
 pub mod pool;
 mod store;
 
+pub use durability::{DurabilityConfig, RecoverError};
+pub use hpm_store::wal::FsyncPolicy;
 pub use pool::WorkerPool;
 pub use store::{IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig};

@@ -61,6 +61,26 @@ pub const OBJECTS: &str = "objectstore.objects";
 /// pool is wider than the work.
 pub const POOL_QUEUE_DEPTH: &str = "objectstore.pool.queue_depth";
 
+/// Latency span around `MovingObjectStore::open` (snapshot load + WAL
+/// replay + rotation).
+pub const OPEN_SPAN: &str = "objectstore.open";
+/// Latency span around one snapshot (WAL rotation, serialization,
+/// atomic file write, GC).
+pub const SNAPSHOT_SPAN: &str = "objectstore.snapshot";
+/// Snapshots taken (manual and cadence-driven alike).
+pub const SNAPSHOTS: &str = "objectstore.snapshots";
+/// Objects serialized by the last snapshot (gauge).
+pub const SNAPSHOT_OBJECTS: &str = "objectstore.snapshot.objects";
+/// Cadence-driven snapshots that failed with an I/O error (the data
+/// stays safe in the unrotated WAL; the snapshot retries next time).
+pub const SNAPSHOT_ERRORS: &str = "objectstore.snapshot.errors";
+/// WAL records replayed by the last `open` (gauge).
+pub const RECOVERY_REPLAYED: &str = "objectstore.recovery.replayed";
+/// `remove` operations whose WAL record could not be written (the
+/// in-memory removal still happened; a crash before the next snapshot
+/// resurrects the object).
+pub const WAL_REMOVE_ERRORS: &str = "objectstore.wal.remove_errors";
+
 /// Per-shard occupancy gauge (`objectstore.shard.objects.<i>`).
 ///
 /// Metric names are `&'static str` throughout the obs layer, so shard
@@ -88,8 +108,13 @@ pub fn register() {
     hpm_obs::registry().counter(RETRAINS_INCREMENTAL);
     hpm_obs::registry().counter(RETRAINS_FULL);
     hpm_obs::registry().counter(RETRAIN_DRIFT_FALLBACKS);
+    hpm_obs::registry().counter(SNAPSHOTS);
+    hpm_obs::registry().counter(SNAPSHOT_ERRORS);
+    hpm_obs::registry().counter(WAL_REMOVE_ERRORS);
     hpm_obs::registry().gauge(RETRAIN_STALENESS);
     hpm_obs::registry().gauge(OBJECTS);
+    hpm_obs::registry().gauge(SNAPSHOT_OBJECTS);
+    hpm_obs::registry().gauge(RECOVERY_REPLAYED);
     hpm_obs::registry().histogram(POOL_QUEUE_DEPTH, hpm_obs::Unit::Count);
     for span in [
         REPORT_SPAN,
@@ -101,6 +126,8 @@ pub fn register() {
         RETRAIN_TPT_SPAN,
         PREDICT_BATCH_SPAN,
         REPORT_MANY_SPAN,
+        OPEN_SPAN,
+        SNAPSHOT_SPAN,
     ] {
         hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
     }

@@ -1,15 +1,21 @@
 //! The store implementation.
 
+use crate::durability::{
+    self, snap_path, wal_path, DurabilityConfig, DurabilityState, RecoverError,
+};
 use crate::pool::WorkerPool;
 use hpm_core::{
     HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery, TrainerState,
 };
 use hpm_geo::Point;
 use hpm_patterns::{discover_from_groups, mine, DiscoveryParams, MiningParams};
+use hpm_store::wal::{scan_wal_file, WalRecord, WalWriter};
+use hpm_store::{decode_model, decode_snapshot, encode_model, encode_snapshot, ObjectSnapshot};
 use hpm_trajectory::{OffsetGroups, Timestamp, Trajectory};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Identifier of a tracked object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,6 +83,10 @@ pub enum IngestError {
     /// operation; its history can no longer be trusted. Remove and
     /// re-track the object to recover.
     ObjectUnavailable(ObjectId),
+    /// The write-ahead log rejected the record (disk full, I/O error).
+    /// The report was **not** applied — durable stores never hold
+    /// state the log does not.
+    Durability(std::io::ErrorKind),
 }
 
 impl fmt::Display for IngestError {
@@ -94,6 +104,9 @@ impl fmt::Display for IngestError {
                     f,
                     "{id} is unavailable (state poisoned by an earlier panic)"
                 )
+            }
+            IngestError::Durability(kind) => {
+                write!(f, "write-ahead log append failed: {kind}")
             }
         }
     }
@@ -118,6 +131,15 @@ pub enum QueryError {
     /// The object's state lock was poisoned by a panic in an earlier
     /// operation. Remove and re-track the object to recover.
     ObjectUnavailable(ObjectId),
+    /// A forced retrain was refused: the object's history holds fewer
+    /// full periods than `StoreConfig::min_train_subs`, so training
+    /// would seed a near-empty model over noise.
+    InsufficientHistory {
+        /// Full periods of history the object has.
+        full_periods: usize,
+        /// The configured training floor.
+        min_train_subs: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -135,6 +157,14 @@ impl fmt::Display for QueryError {
                     "{id} is unavailable (state poisoned by an earlier panic)"
                 )
             }
+            QueryError::InsufficientHistory {
+                full_periods,
+                min_train_subs,
+            } => write!(
+                f,
+                "only {full_periods} full periods of history \
+                 (min_train_subs = {min_train_subs})"
+            ),
         }
     }
 }
@@ -164,6 +194,16 @@ struct ObjectState {
     /// the first training pass seeds it).
     trainer: Option<TrainerState>,
     trained_subs: usize,
+    /// Samples the last retrain covered — `trajectory.points()[..trained_len]`
+    /// is the prefix that re-seeds an equivalent trainer after
+    /// recovery.
+    trained_len: usize,
+    /// Set (under the state's write lock) when the object is removed
+    /// from its shard map. A writer that raced `remove` and still
+    /// holds a stale `Arc` sees the flag and re-resolves the object,
+    /// so live state and WAL order agree on which side of the remove
+    /// its report landed.
+    removed: bool,
 }
 
 /// One partition of the object population: its own map under its own
@@ -209,10 +249,13 @@ pub struct MovingObjectStore {
     /// that have not trained yet (motion function only) — built once
     /// instead of per untrained query.
     empty_predictor: HybridPredictor,
+    /// WAL + snapshot state; `None` for a memory-only store.
+    durability: Option<DurabilityState>,
 }
 
 impl MovingObjectStore {
-    /// Creates an empty store.
+    /// Creates an empty, memory-only store (no durability; a restart
+    /// loses everything — see [`open`](Self::open)).
     ///
     /// # Panics
     /// Panics when `config` is inconsistent.
@@ -230,7 +273,79 @@ impl MovingObjectStore {
             shards,
             pool,
             empty_predictor,
+            durability: None,
         }
+    }
+
+    /// Opens a durable store on a data directory, recovering whatever
+    /// a previous process persisted there: the highest decodable
+    /// snapshot is loaded, every WAL segment from that epoch on is
+    /// replayed up to its torn tail, and fresh WAL segments are
+    /// started at a new epoch. The recovered store answers queries
+    /// bit-identically to one that ingested the surviving report
+    /// stream without ever crashing.
+    ///
+    /// # Panics
+    /// Panics when `config` is inconsistent.
+    pub fn open(config: StoreConfig, durability: DurabilityConfig) -> Result<Self, RecoverError> {
+        let _span = hpm_obs::span!(crate::metrics::OPEN_SPAN);
+        let mut store = Self::new(config);
+        std::fs::create_dir_all(&durability.dir)?;
+        let listing = durability::list_dir(&durability.dir)?;
+
+        // The newest snapshot is the only authoritative one: snapshots
+        // are renamed into place atomically, and the GC that follows a
+        // successful snapshot deletes the WAL segments an *older*
+        // snapshot would need for replay. A decode failure here is
+        // bit-rot, and falling back would silently lose data — refuse
+        // to open instead.
+        let base_epoch = match listing.snap_epochs.last().copied() {
+            Some(epoch) => {
+                let bytes = std::fs::read(snap_path(&durability.dir, epoch))?;
+                let objects = decode_snapshot(&bytes).map_err(RecoverError::CorruptSnapshot)?;
+                store
+                    .restore_objects(objects)
+                    .map_err(RecoverError::CorruptSnapshot)?;
+                Some(epoch)
+            }
+            None => None,
+        };
+
+        // Replay WAL segments from the snapshot's epoch on (segments
+        // below it are fully contained in the snapshot), each scanned
+        // to its torn tail.
+        let mut replayed = 0u64;
+        for &epoch in &listing.wal_epochs {
+            if base_epoch.is_some_and(|b| epoch < b) {
+                continue;
+            }
+            for shard in 0..store.shards.len() {
+                let scan = scan_wal_file(&wal_path(&durability.dir, epoch, shard))?;
+                for record in &scan.records {
+                    store.replay_record(record);
+                    replayed += 1;
+                }
+            }
+        }
+        hpm_obs::gauge!(crate::metrics::RECOVERY_REPLAYED).set(replayed as i64);
+
+        // Rotate: never append after a torn tail.
+        let epoch = listing.max_epoch().map_or(0, |e| e + 1);
+        let opts = durability.wal_options();
+        let wals = (0..store.shards.len())
+            .map(|shard| {
+                WalWriter::create(wal_path(&durability.dir, epoch, shard), opts).map(Mutex::new)
+            })
+            .collect::<Result<Box<[_]>, _>>()?;
+        durability::fsync_dir(&durability.dir)?;
+        store.durability = Some(DurabilityState {
+            config: durability,
+            epoch: AtomicU64::new(epoch),
+            wals,
+            since_snapshot: AtomicU64::new(0),
+            snapshot_gate: Mutex::new(()),
+        });
+        Ok(store)
     }
 
     /// The configuration in use.
@@ -284,20 +399,40 @@ impl MovingObjectStore {
         if !position.is_finite() {
             return Err(IngestError::NonFinitePosition);
         }
-        let state = self.state_of(id, timestamp);
-        let mut state = state
-            .write()
-            .map_err(|_| IngestError::ObjectUnavailable(id))?;
-        let expected = state.trajectory.end();
-        if timestamp != expected {
-            return Err(IngestError::NonContiguous {
-                expected,
-                got: timestamp,
-            });
+        loop {
+            let state = self.state_of(id, timestamp);
+            let mut state = state
+                .write()
+                .map_err(|_| IngestError::ObjectUnavailable(id))?;
+            if state.removed {
+                // Raced a concurrent `remove` on a stale cell;
+                // re-resolve so the report lands after it.
+                continue;
+            }
+            let expected = state.trajectory.end();
+            if timestamp != expected {
+                return Err(IngestError::NonContiguous {
+                    expected,
+                    got: timestamp,
+                });
+            }
+            // Log before apply: a report the WAL rejected leaves no
+            // trace in memory either.
+            self.wal_append(
+                id,
+                &WalRecord::Report {
+                    object: id.0,
+                    timestamp,
+                    x: position.x,
+                    y: position.y,
+                },
+            )?;
+            state.trajectory.push(position);
+            hpm_obs::counter!(crate::metrics::REPORTS).add(1);
+            self.maybe_retrain(&mut state);
+            break;
         }
-        state.trajectory.push(position);
-        hpm_obs::counter!(crate::metrics::REPORTS).add(1);
-        self.maybe_retrain(&mut state);
+        self.maybe_auto_snapshot();
         Ok(())
     }
 
@@ -305,6 +440,8 @@ impl MovingObjectStore {
     /// over repeated [`report`](Self::report) calls that retrains at
     /// most once. The object's lock is held across the whole batch, so
     /// a concurrent reader sees either none or all of it.
+    /// On a durable store an I/O failure mid-batch applies (and logs)
+    /// only a prefix; memory and WAL still agree exactly.
     pub fn report_batch(
         &self,
         id: ObjectId,
@@ -315,23 +452,48 @@ impl MovingObjectStore {
         if positions.iter().any(|p| !p.is_finite()) {
             return Err(IngestError::NonFinitePosition);
         }
-        let state = self.state_of(id, start);
-        let mut state = state
-            .write()
-            .map_err(|_| IngestError::ObjectUnavailable(id))?;
-        let expected = state.trajectory.end();
-        if start != expected {
-            return Err(IngestError::NonContiguous {
-                expected,
-                got: start,
-            });
+        loop {
+            let state = self.state_of(id, start);
+            let mut state = state
+                .write()
+                .map_err(|_| IngestError::ObjectUnavailable(id))?;
+            if state.removed {
+                continue;
+            }
+            let expected = state.trajectory.end();
+            if start != expected {
+                return Err(IngestError::NonContiguous {
+                    expected,
+                    got: start,
+                });
+            }
+            let mut accepted = 0u64;
+            let mut failure = None;
+            for (i, p) in positions.iter().enumerate() {
+                if let Err(e) = self.wal_append(
+                    id,
+                    &WalRecord::Report {
+                        object: id.0,
+                        timestamp: start + i as Timestamp,
+                        x: p.x,
+                        y: p.y,
+                    },
+                ) {
+                    failure = Some(e);
+                    break;
+                }
+                state.trajectory.push(*p);
+                accepted += 1;
+            }
+            hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
+            self.maybe_retrain(&mut state);
+            drop(state);
+            self.maybe_auto_snapshot();
+            return match failure {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
         }
-        for p in positions {
-            state.trajectory.push(*p);
-        }
-        hpm_obs::counter!(crate::metrics::REPORTS).add(positions.len() as u64);
-        self.maybe_retrain(&mut state);
-        Ok(())
     }
 
     /// Ingests a mixed multi-object batch, fanned across the worker
@@ -383,6 +545,7 @@ impl MovingObjectStore {
                 results[i] = Some(r);
             }
         }
+        self.maybe_auto_snapshot();
         results
             .into_iter()
             .map(|r| r.expect("every report dispatched to exactly one shard"))
@@ -408,32 +571,51 @@ impl MovingObjectStore {
         let Some(&first) = idxs.get(start) else {
             return;
         };
-        let state = self.state_of(id, reports[first].1);
-        let Ok(mut state) = state.write() else {
-            for &i in &idxs[start..] {
-                out.push((i, Err(IngestError::ObjectUnavailable(id))));
-            }
-            return;
-        };
-        let mut accepted = 0u64;
-        for &i in &idxs[start..] {
-            let (_, t, p) = reports[i];
-            let result = if !p.is_finite() {
-                Err(IngestError::NonFinitePosition)
-            } else {
-                let expected = state.trajectory.end();
-                if t != expected {
-                    Err(IngestError::NonContiguous { expected, got: t })
-                } else {
-                    state.trajectory.push(p);
-                    accepted += 1;
-                    Ok(())
+        loop {
+            let state = self.state_of(id, reports[first].1);
+            let Ok(mut state) = state.write() else {
+                for &i in &idxs[start..] {
+                    out.push((i, Err(IngestError::ObjectUnavailable(id))));
                 }
+                return;
             };
-            out.push((i, result));
+            if state.removed {
+                continue;
+            }
+            let mut accepted = 0u64;
+            for &i in &idxs[start..] {
+                let (_, t, p) = reports[i];
+                let result = if !p.is_finite() {
+                    Err(IngestError::NonFinitePosition)
+                } else {
+                    let expected = state.trajectory.end();
+                    if t != expected {
+                        Err(IngestError::NonContiguous { expected, got: t })
+                    } else {
+                        match self.wal_append(
+                            id,
+                            &WalRecord::Report {
+                                object: id.0,
+                                timestamp: t,
+                                x: p.x,
+                                y: p.y,
+                            },
+                        ) {
+                            Ok(()) => {
+                                state.trajectory.push(p);
+                                accepted += 1;
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                };
+                out.push((i, result));
+            }
+            hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
+            self.maybe_retrain(&mut state);
+            return;
         }
-        hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
-        self.maybe_retrain(&mut state);
     }
 
     /// Answers "where will `id` be at `query_time`" from the object's
@@ -636,23 +818,265 @@ impl MovingObjectStore {
     pub fn remove(&self, id: ObjectId) -> bool {
         let shard_idx = self.shard_index(id.0);
         let mut objects = self.shards[shard_idx].write_map();
-        let removed = objects.remove(&id.0).is_some();
-        if removed {
-            crate::metrics::shard_objects_gauge(shard_idx).set(objects.len() as i64);
-            hpm_obs::gauge!(crate::metrics::OBJECTS).add(-1);
+        let Some(cell) = objects.remove(&id.0) else {
+            return false;
+        };
+        // Mark the orphaned cell (and log the removal) while still
+        // holding the map lock: a report racing us either already
+        // holds the cell's lock (its WAL record precedes ours) or has
+        // yet to resolve the id (it blocks on the map, misses the
+        // entry, and starts a fresh object whose records follow ours).
+        // Either way WAL order equals live order.
+        if let Ok(mut state) = cell.write() {
+            state.removed = true;
         }
-        removed
+        // Removal is best-effort in the log: an I/O error here cannot
+        // un-remove the object, so surface it through metrics only.
+        // At worst a crash resurrects the object at the next open.
+        if self
+            .wal_append(id, &WalRecord::Remove { object: id.0 })
+            .is_err()
+        {
+            hpm_obs::counter!(crate::metrics::WAL_REMOVE_ERRORS).add(1);
+        }
+        crate::metrics::shard_objects_gauge(shard_idx).set(objects.len() as i64);
+        hpm_obs::gauge!(crate::metrics::OBJECTS).add(-1);
+        drop(objects);
+        self.maybe_auto_snapshot();
+        true
     }
 
     /// Forces an immediate **full** retrain of `id` over its complete
     /// history, resetting the incremental trainer state (never the
-    /// delta path — this is the recovery hammer).
+    /// delta path — this is the recovery hammer). Histories shorter
+    /// than `min_train_subs` full periods are refused with
+    /// [`QueryError::InsufficientHistory`]: training on a sub-period
+    /// slice would seed a near-empty model that then shadows the
+    /// motion-function fallback.
     pub fn force_retrain(&self, id: ObjectId) -> Result<(), QueryError> {
         let state = self.lookup(id).ok_or(QueryError::UnknownObject(id))?;
         let mut state = state
             .write()
             .map_err(|_| QueryError::ObjectUnavailable(id))?;
+        let full_periods = state.trajectory.len() / self.config.discovery.period as usize;
+        if full_periods < self.config.min_train_subs {
+            return Err(QueryError::InsufficientHistory {
+                full_periods,
+                min_train_subs: self.config.min_train_subs,
+            });
+        }
         self.retrain(&mut state, true);
+        Ok(())
+    }
+
+    /// Whether this store persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Writes out any group-commit batches still buffered in memory
+    /// (fsyncing per policy). Call before a clean shutdown; a no-op on
+    /// a memory-only store.
+    pub fn flush_wal(&self) -> std::io::Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        for wal in d.wals.iter() {
+            wal.lock().unwrap_or_else(PoisonError::into_inner).flush()?;
+        }
+        Ok(())
+    }
+
+    /// Takes a snapshot now: rotates every shard's WAL to a new epoch,
+    /// serializes all object state (trajectories, trained models,
+    /// training watermarks) to an atomically renamed snapshot file,
+    /// and garbage-collects the files older epochs left behind.
+    /// Returns `Ok(false)` on a memory-only store.
+    ///
+    /// Ingest proceeds concurrently: reports racing the snapshot land
+    /// in the new epoch's WAL, and replaying them over the snapshot at
+    /// the next open is idempotent (the contiguity check skips
+    /// re-applied reports).
+    pub fn snapshot(&self) -> std::io::Result<bool> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        let _gate = d
+            .snapshot_gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.snapshot_locked(d)?;
+        Ok(true)
+    }
+
+    /// Runs the auto-snapshot cadence check after an ingest call. Only
+    /// one thread snapshots; the rest skip past a held gate.
+    fn maybe_auto_snapshot(&self) {
+        let Some(d) = &self.durability else { return };
+        if d.config.snapshot_every == 0
+            || d.since_snapshot.load(Ordering::Relaxed) < d.config.snapshot_every
+        {
+            return;
+        }
+        let Ok(_gate) = d.snapshot_gate.try_lock() else {
+            return;
+        };
+        // Re-check under the gate: the snapshot that just released it
+        // reset the counter.
+        if d.since_snapshot.load(Ordering::Relaxed) < d.config.snapshot_every {
+            return;
+        }
+        if self.snapshot_locked(d).is_err() {
+            hpm_obs::counter!(crate::metrics::SNAPSHOT_ERRORS).add(1);
+        }
+    }
+
+    /// The snapshot procedure proper; caller holds the gate.
+    fn snapshot_locked(&self, d: &DurabilityState) -> std::io::Result<()> {
+        let _span = hpm_obs::span!(crate::metrics::SNAPSHOT_SPAN);
+        let epoch = d.epoch.load(Ordering::Acquire) + 1;
+        // Rotate first: once every shard writes to epoch-`epoch`
+        // segments, any record still in an older segment was applied
+        // under an object lock the serialization below must wait on —
+        // so the snapshot contains every old-epoch effect, and old
+        // epochs can be GC'd afterwards. Rotation is not atomic across
+        // shards, but an object's records live in exactly one shard,
+        // so per-object order is preserved regardless.
+        for (shard, wal) in d.wals.iter().enumerate() {
+            let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            wal.flush()?;
+            *wal = WalWriter::create(
+                wal_path(&d.config.dir, epoch, shard),
+                d.config.wal_options(),
+            )?;
+        }
+        d.epoch.store(epoch, Ordering::Release);
+        d.since_snapshot.store(0, Ordering::Relaxed);
+        let mut objects = Vec::new();
+        for shard in self.shards.iter() {
+            let cells: Vec<(u64, Arc<RwLock<ObjectState>>)> = shard
+                .read_map()
+                .iter()
+                .map(|(raw, cell)| (*raw, Arc::clone(cell)))
+                .collect();
+            for (raw, cell) in cells {
+                // A poisoned object is unavailable to queries and
+                // ingest alike; persisting its half-mutated state
+                // would launder the corruption into the next process.
+                let Ok(state) = cell.read() else { continue };
+                if state.removed {
+                    continue;
+                }
+                objects.push(ObjectSnapshot {
+                    id: raw,
+                    start: state.trajectory.start(),
+                    points: state
+                        .trajectory
+                        .points()
+                        .iter()
+                        .map(|p| (p.x, p.y))
+                        .collect(),
+                    trained_subs: state.trained_subs as u64,
+                    trained_len: state.trained_len as u64,
+                    model: state
+                        .predictor
+                        .as_ref()
+                        .map(|p| encode_model(p.regions(), p.patterns())),
+                });
+            }
+        }
+        // Id order, not shard-map iteration order: equal stores write
+        // byte-identical snapshots.
+        objects.sort_unstable_by_key(|o| o.id);
+        let bytes = encode_snapshot(&objects);
+        durability::write_snapshot_file(&d.config.dir, epoch, &bytes)?;
+        durability::gc_below(&d.config.dir, epoch);
+        hpm_obs::counter!(crate::metrics::SNAPSHOTS).add(1);
+        hpm_obs::gauge!(crate::metrics::SNAPSHOT_OBJECTS).set(objects.len() as i64);
+        Ok(())
+    }
+
+    /// Re-applies one recovered WAL record through the normal ingest
+    /// paths (durability is not attached yet during recovery, so
+    /// nothing is re-logged). Rejections are expected — records the
+    /// snapshot already contains fail the contiguity check — and make
+    /// replay idempotent.
+    fn replay_record(&self, record: &WalRecord) {
+        match *record {
+            WalRecord::Report {
+                object,
+                timestamp,
+                x,
+                y,
+            } => {
+                let _ = self.report(ObjectId(object), timestamp, Point::new(x, y));
+            }
+            WalRecord::Remove { object } => {
+                self.remove(ObjectId(object));
+            }
+        }
+    }
+
+    /// Installs snapshot state into an empty store. The trained
+    /// predictor is decoded from its nested model blob; the
+    /// incremental trainer is reconstructed by seeding a fresh one
+    /// over the exact sample prefix the last retrain covered, which
+    /// reproduces it by the workspace training contract.
+    fn restore_objects(
+        &mut self,
+        objects: Vec<ObjectSnapshot>,
+    ) -> Result<(), hpm_store::DecodeError> {
+        for o in objects {
+            let points: Vec<Point> = o.points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let trained_len = o.trained_len as usize;
+            let predictor = match &o.model {
+                Some(blob) => {
+                    let m = decode_model(blob)?;
+                    Some(HybridPredictor::from_parts(
+                        m.regions,
+                        m.patterns,
+                        self.config.hpm,
+                    ))
+                }
+                None => None,
+            };
+            let trainer = predictor.as_ref().map(|_| {
+                let mut t = TrainerState::new(self.config.discovery, self.config.mining);
+                t.seed(&Trajectory::new(o.start, points[..trained_len].to_vec()));
+                t
+            });
+            let shard_idx = self.shard_index(o.id);
+            let mut map = self.shards[shard_idx].write_map();
+            map.insert(
+                o.id,
+                Arc::new(RwLock::new(ObjectState {
+                    trajectory: Trajectory::new(o.start, points),
+                    predictor,
+                    trainer,
+                    trained_subs: o.trained_subs as usize,
+                    trained_len,
+                    removed: false,
+                })),
+            );
+            crate::metrics::shard_objects_gauge(shard_idx).set(map.len() as i64);
+            hpm_obs::gauge!(crate::metrics::OBJECTS).add(1);
+        }
+        Ok(())
+    }
+
+    /// Logs a record to the shard WAL of `id`, if durable. Taken with
+    /// the object's lock held (WAL mutexes are innermost); an error
+    /// means the operation must not be applied.
+    fn wal_append(&self, id: ObjectId, record: &WalRecord) -> Result<(), IngestError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let mut wal = d.wals[self.shard_index(id.0)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        wal.append(record)
+            .map_err(|e| IngestError::Durability(e.kind()))?;
+        d.since_snapshot.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -672,6 +1096,8 @@ impl MovingObjectStore {
                 predictor: None,
                 trainer: None,
                 trained_subs: 0,
+                trained_len: 0,
+                removed: false,
             }))
         }));
         if objects.len() > before {
@@ -715,6 +1141,7 @@ impl MovingObjectStore {
             self.retrain_full(state);
         }
         state.trained_subs = full;
+        state.trained_len = state.trajectory.len();
     }
 
     /// One incremental pass over the delta since the last training.
@@ -965,14 +1392,22 @@ mod tests {
     }
 
     #[test]
-    fn force_retrain_works_immediately() {
+    fn force_retrain_works_once_history_suffices() {
         let store = MovingObjectStore::new(config());
         let id = ObjectId(6);
         feed_days(&store, id, 0..3); // below min_train_subs
-        assert_eq!(store.stats(id).unwrap().trained_periods, 0);
+        assert_eq!(
+            store.force_retrain(id),
+            Err(QueryError::InsufficientHistory {
+                full_periods: 3,
+                min_train_subs: 5
+            })
+        );
+        assert_eq!(store.stats(id).unwrap().trained_periods, 0, "no training");
+        feed_days(&store, id, 3..5);
         store.force_retrain(id).unwrap();
         let s = store.stats(id).unwrap();
-        assert_eq!(s.trained_periods, 3);
+        assert_eq!(s.trained_periods, 5);
         assert!(s.regions > 0);
     }
 

@@ -1,0 +1,590 @@
+//! Crash-recovery equivalence: a store recovered from a data
+//! directory whose WAL was cut at **any** byte prefix — every record
+//! boundary and every mid-record tear — answers bit-identically to a
+//! memory-only store fed the surviving record stream through the
+//! normal ingest API. The property suite generates ≥ 96 report
+//! streams (removes, wild days, group commit included) and tries
+//! every cut of every stream; directed tests cover snapshots,
+//! multi-shard tails, clean reopens, and corruption refusals.
+
+use hpm_check::prelude::*;
+use hpm_core::HpmConfig;
+use hpm_geo::Point;
+use hpm_objectstore::{
+    DurabilityConfig, FsyncPolicy, MovingObjectStore, ObjectId, RecoverError, StoreConfig,
+};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_store::wal::{scan_wal, WalRecord};
+use hpm_trajectory::Timestamp;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const PERIOD: u32 = 4;
+
+fn config(shards: usize) -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            k: 2,
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 3,
+        retrain_every_subs: 1,
+        recent_len: 2,
+        shards,
+        threads: 2,
+    }
+}
+
+/// A unique scratch data directory (not yet created).
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hpm-recovery-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tests run with fsync off: the suite models process crashes (the
+/// page cache survives those), and `FsyncPolicy::Always` would make
+/// every-prefix iteration disk-bound for no extra coverage.
+fn durable(dir: &std::path::Path, group_commit: usize) -> DurabilityConfig {
+    DurabilityConfig {
+        dir: dir.to_path_buf(),
+        group_commit,
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    }
+}
+
+/// Replays WAL records through the public ingest API — the reference
+/// "never crashed" store.
+fn feed(store: &MovingObjectStore, records: &[WalRecord]) {
+    for r in records {
+        match *r {
+            WalRecord::Report {
+                object,
+                timestamp,
+                x,
+                y,
+            } => store
+                .report(ObjectId(object), timestamp, Point::new(x, y))
+                .unwrap(),
+            WalRecord::Remove { object } => {
+                store.remove(ObjectId(object));
+            }
+        }
+    }
+}
+
+/// Objects alive at the end of a record stream, with their last
+/// reported timestamp.
+fn live_objects(records: &[WalRecord]) -> Vec<(u64, Timestamp)> {
+    let mut live: BTreeMap<u64, Timestamp> = BTreeMap::new();
+    for r in records {
+        match *r {
+            WalRecord::Report {
+                object, timestamp, ..
+            } => {
+                live.insert(object, timestamp);
+            }
+            WalRecord::Remove { object } => {
+                live.remove(&object);
+            }
+        }
+    }
+    live.into_iter().collect()
+}
+
+/// The recovery contract: same population, same per-object stats,
+/// same ranked answers (or the same typed refusal) at future query
+/// times.
+fn assert_equivalent(
+    recovered: &MovingObjectStore,
+    reference: &MovingObjectStore,
+    records: &[WalRecord],
+    ctx: &str,
+) {
+    assert_eq!(
+        recovered.object_count(),
+        reference.object_count(),
+        "object count ({ctx})"
+    );
+    for (raw, last) in live_objects(records) {
+        let id = ObjectId(raw);
+        assert_eq!(
+            recovered.stats(id).unwrap(),
+            reference.stats(id).unwrap(),
+            "stats of object {raw} ({ctx})"
+        );
+        for dt in [1, 2, PERIOD as Timestamp] {
+            assert_eq!(
+                recovered.predict(id, last + dt),
+                reference.predict(id, last + dt),
+                "prediction of object {raw} at +{dt} ({ctx})"
+            );
+        }
+    }
+}
+
+/// One generated day for one object: commuter loop, or (on wild days)
+/// a remote hotspot that drives cluster drift.
+fn gen_day(next: &mut impl FnMut() -> u64, wild_prob: u64) -> Vec<Point> {
+    if next() % 1000 < wild_prob {
+        let bx = 400.0 + (next() % 3) as f64 * 120.0;
+        (0..PERIOD)
+            .map(|t| Point::new(bx + t as f64 * 0.3, 400.0))
+            .collect()
+    } else {
+        let j = (next() % 100) as f64 / 100.0;
+        (0..PERIOD)
+            .map(|t| Point::new(t as f64 * 40.0 + j, j))
+            .collect()
+    }
+}
+
+props! {
+    // The tentpole property: ingest a generated stream durably, then
+    // crash it at EVERY interesting byte prefix of the WAL — inside
+    // the header, at each record boundary, and mid-record — and check
+    // the recovered store against a reference that ingested exactly
+    // the surviving records and never crashed.
+    #[cases(96)]
+    fn crash_at_every_wal_prefix_recovers_equivalently(
+        days in int(3usize..6),
+        objs in int(1u64..3),
+        wild in choice(vec![0u64, 200, 500]),
+        remove_at in int(0usize..12),
+        group_commit in choice(vec![1usize, 3]),
+        seed in int(0u64..100_000),
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        // Live run: one shard so the whole stream lands in one WAL
+        // file whose byte order equals ingest order.
+        let dir = tmp_dir("live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let live =
+            MovingObjectStore::open(config(1), durable(&dir, group_commit)).unwrap();
+        for d in 0..days {
+            let start = (d * PERIOD as usize) as Timestamp;
+            for o in 1..=objs {
+                if o == 1 && d == remove_at && d > 0 {
+                    live.remove(ObjectId(1));
+                }
+                let pts = gen_day(&mut next, wild);
+                if next() % 2 == 0 {
+                    live.report_batch(ObjectId(o), start, &pts).unwrap();
+                } else {
+                    for (k, p) in pts.iter().enumerate() {
+                        live.report(ObjectId(o), start + k as Timestamp, *p).unwrap();
+                    }
+                }
+            }
+        }
+        live.flush_wal().unwrap();
+        let bytes = std::fs::read(dir.join("wal-0-0.log")).unwrap();
+        drop(live);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // The uncut file must parse completely.
+        let scan = scan_wal(&bytes);
+        require!(scan.torn.is_none(), "live WAL torn: {:?}", scan.torn);
+        require_eq!(scan.valid_len, bytes.len());
+        require!(!scan.records.is_empty());
+
+        // Every interesting prefix: sub-header, each boundary, and a
+        // mid-record tear between each pair of boundaries.
+        let mut cuts = vec![0usize, 4, 8];
+        let mut prev = 8;
+        for &end in &scan.offsets {
+            cuts.push((prev + end) / 2);
+            cuts.push(end);
+            prev = end;
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        for (i, &cut) in cuts.iter().enumerate() {
+            let crashed = tmp_dir("cut");
+            std::fs::create_dir_all(&crashed).unwrap();
+            std::fs::write(crashed.join("wal-0-0.log"), &bytes[..cut]).unwrap();
+            let recovered =
+                MovingObjectStore::open(config(1), durable(&crashed, 1)).unwrap();
+            let surviving = scan_wal(&bytes[..cut]);
+            // A cut between boundaries must lose exactly the torn
+            // suffix, never a durably framed record before it.
+            require_eq!(
+                surviving.records.len(),
+                scan.offsets.iter().filter(|&&o| o <= cut).count(),
+                "cut {cut} lost framed records"
+            );
+            let reference = MovingObjectStore::new(config(1));
+            feed(&reference, &surviving.records);
+            assert_equivalent(&recovered, &reference, &surviving.records, &format!("cut {cut}"));
+
+            // A sample of cut points keeps living after recovery: one
+            // more day must land (and train) identically on both.
+            if i % 8 == 0 {
+                let extra = gen_day(&mut next, wild);
+                let mut appended = surviving.records.clone();
+                for (raw, last) in live_objects(&surviving.records) {
+                    for (k, p) in extra.iter().enumerate() {
+                        let t = last + 1 + k as Timestamp;
+                        recovered.report(ObjectId(raw), t, *p).unwrap();
+                        reference.report(ObjectId(raw), t, *p).unwrap();
+                        appended.push(WalRecord::Report {
+                            object: raw,
+                            timestamp: t,
+                            x: p.x,
+                            y: p.y,
+                        });
+                    }
+                }
+                assert_equivalent(
+                    &recovered,
+                    &reference,
+                    &appended,
+                    &format!("cut {cut} + one day"),
+                );
+            }
+            drop(recovered);
+            std::fs::remove_dir_all(&crashed).unwrap();
+        }
+    }
+}
+
+/// A snapshot mid-stream, then a crash that tears the post-snapshot
+/// WAL tail: recovery must load the snapshot (predictor *and* trainer
+/// state) and replay the surviving tail — and keep training exactly
+/// like a store that never crashed.
+#[test]
+fn snapshot_plus_torn_tail_recovers_and_keeps_training() {
+    let dir = tmp_dir("snaptail");
+    std::fs::create_dir_all(&dir).unwrap();
+    let id = ObjectId(9);
+    let mut rng = 7u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut all_days: Vec<Vec<Point>> = Vec::new();
+
+    let live = MovingObjectStore::open(config(1), durable(&dir, 1)).unwrap();
+    for d in 0..4 {
+        let pts = gen_day(&mut next, 300);
+        live.report_batch(id, (d * PERIOD as usize) as Timestamp, &pts)
+            .unwrap();
+        all_days.push(pts);
+    }
+    assert!(live.stats(id).unwrap().trained_periods > 0);
+    // Rotate + snapshot: epoch 0's WAL is folded in and GC'd.
+    assert!(live.snapshot().unwrap());
+    assert!(dir.join("snap-1.snap").exists());
+    assert!(!dir.join("wal-0-0.log").exists());
+    for d in 4..6 {
+        let pts = gen_day(&mut next, 300);
+        live.report_batch(id, (d * PERIOD as usize) as Timestamp, &pts)
+            .unwrap();
+        all_days.push(pts);
+    }
+    live.flush_wal().unwrap();
+    drop(live);
+
+    // Tear the post-snapshot tail mid-record.
+    let tail = std::fs::read(dir.join("wal-1-0.log")).unwrap();
+    let scan = scan_wal(&tail);
+    assert_eq!(scan.records.len(), 2 * PERIOD as usize);
+    let cut = scan.offsets[5] + 3; // inside the 7th record's frame
+    std::fs::write(dir.join("wal-1-0.log"), &tail[..cut]).unwrap();
+
+    let recovered = MovingObjectStore::open(config(1), durable(&dir, 1)).unwrap();
+    let surviving = scan_wal(&tail[..cut]);
+    assert_eq!(surviving.records.len(), 6);
+
+    // Reference: the first four days (all inside the snapshot) plus
+    // the surviving tail, never crashed.
+    let reference = MovingObjectStore::new(config(1));
+    for (d, pts) in all_days[..4].iter().enumerate() {
+        reference
+            .report_batch(id, (d * PERIOD as usize) as Timestamp, pts)
+            .unwrap();
+    }
+    feed(&reference, &surviving.records);
+    let mut records: Vec<WalRecord> = all_days[..4]
+        .iter()
+        .enumerate()
+        .flat_map(|(d, pts)| {
+            pts.iter().enumerate().map(move |(k, p)| WalRecord::Report {
+                object: 9,
+                timestamp: (d * PERIOD as usize + k) as Timestamp,
+                x: p.x,
+                y: p.y,
+            })
+        })
+        .collect();
+    records.extend_from_slice(&surviving.records);
+    assert_equivalent(
+        &recovered,
+        &reference,
+        &records,
+        "after snapshot + torn tail",
+    );
+    let last = (4 * PERIOD as usize + 6 - 1) as Timestamp;
+
+    // The recovered trainer must carry on exactly like the reference's
+    // (snapshot restored predictor + re-seeded trainer): finish the
+    // torn day and add two more, comparing stats and answers each day.
+    let mut t = last + 1;
+    for d in 0..3 {
+        let pts = if d == 0 {
+            // Finish the torn day: its last two samples were lost.
+            all_days[5][2..].to_vec()
+        } else {
+            gen_day(&mut next, 300)
+        };
+        for p in &pts {
+            recovered.report(id, t, *p).unwrap();
+            reference.report(id, t, *p).unwrap();
+            t += 1;
+        }
+        assert_eq!(
+            recovered.stats(id).unwrap(),
+            reference.stats(id).unwrap(),
+            "stats diverged {d} days after recovery"
+        );
+        for dt in 1..=PERIOD as Timestamp {
+            assert_eq!(
+                recovered.predict(id, t - 1 + dt),
+                reference.predict(id, t - 1 + dt),
+                "answers diverged {d} days after recovery at +{dt}"
+            );
+        }
+    }
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Clean shutdown + reopen (twice, with automatic snapshots in
+/// between) is the degenerate crash: nothing may change.
+#[test]
+fn clean_reopen_round_trips_with_auto_snapshots() {
+    let dir = tmp_dir("reopen");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = durable(&dir, 1);
+    cfg.snapshot_every = 10;
+    let mut rng = 21u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    let reference = MovingObjectStore::new(config(2));
+    let mut records = Vec::new();
+    let store = MovingObjectStore::open(config(2), cfg.clone()).unwrap();
+    assert!(store.is_durable());
+    for d in 0..6usize {
+        let start = (d * PERIOD as usize) as Timestamp;
+        for o in [1u64, 2, 5] {
+            if o == 5 && d == 3 {
+                store.remove(ObjectId(5));
+                reference.remove(ObjectId(5));
+                records.push(WalRecord::Remove { object: 5 });
+            }
+            let pts = gen_day(&mut next, 250);
+            store.report_batch(ObjectId(o), start, &pts).unwrap();
+            reference.report_batch(ObjectId(o), start, &pts).unwrap();
+            for (k, p) in pts.iter().enumerate() {
+                records.push(WalRecord::Report {
+                    object: o,
+                    timestamp: start + k as Timestamp,
+                    x: p.x,
+                    y: p.y,
+                });
+            }
+        }
+    }
+    store.flush_wal().unwrap();
+    drop(store);
+    // snapshot_every = 10 must have fired along the way.
+    let snaps = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.starts_with("snap-") && n.ends_with(".snap"))
+        .count();
+    assert!(snaps > 0, "no automatic snapshot was taken");
+
+    let reopened = MovingObjectStore::open(config(2), cfg.clone()).unwrap();
+    assert_equivalent(&reopened, &reference, &records, "first reopen");
+
+    // Keep going after the reopen, then bounce once more.
+    let start = (6 * PERIOD as usize) as Timestamp;
+    for o in [1u64, 2, 5] {
+        let pts = gen_day(&mut next, 250);
+        reopened.report_batch(ObjectId(o), start, &pts).unwrap();
+        reference.report_batch(ObjectId(o), start, &pts).unwrap();
+        for (k, p) in pts.iter().enumerate() {
+            records.push(WalRecord::Report {
+                object: o,
+                timestamp: start + k as Timestamp,
+                x: p.x,
+                y: p.y,
+            });
+        }
+    }
+    reopened.flush_wal().unwrap();
+    drop(reopened);
+    let bounced = MovingObjectStore::open(config(2), cfg).unwrap();
+    assert_equivalent(&bounced, &reference, &records, "second reopen");
+    drop(bounced);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// With several shards, each WAL file tears independently: one
+/// shard's tail is cut mid-record, another's segment is gone
+/// entirely (crash before its first physical write), the rest are
+/// whole. Recovery loses exactly each shard's torn suffix.
+#[test]
+fn multi_shard_crash_loses_each_shard_tail_independently() {
+    const SHARDS: usize = 4;
+    let dir = tmp_dir("shards");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = 99u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let live = MovingObjectStore::open(config(SHARDS), durable(&dir, 1)).unwrap();
+    for d in 0..5usize {
+        let start = (d * PERIOD as usize) as Timestamp;
+        for o in 1..=6u64 {
+            if o == 2 && d == 2 {
+                live.remove(ObjectId(2));
+            }
+            let pts = gen_day(&mut next, 300);
+            live.report_batch(ObjectId(o), start, &pts).unwrap();
+        }
+    }
+    live.flush_wal().unwrap();
+    drop(live);
+
+    // Shard 1: mid-record tear. Shard 2: never made it to disk.
+    let shard1 = std::fs::read(dir.join("wal-0-1.log")).unwrap();
+    let s1 = scan_wal(&shard1);
+    assert!(s1.records.len() > 4);
+    let cut = s1.offsets[s1.records.len() / 2] + 2;
+    std::fs::write(dir.join("wal-0-1.log"), &shard1[..cut]).unwrap();
+    std::fs::remove_file(dir.join("wal-0-2.log")).unwrap();
+
+    let reference = MovingObjectStore::new(config(SHARDS));
+    let mut surviving = Vec::new();
+    for s in 0..SHARDS {
+        let path = dir.join(format!("wal-0-{s}.log"));
+        let scan = match std::fs::read(&path) {
+            Ok(bytes) => scan_wal(&bytes),
+            Err(_) => continue,
+        };
+        feed(&reference, &scan.records);
+        surviving.extend(scan.records);
+    }
+    let recovered = MovingObjectStore::open(config(SHARDS), durable(&dir, 1)).unwrap();
+    assert_equivalent(&recovered, &reference, &surviving, "multi-shard crash");
+    // Shard 2's objects (ids 2 and 6) are gone entirely; shard 1's
+    // survivors kept their whole-record prefix.
+    assert!(recovered.stats(ObjectId(6)).is_err());
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Garbage appended past the valid prefix (bit rot, recycled blocks)
+/// reads as a torn tail: everything durably framed still recovers.
+#[test]
+fn trailing_garbage_after_valid_prefix_is_ignored() {
+    let dir = tmp_dir("garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let id = ObjectId(3);
+    let live = MovingObjectStore::open(config(1), durable(&dir, 1)).unwrap();
+    for d in 0..4usize {
+        let pts: Vec<Point> = (0..PERIOD)
+            .map(|t| Point::new(t as f64 * 30.0, d as f64 * 0.1))
+            .collect();
+        live.report_batch(id, (d * PERIOD as usize) as Timestamp, &pts)
+            .unwrap();
+    }
+    live.flush_wal().unwrap();
+    drop(live);
+    let mut bytes = std::fs::read(dir.join("wal-0-0.log")).unwrap();
+    let clean = scan_wal(&bytes);
+    bytes.extend_from_slice(&[0xFF; 37]);
+    std::fs::write(dir.join("wal-0-0.log"), &bytes).unwrap();
+
+    let recovered = MovingObjectStore::open(config(1), durable(&dir, 1)).unwrap();
+    let reference = MovingObjectStore::new(config(1));
+    feed(&reference, &clean.records);
+    assert_equivalent(&recovered, &reference, &clean.records, "trailing garbage");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A snapshot that fails its checksum is bit rot, and the WAL tail
+/// alone cannot reconstruct what it held — opening must refuse
+/// loudly, never silently lose data.
+#[test]
+fn corrupt_snapshot_refuses_to_open() {
+    let dir = tmp_dir("rot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let id = ObjectId(4);
+    let live = MovingObjectStore::open(config(1), durable(&dir, 1)).unwrap();
+    for d in 0..4usize {
+        let pts: Vec<Point> = (0..PERIOD)
+            .map(|t| Point::new(t as f64 * 30.0, 0.0))
+            .collect();
+        live.report_batch(id, (d * PERIOD as usize) as Timestamp, &pts)
+            .unwrap();
+    }
+    assert!(live.snapshot().unwrap());
+    drop(live);
+
+    let snap = dir.join("snap-1.snap");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap, &bytes).unwrap();
+    match MovingObjectStore::open(config(1), durable(&dir, 1)) {
+        Err(RecoverError::CorruptSnapshot(_)) => {}
+        Err(e) => panic!("expected CorruptSnapshot, got {e:?}"),
+        Ok(_) => panic!("expected CorruptSnapshot, store opened anyway"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -4,7 +4,7 @@
 
 use hpm_core::HpmConfig;
 use hpm_geo::Point;
-use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hpm_objectstore::{MovingObjectStore, ObjectId, QueryError, StoreConfig};
 use hpm_patterns::{DiscoveryParams, MiningParams};
 use hpm_trajectory::Timestamp;
 
@@ -81,12 +81,12 @@ fn incremental_cadence_matches_forced_full_rebuild() {
 
         // Retrain `full` from scratch and compare at every point of
         // the stream, drift fallbacks included.
-        full.force_retrain(id).unwrap();
         let si = incremental.stats(id).unwrap();
-        let sf = full.stats(id).unwrap();
         if si.trained_periods == 0 {
             continue; // below min_train_subs: neither store trained
         }
+        full.force_retrain(id).unwrap();
+        let sf = full.stats(id).unwrap();
         assert_eq!(si, sf, "stats diverged after day {d}");
         let now = start + PERIOD as Timestamp - 1;
         for dt in 1..=PERIOD as Timestamp {
@@ -161,19 +161,27 @@ fn concurrent_predict_during_retrain_never_torn() {
     assert!(s.patterns > 0);
 }
 
-/// Regression: `force_retrain` has no `min_train_subs` guard, so it
-/// can seed the trainer from less than one full period of history.
-/// The sparse per-offset seeding this covers used to leave the trainer
-/// misaligned, and the next automatic retrain panicked inside
-/// `report` while holding the object's write lock — poisoning the
-/// object permanently.
+/// Regression: `force_retrain` below `min_train_subs` must be a typed
+/// rejection, not a train. An unguarded force used to seed the trainer
+/// from sparse per-offset history, leaving it misaligned; the next
+/// automatic retrain then panicked inside `report` while holding the
+/// object's write lock — poisoning the object permanently. The guard
+/// rejects the force outright, and the object keeps working.
 #[test]
 fn force_retrain_on_sub_period_history_keeps_object_alive() {
     let id = ObjectId(5);
     let store = MovingObjectStore::new(config(1));
-    // Less than one period reported, then a forced (unguarded) train.
+    // Less than one period reported: the forced train is rejected with
+    // a typed error and the trainer stays untouched.
     store.report_batch(id, 0, &day(0, false)[..2]).unwrap();
-    store.force_retrain(id).unwrap();
+    match store.force_retrain(id) {
+        Err(QueryError::InsufficientHistory {
+            full_periods: 0,
+            min_train_subs: 3,
+        }) => {}
+        other => panic!("expected InsufficientHistory, got {other:?}"),
+    }
+    assert_eq!(store.stats(id).unwrap().trained_periods, 0);
     // Keep reporting across the period boundary: the automatic retrain
     // path must survive and stay equivalent to full rebuilds.
     let full = MovingObjectStore::new(config(usize::MAX >> 1));

@@ -24,6 +24,41 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// A fixed-capacity stack buffer for staging hot-path payloads (one
+/// WAL frame per accepted report) without a heap allocation. Writes
+/// past `N` panic, like the `Vec` impl would on OOM; callers size `N`
+/// from a protocol limit.
+pub(crate) struct StackBuf<const N: usize> {
+    buf: [u8; N],
+    len: usize,
+}
+
+impl<const N: usize> StackBuf<N> {
+    pub(crate) fn new() -> Self {
+        StackBuf {
+            buf: [0; N],
+            len: 0,
+        }
+    }
+
+    /// The bytes written so far.
+    pub(crate) fn filled(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+impl<const N: usize> BufMut for StackBuf<N> {
+    fn put_u8(&mut self, v: u8) {
+        self.buf[self.len] = v;
+        self.len += 1;
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.buf[self.len..self.len + 8].copy_from_slice(&v.to_le_bytes());
+        self.len += 8;
+    }
+}
+
 /// A consuming read cursor.
 pub(crate) trait Buf {
     /// Bytes left to read.

@@ -49,6 +49,14 @@ mod error;
 pub mod format;
 pub mod metrics;
 mod model;
+pub mod snapshot;
+pub mod wal;
+pub mod wire;
 
 pub use error::DecodeError;
 pub use model::{decode_model, encode_model, load_model, save_model, StoredModel};
+pub use snapshot::{decode_snapshot, encode_snapshot, ObjectSnapshot};
+pub use wal::{
+    encode_wal_record, scan_wal, scan_wal_file, FsyncPolicy, WalOptions, WalRecord, WalScan,
+    WalWriter,
+};

@@ -19,13 +19,32 @@ pub const BYTES_READ: &str = "store.model.bytes_read";
 /// Decode attempts rejected (bad magic, version, checksum, bounds).
 pub const DECODE_ERRORS: &str = "store.model.decode_errors";
 
+/// Latency span around one WAL record append (group-commit write
+/// included when the batch fills).
+pub const WAL_APPEND_SPAN: &str = "store.wal.append";
+/// Latency span around one WAL fsync (`FsyncPolicy::Always` only).
+pub const WAL_FSYNC_SPAN: &str = "store.wal.fsync";
+/// WAL records appended.
+pub const WAL_RECORDS: &str = "store.wal.records";
+/// WAL bytes physically written (headers excluded).
+pub const WAL_BYTES: &str = "store.wal.bytes";
+
 /// Registers every metric above so snapshots cover them even before
 /// the first model round-trip (zero-valued metrics are still listed).
 pub fn register() {
     hpm_obs::registry().counter(BYTES_WRITTEN);
     hpm_obs::registry().counter(BYTES_READ);
     hpm_obs::registry().counter(DECODE_ERRORS);
-    for span in [ENCODE_SPAN, DECODE_SPAN, SAVE_SPAN, LOAD_SPAN] {
+    hpm_obs::registry().counter(WAL_RECORDS);
+    hpm_obs::registry().counter(WAL_BYTES);
+    for span in [
+        ENCODE_SPAN,
+        DECODE_SPAN,
+        SAVE_SPAN,
+        LOAD_SPAN,
+        WAL_APPEND_SPAN,
+        WAL_FSYNC_SPAN,
+    ] {
         hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
     }
 }

@@ -1,0 +1,270 @@
+//! Store-snapshot codec: the full per-object state of a moving-objects
+//! store at a point in time, version 1.
+//!
+//! ```text
+//! header   magic  b"HPMSNAP1"                8 bytes
+//!          version varint                    (currently 1)
+//! payload  object_count varint
+//!          objects: per object —
+//!              id            varint
+//!              start         varint          (first sample timestamp)
+//!              sample_count  varint
+//!              samples       f64 x, f64 y each
+//!              trained_subs  varint          (0 = untrained)
+//!              trained_len   varint          (samples covered by the
+//!                                             last retrain; ≤ count)
+//!              model flag    u8 0|1
+//!              model         varint length + model-codec blob
+//!                                            (present when flag = 1)
+//! trailer  fnv1a over header + payload       8 bytes little-endian
+//! ```
+//!
+//! The trained predictor rides along as a nested model-codec blob
+//! (`encode_model`'s format, checksum included), so model-level
+//! corruption is detected even if the outer trailer were somehow
+//! forged. The incremental `TrainerState` is *not* serialized: by the
+//! workspace training contract, re-seeding a fresh trainer over the
+//! first `trained_len` samples reproduces it exactly — recovery code
+//! does that instead of persisting clustering internals.
+//!
+//! Snapshot files must be written to a temporary name, fsynced, and
+//! renamed into place; a decode failure therefore means corruption
+//! (or a torn tmp file that was never renamed), never a mid-write
+//! state.
+
+use crate::codec::{fnv1a, get_count, get_f64, get_varint, put_f64, put_varint};
+use crate::DecodeError;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HPMSNAP1";
+
+/// The current (and only) snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Sanity limit on objects per snapshot.
+pub const MAX_SNAPSHOT_OBJECTS: usize = 100_000_000;
+
+/// Sanity limit on samples per object.
+pub const MAX_SNAPSHOT_SAMPLES: usize = 1_000_000_000;
+
+/// Sanity limit on a nested model blob's length.
+pub const MAX_SNAPSHOT_MODEL_BYTES: usize = 1 << 32;
+
+/// One object's durable state. `points` is `(x, y)` pairs in timestamp
+/// order starting at `start`; `model` is an `encode_model` blob of the
+/// trained predictor, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSnapshot {
+    /// Raw object id.
+    pub id: u64,
+    /// Timestamp of the first sample.
+    pub start: u64,
+    /// Every sample, in timestamp order.
+    pub points: Vec<(f64, f64)>,
+    /// Full periods the predictor was trained on (0 = untrained).
+    pub trained_subs: u64,
+    /// Samples the last retrain covered (`points[..trained_len]`
+    /// re-seeds the incremental trainer). Always ≤ `points.len()`.
+    pub trained_len: u64,
+    /// The trained model, encoded with the model codec.
+    pub model: Option<Vec<u8>>,
+}
+
+/// Encodes a snapshot of every given object.
+pub fn encode_snapshot(objects: &[ObjectSnapshot]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + objects.len() * 64);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    put_varint(&mut buf, u64::from(SNAPSHOT_VERSION));
+    put_varint(&mut buf, objects.len() as u64);
+    for o in objects {
+        debug_assert!(o.trained_len as usize <= o.points.len());
+        put_varint(&mut buf, o.id);
+        put_varint(&mut buf, o.start);
+        put_varint(&mut buf, o.points.len() as u64);
+        for &(x, y) in &o.points {
+            put_f64(&mut buf, x);
+            put_f64(&mut buf, y);
+        }
+        put_varint(&mut buf, o.trained_subs);
+        put_varint(&mut buf, o.trained_len);
+        match &o.model {
+            Some(blob) => {
+                buf.push(1);
+                put_varint(&mut buf, blob.len() as u64);
+                buf.extend_from_slice(blob);
+            }
+            None => buf.push(0),
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Decodes a snapshot, validating the trailer checksum first and every
+/// structural bound after. Nested model blobs are *not* decoded here —
+/// the caller hands them to `decode_model`, which re-validates them.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<ObjectSnapshot>, DecodeError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 trailer bytes"));
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    if &payload[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut buf = &payload[SNAPSHOT_MAGIC.len()..];
+    let buf = &mut buf;
+    let version = get_varint(buf)?;
+    if version != u64::from(SNAPSHOT_VERSION) {
+        return Err(DecodeError::UnsupportedVersion(
+            version.min(u32::MAX as u64) as u32,
+        ));
+    }
+    let count = get_count(buf, MAX_SNAPSHOT_OBJECTS)?;
+    let mut objects = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let id = get_varint(buf)?;
+        let start = get_varint(buf)?;
+        let samples = get_count(buf, MAX_SNAPSHOT_SAMPLES)?;
+        if buf.len() < samples * 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut points = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let x = get_f64(buf)?;
+            let y = get_f64(buf)?;
+            points.push((x, y));
+        }
+        let trained_subs = get_varint(buf)?;
+        let trained_len = get_varint(buf)?;
+        if trained_len as usize > points.len() {
+            return Err(DecodeError::Invalid(format!(
+                "object {id}: trained_len {trained_len} exceeds {} samples",
+                points.len()
+            )));
+        }
+        let model = match buf.first() {
+            Some(0) => {
+                *buf = &buf[1..];
+                None
+            }
+            Some(1) => {
+                *buf = &buf[1..];
+                let len = get_count(buf, MAX_SNAPSHOT_MODEL_BYTES)?;
+                if buf.len() < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let blob = buf[..len].to_vec();
+                *buf = &buf[len..];
+                Some(blob)
+            }
+            Some(&other) => {
+                return Err(DecodeError::Invalid(format!(
+                    "object {id}: model flag {other} is not 0/1"
+                )))
+            }
+            None => return Err(DecodeError::Truncated),
+        };
+        objects.push(ObjectSnapshot {
+            id,
+            start,
+            points,
+            trained_subs,
+            trained_len,
+            model,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(DecodeError::TrailingBytes(buf.len()));
+    }
+    Ok(objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ObjectSnapshot> {
+        vec![
+            ObjectSnapshot {
+                id: 42,
+                start: 1000,
+                points: vec![(0.0, 0.5), (-1.25, 2.0), (3.0, -0.0)],
+                trained_subs: 1,
+                trained_len: 2,
+                model: Some(vec![1, 2, 3, 4]),
+            },
+            ObjectSnapshot {
+                id: u64::MAX,
+                start: 0,
+                points: Vec::new(),
+                trained_subs: 0,
+                trained_len: 0,
+                model: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips() {
+        let objects = sample();
+        let blob = encode_snapshot(&objects);
+        assert_eq!(decode_snapshot(&blob).unwrap(), objects);
+        assert_eq!(decode_snapshot(&encode_snapshot(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn checksum_guards_every_byte() {
+        let blob = encode_snapshot(&sample());
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_snapshot(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        let blob = encode_snapshot(&sample());
+        for cut in 0..blob.len() {
+            assert!(decode_snapshot(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trained_len_bound_enforced() {
+        let mut o = sample().remove(0);
+        o.trained_len = o.points.len() as u64 + 1;
+        // encode_snapshot debug-asserts; build the blob by hand in
+        // release terms via a valid encode then a targeted field edit
+        // being impractical, just check the decoder path directly.
+        let blob = {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(SNAPSHOT_MAGIC);
+            put_varint(&mut buf, 1);
+            put_varint(&mut buf, 1);
+            put_varint(&mut buf, o.id);
+            put_varint(&mut buf, o.start);
+            put_varint(&mut buf, o.points.len() as u64);
+            for &(x, y) in &o.points {
+                put_f64(&mut buf, x);
+                put_f64(&mut buf, y);
+            }
+            put_varint(&mut buf, o.trained_subs);
+            put_varint(&mut buf, o.trained_len);
+            buf.push(0);
+            let checksum = fnv1a(&buf);
+            buf.extend_from_slice(&checksum.to_le_bytes());
+            buf
+        };
+        assert!(matches!(
+            decode_snapshot(&blob),
+            Err(DecodeError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! The codec primitives on concrete byte-slice types, for sibling
+//! crates building their own record formats (the object store's WAL
+//! frames and snapshot files) on the same wire conventions as the
+//! model codec: LEB128 varints, little-endian IEEE-754 doubles, and
+//! FNV-1a checksums.
+
+use crate::codec;
+use crate::DecodeError;
+
+/// Writes an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, v: u64) {
+    codec::put_varint(buf, v);
+}
+
+/// Reads an unsigned LEB128 varint (max 10 bytes), advancing the
+/// slice.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    codec::get_varint(buf)
+}
+
+/// Writes an `f64` as little-endian bits.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    codec::put_f64(buf, v);
+}
+
+/// Reads an `f64`, advancing the slice; rejects truncation only (bit
+/// patterns are the caller's semantic concern).
+pub fn get_f64(buf: &mut &[u8]) -> Result<f64, DecodeError> {
+    codec::get_f64(buf)
+}
+
+/// Reads a `usize`-sized count that may not exceed `limit`.
+pub fn get_count(buf: &mut &[u8], limit: usize) -> Result<usize, DecodeError> {
+    codec::get_count(buf, limit)
+}
+
+/// FNV-1a over a byte slice — the workspace checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    codec::fnv1a(bytes)
+}

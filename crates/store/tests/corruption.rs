@@ -1,0 +1,153 @@
+//! Corruption resilience of the on-disk codecs: a damaged model or
+//! snapshot blob must decode to a typed error — never a panic, never
+//! a silently wrong model — and every failed decode must bump the
+//! `store.model.decode_errors` counter so operators see bit rot.
+
+use hpm_check::prelude::*;
+use hpm_geo::{BoundingBox, Point};
+use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
+use hpm_store::{decode_model, decode_snapshot, encode_model, encode_snapshot, ObjectSnapshot};
+
+/// A small real model (three offsets, two chained patterns).
+fn model() -> (RegionSet, Vec<TrajectoryPattern>) {
+    let regions: Vec<FrequentRegion> = (0..3u32)
+        .map(|t| {
+            let c = Point::new(t as f64 * 50.0, 7.0);
+            FrequentRegion {
+                id: RegionId(t),
+                offset: t,
+                local_index: 0,
+                centroid: c,
+                bbox: BoundingBox {
+                    min: c - Point::new(2.0, 2.0),
+                    max: c + Point::new(2.0, 2.0),
+                },
+                support: 5,
+            }
+        })
+        .collect();
+    let patterns = vec![
+        TrajectoryPattern {
+            premise: vec![RegionId(0)],
+            consequence: RegionId(1),
+            confidence: 0.8,
+            support: 5,
+        },
+        TrajectoryPattern {
+            premise: vec![RegionId(0), RegionId(1)],
+            consequence: RegionId(2),
+            confidence: 0.6,
+            support: 4,
+        },
+    ];
+    (RegionSet::new(regions, 3), patterns)
+}
+
+fn snapshot_objects() -> Vec<ObjectSnapshot> {
+    let (regions, patterns) = model();
+    vec![
+        ObjectSnapshot {
+            id: 1,
+            start: 0,
+            points: (0..9).map(|t| (t as f64 * 10.0, 1.0)).collect(),
+            trained_subs: 3,
+            trained_len: 9,
+            model: Some(encode_model(&regions, &patterns)),
+        },
+        ObjectSnapshot {
+            id: 44,
+            start: 120,
+            points: vec![(3.5, -1.25)],
+            trained_subs: 0,
+            trained_len: 0,
+            model: None,
+        },
+    ]
+}
+
+props! {
+    /// Truncating a model blob at ANY byte yields a typed error —
+    /// no prefix of a valid blob is itself a valid blob.
+    fn model_truncation_always_detected(idx in index()) {
+        let (regions, patterns) = model();
+        let blob = encode_model(&regions, &patterns);
+        let cut = idx.index(blob.len());
+        require!(
+            decode_model(&blob[..cut]).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            blob.len()
+        );
+    }
+
+    /// Trailing garbage after a valid model blob is detected (the
+    /// checksum trailer must be the last eight bytes).
+    fn model_trailing_garbage_detected(extra in vec(int(0u8..=255), 1..40)) {
+        let (regions, patterns) = model();
+        let mut blob = encode_model(&regions, &patterns);
+        blob.extend_from_slice(&extra);
+        require!(decode_model(&blob).is_err(), "trailing garbage accepted");
+    }
+
+    /// Flipping any bit of a snapshot blob is detected: the
+    /// whole-file checksum is verified before any field is trusted.
+    fn snapshot_bit_flip_detected(idx in index(), bit in int(0u32..8)) {
+        let blob = encode_snapshot(&snapshot_objects());
+        let i = idx.index(blob.len());
+        let mut bad = blob.clone();
+        bad[i] ^= 1 << bit;
+        require!(
+            decode_snapshot(&bad).is_err(),
+            "flipped bit {bit} of byte {i} undetected"
+        );
+    }
+
+    /// Truncating a snapshot blob at any byte yields a typed error.
+    fn snapshot_truncation_always_detected(idx in index()) {
+        let blob = encode_snapshot(&snapshot_objects());
+        let cut = idx.index(blob.len());
+        require!(
+            decode_snapshot(&blob[..cut]).is_err(),
+            "truncation to {cut}/{} bytes decoded",
+            blob.len()
+        );
+    }
+
+    /// decode_snapshot is total on arbitrary bytes: error, not panic.
+    fn snapshot_decode_total_on_garbage(bytes in vec(int(0u8..=255), 0..600)) {
+        let _ = decode_snapshot(&bytes);
+    }
+}
+
+/// Every failed model decode — truncated, bit-flipped, or pure
+/// garbage — bumps `store.model.decode_errors`; successes do not.
+#[test]
+fn failed_decodes_bump_the_error_counter() {
+    hpm_obs::enable();
+    let counter = hpm_obs::registry().counter("store.model.decode_errors");
+    let (regions, patterns) = model();
+    let blob = encode_model(&regions, &patterns);
+
+    let before = counter.value();
+    assert!(decode_model(&blob).is_ok());
+    assert_eq!(counter.value(), before, "a clean decode counted as error");
+
+    let mut failures = 0u64;
+    for cut in [0, 5, blob.len() / 2, blob.len() - 1] {
+        assert!(decode_model(&blob[..cut]).is_err());
+        failures += 1;
+    }
+    for i in [0, blob.len() / 3, blob.len() - 4] {
+        let mut bad = blob.clone();
+        bad[i] ^= 0x11;
+        assert!(decode_model(&bad).is_err());
+        failures += 1;
+    }
+    assert!(decode_model(b"not a model at all").is_err());
+    failures += 1;
+    assert!(
+        counter.value() >= before + failures,
+        "decode_errors went {} -> {}, expected at least +{failures}",
+        before,
+        counter.value()
+    );
+}

@@ -27,7 +27,8 @@ STRESS_RUNS="${HPM_STRESS_RUNS:-1}"
 for i in $(seq 1 "$STRESS_RUNS"); do
     [ "$STRESS_RUNS" -gt 1 ] && echo "  stress run $i/$STRESS_RUNS"
     cargo test -q --release --offline -p hpm-objectstore \
-        --test stress --test props --test retrain
+        --test stress --test props --test retrain \
+        --test recovery --test failpoints
 done
 
 echo "==> metrics-json smoke (hpm predict --metrics-json + obs-json-check)"
@@ -59,6 +60,38 @@ printf '# smoke queries\n13540\n13600\n13700\n' > "$SMOKE_DIR/times.txt"
 # Parallel answers must be byte-identical to sequential ones.
 diff <(sed 's/on 4 threads/on N threads/' "$SMOKE_DIR/batch4.out") \
      <(sed 's/on 1 threads/on N threads/' "$SMOKE_DIR/batch1.out")
+
+echo "==> crash-recovery smoke (HPM_FAILPOINT tears the WAL mid-write)"
+# A twin ingests the same stream without crashing; a crashed ingest is
+# torn at a byte offset that varies per stress run, resumed, and must
+# answer byte-for-byte like the twin. Loops with HPM_STRESS_RUNS.
+./target/release/hpm generate --dataset bike --subs 10 --seed 7 \
+    --output "$SMOKE_DIR/crash.csv" >/dev/null
+INGEST_FLAGS="--period 300 --eps 30 --min-pts 4 --fsync never"
+PREDICT_AT="3050,3100,3299"
+./target/release/hpm ingest --input "$SMOKE_DIR/crash.csv" \
+    --data-dir "$SMOKE_DIR/twin" $INGEST_FLAGS --predict-at "$PREDICT_AT" \
+    | grep -E '^(PREDICT|STATS)' > "$SMOKE_DIR/twin.out"
+for i in $(seq 1 "$STRESS_RUNS"); do
+    [ "$STRESS_RUNS" -gt 1 ] && echo "  crash run $i/$STRESS_RUNS"
+    rm -rf "$SMOKE_DIR/crashed"
+    tear=$((512 + (i * 971) % 65536))
+    set +e
+    HPM_FAILPOINT="wal.append=torn@$tear" ./target/release/hpm ingest \
+        --input "$SMOKE_DIR/crash.csv" --data-dir "$SMOKE_DIR/crashed" \
+        $INGEST_FLAGS >/dev/null 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" -ne 86 ]; then
+        echo "ERROR: failpoint ingest should die with exit 86, got $rc" >&2
+        exit 1
+    fi
+    ./target/release/hpm ingest --input "$SMOKE_DIR/crash.csv" \
+        --data-dir "$SMOKE_DIR/crashed" $INGEST_FLAGS --predict-at "$PREDICT_AT" \
+        | grep -E '^(PREDICT|STATS)' > "$SMOKE_DIR/crashed.out"
+    # Recovery must be invisible in the answers.
+    diff "$SMOKE_DIR/twin.out" "$SMOKE_DIR/crashed.out"
+done
 
 echo "==> hermetic manifest scan"
 if grep -En '^(proptest|rand|criterion|serde|bytes|crossbeam|parking_lot)' \
