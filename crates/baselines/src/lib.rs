@@ -2,8 +2,9 @@
 //! pattern-based predictors.
 //!
 //! The paper contrasts the Hybrid Prediction Model with cell-based
-//! approaches — Markov transition models over spatial cells ([8],
-//! [14]) and spatio-temporal association rules ([7], [15], [16]) —
+//! approaches — Markov transition models over spatial cells (refs
+//! \[8\], \[14\]) and spatio-temporal association rules (refs \[7\],
+//! \[15\], \[16\]) —
 //! and names their shared deficiencies: no sensible answer when a cell
 //! has no statistics (one approach "picks one neighbor cell randomly"),
 //! and accuracy that hinges on the cell size. [`MarkovPredictor`]

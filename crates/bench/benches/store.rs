@@ -47,6 +47,7 @@ fn bench_objectstore_ingest(c: &mut Criterion) {
         recent_len: 20,
         shards: 8,
         threads: 1,
+        index: hpm_objectstore::IndexConfig::default(),
     };
     group.throughput(Throughput::Elements(traj.len() as u64));
     group.bench_function("ingest_25_days_with_one_retrain", |b| {

@@ -53,6 +53,7 @@ fn config() -> StoreConfig {
         recent_len: 2,
         shards: 1,
         threads: 1,
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 

@@ -238,7 +238,7 @@ pub fn index() -> Gen<Index> {
     int(0usize..usize::MAX / 2).map(Index)
 }
 
-/// Overloads [`tuple`] for arities 1–6.
+/// Overloads [`tuple()`](fn@tuple) for arities 1–6.
 pub trait TupleGen {
     /// The generated tuple type.
     type Output: Clone + 'static;

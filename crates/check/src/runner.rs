@@ -80,7 +80,7 @@ impl Runner {
     /// source `file` (pass `file!()`) of the crate at `manifest_dir`
     /// (pass `env!("CARGO_MANIFEST_DIR")`). The pair is needed because
     /// `file!()` is workspace-relative while tests run from the crate
-    /// root — see [`resolve_source`].
+    /// root — see `resolve_source` in this module.
     pub fn new(manifest_dir: &str, file: &str, name: &str) -> Self {
         let source = resolve_source(manifest_dir, file);
         let stem = source

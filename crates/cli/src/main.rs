@@ -402,7 +402,8 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Streams a trajectory CSV into a durable [`MovingObjectStore`] on
+/// Streams a trajectory CSV into a durable
+/// [`MovingObjectStore`](hpm_objectstore::MovingObjectStore) on
 /// `--data-dir`, recovering whatever an earlier (possibly crashed)
 /// run persisted there. With `--resume` (the default) reports that
 /// are already durable are skipped, so re-running the same command
@@ -456,6 +457,7 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
         recent_len: 2,
         shards: 1,
         threads: 1,
+        index: hpm_objectstore::IndexConfig::default(),
     };
     let durability = DurabilityConfig {
         dir: args.required("data-dir")?.into(),

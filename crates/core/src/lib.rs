@@ -58,6 +58,8 @@
 //! assert!(prediction.best().distance(&Point::new(100.1, 0.0)) < 2.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod bqp;
 mod config;
 mod fqp;

@@ -5,7 +5,7 @@ use crate::scratch::PredictScratch;
 use crate::{
     bqp, fqp, HpmConfig, Prediction, PredictionSource, PredictiveQuery, RankedAnswer, WeightTable,
 };
-use hpm_geo::Point;
+use hpm_geo::{BoundingBox, Point};
 use hpm_motion::{LinearMotion, MotionModel, Rmf};
 use hpm_patterns::{
     discover, mine_with_threads, DiscoveryParams, MiningParams, RegionId, RegionSet,
@@ -301,10 +301,10 @@ impl HybridPredictor {
     /// known position when the window is too short to fit anything.
     fn motion_fallback(&self, query: &PredictiveQuery<'_>, out: &mut Prediction) {
         let steps = query.prediction_length();
-        let location = Rmf::fit(query.recent, self.config.rmf_retrospect)
-            .map(|m| m.predict(steps))
-            .or_else(|| LinearMotion::fit(query.recent).map(|m| m.predict(steps)))
-            .unwrap_or_else(|| *query.recent.last().expect("non-empty recent"));
+        let location = self.fitted_motion(query.recent).map_or_else(
+            || *query.recent.last().expect("non-empty recent"),
+            |m| m.predict(steps),
+        );
         out.answers.clear();
         out.answers.push(RankedAnswer {
             location,
@@ -312,6 +312,84 @@ impl HybridPredictor {
             pattern: None,
         });
         out.source = PredictionSource::MotionFunction;
+    }
+
+    /// The motion model [`motion_fallback`](Self::motion_fallback) (and
+    /// therefore [`predict`](Self::predict), whenever no pattern
+    /// qualifies) answers from: RMF, degrading to a linear fit. `None`
+    /// when the window is too short to fit either — the fallback then
+    /// freezes at the last known position.
+    ///
+    /// Fitting is deterministic in `recent`, so a model fitted once at
+    /// report time answers exactly like the per-query fit.
+    fn fitted_motion(&self, recent: &[Point]) -> Option<FittedMotion> {
+        Rmf::fit(recent, self.config.rmf_retrospect)
+            .map(FittedMotion::Rmf)
+            .or_else(|| LinearMotion::fit(recent).map(FittedMotion::Linear))
+    }
+
+    /// Bounding box of every location the predictor can answer with on
+    /// the **pattern** paths (FQP/BQP): the discovered frequent-region
+    /// centroids. `None` when no regions were discovered (an untrained
+    /// or pattern-free predictor always answers from the motion
+    /// function).
+    ///
+    /// Together with [`fallback_envelope`](Self::fallback_envelope)
+    /// this bounds every possible [`predict`](Self::predict) answer,
+    /// which is what lets `hpm-objectstore`'s predictive index prune
+    /// objects without re-predicting them.
+    pub fn centroid_envelope(&self) -> Option<BoundingBox> {
+        let mut all = self.regions.all().iter();
+        let first = all.next()?;
+        let mut bb = BoundingBox::from_point(first.centroid);
+        for r in all {
+            bb.expand(r.centroid);
+        }
+        Some(bb)
+    }
+
+    /// Bounding box of the motion-function fallback's answers for every
+    /// prediction length `1..=horizon` over this recent window —
+    /// exactly the locations [`predict`](Self::predict) returns when no
+    /// pattern qualifies, for query times up to `horizon` steps past
+    /// `current_time`.
+    ///
+    /// The box is computed by fitting the fallback's motion-model chain
+    /// once (deterministic, so identical to the per-query fit) and
+    /// rolling it forward step by step; RMF rollouts are recursive, so
+    /// no closed-form bound exists and beyond-`horizon` query times are
+    /// **not** covered — an index built on this envelope must treat
+    /// them as unprunable.
+    ///
+    /// # Panics
+    /// Panics when `recent` is empty or `horizon == 0`.
+    pub fn fallback_envelope(&self, recent: &[Point], horizon: u32) -> BoundingBox {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        let last = *recent.last().expect("non-empty recent");
+        let Some(model) = self.fitted_motion(recent) else {
+            return BoundingBox::from_point(last);
+        };
+        let mut bb = BoundingBox::from_point(model.predict(1));
+        for steps in 2..=horizon {
+            bb.expand(model.predict(steps));
+        }
+        bb
+    }
+}
+
+/// A fitted fallback motion model (the RMF-else-linear chain of
+/// [`HybridPredictor::motion_fallback`]).
+enum FittedMotion {
+    Rmf(Rmf),
+    Linear(LinearMotion),
+}
+
+impl FittedMotion {
+    fn predict(&self, steps: u32) -> Point {
+        match self {
+            FittedMotion::Rmf(m) => m.predict(steps),
+            FittedMotion::Linear(m) => m.predict(steps),
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 //! Bike > Cow > Car > Airplane), and the extent is normalised to
 //! `[0, 10000]²`.
 //!
-//! The original GPS seeds are unavailable, so [`datasets`] builds
+//! The original GPS seeds are unavailable, so the `datasets` module builds
 //! archetype seed routes with the same qualitative character instead
 //! (documented in `DESIGN.md`): the generator and everything
 //! downstream exercise identical code paths.

@@ -9,6 +9,7 @@
 //! `PartialEq` for tests.
 
 mod bbox;
+pub mod grid;
 mod hull;
 mod point;
 mod polyline;

@@ -3,7 +3,8 @@
 //!
 //! The store ingests per-object location reports (one sample per
 //! timestamp, §III's sampling model), maintains each object's
-//! trajectory, and keeps a per-object [`HybridPredictor`] fresh: the
+//! trajectory, and keeps a per-object
+//! [`HybridPredictor`](hpm_core::HybridPredictor) fresh: the
 //! first predictor is trained once `min_train_subs` full periods have
 //! accumulated, and §V.B's "when a certain amount of new data is
 //! accumulated" retraining policy rebuilds it every
@@ -24,7 +25,7 @@
 //! ```
 //! use hpm_core::HpmConfig;
 //! use hpm_geo::Point;
-//! use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+//! use hpm_objectstore::{IndexConfig, MovingObjectStore, ObjectId, StoreConfig};
 //! use hpm_patterns::{DiscoveryParams, MiningParams};
 //!
 //! let store = MovingObjectStore::new(StoreConfig {
@@ -42,6 +43,7 @@
 //!     recent_len: 2,
 //!     shards: 4,
 //!     threads: 0, // auto: HPM_THREADS, else available parallelism
+//!     index: IndexConfig::default(), // auto horizon/cell
 //! });
 //!
 //! // Stream 10 "days" of home -> road -> work.
@@ -59,12 +61,16 @@
 //! assert!(pred.best().distance(&Point::new(100.0, 0.0)) < 2.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod durability;
+mod index;
 pub mod metrics;
 pub mod pool;
 mod store;
 
 pub use durability::{DurabilityConfig, RecoverError};
 pub use hpm_store::wal::FsyncPolicy;
+pub use index::IndexConfig;
 pub use pool::WorkerPool;
 pub use store::{IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig};

@@ -56,6 +56,23 @@ pub const RETRAIN_STALENESS: &str = "store.retrain.staleness";
 /// Currently tracked objects (gauge).
 pub const OBJECTS: &str = "objectstore.objects";
 
+/// Latency span around one predictive-index envelope refit (motion
+/// fit + horizon rollout for one dirty object, at query-time flush).
+pub const INDEX_UPDATE_SPAN: &str = "objectstore.index.update";
+/// Latency span around the candidate-selection phase of one indexed
+/// fleet-wide query (bucket pruning / ring construction; the
+/// surviving candidates' predictions are *not* included).
+pub const INDEX_PRUNE_SPAN: &str = "objectstore.index.prune";
+/// Envelope buckets pruned whole per indexed fleet-wide query (for
+/// kNN: ring buckets never visited because the sweep terminated).
+pub const INDEX_PARTITIONS_PRUNED: &str = "objectstore.index.partitions_pruned";
+/// Candidate objects actually predicted per indexed fleet-wide query
+/// — the survivors; `candidates / objects` is the pruning ratio.
+pub const INDEX_CANDIDATES: &str = "objectstore.index.candidates";
+/// Objects currently holding a predictive-index entry (gauge, set at
+/// flush; lags `objectstore.objects` by the dirty set).
+pub const INDEX_SIZE: &str = "objectstore.index.entries";
+
 /// Queue depth observed by pool workers at each job pop — deep means
 /// batches arrive faster than workers drain them, shallow means the
 /// pool is wider than the work.
@@ -115,7 +132,10 @@ pub fn register() {
     hpm_obs::registry().gauge(OBJECTS);
     hpm_obs::registry().gauge(SNAPSHOT_OBJECTS);
     hpm_obs::registry().gauge(RECOVERY_REPLAYED);
+    hpm_obs::registry().gauge(INDEX_SIZE);
     hpm_obs::registry().histogram(POOL_QUEUE_DEPTH, hpm_obs::Unit::Count);
+    hpm_obs::registry().histogram(INDEX_PARTITIONS_PRUNED, hpm_obs::Unit::Count);
+    hpm_obs::registry().histogram(INDEX_CANDIDATES, hpm_obs::Unit::Count);
     for span in [
         REPORT_SPAN,
         PREDICT_SPAN,
@@ -128,6 +148,8 @@ pub fn register() {
         REPORT_MANY_SPAN,
         OPEN_SPAN,
         SNAPSHOT_SPAN,
+        INDEX_UPDATE_SPAN,
+        INDEX_PRUNE_SPAN,
     ] {
         hpm_obs::registry().histogram(span, hpm_obs::Unit::Nanos);
     }

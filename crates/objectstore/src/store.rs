@@ -3,6 +3,7 @@
 use crate::durability::{
     self, snap_path, wal_path, DurabilityConfig, DurabilityState, RecoverError,
 };
+use crate::index::{Envelope, IndexConfig, PredictiveIndex};
 use crate::pool::WorkerPool;
 use hpm_core::{
     HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery, TrainerState,
@@ -51,10 +52,14 @@ pub struct StoreConfig {
     /// Worker threads for the batch APIs; `0` = auto (`HPM_THREADS`
     /// environment variable, else available parallelism).
     pub threads: usize,
+    /// Predictive-index tuning (horizon and bucket cell size; the
+    /// defaults auto-derive both from the discovery parameters).
+    pub index: IndexConfig,
 }
 
 impl StoreConfig {
     fn validate(&self) {
+        self.index.validate();
         assert!(self.min_train_subs >= 1, "min_train_subs must be >= 1");
         assert!(
             self.retrain_every_subs >= 1,
@@ -251,6 +256,11 @@ pub struct MovingObjectStore {
     empty_predictor: HybridPredictor,
     /// WAL + snapshot state; `None` for a memory-only store.
     durability: Option<DurabilityState>,
+    /// The cross-object predictive index behind `predict_range` /
+    /// `predict_nearest` (see [`crate::index`]): per-shard envelope
+    /// buckets, kept fresh lazily through a dirty set every mutation
+    /// feeds.
+    index: PredictiveIndex,
 }
 
 impl MovingObjectStore {
@@ -268,12 +278,17 @@ impl MovingObjectStore {
             Vec::new(),
             config.hpm,
         );
+        let (horizon, cell) = config
+            .index
+            .resolve(config.discovery.period, config.discovery.eps);
+        let index = PredictiveIndex::new(config.shards, horizon, cell);
         MovingObjectStore {
             config,
             shards,
             pool,
             empty_predictor,
             durability: None,
+            index,
         }
     }
 
@@ -430,6 +445,7 @@ impl MovingObjectStore {
             state.trajectory.push(position);
             hpm_obs::counter!(crate::metrics::REPORTS).add(1);
             self.maybe_retrain(&mut state);
+            self.index.mark_dirty(self.shard_index(id.0), id.0);
             break;
         }
         self.maybe_auto_snapshot();
@@ -487,6 +503,9 @@ impl MovingObjectStore {
             }
             hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
             self.maybe_retrain(&mut state);
+            if accepted > 0 {
+                self.index.mark_dirty(self.shard_index(id.0), id.0);
+            }
             drop(state);
             self.maybe_auto_snapshot();
             return match failure {
@@ -614,6 +633,9 @@ impl MovingObjectStore {
             }
             hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
             self.maybe_retrain(&mut state);
+            if accepted > 0 {
+                self.index.mark_dirty(self.shard_index(id.0), id.0);
+            }
             return;
         }
     }
@@ -736,6 +758,12 @@ impl MovingObjectStore {
     /// to be inside `region` at `query_time`? Objects whose query is
     /// invalid (no history, or `query_time` not in their future) are
     /// skipped. Results are ordered by object id.
+    ///
+    /// Answered through the predictive index: envelope buckets whose
+    /// union box cannot intersect `region` are pruned wholesale and
+    /// only surviving candidates are predicted — bit-identical to
+    /// [`predict_range_scan`](Self::predict_range_scan), sublinear in
+    /// fleet size when predictions are spatially spread.
     pub fn predict_range(
         &self,
         region: &hpm_geo::BoundingBox,
@@ -744,7 +772,11 @@ impl MovingObjectStore {
         self.predict_range_inner(region, query_time)
     }
 
-    fn predict_range_inner(
+    /// [`predict_range`](Self::predict_range) by brute force: predicts
+    /// every tracked object and filters, bypassing the index. The
+    /// oracle the index is tested against, and the honest baseline in
+    /// benchmarks.
+    pub fn predict_range_scan(
         &self,
         region: &hpm_geo::BoundingBox,
         query_time: Timestamp,
@@ -758,11 +790,133 @@ impl MovingObjectStore {
         out
     }
 
+    fn predict_range_inner(
+        &self,
+        region: &hpm_geo::BoundingBox,
+        query_time: Timestamp,
+    ) -> Vec<(ObjectId, Point)> {
+        self.flush_index();
+        let mut candidates: Vec<u64> = Vec::new();
+        let mut pruned = 0u64;
+        {
+            let _span = hpm_obs::span!(crate::metrics::INDEX_PRUNE_SPAN);
+            for shard in 0..self.shards.len() {
+                let (p, _total) =
+                    self.index
+                        .range_candidates(shard, region, query_time, &mut candidates);
+                pruned += p;
+            }
+        }
+        hpm_obs::histogram!(crate::metrics::INDEX_PARTITIONS_PRUNED).record(pruned);
+        hpm_obs::histogram!(crate::metrics::INDEX_CANDIDATES).record(candidates.len() as u64);
+        let mut out: Vec<(ObjectId, Point)> = candidates
+            .into_iter()
+            .filter_map(|raw| {
+                let id = ObjectId(raw);
+                self.predict(id, query_time).ok().map(|p| (id, p.best()))
+            })
+            .filter(|(_, p)| region.contains(p))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Predictive **k-nearest-neighbour query**: the `k` tracked
     /// objects predicted closest to `focus` at `query_time`, with
     /// their predicted positions and distances, nearest first (object
     /// id breaks ties deterministically).
+    ///
+    /// Answered through the predictive index as an expanding-ring
+    /// sweep: envelope buckets are visited in ascending
+    /// distance-to-`focus` order and the sweep stops once the next
+    /// ring provably cannot beat the current `k`-th best distance —
+    /// bit-identical to
+    /// [`predict_nearest_scan`](Self::predict_nearest_scan).
     pub fn predict_nearest(
+        &self,
+        focus: &Point,
+        query_time: Timestamp,
+        k: usize,
+    ) -> Vec<(ObjectId, Point, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        self.flush_index();
+        // Candidate structure under the prune span: beyond-horizon ids
+        // (unconditional) plus every bucket, ring-ordered by the
+        // distance from `focus` to its union box.
+        let mut beyond: Vec<u64> = Vec::new();
+        let mut ring: Vec<(f64, usize, (i64, i64, u8))> = Vec::new();
+        {
+            let _span = hpm_obs::span!(crate::metrics::INDEX_PRUNE_SPAN);
+            for shard in 0..self.shards.len() {
+                self.index.expired_ids(shard, query_time, &mut beyond);
+                self.index.bucket_ring(shard, focus, &mut ring);
+            }
+            ring.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        let mut best: Vec<(ObjectId, Point, f64)> = Vec::new();
+        let mut examined = 0u64;
+        for raw in beyond {
+            examined += 1;
+            self.knn_consider(ObjectId(raw), query_time, focus, k, &mut best);
+        }
+        let mut processed = 0usize;
+        let mut members: Vec<(u64, f64)> = Vec::new();
+        for &(bucket_dist, shard, key) in &ring {
+            // Strict `>`: a ring tied with the k-th distance can still
+            // hold an id that wins the tie-break, so it is processed.
+            if best.len() == k && bucket_dist > best[k - 1].2 {
+                break;
+            }
+            processed += 1;
+            members.clear();
+            self.index
+                .bucket_members(shard, key, query_time, focus, &mut members);
+            for &(raw, env_dist) in &members {
+                // env_dist lower-bounds the member's true distance: a
+                // strictly worse bound can never enter the top k.
+                if best.len() == k && env_dist > best[k - 1].2 {
+                    continue;
+                }
+                examined += 1;
+                self.knn_consider(ObjectId(raw), query_time, focus, k, &mut best);
+            }
+        }
+        hpm_obs::histogram!(crate::metrics::INDEX_PARTITIONS_PRUNED)
+            .record((ring.len() - processed) as u64);
+        hpm_obs::histogram!(crate::metrics::INDEX_CANDIDATES).record(examined);
+        best
+    }
+
+    /// Predicts one kNN candidate and merges it into the running top
+    /// `k`, kept sorted by the scan's exact comparator (distance, then
+    /// id) so index answers inherit the scan's ordering bit for bit.
+    fn knn_consider(
+        &self,
+        id: ObjectId,
+        query_time: Timestamp,
+        focus: &Point,
+        k: usize,
+        best: &mut Vec<(ObjectId, Point, f64)>,
+    ) {
+        let Ok(pred) = self.predict(id, query_time) else {
+            return;
+        };
+        let p = pred.best();
+        let d = p.distance(focus);
+        let pos = best.partition_point(|e| e.2.total_cmp(&d).then_with(|| e.0.cmp(&id)).is_lt());
+        if pos < k {
+            best.insert(pos, (id, p, d));
+            best.truncate(k);
+        }
+    }
+
+    /// [`predict_nearest`](Self::predict_nearest) by brute force:
+    /// predicts every tracked object, sorts, truncates — bypassing the
+    /// index. The oracle the index is tested against, and the honest
+    /// baseline in benchmarks.
+    pub fn predict_nearest_scan(
         &self,
         focus: &Point,
         query_time: Timestamp,
@@ -779,6 +933,48 @@ impl MovingObjectStore {
         out.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         out
+    }
+
+    /// Brings the predictive index up to date with every mutation
+    /// reported so far (queries call this before pruning; mutations
+    /// themselves only mark objects dirty — see [`crate::index`]).
+    fn flush_index(&self) {
+        let mut changed = false;
+        for shard in 0..self.shards.len() {
+            changed |= self.index.flush_shard(shard, |raw| {
+                let _span = hpm_obs::span!(crate::metrics::INDEX_UPDATE_SPAN);
+                self.compute_envelope(shard, raw)
+            });
+        }
+        if changed {
+            hpm_obs::gauge!(crate::metrics::INDEX_SIZE).set(self.index.entry_count() as i64);
+        }
+    }
+
+    /// The envelope bounding every answer `predict` can give for this
+    /// object within the index horizon: the motion-fallback rollout
+    /// box unioned with the frequent-region centroid box (the two
+    /// exhaustive sources of a `Prediction::best()` point). `None`
+    /// uninstalls the object: removed, history-less, or poisoned
+    /// objects answer no query, so pruning them is exact.
+    fn compute_envelope(&self, shard: usize, raw: u64) -> Option<Envelope> {
+        let cell = self.shards[shard].read_map().get(&raw).cloned()?;
+        let state = cell.read().ok()?;
+        if state.removed || state.trajectory.is_empty() {
+            return None;
+        }
+        let tc = state.trajectory.end() - 1;
+        let (recent, _) = state.trajectory.recent_window(self.config.recent_len);
+        let predictor = state.predictor.as_ref().unwrap_or(&self.empty_predictor);
+        let mut bbox = predictor.fallback_envelope(recent, self.index.horizon);
+        if let Some(centroids) = predictor.centroid_envelope() {
+            bbox = bbox.union(&centroids);
+        }
+        Some(Envelope {
+            tc,
+            until: tc + u64::from(self.index.horizon),
+            bbox,
+        })
     }
 
     /// Best predicted position of every object for which `query_time`
@@ -842,6 +1038,7 @@ impl MovingObjectStore {
         crate::metrics::shard_objects_gauge(shard_idx).set(objects.len() as i64);
         hpm_obs::gauge!(crate::metrics::OBJECTS).add(-1);
         drop(objects);
+        self.index.mark_dirty(shard_idx, id.0);
         self.maybe_auto_snapshot();
         true
     }
@@ -866,6 +1063,7 @@ impl MovingObjectStore {
             });
         }
         self.retrain(&mut state, true);
+        self.index.mark_dirty(self.shard_index(id.0), id.0);
         Ok(())
     }
 
@@ -1060,6 +1258,8 @@ impl MovingObjectStore {
             );
             crate::metrics::shard_objects_gauge(shard_idx).set(map.len() as i64);
             hpm_obs::gauge!(crate::metrics::OBJECTS).add(1);
+            drop(map);
+            self.index.mark_dirty(shard_idx, o.id);
         }
         Ok(())
     }
@@ -1252,6 +1452,7 @@ mod tests {
             recent_len: 2,
             shards: 4,
             threads: 2,
+            index: IndexConfig::default(),
         }
     }
 

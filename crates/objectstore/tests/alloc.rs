@@ -57,6 +57,7 @@ fn config() -> StoreConfig {
         recent_len: 2,
         shards: 2,
         threads: 1, // inline pool: the measured thread does all the work
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 

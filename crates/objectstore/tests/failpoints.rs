@@ -47,6 +47,7 @@ fn config() -> StoreConfig {
         recent_len: 2,
         shards: 1,
         threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 

@@ -1,0 +1,229 @@
+//! Tentpole acceptance property: the predictive index is **invisible**
+//! — `predict_range` / `predict_nearest` (indexed) return bit-identical
+//! results to the brute-force `predict_range_scan` /
+//! `predict_nearest_scan` oracles (same objects, same points, same
+//! ordering and tie-breaks), after any interleaving of reports,
+//! retrains and removals, over fleets mixing trained commuters,
+//! untrained drifters, fast movers and stationary objects.
+
+use hpm_check::prelude::*;
+use hpm_core::HpmConfig;
+use hpm_geo::{BoundingBox, Point};
+use hpm_objectstore::{IndexConfig, MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_rand::{Rng, SmallRng};
+use hpm_trajectory::Timestamp;
+use std::collections::HashMap;
+
+const PERIOD: u32 = 4;
+
+fn config(index: IndexConfig) -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 5,
+        retrain_every_subs: 5,
+        recent_len: 2,
+        shards: 4,
+        threads: 2,
+        index,
+    }
+}
+
+/// One of a handful of index shapes, so both auto-derived and
+/// deliberately tight horizons/cells (more expiry traffic, more
+/// buckets) see the same interleavings.
+fn index_config(choice: u64) -> IndexConfig {
+    match choice % 4 {
+        0 => IndexConfig::default(), // auto horizon (2×period), auto cell
+        1 => IndexConfig {
+            horizon: 1,
+            cell: 0.0,
+        }, // almost everything expires
+        2 => IndexConfig {
+            horizon: 3,
+            cell: 5.0,
+        }, // small cells, many buckets
+        _ => IndexConfig {
+            horizon: 20,
+            cell: 500.0,
+        }, // one coarse bucket
+    }
+}
+
+/// Per-object movement archetype, fixed by id so histories stay
+/// coherent across mutation rounds.
+fn next_point(id: u64, t: Timestamp, rng: &mut SmallRng) -> Point {
+    match id % 4 {
+        // Commuter: the 4-stop daily route with small jitter — trains
+        // into frequent regions once enough days accumulate.
+        0 => {
+            let j = (id as f64) * 0.3 + rng.gen_f64() * 0.2;
+            match t % PERIOD as u64 {
+                0 => Point::new(j, 0.0),
+                1 => Point::new(50.0 + j, 0.0),
+                2 => Point::new(100.0 + j, 0.0),
+                _ => Point::new(100.0 + j, 50.0),
+            }
+        }
+        // Drifter: slow, slightly noisy linear motion — stays on the
+        // RMF/linear fallback.
+        1 => Point::new(
+            id as f64 * 10.0 + t as f64 * 1.5 + rng.gen_f64(),
+            t as f64 * 0.5,
+        ),
+        // Fast mover: large per-step displacement — wide envelope,
+        // coarse velocity class.
+        2 => Point::new(t as f64 * 80.0 - 300.0, id as f64 * 40.0 - t as f64 * 60.0),
+        // Near-stationary.
+        _ => Point::new(-40.0 + rng.gen_f64() * 0.1, 70.0 + id as f64),
+    }
+}
+
+/// Applies one random mutation: a run of contiguous reports (possibly
+/// recreating a removed id), a removal, or a forced retrain.
+/// `next_t` tracks each id's next contiguous timestamp.
+fn mutate(
+    store: &MovingObjectStore,
+    rng: &mut SmallRng,
+    next_t: &mut HashMap<u64, Timestamp>,
+    n_ids: u64,
+) {
+    let id = rng.gen_range(0..n_ids);
+    match rng.gen_range(0..10u32) {
+        // Mostly reports: the ingest-heavy regime the dirty set is for.
+        0..=6 => {
+            let t0 = *next_t.entry(id).or_insert_with(|| rng.gen_range(0..3));
+            let run = rng.gen_range(1..=PERIOD as u64 + 2);
+            for i in 0..run {
+                let p = next_point(id, t0 + i, rng);
+                store.report(ObjectId(id), t0 + i, p).unwrap();
+            }
+            next_t.insert(id, t0 + run);
+        }
+        7 => {
+            store.remove(ObjectId(id));
+            // A later report recreates the object from scratch; keep
+            // the clock moving so its history stays contiguous.
+        }
+        8 => {
+            // May be refused (InsufficientHistory / unknown): both are
+            // index-relevant paths too.
+            let _ = store.force_retrain(ObjectId(id));
+        }
+        _ => {
+            // Usually a rejected non-contiguous report (which must not
+            // disturb the index) — but after a remove it recreates the
+            // object at a fresh start time, so track the success.
+            let t = next_t.get(&id).copied().unwrap_or(0) + 7;
+            if store.report(ObjectId(id), t, Point::new(1.0, 2.0)).is_ok() {
+                next_t.insert(id, t + 1);
+            }
+        }
+    }
+}
+
+/// A query box around the populated part of the plane: sometimes tiny
+/// (even zero-area), sometimes fleet-wide.
+fn query_box(rng: &mut SmallRng) -> BoundingBox {
+    let cx = rng.gen_f64() * 400.0 - 150.0;
+    let cy = rng.gen_f64() * 300.0 - 150.0;
+    let half = match rng.gen_range(0..4u32) {
+        0 => 0.0,
+        1 => rng.gen_f64() * 5.0,
+        2 => rng.gen_f64() * 60.0,
+        _ => 500.0,
+    };
+    BoundingBox {
+        min: Point::new(cx - half, cy - half),
+        max: Point::new(cx + half, cy + half),
+    }
+}
+
+props! {
+    /// Range queries through the index equal the full scan after every
+    /// mutation, at past, near-horizon and beyond-horizon query times.
+    fn range_bit_identical_to_scan(
+        seed in int(0u64..1_000_000),
+        n_ids in int(3u64..10),
+        rounds in int(1usize..12),
+    ) {
+        let store = MovingObjectStore::new(config(index_config(seed)));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut next_t = HashMap::new();
+        for _ in 0..rounds {
+            mutate(&store, &mut rng, &mut next_t, n_ids);
+            let region = query_box(&mut rng);
+            let t = rng.gen_range(0..60u64);
+            let indexed = store.predict_range(&region, t);
+            let scan = store.predict_range_scan(&region, t);
+            require_eq!(indexed, scan, "t={t} region={region:?}");
+        }
+    }
+
+    /// kNN through the expanding-ring sweep equals the full
+    /// sort-and-truncate scan after every mutation — including k = 0,
+    /// k beyond the fleet, and tie-heavy configurations.
+    fn nearest_bit_identical_to_scan(
+        seed in int(0u64..1_000_000),
+        n_ids in int(3u64..10),
+        rounds in int(1usize..12),
+    ) {
+        let store = MovingObjectStore::new(config(index_config(seed >> 3)));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let mut next_t = HashMap::new();
+        for _ in 0..rounds {
+            mutate(&store, &mut rng, &mut next_t, n_ids);
+            let focus = Point::new(
+                rng.gen_f64() * 400.0 - 150.0,
+                rng.gen_f64() * 300.0 - 150.0,
+            );
+            let t = rng.gen_range(0..60u64);
+            let k = rng.gen_range(0..n_ids as usize + 2);
+            let indexed = store.predict_nearest(&focus, t, k);
+            let scan = store.predict_nearest_scan(&focus, t, k);
+            require_eq!(indexed, scan, "t={t} k={k} focus={focus}");
+        }
+    }
+
+    /// Distance ties break identically: a fleet of stationary objects
+    /// placed symmetrically around the focus forces exact distance
+    /// ties, so the k-th slot is decided purely by the id tie-break.
+    fn nearest_ties_break_identically(
+        seed in int(0u64..1_000_000),
+        n_pairs in int(1u64..6),
+        k in int(1usize..8),
+    ) {
+        let store = MovingObjectStore::new(config(index_config(seed >> 1)));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x71E5);
+        // Mirrored pairs: ids 2i at (d, 0), 2i+1 at (-d, 0) — equal
+        // distance from the origin, distinct ids.
+        for i in 0..n_pairs {
+            let d = (i + 1) as f64 * 10.0 + rng.gen_range(0..3u32) as f64;
+            store.report(ObjectId(2 * i), 0, Point::new(d, 0.0)).unwrap();
+            store.report(ObjectId(2 * i + 1), 0, Point::new(-d, 0.0)).unwrap();
+        }
+        let focus = Point::new(0.0, 0.0);
+        let t = rng.gen_range(1..10u64);
+        let indexed = store.predict_nearest(&focus, t, k);
+        let scan = store.predict_nearest_scan(&focus, t, k);
+        require_eq!(indexed, scan, "t={t} k={k}");
+    }
+}

@@ -38,6 +38,7 @@ fn config() -> StoreConfig {
         recent_len: 2,
         shards: 4,
         threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 

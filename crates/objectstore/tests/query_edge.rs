@@ -1,0 +1,188 @@
+//! Edge cases of the fleet-wide predictive queries, asserted against
+//! **both** paths — the indexed `predict_range`/`predict_nearest` and
+//! the brute-force `*_scan` oracles: empty store, all-untrained fleet,
+//! query times before any history, zero-radius ranges, and `k` larger
+//! than the fleet.
+
+use hpm_core::HpmConfig;
+use hpm_geo::{BoundingBox, Point};
+use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_trajectory::Timestamp;
+
+const PERIOD: u32 = 4;
+
+fn config() -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 5,
+        retrain_every_subs: 5,
+        recent_len: 2,
+        shards: 4,
+        threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
+    }
+}
+
+fn everywhere() -> BoundingBox {
+    BoundingBox {
+        min: Point::new(-1e6, -1e6),
+        max: Point::new(1e6, 1e6),
+    }
+}
+
+/// Both paths, required equal, returned for further assertions.
+fn range_both(
+    store: &MovingObjectStore,
+    region: &BoundingBox,
+    t: Timestamp,
+) -> Vec<(ObjectId, Point)> {
+    let indexed = store.predict_range(region, t);
+    let scan = store.predict_range_scan(region, t);
+    assert_eq!(indexed, scan, "index vs scan at t={t}");
+    indexed
+}
+
+fn nearest_both(
+    store: &MovingObjectStore,
+    focus: &Point,
+    t: Timestamp,
+    k: usize,
+) -> Vec<(ObjectId, Point, f64)> {
+    let indexed = store.predict_nearest(focus, t, k);
+    let scan = store.predict_nearest_scan(focus, t, k);
+    assert_eq!(indexed, scan, "index vs scan at t={t} k={k}");
+    indexed
+}
+
+#[test]
+fn empty_store_answers_empty() {
+    let store = MovingObjectStore::new(config());
+    for t in [0, 1, 100] {
+        assert!(range_both(&store, &everywhere(), t).is_empty());
+        assert!(nearest_both(&store, &Point::ORIGIN, t, 5).is_empty());
+    }
+}
+
+#[test]
+fn all_untrained_fleet_uses_motion_fallback_on_both_paths() {
+    let store = MovingObjectStore::new(config());
+    // Three reports each: linear motion, far below min_train_subs.
+    for id in 0..6u64 {
+        for t in 0..3u64 {
+            store
+                .report(
+                    ObjectId(id),
+                    t,
+                    Point::new(id as f64 * 10.0 + t as f64, 0.0),
+                )
+                .unwrap();
+        }
+    }
+    // Near-horizon and (for the default horizon of 2×period = 8)
+    // beyond-horizon query times.
+    for t in [3, 5, 10, 50] {
+        let hits = range_both(&store, &everywhere(), t);
+        assert_eq!(hits.len(), 6, "every untrained object predicts at t={t}");
+        let near = nearest_both(&store, &Point::ORIGIN, t, 3);
+        assert_eq!(near.len(), 3);
+        // Nearest-first: id 0 starts nearest the origin and all move
+        // in lockstep, so ordering is by id here.
+        assert_eq!(near[0].0, ObjectId(0));
+    }
+}
+
+#[test]
+fn query_before_any_history_is_empty_on_both_paths() {
+    let store = MovingObjectStore::new(config());
+    // Histories starting at t = 10: anything at or before the current
+    // time (12) is unanswerable for every object.
+    for id in 0..4u64 {
+        store
+            .report_batch(
+                ObjectId(id),
+                10,
+                &[Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+            )
+            .unwrap();
+    }
+    for t in [0, 5, 10, 12] {
+        assert!(range_both(&store, &everywhere(), t).is_empty());
+        assert!(nearest_both(&store, &Point::ORIGIN, t, 4).is_empty());
+    }
+    // First askable instant.
+    assert_eq!(range_both(&store, &everywhere(), 13).len(), 4);
+}
+
+#[test]
+fn zero_radius_range_hits_exact_predictions_only() {
+    let store = MovingObjectStore::new(config());
+    // Stationary objects: predictions land exactly on their position.
+    store.report(ObjectId(1), 0, Point::new(5.0, 5.0)).unwrap();
+    store.report(ObjectId(2), 0, Point::new(9.0, 5.0)).unwrap();
+    let dot = BoundingBox {
+        min: Point::new(5.0, 5.0),
+        max: Point::new(5.0, 5.0),
+    };
+    let hits = range_both(&store, &dot, 3);
+    assert_eq!(hits, vec![(ObjectId(1), Point::new(5.0, 5.0))]);
+    // A zero-area box off every prediction hits nothing.
+    let miss = BoundingBox {
+        min: Point::new(7.0, 7.0),
+        max: Point::new(7.0, 7.0),
+    };
+    assert!(range_both(&store, &miss, 3).is_empty());
+}
+
+#[test]
+fn k_larger_than_fleet_returns_whole_fleet() {
+    let store = MovingObjectStore::new(config());
+    for id in 0..5u64 {
+        store
+            .report(ObjectId(id), 0, Point::new(id as f64, 0.0))
+            .unwrap();
+    }
+    let near = nearest_both(&store, &Point::ORIGIN, 2, 50);
+    assert_eq!(near.len(), 5, "k beyond the fleet returns everyone");
+    // Nearest first, distances non-decreasing.
+    assert!(near.windows(2).all(|w| w[0].2 <= w[1].2));
+    assert_eq!(near[0].0, ObjectId(0));
+    // k = 0 is a no-op on both paths.
+    assert!(nearest_both(&store, &Point::ORIGIN, 2, 0).is_empty());
+}
+
+#[test]
+fn removal_prunes_both_paths_immediately() {
+    let store = MovingObjectStore::new(config());
+    for id in 0..4u64 {
+        store
+            .report(ObjectId(id), 0, Point::new(id as f64 * 20.0, 0.0))
+            .unwrap();
+    }
+    assert_eq!(range_both(&store, &everywhere(), 1).len(), 4);
+    store.remove(ObjectId(2));
+    let hits = range_both(&store, &everywhere(), 1);
+    assert_eq!(hits.len(), 3);
+    assert!(hits.iter().all(|(id, _)| *id != ObjectId(2)));
+    assert!(nearest_both(&store, &Point::new(40.0, 0.0), 1, 4)
+        .iter()
+        .all(|(id, _, _)| *id != ObjectId(2)));
+}

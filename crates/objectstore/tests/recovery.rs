@@ -49,6 +49,7 @@ fn config(shards: usize) -> StoreConfig {
         recent_len: 2,
         shards,
         threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 

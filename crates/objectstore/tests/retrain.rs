@@ -37,6 +37,7 @@ fn config(retrain_every_subs: usize) -> StoreConfig {
         recent_len: 2,
         shards: 4,
         threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 

@@ -45,6 +45,7 @@ fn config() -> StoreConfig {
         recent_len: 2,
         shards: 4,
         threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
     }
 }
 
@@ -180,6 +181,35 @@ fn writers_and_readers_hammer_shards() {
                         // it can never exceed its writer's feed.
                         assert!(stats.samples <= DAYS * PERIOD as usize);
                     }
+                    // Fleet-wide indexed queries under writer fire:
+                    // results race the writers, so assert the
+                    // interleaving-independent invariants — ordering,
+                    // finiteness, k-bound, in-region membership.
+                    if i % 8 == 0 {
+                        let t = rng.gen_range(1..60u64);
+                        let region = hpm_geo::BoundingBox {
+                            min: Point::new(-10.0, -10.0),
+                            max: Point::new(rng.gen_f64() * 200.0, 60.0),
+                        };
+                        let hits = store.predict_range(&region, t);
+                        assert!(
+                            hits.windows(2).all(|w| w[0].0 < w[1].0),
+                            "range results not id-ordered"
+                        );
+                        assert!(hits.iter().all(|(_, p)| region.contains(p)));
+                        let k = rng.gen_range(1..6usize);
+                        let focus = Point::new(rng.gen_f64() * 100.0, 0.0);
+                        let near = store.predict_nearest(&focus, t, k);
+                        assert!(near.len() <= k);
+                        assert!(
+                            near.windows(2)
+                                .all(|w| { (w[0].2, w[0].0) <= (w[1].2, w[1].0) }),
+                            "kNN results not (distance, id)-ordered"
+                        );
+                        assert!(near
+                            .iter()
+                            .all(|(_, p, d)| { p.is_finite() && *d == p.distance(&focus) }));
+                    }
                 }
             });
         }
@@ -198,6 +228,25 @@ fn writers_and_readers_hammer_shards() {
     // settles.
     for (k, &t) in probe_times.iter().enumerate() {
         assert_eq!(store.predict(quiet, t).unwrap(), baseline[k]);
+    }
+    // With the writers gone the indexed fleet-wide queries must agree
+    // with the brute-force scan bit for bit, dirty-set churn included.
+    let region = hpm_geo::BoundingBox {
+        min: Point::new(-5.0, -5.0),
+        max: Point::new(120.0, 60.0),
+    };
+    for t in [1, 40, 49, 120] {
+        assert_eq!(
+            store.predict_range(&region, t),
+            store.predict_range_scan(&region, t),
+            "indexed range drifted from scan at t={t}"
+        );
+        let focus = Point::new(60.0, 10.0);
+        assert_eq!(
+            store.predict_nearest(&focus, t, 7),
+            store.predict_nearest_scan(&focus, t, 7),
+            "indexed kNN drifted from scan at t={t}"
+        );
     }
     assert_eq!(
         store.object_count(),

@@ -9,7 +9,7 @@
 
 use std::hash::{BuildHasherDefault, Hasher};
 
-/// `BuildHasher` for [`FxHasher`]; use as the `S` parameter of
+/// `BuildHasher` for the module's FNV-style `FxHasher`; use as the `S` parameter of
 /// `HashMap`/`HashSet`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -1,7 +1,7 @@
 //! Incremental Apriori support counting: the persistent-state form of
-//! [`mine`](crate::mine) used by the delta-retraining pipeline.
+//! [`mine`](crate::mine)(crate::mine) used by the delta-retraining pipeline.
 //!
-//! [`mine`] recounts every transaction on every call. But a growing
+//! [`mine`](crate::mine) recounts every transaction on every call. But a growing
 //! trajectory only ever *appends* region visits — at the tail of the
 //! newest sub-trajectory's transaction, in ascending offset order — so
 //! support counts can be maintained as persistent state instead: every
@@ -10,7 +10,7 @@
 //! ([`SupportCounts::record_tail`]), at a cost proportional to the
 //! premise window, not to history length.
 //!
-//! [`SupportCounts::derive`] then replays [`mine`]'s rule generation
+//! [`SupportCounts::derive`] then replays [`mine`](crate::mine)'s rule generation
 //! verbatim — same `(level, itemset)` emission order, same confidence
 //! arithmetic over the same integer supports — so the derived pattern
 //! list is *identical* (ids included) to a fresh batch mine over the
@@ -20,7 +20,7 @@
 //! * a region occurs at most once per transaction (it is bound to one
 //!   offset, sampled once per sub-trajectory), so instance counts are
 //!   transaction supports;
-//! * [`mine`]'s Apriori pruning and frequent-singles transaction
+//! * [`mine`](crate::mine)'s Apriori pruning and frequent-singles transaction
 //!   filtering never change the counts of *frequent* itemsets (every
 //!   prefix of a valid frequent itemset is valid and frequent);
 //! * this module counts the *unpruned* itemset universe (bounded by
@@ -141,7 +141,7 @@ impl SupportCounts {
     }
 
     /// Derives the canonical pattern list: exactly what
-    /// [`mine`](crate::mine) returns over the same visits — same
+    /// [`mine`](crate::mine)(crate::mine) returns over the same visits — same
     /// patterns, same order, bit-identical confidences.
     pub fn derive(&self) -> Vec<TrajectoryPattern> {
         let max_len = self.params.max_premise_len + 1;

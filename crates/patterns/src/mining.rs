@@ -1,7 +1,7 @@
 //! Apriori trajectory-pattern mining (§IV, second component).
 //!
 //! Transactions are the per-sub-trajectory region-visit sequences of
-//! the [`VisitTable`](crate::VisitTable); frequent itemsets are mined
+//! the [`VisitTable`]; frequent itemsets are mined
 //! level-wise and every frequent itemset of size ≥ 2 yields exactly one
 //! rule — premise = all but the time-wise last region, consequence =
 //! the last region. That bakes in the paper's two pruning rules:

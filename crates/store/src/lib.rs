@@ -12,7 +12,7 @@
 //! No serialization-format crate is available offline, so the format
 //! is hand-rolled on top of small in-tree byte-cursor traits: a
 //! magic/version header, LEB128 varints for integers, IEEE-754
-//! little-endian doubles, and an FNV-1a trailer checksum. The format is documented in [`format`] and
+//! little-endian doubles, and an FNV-1a trailer checksum. The format is documented in [`mod@format`] and
 //! guarded by round-trip property tests.
 
 //! # Example

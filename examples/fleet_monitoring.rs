@@ -33,6 +33,7 @@ fn main() {
         recent_len: 20,
         shards: 8,
         threads: 0,
+        index: hpm_objectstore::IndexConfig::default(),
     });
 
     // Three vehicles with different route habits stream 45 "days" of

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "==> cargo clippy --workspace --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -27,8 +30,8 @@ STRESS_RUNS="${HPM_STRESS_RUNS:-1}"
 for i in $(seq 1 "$STRESS_RUNS"); do
     [ "$STRESS_RUNS" -gt 1 ] && echo "  stress run $i/$STRESS_RUNS"
     cargo test -q --release --offline -p hpm-objectstore \
-        --test stress --test props --test retrain \
-        --test recovery --test failpoints
+        --test stress --test props --test index_props --test query_edge \
+        --test retrain --test recovery --test failpoints
 done
 
 echo "==> metrics-json smoke (hpm predict --metrics-json + obs-json-check)"
@@ -51,9 +54,12 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 
 echo "==> CLI batch-predict smoke (--batch --threads 4)"
 printf '# smoke queries\n13540\n13600\n13700\n' > "$SMOKE_DIR/times.txt"
+# Capture first, grep the file after: grep -q on the live pipe exits at
+# the first match and the resulting EPIPE kills the producer mid-print.
 ./target/release/hpm predict --model "$SMOKE_DIR/bike.hpm" \
     --input "$SMOKE_DIR/bike.csv" --batch "$SMOKE_DIR/times.txt" \
-    --threads 4 | tee "$SMOKE_DIR/batch4.out" | grep -q "3 batch queries on 4 threads"
+    --threads 4 > "$SMOKE_DIR/batch4.out"
+grep -q "3 batch queries on 4 threads" "$SMOKE_DIR/batch4.out"
 ./target/release/hpm predict --model "$SMOKE_DIR/bike.hpm" \
     --input "$SMOKE_DIR/bike.csv" --batch "$SMOKE_DIR/times.txt" \
     --threads 1 > "$SMOKE_DIR/batch1.out"

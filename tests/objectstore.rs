@@ -26,6 +26,7 @@ fn store() -> MovingObjectStore {
         recent_len: 20,
         shards: 8,
         threads: 0,
+        index: hpm_objectstore::IndexConfig::default(),
     })
 }
 

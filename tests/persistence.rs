@@ -181,6 +181,7 @@ fn untrained_objects_survive_a_snapshot_file_on_disk() {
         recent_len: 2,
         shards: 2,
         threads: 1,
+        index: hpm_objectstore::IndexConfig::default(),
     };
     let dir = std::env::temp_dir().join(format!("hpm-persist-snap-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
