@@ -1,0 +1,312 @@
+//! `loadgen` — wire-level load generator for `hpm-server`.
+//!
+//! Drives a server through the real client over real sockets: a
+//! batched `report_many` ingest phase, then a pipelined
+//! `predict_batch` phase across several connections, with per-frame
+//! round-trip times recorded into an `hpm-obs` histogram. The
+//! numbers that matter come out as queries/second plus p50/p99 RTT.
+//!
+//! ```text
+//! loadgen                      smoke: self-hosted loopback server, small load
+//! loadgen --bench              full load, writes BENCH_server.json
+//! loadgen --addr HOST:PORT     drive an external server instead of self-hosting
+//! loadgen --shutdown           send the shutdown verb when done
+//! loadgen --connections N --frames N --batch N --objects N --subs N
+//! ```
+//!
+//! Self-hosted mode serves a memory-only store on `127.0.0.1:0` so
+//! the measurement isolates the wire (framing, checksums, syscalls,
+//! pipelining) rather than the disk. The last line is always
+//! `LOADGEN ok ...` — scripts grep for it.
+
+use hpm_core::HpmConfig;
+use hpm_geo::Point;
+use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_rand::{Rng, SmallRng};
+use hpm_server::{Client, RequestBody, ResponseBody, Server, ServerConfig};
+use hpm_trajectory::Timestamp;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sub-trajectory period of the synthetic commuter fleet.
+const PERIOD: u32 = 60;
+/// Pipelined frames kept in flight per connection.
+const WINDOW: usize = 8;
+/// Reports per `report_many` frame during the ingest phase.
+const INGEST_BATCH: usize = 1024;
+
+/// RTT of one pipelined `predict_batch` frame, send to receive.
+const RTT: &str = "loadgen.rtt";
+
+struct Opts {
+    addr: Option<String>,
+    bench: bool,
+    shutdown: bool,
+    connections: usize,
+    frames: usize,
+    batch: usize,
+    objects: u64,
+    subs: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: None,
+        bench: false,
+        shutdown: false,
+        connections: 0,
+        frames: 0,
+        batch: 0,
+        objects: 0,
+        subs: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--bench" => opts.bench = true,
+            "--shutdown" => opts.shutdown = true,
+            "--connections" => opts.connections = value("--connections").parse().unwrap(),
+            "--frames" => opts.frames = value("--frames").parse().unwrap(),
+            "--batch" => opts.batch = value("--batch").parse().unwrap(),
+            "--objects" => opts.objects = value("--objects").parse().unwrap(),
+            "--subs" => opts.subs = value("--subs").parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    // Scale defaults by mode; explicit flags win.
+    let (conns, frames, batch, objects, subs) = if opts.bench {
+        (2, 400, 64, 96, 6)
+    } else {
+        (1, 20, 16, 8, 4)
+    };
+    if opts.connections == 0 {
+        opts.connections = conns;
+    }
+    if opts.frames == 0 {
+        opts.frames = frames;
+    }
+    if opts.batch == 0 {
+        opts.batch = batch;
+    }
+    if opts.objects == 0 {
+        opts.objects = objects;
+    }
+    if opts.subs == 0 {
+        opts.subs = subs;
+    }
+    opts
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig::default(),
+        min_train_subs: 3,
+        retrain_every_subs: 2,
+        recent_len: 2,
+        shards: 4,
+        threads: 0,
+        index: hpm_objectstore::IndexConfig::default(),
+    }
+}
+
+/// Where commuter `id` is at `t`: a per-object straight route walked
+/// once per period. Deterministic, so external and self-hosted runs
+/// ingest identical fleets.
+fn position(id: u64, t: Timestamp) -> Point {
+    let phase = (t % u64::from(PERIOD)) as f64 / f64::from(PERIOD);
+    let jitter = (id % 7) as f64 * 0.3;
+    Point::new(100.0 * phase + jitter, id as f64 * 5.0)
+}
+
+/// Ingest phase: every object's full history, time-sliced so each
+/// `report_many` frame interleaves the whole fleet (the contended
+/// pattern a real feed produces). Returns (reports, elapsed seconds).
+fn ingest(addr: &str, opts: &Opts) -> (u64, f64) {
+    let mut client = Client::connect(addr).expect("connect for ingest");
+    let horizon = u64::from(PERIOD) * opts.subs as u64;
+    let mut pending: Vec<(ObjectId, Timestamp, Point)> = Vec::with_capacity(INGEST_BATCH);
+    let mut sent = 0u64;
+    let start = Instant::now();
+    let mut flush = |pending: &mut Vec<(ObjectId, Timestamp, Point)>| {
+        if pending.is_empty() {
+            return;
+        }
+        let results = client.report_many(pending).expect("report_many");
+        for r in results {
+            r.expect("contiguous synthetic stream must ingest cleanly");
+        }
+        pending.clear();
+    };
+    for t in 0..horizon {
+        for id in 0..opts.objects {
+            pending.push((ObjectId(id), t, position(id, t)));
+            sent += 1;
+            if pending.len() == INGEST_BATCH {
+                flush(&mut pending);
+            }
+        }
+    }
+    flush(&mut pending);
+    (sent, start.elapsed().as_secs_f64())
+}
+
+/// Predict phase on one connection: `frames` pipelined
+/// `predict_batch` frames of `batch` queries each, up to [`WINDOW`]
+/// in flight. Returns (queries answered ok, typed errors).
+fn predict_load(addr: &str, seed: u64, opts: &Opts) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("connect for predict");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let horizon = u64::from(PERIOD) * opts.subs as u64;
+    let rtt = hpm_obs::registry().histogram(RTT, hpm_obs::Unit::Nanos);
+    let (mut ok, mut err) = (0u64, 0u64);
+    let mut inflight: VecDeque<(u64, Instant)> = VecDeque::with_capacity(WINDOW);
+    let mut drain = |inflight: &mut VecDeque<(u64, Instant)>, client: &mut Client| {
+        let (corr, sent_at) = inflight.pop_front().expect("drain with frames in flight");
+        let resp = client.recv().expect("pipelined response");
+        rtt.record(sent_at.elapsed().as_nanos() as u64);
+        assert_eq!(resp.correlation, corr, "pipeline out of step");
+        match resp.body {
+            ResponseBody::Predictions(results) => {
+                for r in results {
+                    match r {
+                        Ok(_) => ok += 1,
+                        Err(_) => err += 1,
+                    }
+                }
+            }
+            other => panic!("expected Predictions, got {other:?}"),
+        }
+    };
+    for _ in 0..opts.frames {
+        let queries: Vec<(ObjectId, Timestamp)> = (0..opts.batch)
+            .map(|_| {
+                // A couple of ids past the fleet exercise the typed
+                // error path under load.
+                let id = rng.gen_range(0..opts.objects + 2);
+                let t = horizon + 1 + rng.gen_range(0..u64::from(PERIOD));
+                (ObjectId(id), t)
+            })
+            .collect();
+        let corr = client
+            .send(RequestBody::PredictBatch(queries))
+            .expect("send predict frame");
+        inflight.push_back((corr, Instant::now()));
+        if inflight.len() >= WINDOW {
+            drain(&mut inflight, &mut client);
+        }
+    }
+    while !inflight.is_empty() {
+        drain(&mut inflight, &mut client);
+    }
+    (ok, err)
+}
+
+fn main() {
+    let opts = parse_opts();
+    hpm_obs::enable();
+
+    // Self-host unless pointed at an external server.
+    let (addr, hosted) = match &opts.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let store = Arc::new(MovingObjectStore::new(store_config()));
+            let server = Server::bind(store, "127.0.0.1:0", ServerConfig::default())
+                .expect("bind loopback server");
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.serve());
+            (addr, Some((handle, thread)))
+        }
+    };
+
+    let (reports, ingest_secs) = ingest(&addr, &opts);
+    let ingest_rate = reports as f64 / ingest_secs;
+
+    let start = Instant::now();
+    let counts = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|c| {
+                let addr = &addr;
+                let opts = &opts;
+                scope.spawn(move || predict_load(addr, 0x10ad + c as u64, opts))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("predict connection"))
+            .collect::<Vec<_>>()
+    });
+    let predict_secs = start.elapsed().as_secs_f64();
+    let ok: u64 = counts.iter().map(|&(ok, _)| ok).sum();
+    let errs: u64 = counts.iter().map(|&(_, e)| e).sum();
+    let queries = ok + errs;
+    let qps = queries as f64 / predict_secs;
+    let rtt = hpm_obs::registry()
+        .histogram(RTT, hpm_obs::Unit::Nanos)
+        .snapshot();
+    let (p50, p99) = (rtt.quantile(0.5), rtt.quantile(0.99));
+
+    // Admin pull over the wire: the served registry must catalogue the
+    // server's own metrics.
+    let mut admin = Client::connect(&addr).expect("connect for admin");
+    let metrics_json = admin.metrics_json().expect("metrics over the wire");
+    assert!(
+        metrics_json.contains("server.requests"),
+        "served metrics JSON misses server.requests"
+    );
+    if opts.shutdown {
+        admin.shutdown().expect("shutdown verb");
+    }
+    if let Some((handle, thread)) = hosted {
+        handle.shutdown();
+        thread
+            .join()
+            .expect("server thread")
+            .expect("clean server exit");
+    }
+
+    if opts.bench {
+        let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+        let out = std::env::var("HPM_SERVER_OUT").unwrap_or_else(|_| default_out.into());
+        // Hand-built JSON: the workspace is hermetic (no serde).
+        let json = format!(
+            "{{\n  \"bench\": \"server\",\n  \"objects\": {},\n  \"subs\": {},\n  \"period\": {PERIOD},\n  \"connections\": {},\n  \"frames_per_connection\": {},\n  \"queries_per_frame\": {},\n  \"pipeline_window\": {WINDOW},\n  \"ingest_reports\": {reports},\n  \"ingest_reports_per_s\": {ingest_rate:.0},\n  \"predict_queries\": {queries},\n  \"predict_qps\": {qps:.0},\n  \"frame_rtt_p50_ns\": {p50},\n  \"frame_rtt_p99_ns\": {p99},\n  \"methodology\": \"loopback TCP against a self-hosted memory-only store (the wire is the subject, not the disk): ingest phase streams every object's full history through report_many frames of {INGEST_BATCH} time-sliced reports, then {} connections each pipeline {} predict_batch frames of {} queries with {WINDOW} frames in flight; RTT is per-frame send-to-receive from the hpm-obs loadgen.rtt histogram, so p50/p99 are power-of-two bucket upper bounds, and qps counts typed errors as answered queries (a couple of unknown ids per batch keep the error path in the mix). Container caveat: client, server, and store share one small container CPU, so qps here is a floor and RTT tails include scheduler noise; the portable signals are the pipelining benefit and the p50/p99 shape, not absolute throughput\",\n  \"notes\": \"run `cargo run --release -p hpm-bench --bin loadgen -- --bench` to regenerate\"\n}}\n",
+            opts.objects,
+            opts.subs,
+            opts.connections,
+            opts.frames,
+            opts.batch,
+            opts.connections,
+            opts.frames,
+            opts.batch,
+        );
+        std::fs::write(&out, json).expect("write server report");
+        println!("wrote {out}");
+    }
+
+    println!(
+        "LOADGEN ok reports={reports} ingest_per_s={ingest_rate:.0} queries={queries} \
+         errors={errs} qps={qps:.0} rtt_p50_us={} rtt_p99_us={}",
+        p50 / 1_000,
+        p99 / 1_000,
+    );
+}

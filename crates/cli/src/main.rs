@@ -38,6 +38,7 @@ fn main() {
         "info" => cmd_info(&args),
         "predict" => cmd_predict(&args),
         "ingest" => cmd_ingest(&args),
+        "serve" => cmd_serve(&args),
         "eval" => cmd_eval(&args),
         "staypoints" => cmd_staypoints(&args),
         "simplify" => cmd_simplify(&args),
@@ -80,6 +81,16 @@ SUBCOMMANDS
             [--min-train 3] [--retrain-every 1] [--k 1] [--margin 30]
             [--group-commit 1] [--fsync always|never] [--snapshot-every 0]
             [--resume true] [--predict-at T1,T2,...]
+  serve     expose a store over TCP (hpm-server wire protocol);
+            prints `LISTENING ADDR` then blocks until a client sends
+            the shutdown verb
+            --addr HOST:PORT  --period N  [--data-dir DIR]
+            [--eps 2] [--min-pts 3] [--min-conf 0.3] [--min-support 4]
+            [--max-premise 2] [--max-gap 8] [--max-span 64]
+            [--min-train 3] [--retrain-every 1] [--k 1] [--margin 30]
+            [--recent 2] [--shards 4] [--threads 0]
+            [--group-commit 1] [--fsync always|never] [--snapshot-every 0]
+            [--max-frame BYTES] [--queue-depth 64]
   eval      compare HPM / RMF / linear accuracy on held-out data
             --input traj.csv  --period N  --train-subs N  --length N
             [--queries 50] [--recent 20] [--extent 10000]
@@ -511,6 +522,94 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use hpm_objectstore::{DurabilityConfig, FsyncPolicy, MovingObjectStore, StoreConfig};
+    use hpm_server::{Server, ServerConfig};
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    args.expect_only(&[
+        "addr",
+        "data-dir",
+        "period",
+        "eps",
+        "min-pts",
+        "min-conf",
+        "min-support",
+        "max-premise",
+        "max-gap",
+        "max-span",
+        "min-train",
+        "retrain-every",
+        "k",
+        "margin",
+        "recent",
+        "shards",
+        "threads",
+        "group-commit",
+        "fsync",
+        "snapshot-every",
+        "max-frame",
+        "queue-depth",
+    ])?;
+    let addr = args.required("addr")?;
+    let config = StoreConfig {
+        discovery: DiscoveryParams {
+            period: args.get("period")?,
+            eps: args.get_or("eps", 2.0)?,
+            min_pts: args.get_or("min-pts", 3)?,
+        },
+        mining: mining_from(args)?,
+        hpm: HpmConfig {
+            k: args.get_or("k", 1)?,
+            match_margin: args.get_or("margin", 30.0)?,
+            ..HpmConfig::default()
+        },
+        min_train_subs: args.get_or("min-train", 3)?,
+        retrain_every_subs: args.get_or("retrain-every", 1)?,
+        recent_len: args.get_or("recent", 2)?,
+        shards: args.get_or("shards", 4)?,
+        threads: args.get_or("threads", 0)?,
+        index: hpm_objectstore::IndexConfig::default(),
+    };
+    // The served registry should catalogue every layer's metrics even
+    // before traffic touches them.
+    hpm_core::metrics::register();
+    hpm_patterns::metrics::register();
+    hpm_store::metrics::register();
+    hpm_objectstore::metrics::register();
+    hpm_server::metrics::register();
+    hpm_obs::enable();
+    let store = match args.optional("data-dir") {
+        Some(dir) => {
+            let durability = DurabilityConfig {
+                dir: dir.into(),
+                group_commit: args.get_or("group-commit", 1)?,
+                fsync: match args.get_or("fsync", "always".to_string())?.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    other => return Err(format!("--fsync must be always|never, got `{other}`")),
+                },
+                snapshot_every: args.get_or("snapshot-every", 0)?,
+            };
+            MovingObjectStore::open(config, durability).map_err(|e| e.to_string())?
+        }
+        None => MovingObjectStore::new(config),
+    };
+    let server_config = ServerConfig {
+        max_frame: args.get_or("max-frame", ServerConfig::default().max_frame)?,
+        queue_depth: args.get_or("queue-depth", ServerConfig::default().queue_depth)?,
+    };
+    let server = Server::bind(Arc::new(store), addr, server_config).map_err(|e| e.to_string())?;
+    // The bound address goes out immediately (and flushed) so scripts
+    // using --addr HOST:0 can parse the picked port before connecting.
+    println!("LISTENING {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.serve().map_err(|e| e.to_string())?;
+    println!("SHUTDOWN clean");
     Ok(())
 }
 

@@ -1,0 +1,50 @@
+//! The network service layer: a std-only pipelined TCP front end for
+//! the moving-objects store.
+//!
+//! Everything the store can do in-process — batched ingest, batched
+//! per-object prediction, fleet-wide predictive range and
+//! nearest-neighbour queries, stats, retraining, snapshots, metrics —
+//! becomes reachable over a socket, with **the same inputs, the same
+//! outputs, and the same typed errors**. That equivalence is the
+//! crate's contract: the end-to-end suite asserts wire answers are
+//! bit-identical to direct [`MovingObjectStore`] calls, error
+//! variants included.
+//!
+//! No async runtime and no registry dependencies: the server is a
+//! scoped accept loop with one reader thread per connection
+//! ([`server`] module docs cover threading, backpressure, and
+//! shutdown), the protocol is length-prefixed checksummed frames over
+//! the workspace codec ([`proto`] module docs give the grammar), and
+//! the client ([`Client`]) pipelines frames with correlation ids.
+//!
+//! ```no_run
+//! use hpm_server::{Client, Server, ServerConfig};
+//! use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+//! use hpm_geo::Point;
+//! use std::sync::Arc;
+//!
+//! # fn store_config() -> StoreConfig { unimplemented!() }
+//! let store = Arc::new(MovingObjectStore::new(store_config()));
+//! let server = Server::bind(store, "127.0.0.1:0", ServerConfig::default())?;
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! std::thread::spawn(move || server.serve());
+//!
+//! let mut client = Client::connect(addr)?;
+//! client.report_many(&[(ObjectId(1), 0, Point::new(0.0, 0.0))])?;
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`MovingObjectStore`]: hpm_objectstore::MovingObjectStore
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ProtoError, Request, RequestBody, Response, ResponseBody};
+pub use server::{Server, ServerConfig, ServerHandle};

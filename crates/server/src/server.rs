@@ -1,0 +1,430 @@
+//! The server: a scoped accept loop, one reader thread per
+//! connection, and a bounded writer queue per connection for
+//! backpressure.
+//!
+//! # Threading
+//!
+//! [`Server::serve`] blocks inside one `thread::scope`: the calling
+//! thread runs the accept loop and every connection gets a scoped
+//! reader thread, so all of them borrow the store without `'static`
+//! gymnastics and are joined before `serve` returns. Each reader
+//! spawns one (unscoped, owned-data) writer thread connected by a
+//! bounded channel.
+//!
+//! # Backpressure
+//!
+//! The reader decodes a frame, executes it against the store, and
+//! enqueues the encoded response on the connection's
+//! `sync_channel(queue_depth)`. A client that sends faster than it
+//! reads fills the queue; the enqueue then blocks the reader, which
+//! stops reading the socket, and TCP pushes back to the client. No
+//! connection can buffer more than `queue_depth` responses.
+//! Response buffers recycle through a return channel, so a warm
+//! connection serves frames without per-frame allocation.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a [`RequestBody::Shutdown`] frame)
+//! sets the stop flag, wakes the accept loop with a loopback connect,
+//! and half-closes every registered connection's read side. Readers
+//! drain: in-flight responses are still written, then writer queues
+//! close and threads join. `serve` flushes buffered WAL batches and
+//! returns once the scope is empty.
+
+use crate::metrics;
+use crate::proto::{
+    read_frame, write_frame_into, ProtoError, Request, RequestBody, Response, ResponseBody,
+    DEFAULT_MAX_FRAME,
+};
+use hpm_core::PredictScratch;
+use hpm_objectstore::MovingObjectStore;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest request payload the server accepts; larger length
+    /// prefixes are rejected before any allocation
+    /// ([`ProtoError::Oversized`], connection closed).
+    pub max_frame: usize,
+    /// Responses one connection may queue for writing before the
+    /// reader blocks (the backpressure bound).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// State shared between the accept loop, connections, and handles.
+struct Shared {
+    stop: AtomicBool,
+    addr: SocketAddr,
+    /// Read-side clones of live connections, half-closed on shutdown
+    /// so blocked readers wake.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Flags the server to stop, wakes the accept loop, and unblocks
+    /// every connection reader.
+    fn initiate_shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop: a throwaway loopback connection makes
+        // `accept` return, and the loop re-checks the flag first.
+        let _ = TcpStream::connect(self.addr);
+        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A shutdown control for a running [`Server`]; cheap to clone, safe
+/// to use from any thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Stops the server: no new connections, existing connections
+    /// drain their in-flight responses, then [`Server::serve`]
+    /// returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+}
+
+/// A bound-but-not-yet-serving TCP front end for a
+/// [`MovingObjectStore`].
+pub struct Server {
+    store: Arc<MovingObjectStore>,
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 to let the OS pick) over `store`.
+    pub fn bind(
+        store: Arc<MovingObjectStore>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        Ok(Server {
+            store,
+            listener,
+            config,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A clonable shutdown handle; grab one before calling
+    /// [`serve`](Self::serve), which consumes the server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] or a
+    /// [`RequestBody::Shutdown`] frame, then drains connections,
+    /// flushes buffered WAL batches, and returns.
+    pub fn serve(self) -> io::Result<()> {
+        let Server {
+            store,
+            listener,
+            config,
+            shared,
+        } = self;
+        thread::scope(|scope| {
+            loop {
+                let (stream, _) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+                    Err(e) => {
+                        shared.initiate_shutdown();
+                        return Err(e);
+                    }
+                };
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let store = &store;
+                let config = &config;
+                let shared = &shared;
+                scope.spawn(move || handle_conn(store, stream, config, shared));
+            }
+            Ok(())
+        })?;
+        store.flush_wal()
+    }
+}
+
+/// What a connection's reader decides after each frame.
+enum After {
+    /// Keep reading frames.
+    Continue,
+    /// Stop reading; the writer drains what is queued, then the
+    /// connection closes.
+    Close,
+}
+
+fn handle_conn(
+    store: &MovingObjectStore,
+    stream: TcpStream,
+    config: &ServerConfig,
+    shared: &Shared,
+) {
+    let _ = stream.set_nodelay(true);
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    // Register a clone so shutdown can half-close a blocked read, and
+    // clone the write side for the writer thread.
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(conn_id, read_half);
+    }
+    hpm_obs::counter!(metrics::CONNECTIONS).add(1);
+    hpm_obs::gauge!(metrics::OPEN_CONNECTIONS).add(1);
+
+    // The bounded response queue (backpressure) and the buffer-return
+    // channel (allocation reuse). Depth is tracked explicitly so the
+    // histogram sees what the channel holds.
+    let depth = Arc::new(AtomicUsize::new(0));
+    let (resp_tx, resp_rx) = mpsc::sync_channel::<Vec<u8>>(config.queue_depth);
+    let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<u8>>(config.queue_depth + 1);
+    let writer = {
+        let depth = Arc::clone(&depth);
+        thread::spawn(move || write_loop(write_half, resp_rx, recycle_tx, depth))
+    };
+
+    let clean = read_loop(store, stream, config, shared, resp_tx, recycle_rx, depth);
+    // resp_tx dropped by read_loop: the writer drains and exits.
+    let _ = writer.join();
+    if !clean {
+        hpm_obs::counter!(metrics::DIRTY_DISCONNECTS).add(1);
+    }
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&conn_id);
+    hpm_obs::gauge!(metrics::OPEN_CONNECTIONS).add(-1);
+}
+
+/// The writer half: drains encoded frames to the socket, recycling
+/// their buffers. Exits when the response channel closes or the
+/// socket dies (the reader then notices its next enqueue failing).
+fn write_loop(
+    mut stream: TcpStream,
+    resp_rx: Receiver<Vec<u8>>,
+    recycle_tx: SyncSender<Vec<u8>>,
+    depth: Arc<AtomicUsize>,
+) {
+    while let Ok(frame) = resp_rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        if stream.write_all(&frame).is_err() {
+            // Socket gone: stop writing. Dropping resp_rx makes the
+            // reader's next send fail, which ends the connection.
+            return;
+        }
+        let _ = recycle_tx.try_send(frame);
+    }
+    let _ = stream.flush();
+}
+
+/// The reader half: frames in, responses enqueued. Returns whether
+/// the connection ended cleanly (EOF at a frame boundary, or a
+/// server-initiated close after answering).
+#[allow(clippy::too_many_arguments)]
+fn read_loop(
+    store: &MovingObjectStore,
+    mut stream: TcpStream,
+    config: &ServerConfig,
+    shared: &Shared,
+    resp_tx: SyncSender<Vec<u8>>,
+    recycle_rx: Receiver<Vec<u8>>,
+    depth: Arc<AtomicUsize>,
+) -> bool {
+    let mut payload = Vec::new();
+    let mut encode_buf = Vec::new();
+    // Connection-owned predict scratch: the whole connection's predict
+    // traffic reuses one warm allocation, so the allocation-free
+    // predict path survives the wire.
+    let mut scratch = PredictScratch::new();
+    loop {
+        match read_frame(&mut stream, &mut payload, config.max_frame) {
+            Ok(false) => return true,
+            Ok(true) => {
+                hpm_obs::histogram!(metrics::REQUEST_BYTES).record(payload.len() as u64);
+                let (response, after) = match crate::proto::decode_request(&payload) {
+                    Ok(req) => {
+                        hpm_obs::counter!(metrics::REQUESTS).add(1);
+                        execute(store, shared, req, &mut scratch)
+                    }
+                    Err(e) => {
+                        // Framing held but the payload didn't parse:
+                        // answer with the reason and keep serving —
+                        // frame boundaries are still trustworthy.
+                        hpm_obs::counter!(metrics::MALFORMED).add(1);
+                        (
+                            Response {
+                                correlation: 0,
+                                body: ResponseBody::Malformed(e.to_string()),
+                            },
+                            After::Continue,
+                        )
+                    }
+                };
+                if !enqueue(&response, &mut encode_buf, &resp_tx, &recycle_rx, &depth) {
+                    return false;
+                }
+                if let After::Close = after {
+                    return true;
+                }
+            }
+            Err(framing) => {
+                // EOF or transport death mid-frame: nothing to say,
+                // nobody to say it to. Framing-level corruption (bad
+                // checksum, oversized length): explain best-effort,
+                // then close — byte boundaries can no longer be
+                // trusted on this stream.
+                let explain = match &framing {
+                    ProtoError::Io(_) => false,
+                    _ => {
+                        hpm_obs::counter!(metrics::MALFORMED).add(1);
+                        true
+                    }
+                };
+                if explain {
+                    let response = Response {
+                        correlation: 0,
+                        body: ResponseBody::Malformed(framing.to_string()),
+                    };
+                    let _ = enqueue(&response, &mut encode_buf, &resp_tx, &recycle_rx, &depth);
+                }
+                return false;
+            }
+        }
+    }
+}
+
+/// Encodes `response` through the connection-owned `encode_buf`,
+/// frames it into a buffer recycled from the writer, and enqueues the
+/// frame on the bounded writer queue — blocking when the queue is
+/// full (the backpressure point). Returns `false` if the writer is
+/// gone.
+fn enqueue(
+    response: &Response,
+    encode_buf: &mut Vec<u8>,
+    resp_tx: &SyncSender<Vec<u8>>,
+    recycle_rx: &Receiver<Vec<u8>>,
+    depth: &AtomicUsize,
+) -> bool {
+    crate::proto::encode_response(response, encode_buf);
+    hpm_obs::histogram!(metrics::RESPONSE_BYTES).record(encode_buf.len() as u64);
+    let mut framed = recycle_rx.try_recv().unwrap_or_default();
+    framed.clear();
+    write_frame_into(&mut framed, encode_buf);
+    hpm_obs::histogram!(metrics::QUEUE_DEPTH).record(depth.fetch_add(1, Ordering::Relaxed) as u64);
+    match resp_tx.send(framed) {
+        Ok(()) => true,
+        Err(_) => {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Executes one decoded request against the store and says whether
+/// the connection should keep reading afterwards.
+fn execute(
+    store: &MovingObjectStore,
+    shared: &Shared,
+    req: Request,
+    scratch: &mut PredictScratch,
+) -> (Response, After) {
+    let _span = hpm_obs::span!(metrics::REQUEST_SPAN);
+    let mut after = After::Continue;
+    let body = match req.body {
+        RequestBody::ReportMany(reports) => ResponseBody::Ingested(store.report_many(&reports)),
+        RequestBody::PredictBatch(queries) => ResponseBody::Predictions(
+            queries
+                .iter()
+                .map(|&(id, t)| store.predict_with_scratch(id, t, scratch))
+                .collect(),
+        ),
+        RequestBody::PredictRange { region, query_time } => {
+            ResponseBody::Range(store.predict_range(&region, query_time))
+        }
+        RequestBody::PredictNearest {
+            focus,
+            query_time,
+            k,
+        } => ResponseBody::Nearest(store.predict_nearest(
+            &focus,
+            query_time,
+            usize::try_from(k).unwrap_or(usize::MAX),
+        )),
+        RequestBody::Stats(id) => ResponseBody::Stats(store.stats(id)),
+        RequestBody::ForceRetrain(id) => ResponseBody::Retrained(store.force_retrain(id)),
+        RequestBody::Snapshot => ResponseBody::Snapshotted(store.snapshot().map_err(|e| e.kind())),
+        RequestBody::Metrics => ResponseBody::Metrics(hpm_obs::snapshot().to_json()),
+        RequestBody::Ping => ResponseBody::Pong,
+        RequestBody::Shutdown => {
+            shared.initiate_shutdown();
+            after = After::Close;
+            ResponseBody::ShuttingDown
+        }
+    };
+    (
+        Response {
+            correlation: req.correlation,
+            body,
+        },
+        after,
+    )
+}

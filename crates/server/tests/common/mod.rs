@@ -1,0 +1,139 @@
+//! Shared fixtures for the server test suites: a small fast store
+//! config, a deterministic commuter fleet, and a loopback server
+//! wrapper that joins cleanly.
+
+#![allow(dead_code)] // each suite uses the slice it needs
+
+use hpm_core::HpmConfig;
+use hpm_geo::Point;
+use hpm_objectstore::{MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_rand::{Rng, SmallRng};
+use hpm_server::{Server, ServerConfig, ServerHandle};
+use hpm_trajectory::Timestamp;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Sub-trajectory period of the test fleet (tiny, so objects train
+/// within a few dozen samples).
+pub const PERIOD: u32 = 4;
+
+/// The store config every server suite runs under (mirrors the
+/// objectstore property suites: small thresholds, fast training).
+pub fn config() -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 5,
+        retrain_every_subs: 5,
+        recent_len: 2,
+        shards: 4,
+        threads: 2,
+        index: hpm_objectstore::IndexConfig::default(),
+    }
+}
+
+/// A deterministic commuter fleet: per-object straight routes with
+/// route jitter and varying history lengths (some objects stay below
+/// `min_train_subs`, so both trained and motion-fallback paths are in
+/// play). Reports are contiguous per object and interleaved across
+/// the fleet, the shape a live feed produces.
+pub fn fleet_reports(seed: u64, n_objects: u64) -> Vec<(ObjectId, Timestamp, Point)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut per_object: Vec<Vec<(ObjectId, Timestamp, Point)>> = Vec::new();
+    for id in 0..n_objects {
+        let days = rng.gen_range(2..8usize);
+        let jitter = rng.gen_f64();
+        let mut reports = Vec::new();
+        for d in 0..days {
+            let j = (d % 3) as f64 * 0.2 + jitter;
+            let pts = [
+                Point::new(j, 0.0),
+                Point::new(50.0 + j, 0.0),
+                Point::new(100.0 + j, 0.0),
+                Point::new(150.0 + j, 0.0),
+            ];
+            for (i, p) in pts.iter().enumerate() {
+                let t = (d * PERIOD as usize + i) as Timestamp;
+                reports.push((ObjectId(id), t, *p));
+            }
+        }
+        per_object.push(reports);
+    }
+    // Interleave by timestamp: round-robin the fleet's next sample.
+    let mut out = Vec::new();
+    let mut cursors = vec![0usize; per_object.len()];
+    loop {
+        let mut progressed = false;
+        for (o, reports) in per_object.iter().enumerate() {
+            if cursors[o] < reports.len() {
+                out.push(reports[cursors[o]]);
+                cursors[o] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return out;
+        }
+    }
+}
+
+/// The end of the fleet's shared clock: one past the largest
+/// timestamp any object reported (queries strictly above this are in
+/// every object's future).
+pub fn fleet_horizon(reports: &[(ObjectId, Timestamp, Point)]) -> Timestamp {
+    reports.iter().map(|&(_, t, _)| t).max().unwrap_or(0) + 1
+}
+
+/// A loopback server on its own thread, joined (and checked) on
+/// [`stop`](TestServer::stop).
+pub struct TestServer {
+    /// The bound loopback address.
+    pub addr: SocketAddr,
+    handle: ServerHandle,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+/// Binds and serves `store` on `127.0.0.1:0`.
+pub fn spawn_server(store: Arc<MovingObjectStore>, config: ServerConfig) -> TestServer {
+    let server = Server::bind(store, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.serve());
+    TestServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl TestServer {
+    /// Shuts the server down and asserts it exits cleanly — which
+    /// also proves no connection thread panicked (a scoped-thread
+    /// panic would propagate out of `serve`).
+    pub fn stop(self) {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .expect("server thread must not panic")
+            .expect("server must exit cleanly");
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end equivalence: a pipelined client against a loopback
+//! server answers **exactly** like the in-process store.
+//!
+//! Two stores are built from the same config: one behind the server,
+//! one driven directly. Every operation — batched ingest (including
+//! rejected reports), batched predict (including every typed error
+//! variant), fleet-wide range and kNN, stats, admin — is applied to
+//! both, and the wire results must equal the direct results
+//! value-for-value: same `Ok` payloads bit-for-bit, same error
+//! variants field-for-field.
+
+mod common;
+
+use common::{config, fleet_horizon, fleet_reports, spawn_server};
+use hpm_geo::{BoundingBox, Point};
+use hpm_objectstore::{IngestError, MovingObjectStore, ObjectId, QueryError};
+use hpm_server::{Client, RequestBody, ResponseBody, ServerConfig};
+use hpm_trajectory::Timestamp;
+use std::sync::Arc;
+
+const N_OBJECTS: u64 = 12;
+
+#[test]
+fn wire_answers_equal_in_process_answers() {
+    let served = Arc::new(MovingObjectStore::new(config()));
+    let direct = MovingObjectStore::new(config());
+    let server = spawn_server(Arc::clone(&served), ServerConfig::default());
+    let mut client = Client::connect(server.addr).expect("connect");
+
+    // ---- interleaved ingest + predict, frame by frame --------------
+    let reports = fleet_reports(42, N_OBJECTS);
+    let horizon = fleet_horizon(&reports);
+    for (i, chunk) in reports.chunks(64).enumerate() {
+        let wire = client.report_many(chunk).expect("wire ingest");
+        let local = direct.report_many(chunk);
+        assert_eq!(wire, local, "ingest results diverge at chunk {i}");
+
+        // Sprinkle reads between ingest frames so queries see the
+        // store mid-growth, not just the finished fleet.
+        if i % 3 == 0 {
+            let t = chunk.last().unwrap().1 + 1;
+            let queries: Vec<(ObjectId, Timestamp)> =
+                (0..N_OBJECTS).map(|id| (ObjectId(id), t)).collect();
+            let wire = client.predict_batch(&queries).expect("wire predict");
+            let local = direct.predict_batch(&queries);
+            assert_eq!(wire, local, "mid-ingest predictions diverge at chunk {i}");
+        }
+    }
+
+    // ---- rejected reports cross the wire as the same typed errors --
+    let bad = vec![
+        // Replays an old timestamp: NonContiguous.
+        (ObjectId(0), 0, Point::new(0.0, 0.0)),
+        // NaN position: NonFinitePosition.
+        (ObjectId(1), horizon + 10, Point::new(f64::NAN, 0.0)),
+        // A fresh object starting mid-clock is fine: Ok.
+        (ObjectId(N_OBJECTS + 5), 0, Point::new(1.0, 1.0)),
+    ];
+    let wire = client.report_many(&bad).expect("wire bad ingest");
+    let local = direct.report_many(&bad);
+    assert_eq!(wire, local);
+    assert!(
+        matches!(wire[0], Err(IngestError::NonContiguous { .. })),
+        "replayed report must be NonContiguous, got {:?}",
+        wire[0]
+    );
+    assert_eq!(wire[1], Err(IngestError::NonFinitePosition));
+    assert_eq!(wire[2], Ok(()));
+
+    // ---- every predict error variant crosses the wire typed --------
+    let probes: Vec<(ObjectId, Timestamp)> = vec![
+        (ObjectId(0), horizon + 1),         // answerable
+        (ObjectId(999), horizon + 1),       // UnknownObject
+        (ObjectId(0), 0),                   // NotInFuture
+        (ObjectId(N_OBJECTS + 5), horizon), // young object, future query
+    ];
+    let wire = client.predict_batch(&probes).expect("wire probes");
+    let local = direct.predict_batch(&probes);
+    assert_eq!(wire, local);
+    assert!(wire[0].is_ok());
+    assert_eq!(wire[1], Err(QueryError::UnknownObject(ObjectId(999))));
+    assert!(matches!(wire[2], Err(QueryError::NotInFuture { .. })));
+
+    // ---- fleet-wide queries ----------------------------------------
+    let region = BoundingBox {
+        min: Point::new(-10.0, -10.0),
+        max: Point::new(80.0, 80.0),
+    };
+    let t = horizon + 2;
+    assert_eq!(
+        client.predict_range(&region, t).expect("wire range"),
+        direct.predict_range(&region, t)
+    );
+    let focus = Point::new(50.0, 10.0);
+    assert_eq!(
+        client.predict_nearest(&focus, t, 3).expect("wire knn"),
+        direct.predict_nearest(&focus, t, 3)
+    );
+
+    // ---- stats + admin ---------------------------------------------
+    for id in [ObjectId(0), ObjectId(3), ObjectId(999)] {
+        assert_eq!(client.stats(id).expect("wire stats"), direct.stats(id));
+    }
+    // An object with too little history: InsufficientHistory, typed,
+    // field-for-field.
+    let short = (0..N_OBJECTS)
+        .map(ObjectId)
+        .find(|&id| {
+            direct
+                .stats(id)
+                .is_ok_and(|s| s.full_periods < config().min_train_subs)
+        })
+        .expect("fleet always has an under-trained object");
+    let wire = client.force_retrain(short).expect("wire retrain");
+    let local = direct.force_retrain(short);
+    assert_eq!(wire, local);
+    assert!(matches!(wire, Err(QueryError::InsufficientHistory { .. })));
+    // And one with plenty: both retrain fine, and answers stay equal.
+    let trained = (0..N_OBJECTS)
+        .map(ObjectId)
+        .find(|&id| {
+            direct
+                .stats(id)
+                .is_ok_and(|s| s.full_periods >= config().min_train_subs)
+        })
+        .expect("fleet always has a trained object");
+    assert_eq!(
+        client.force_retrain(trained).expect("wire retrain"),
+        direct.force_retrain(trained)
+    );
+    assert_eq!(
+        client
+            .predict_batch(&[(trained, horizon + 1)])
+            .expect("post-retrain predict"),
+        direct.predict_batch(&[(trained, horizon + 1)])
+    );
+
+    // Memory-only store: snapshot reports "nothing durable" — the
+    // same answer `MovingObjectStore::snapshot` gives in-process.
+    assert_eq!(client.snapshot().expect("wire snapshot"), Ok(false));
+    let metrics = client.metrics_json().expect("wire metrics");
+    assert!(metrics.contains("server.requests"));
+    client.ping().expect("ping");
+
+    server.stop();
+}
+
+/// The pipeline itself: many frames of mixed verbs queued before any
+/// response is read; responses come back in order, correlation ids
+/// intact, each equal to the direct call.
+#[test]
+fn pipelined_interleaved_frames_preserve_order_and_answers() {
+    let served = Arc::new(MovingObjectStore::new(config()));
+    let direct = MovingObjectStore::new(config());
+    let reports = fleet_reports(7, N_OBJECTS);
+    let horizon = fleet_horizon(&reports);
+    // Pre-populate both sides identically.
+    for chunk in reports.chunks(128) {
+        assert_eq!(served.report_many(chunk), direct.report_many(chunk));
+    }
+    let server = spawn_server(Arc::clone(&served), ServerConfig::default());
+    let mut client = Client::connect(server.addr).expect("connect");
+
+    // Queue 3 rounds of 4 mixed frames (12 in flight) without reading.
+    let region = BoundingBox {
+        min: Point::new(0.0, -5.0),
+        max: Point::new(120.0, 60.0),
+    };
+    let focus = Point::new(10.0, 0.0);
+    let mut expected: Vec<(u64, ResponseBody)> = Vec::new();
+    for round in 0..3u64 {
+        let t = horizon + 1 + round;
+        let queries: Vec<(ObjectId, Timestamp)> = (0..N_OBJECTS + 1) // one unknown id
+            .map(|id| (ObjectId(id), t))
+            .collect();
+        let corr = client
+            .send(RequestBody::PredictBatch(queries.clone()))
+            .expect("queue predict");
+        expected.push((
+            corr,
+            ResponseBody::Predictions(direct.predict_batch(&queries)),
+        ));
+        let corr = client
+            .send(RequestBody::PredictRange {
+                region,
+                query_time: t,
+            })
+            .expect("queue range");
+        expected.push((corr, ResponseBody::Range(direct.predict_range(&region, t))));
+        let corr = client
+            .send(RequestBody::PredictNearest {
+                focus,
+                query_time: t,
+                k: 2,
+            })
+            .expect("queue knn");
+        expected.push((
+            corr,
+            ResponseBody::Nearest(direct.predict_nearest(&focus, t, 2)),
+        ));
+        let id = ObjectId(round % N_OBJECTS);
+        let corr = client.send(RequestBody::Stats(id)).expect("queue stats");
+        expected.push((corr, ResponseBody::Stats(direct.stats(id))));
+    }
+    for (i, (corr, want)) in expected.into_iter().enumerate() {
+        let resp = client.recv().expect("pipelined response");
+        assert_eq!(resp.correlation, corr, "frame {i} out of order");
+        assert_eq!(resp.body, want, "frame {i} diverges from direct call");
+    }
+
+    server.stop();
+}

@@ -32,6 +32,8 @@ for i in $(seq 1 "$STRESS_RUNS"); do
     cargo test -q --release --offline -p hpm-objectstore \
         --test stress --test props --test index_props --test query_edge \
         --test retrain --test recovery --test failpoints
+    cargo test -q --release --offline -p hpm-server \
+        --test proto_props --test faults
 done
 
 echo "==> metrics-json smoke (hpm predict --metrics-json + obs-json-check)"
@@ -98,6 +100,30 @@ for i in $(seq 1 "$STRESS_RUNS"); do
     # Recovery must be invisible in the answers.
     diff "$SMOKE_DIR/twin.out" "$SMOKE_DIR/crashed.out"
 done
+
+echo "==> server smoke (hpm serve + loadgen round-trip over loopback)"
+cargo build --release --offline -p hpm-bench
+./target/release/hpm serve --addr 127.0.0.1:0 --period 60 \
+    > "$SMOKE_DIR/serve.out" &
+SERVE_PID=$!
+# serve prints `LISTENING HOST:PORT` once bound; with port 0 the
+# kernel picks, so parse the line instead of assuming.
+for _ in $(seq 1 100); do
+    grep -q '^LISTENING ' "$SMOKE_DIR/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+ADDR="$(sed -n 's/^LISTENING //p' "$SMOKE_DIR/serve.out")"
+if [ -z "$ADDR" ]; then
+    echo "ERROR: hpm serve never printed LISTENING" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# --shutdown makes loadgen send the Shutdown verb when done, so the
+# server exits on its own and `wait` below proves a clean shutdown.
+./target/release/loadgen --addr "$ADDR" --shutdown > "$SMOKE_DIR/loadgen.out"
+grep -q '^LOADGEN ok' "$SMOKE_DIR/loadgen.out"
+wait "$SERVE_PID"
+grep -q '^SHUTDOWN clean' "$SMOKE_DIR/serve.out"
 
 echo "==> hermetic manifest scan"
 if grep -En '^(proptest|rand|criterion|serde|bytes|crossbeam|parking_lot)' \
