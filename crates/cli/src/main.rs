@@ -602,6 +602,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let server_config = ServerConfig {
         max_frame: args.get_or("max-frame", ServerConfig::default().max_frame)?,
         queue_depth: args.get_or("queue-depth", ServerConfig::default().queue_depth)?,
+        ..ServerConfig::default()
     };
     let server = Server::bind(Arc::new(store), addr, server_config).map_err(|e| e.to_string())?;
     // The bound address goes out immediately (and flushed) so scripts

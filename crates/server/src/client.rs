@@ -33,6 +33,16 @@ pub enum ClientError {
     /// The server could not parse what we sent
     /// ([`ResponseBody::Malformed`], message attached).
     Malformed(String),
+    /// The server executed the request but its response encoded past
+    /// the server's frame cap, so the result was dropped server-side
+    /// ([`ResponseBody::Oversized`]). The connection is still usable;
+    /// narrow the query or raise `max_frame` on both ends.
+    ResponseTooLarge {
+        /// Encoded size of the dropped response payload, in bytes.
+        encoded: u64,
+        /// The server's frame cap, in bytes.
+        limit: u64,
+    },
     /// The response decoded fine but was the wrong kind for the verb
     /// (protocol confusion — e.g. a `Pong` answering `stats`).
     UnexpectedResponse {
@@ -54,6 +64,10 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Proto(e) => write!(f, "{e}"),
             ClientError::Malformed(why) => write!(f, "server rejected request: {why}"),
+            ClientError::ResponseTooLarge { encoded, limit } => write!(
+                f,
+                "server dropped a {encoded}-byte response over its {limit}-byte frame cap"
+            ),
             ClientError::UnexpectedResponse { expected } => {
                 write!(f, "response kind mismatch: expected {expected}")
             }
@@ -93,8 +107,16 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server, accepting responses up to
+    /// [`DEFAULT_MAX_FRAME`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, DEFAULT_MAX_FRAME)
+    }
+
+    /// Connects to a server with an explicit response-payload cap,
+    /// mirroring `ServerConfig::max_frame` — pair them when the server
+    /// runs with a non-default cap.
+    pub fn connect_with(addr: impl ToSocketAddrs, max_frame: usize) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
@@ -103,8 +125,19 @@ impl Client {
             staging: Vec::new(),
             receive: Vec::new(),
             next_correlation: 1,
-            max_frame: DEFAULT_MAX_FRAME,
+            max_frame,
         })
+    }
+
+    /// The largest response payload this client accepts.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Changes the response-payload cap for subsequent
+    /// [`recv`](Self::recv)s.
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = max_frame;
     }
 
     /// Queues one request frame without waiting for its answer
@@ -143,6 +176,9 @@ impl Client {
                 sent,
                 got: resp.correlation,
             });
+        }
+        if let ResponseBody::Oversized { encoded, limit } = resp.body {
+            return Err(ClientError::ResponseTooLarge { encoded, limit });
         }
         Ok(resp.body)
     }

@@ -22,6 +22,11 @@ pub const MALFORMED: &str = "server.malformed";
 /// boundary (peer died mid-frame, transport error, or framing-level
 /// corruption that forced a close).
 pub const DIRTY_DISCONNECTS: &str = "server.disconnects.dirty";
+/// Responses that encoded past the server's frame cap and were
+/// replaced by a typed [`ResponseBody::Oversized`] reply.
+///
+/// [`ResponseBody::Oversized`]: crate::proto::ResponseBody::Oversized
+pub const OVERSIZED_RESPONSES: &str = "server.responses.oversized";
 
 /// Response frames waiting in a connection's bounded writer queue,
 /// observed at enqueue — persistently at `queue_depth` means the
@@ -40,6 +45,7 @@ pub fn register() {
     hpm_obs::registry().counter(REQUESTS);
     hpm_obs::registry().counter(MALFORMED);
     hpm_obs::registry().counter(DIRTY_DISCONNECTS);
+    hpm_obs::registry().counter(OVERSIZED_RESPONSES);
     hpm_obs::registry().gauge(OPEN_CONNECTIONS);
     hpm_obs::registry().histogram(QUEUE_DEPTH, hpm_obs::Unit::Count);
     hpm_obs::registry().histogram(REQUEST_BYTES, hpm_obs::Unit::Count);

@@ -187,7 +187,8 @@ pub struct Response {
 }
 
 /// The results the server sends back, one variant per verb plus the
-/// [`Malformed`](ResponseBody::Malformed) protocol error.
+/// [`Malformed`](ResponseBody::Malformed) and
+/// [`Oversized`](ResponseBody::Oversized) protocol errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResponseBody {
     /// Per-report results of a [`RequestBody::ReportMany`], input order.
@@ -219,6 +220,17 @@ pub enum ResponseBody {
     /// frame boundaries can no longer be trusted — while a well-framed
     /// but undecodable payload leaves the connection usable.
     Malformed(String),
+    /// The request executed but its response encoded larger than the
+    /// server's frame cap, so the server dropped the result rather
+    /// than emit a frame the peer would have to reject. Side effects
+    /// (e.g. an ingest) have still happened; narrow the query or raise
+    /// the cap on both sides and retry. The connection stays usable.
+    Oversized {
+        /// Encoded size of the dropped response payload, in bytes.
+        encoded: u64,
+        /// The server's frame cap, in bytes.
+        limit: u64,
+    },
 }
 
 const RESP_INGESTED: u8 = 1;
@@ -232,6 +244,7 @@ const RESP_METRICS: u8 = 8;
 const RESP_PONG: u8 = 9;
 const RESP_SHUTTING_DOWN: u8 = 10;
 const RESP_MALFORMED: u8 = 11;
+const RESP_OVERSIZED: u8 = 12;
 
 // ---------------------------------------------------------------- framing
 
@@ -316,7 +329,13 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    // The limit handed to `get_count` is measured before the varint is
+    // consumed, so an announced length equal to the pre-varint
+    // remainder still passes it while exceeding what is actually left.
     let len = get_count(buf, buf.len())?;
+    if len > buf.len() {
+        return Err(DecodeError::Truncated);
+    }
     let (head, rest) = buf.split_at(len);
     let s = std::str::from_utf8(head)
         .map_err(|_| DecodeError::Invalid("string is not UTF-8".into()))?
@@ -741,6 +760,11 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(RESP_MALFORMED);
             put_string(out, why);
         }
+        ResponseBody::Oversized { encoded, limit } => {
+            out.push(RESP_OVERSIZED);
+            put_varint(out, *encoded);
+            put_varint(out, *limit);
+        }
     }
 }
 
@@ -824,6 +848,10 @@ pub fn decode_response(mut payload: &[u8]) -> Result<Response, ProtoError> {
         RESP_PONG => ResponseBody::Pong,
         RESP_SHUTTING_DOWN => ResponseBody::ShuttingDown,
         RESP_MALFORMED => ResponseBody::Malformed(get_string(buf)?),
+        RESP_OVERSIZED => ResponseBody::Oversized {
+            encoded: get_varint(buf)?,
+            limit: get_varint(buf)?,
+        },
         other => {
             return Err(ProtoError::Decode(DecodeError::Invalid(format!(
                 "unknown response tag {other}"
@@ -1001,6 +1029,10 @@ mod tests {
             ResponseBody::Pong,
             ResponseBody::ShuttingDown,
             ResponseBody::Malformed("unknown request verb 240".into()),
+            ResponseBody::Oversized {
+                encoded: 5 << 20,
+                limit: 4 << 20,
+            },
         ];
         let mut out = Vec::new();
         for (i, body) in responses.into_iter().enumerate() {
@@ -1028,6 +1060,28 @@ mod tests {
             decode_request(&out),
             Err(ProtoError::Decode(DecodeError::TrailingBytes(1)))
         ));
+    }
+
+    #[test]
+    fn truncated_string_payload_is_typed_not_panic() {
+        let mut out = Vec::new();
+        encode_response(
+            &Response {
+                correlation: 1,
+                body: ResponseBody::Malformed("abcdef".into()),
+            },
+            &mut out,
+        );
+        // Every truncation must decode to a typed error. The
+        // one-byte-short cut is the regression case: the announced
+        // string length then equals the pre-varint remainder, which
+        // passes the count limit but overruns the post-varint slice.
+        for cut in 0..out.len() {
+            assert!(
+                decode_response(&out[..cut]).is_err(),
+                "truncation at {cut} must be a typed error"
+            );
+        }
     }
 
     #[test]

@@ -28,8 +28,13 @@
 //! sets the stop flag, wakes the accept loop with a loopback connect,
 //! and half-closes every registered connection's read side. Readers
 //! drain: in-flight responses are still written, then writer queues
-//! close and threads join. `serve` flushes buffered WAL batches and
-//! returns once the scope is empty.
+//! close and threads join. A read-side close cannot wake a writer
+//! blocked against a stalled peer (or the reader blocked handing it
+//! work), so a detached watchdog severs the write side too
+//! ([`ServerConfig::drain_grace`] later) — the drain is bounded, not
+//! best-effort. `serve` flushes buffered WAL batches and returns once
+//! the scope is empty, on the clean path and the accept-error path
+//! alike.
 
 use crate::metrics;
 use crate::proto::{
@@ -45,17 +50,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Largest request payload the server accepts; larger length
-    /// prefixes are rejected before any allocation
-    /// ([`ProtoError::Oversized`], connection closed).
+    /// Largest frame payload in either direction: request length
+    /// prefixes above it are rejected before any allocation
+    /// ([`ProtoError::Oversized`], connection closed), and a response
+    /// that encodes larger is replaced by a typed
+    /// [`ResponseBody::Oversized`] reply rather than emitted for the
+    /// peer to reject.
     pub max_frame: usize,
     /// Responses one connection may queue for writing before the
     /// reader blocks (the backpressure bound).
     pub queue_depth: usize,
+    /// How long shutdown lets connections drain in-flight responses
+    /// before severing their write side so threads blocked on a
+    /// stalled peer are forced out.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +76,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             queue_depth: 64,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -71,10 +85,11 @@ impl Default for ServerConfig {
 struct Shared {
     stop: AtomicBool,
     addr: SocketAddr,
-    /// Read-side clones of live connections, half-closed on shutdown
-    /// so blocked readers wake.
+    /// Clones of live connections, half-closed on shutdown so blocked
+    /// readers wake (and fully severed once the drain grace expires).
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    drain_grace: Duration,
 }
 
 impl Shared {
@@ -87,10 +102,27 @@ impl Shared {
         // Wake the accept loop: a throwaway loopback connection makes
         // `accept` return, and the loop re-checks the flag first.
         let _ = TcpStream::connect(self.addr);
-        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
-        for stream in conns.values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
+        let stragglers: Vec<TcpStream> = {
+            let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+            conns.values().filter_map(|s| s.try_clone().ok()).collect()
+        };
+        // A read-side close does not wake a writer blocked in
+        // `write_all` against a peer that stopped reading, nor the
+        // reader blocked handing that writer a response. Give every
+        // connection a bounded window to drain, then sever the write
+        // side too; the blocked calls then error out and the threads
+        // join. Detached on purpose: the watchdog owns its clones and
+        // a no-op run (everyone drained in time) costs nothing.
+        let grace = self.drain_grace;
+        thread::spawn(move || {
+            thread::sleep(grace);
+            for stream in &stragglers {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        });
     }
 }
 
@@ -137,6 +169,7 @@ impl Server {
             addr: listener.local_addr()?,
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            drain_grace: config.drain_grace,
         });
         Ok(Server {
             store,
@@ -161,7 +194,8 @@ impl Server {
 
     /// Serves until [`ServerHandle::shutdown`] or a
     /// [`RequestBody::Shutdown`] frame, then drains connections,
-    /// flushes buffered WAL batches, and returns.
+    /// flushes buffered WAL batches, and returns. The WAL flush runs
+    /// even when an accept failure ends the loop early.
     pub fn serve(self) -> io::Result<()> {
         let Server {
             store,
@@ -169,7 +203,7 @@ impl Server {
             config,
             shared,
         } = self;
-        thread::scope(|scope| {
+        let served = thread::scope(|scope| {
             loop {
                 let (stream, _) = match listener.accept() {
                     Ok(accepted) => accepted,
@@ -189,8 +223,9 @@ impl Server {
                 scope.spawn(move || handle_conn(store, stream, config, shared));
             }
             Ok(())
-        })?;
-        store.flush_wal()
+        });
+        let flushed = store.flush_wal();
+        served.and(flushed)
     }
 }
 
@@ -226,6 +261,12 @@ fn handle_conn(
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(conn_id, read_half);
+    }
+    // Shutdown may have swept the registry between this connection's
+    // accept and its registration above; a connection that registered
+    // after the sweep severs itself or it would never be woken.
+    if shared.stop.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Both);
     }
     hpm_obs::counter!(metrics::CONNECTIONS).add(1);
     hpm_obs::gauge!(metrics::OPEN_CONNECTIONS).add(1);
@@ -319,7 +360,14 @@ fn read_loop(
                         )
                     }
                 };
-                if !enqueue(&response, &mut encode_buf, &resp_tx, &recycle_rx, &depth) {
+                if !enqueue(
+                    &response,
+                    &mut encode_buf,
+                    config.max_frame,
+                    &resp_tx,
+                    &recycle_rx,
+                    &depth,
+                ) {
                     return false;
                 }
                 if let After::Close = after {
@@ -344,7 +392,14 @@ fn read_loop(
                         correlation: 0,
                         body: ResponseBody::Malformed(framing.to_string()),
                     };
-                    let _ = enqueue(&response, &mut encode_buf, &resp_tx, &recycle_rx, &depth);
+                    let _ = enqueue(
+                        &response,
+                        &mut encode_buf,
+                        config.max_frame,
+                        &resp_tx,
+                        &recycle_rx,
+                        &depth,
+                    );
                 }
                 return false;
             }
@@ -355,16 +410,30 @@ fn read_loop(
 /// Encodes `response` through the connection-owned `encode_buf`,
 /// frames it into a buffer recycled from the writer, and enqueues the
 /// frame on the bounded writer queue — blocking when the queue is
-/// full (the backpressure point). Returns `false` if the writer is
-/// gone.
+/// full (the backpressure point). A response encoding past
+/// `max_frame` is replaced by a typed [`ResponseBody::Oversized`]
+/// reply instead of shipping a frame the peer must reject. Returns
+/// `false` if the writer is gone.
 fn enqueue(
     response: &Response,
     encode_buf: &mut Vec<u8>,
+    max_frame: usize,
     resp_tx: &SyncSender<Vec<u8>>,
     recycle_rx: &Receiver<Vec<u8>>,
     depth: &AtomicUsize,
 ) -> bool {
     crate::proto::encode_response(response, encode_buf);
+    if encode_buf.len() > max_frame {
+        hpm_obs::counter!(metrics::OVERSIZED_RESPONSES).add(1);
+        let fallback = Response {
+            correlation: response.correlation,
+            body: ResponseBody::Oversized {
+                encoded: encode_buf.len() as u64,
+                limit: max_frame as u64,
+            },
+        };
+        crate::proto::encode_response(&fallback, encode_buf);
+    }
     hpm_obs::histogram!(metrics::RESPONSE_BYTES).record(encode_buf.len() as u64);
     let mut framed = recycle_rx.try_recv().unwrap_or_default();
     framed.clear();

@@ -177,6 +177,70 @@ fn oversized_frame_rejected_with_typed_error() {
     server.stop();
 }
 
+/// A response that encodes past the server's frame cap is dropped in
+/// favor of a typed `Oversized` reply carrying both sizes — never a
+/// frame the client would have to reject — and the connection keeps
+/// serving.
+#[test]
+fn oversized_response_replaced_with_typed_error() {
+    let store = Arc::new(MovingObjectStore::new(config()));
+    let server = spawn_server(
+        Arc::clone(&store),
+        ServerConfig {
+            max_frame: 100,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.addr).expect("connect");
+    // The metrics JSON names a handful of metrics and cannot fit a
+    // 100-byte cap; a Metrics request is only a few bytes, so the
+    // request side sails through.
+    let err = client
+        .metrics_json()
+        .expect_err("an over-cap response must not arrive");
+    match err {
+        ClientError::ResponseTooLarge { encoded, limit } => {
+            assert_eq!(limit, 100);
+            assert!(encoded > 100, "dropped response was {encoded} bytes");
+        }
+        other => panic!("expected ResponseTooLarge, got {other:?}"),
+    }
+    // Same connection, still serving.
+    client
+        .ping()
+        .expect("connection must stay usable after an oversized response");
+    server.stop();
+}
+
+/// A client that fills its pipeline and never reads must not wedge
+/// shutdown: once the drain grace expires, the watchdog severs the
+/// write side, the writer blocked in `write_all` and the reader
+/// blocked handing it work both error out, and `serve` returns.
+#[test]
+fn shutdown_completes_despite_stalled_client() {
+    let store = Arc::new(MovingObjectStore::new(config()));
+    let server = spawn_server(
+        Arc::clone(&store),
+        ServerConfig {
+            queue_depth: 2,
+            drain_grace: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    );
+    // Kilobyte-scale metrics responses against a depth-2 queue: the
+    // socket buffers and the queue fill, then the connection's writer
+    // and reader are both blocked on a peer that never reads.
+    let mut slacker = Client::connect(server.addr).expect("connect slacker");
+    for _ in 0..2048 {
+        slacker
+            .send(RequestBody::Metrics)
+            .expect("queue metrics frame");
+    }
+    // Without the write-side watchdog this join never returns.
+    server.stop();
+    drop(slacker);
+}
+
 /// Healthy connections must answer bit-identically to direct store
 /// calls **while** chaos connections disconnect mid-frame and blast
 /// garbage next to them. Read-only queries compare against the very

@@ -131,7 +131,7 @@ fn random_prediction(rng: &mut SmallRng) -> Prediction {
 }
 
 fn random_response(rng: &mut SmallRng) -> Response {
-    let body = match rng.gen_range(0..11u32) {
+    let body = match rng.gen_range(0..12u32) {
         0 => ResponseBody::Ingested(
             (0..rng.gen_range(0..20usize))
                 .map(|_| random_ingest_result(rng))
@@ -188,7 +188,11 @@ fn random_response(rng: &mut SmallRng) -> Response {
         7 => ResponseBody::Metrics(format!("{{\"n\":{}}}", rng.gen_range(0..1000u32))),
         8 => ResponseBody::Pong,
         9 => ResponseBody::ShuttingDown,
-        _ => ResponseBody::Malformed(format!("reason {}", rng.gen_range(0..1000u32))),
+        10 => ResponseBody::Malformed(format!("reason {}", rng.gen_range(0..1000u32))),
+        _ => ResponseBody::Oversized {
+            encoded: rng.gen_range(0..1u64 << 40),
+            limit: rng.gen_range(0..1u64 << 40),
+        },
     };
     Response {
         correlation: rng.gen_range(0..u64::MAX),
