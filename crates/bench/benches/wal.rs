@@ -168,6 +168,70 @@ fn measure(mode: &Mode, reports: usize, reps: usize) -> u64 {
     best
 }
 
+/// Snapshot write amplification, v1 vs v2: the v1 format flattens
+/// every history to raw `(f64, f64)` points; v2 writes sealed chunks
+/// verbatim (no recompress on the snapshot path). Same logical fleet,
+/// both encodes timed (encode + buffer build, no fsync — matching the
+/// `never` rows' durability model), best of `reps`.
+struct SnapCompare {
+    objects: usize,
+    samples_per_object: usize,
+    v1_bytes: usize,
+    v2_bytes: usize,
+    v1_encode_ms: f64,
+    v2_encode_ms: f64,
+}
+
+fn snapshot_compare(objects: usize, samples_per_object: usize, reps: usize) -> SnapCompare {
+    use hpm_store::{encode_snapshot, encode_snapshot_v1, HistorySnapshot, ObjectSnapshot};
+    use hpm_trajectory::{ChunkParams, ChunkedHistory};
+
+    let snaps: Vec<ObjectSnapshot> = (0..objects as u64)
+        .map(|id| {
+            let mut h = ChunkedHistory::new(0, ChunkParams::default());
+            let (mut x, mut y) = (5000.0 + id as f64 * 7.0, 5000.0 - id as f64);
+            for i in 0..samples_per_object as u64 {
+                x += ((i % 7) as f64 - 3.0) * 0.5;
+                y += (((i + id) % 5) as f64 - 2.0) * 0.5;
+                h.push(Point::new(x, y));
+            }
+            ObjectSnapshot {
+                id,
+                start: 0,
+                history: HistorySnapshot::Chunked {
+                    chunks: h.chunks().to_vec(),
+                    tail: h.tail().iter().map(|p| (p.x, p.y)).collect(),
+                },
+                trained_subs: 0,
+                trained_len: 0,
+                model: None,
+            }
+        })
+        .collect();
+
+    let time_best = |f: &dyn Fn() -> Vec<u8>| -> (usize, f64) {
+        let mut best = f64::MAX;
+        let mut len = 0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let bytes = std::hint::black_box(f());
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            len = bytes.len();
+        }
+        (len, best)
+    };
+    let (v2_bytes, v2_encode_ms) = time_best(&|| encode_snapshot(&snaps));
+    let (v1_bytes, v1_encode_ms) = time_best(&|| encode_snapshot_v1(&snaps));
+    SnapCompare {
+        objects,
+        samples_per_object,
+        v1_bytes,
+        v2_bytes,
+        v1_encode_ms,
+        v2_encode_ms,
+    }
+}
+
 fn run(reports: usize, reps: usize, report_path: Option<&str>) -> Vec<Row> {
     let mut rows: Vec<Row> = Vec::new();
     for mode in &MODES {
@@ -196,6 +260,24 @@ fn run(reports: usize, reps: usize, report_path: Option<&str>) -> Vec<Row> {
         );
         rows.push(row);
     }
+    // Snapshot write-amplification: also printed in smoke mode so
+    // `cargo test` exercises both encoders.
+    let snap = if report_path.is_some() {
+        snapshot_compare(64, 4096, 3)
+    } else {
+        snapshot_compare(4, 600, 1)
+    };
+    let snap_ratio = snap.v1_bytes as f64 / snap.v2_bytes.max(1) as f64;
+    println!(
+        "  snapshot {} objs x {} samples: v1 {} B / v2 {} B ({snap_ratio:.2}x), \
+         encode {:.1} ms -> {:.1} ms",
+        snap.objects,
+        snap.samples_per_object,
+        snap.v1_bytes,
+        snap.v2_bytes,
+        snap.v1_encode_ms,
+        snap.v2_encode_ms
+    );
     if let Some(path) = report_path {
         let overhead_at_256 = rows
             .iter()
@@ -213,7 +295,13 @@ fn run(reports: usize, reps: usize, report_path: Option<&str>) -> Vec<Row> {
             .collect::<Vec<_>>()
             .join(",\n");
         let json = format!(
-            "{{\n  \"bench\": \"wal\",\n  \"period\": {PERIOD},\n  \"reports_per_rep\": {reports},\n  \"reps\": {reps},\n  \"methodology\": \"single object, {reports} contiguous report() calls per rep, best-of-{reps} fresh runs per fsync=never mode (fsync=always modes run a quarter of the reports, half the reps: device latency dwarfs scheduler noise there); min_train_subs out of reach so no retrain pollutes timing; durable modes open a fresh data dir and drain the group-commit buffer via flush_wal() inside the clock; each durable rep is reopened afterwards and must replay to the same sample count. fsync=never rows isolate WAL cost under the process-crash durability model (page cache survives, matching the recovery tests); fsync=always rows add one fdatasync per batch and so measure the device as much as the WAL — group commit amortizes that round-trip. Container caveat: temp-fs fdatasync latency is container-fs latency, not a datacenter disk's, and the few-tens-of-ns in-memory baseline makes any syscall register as a multiple; the portable signals are the orderings (off <= gc256 <= gc32 <= gc1, never <= always), not the absolute ratios\",\n  \"wal_on_overhead_at_gc256\": {overhead_at_256:.2},\n  \"results\": [\n{results}\n  ]\n}}\n"
+            "{{\n  \"bench\": \"wal\",\n  \"period\": {PERIOD},\n  \"reports_per_rep\": {reports},\n  \"reps\": {reps},\n  \"methodology\": \"single object, {reports} contiguous report() calls per rep, best-of-{reps} fresh runs per fsync=never mode (fsync=always modes run a quarter of the reports, half the reps: device latency dwarfs scheduler noise there); min_train_subs out of reach so no retrain pollutes timing; durable modes open a fresh data dir and drain the group-commit buffer via flush_wal() inside the clock; each durable rep is reopened afterwards and must replay to the same sample count. fsync=never rows isolate WAL cost under the process-crash durability model (page cache survives, matching the recovery tests); fsync=always rows add one fdatasync per batch and so measure the device as much as the WAL — group commit amortizes that round-trip. Container caveat: temp-fs fdatasync latency is container-fs latency, not a datacenter disk's, and the few-tens-of-ns in-memory baseline makes any syscall register as a multiple; the portable signals are the orderings (off <= gc256 <= gc32 <= gc1, never <= always), not the absolute ratios\",\n  \"wal_on_overhead_at_gc256\": {overhead_at_256:.2},\n  \"snapshot\": {{\n    \"objects\": {}, \"samples_per_object\": {},\n    \"v1_bytes\": {}, \"v2_bytes\": {}, \"v1_over_v2_bytes\": {snap_ratio:.2},\n    \"v1_encode_ms\": {:.2}, \"v2_encode_ms\": {:.2},\n    \"note\": \"same fleet encoded by both snapshot formats: v1 flattens histories to raw f64 pairs, v2 writes sealed compressed chunks verbatim (no recompress), so v2 cuts both the file size and the encode time\"\n  }},\n  \"results\": [\n{results}\n  ]\n}}\n",
+            snap.objects,
+            snap.samples_per_object,
+            snap.v1_bytes,
+            snap.v2_bytes,
+            snap.v1_encode_ms,
+            snap.v2_encode_ms
         );
         std::fs::write(path, json).expect("write wal report");
         println!("wrote {path}");

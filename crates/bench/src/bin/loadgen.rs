@@ -40,6 +40,20 @@ const INGEST_BATCH: usize = 1024;
 /// RTT of one pipelined `predict_batch` frame, send to receive.
 const RTT: &str = "loadgen.rtt";
 
+/// Pulls one gauge value out of the server's hand-built metrics JSON
+/// (`"name":value` inside the `gauges` object). The workspace is
+/// hermetic (no serde), and the obs render never escapes metric names,
+/// so a literal key scan is exact.
+fn gauge_from_json(json: &str, name: &str) -> Option<i64> {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 struct Opts {
     addr: Option<String>,
     bench: bool,
@@ -266,13 +280,16 @@ fn main() {
     let (p50, p99) = (rtt.quantile(0.5), rtt.quantile(0.99));
 
     // Admin pull over the wire: the served registry must catalogue the
-    // server's own metrics.
+    // server's own metrics, including the store memory gauges the
+    // Metrics verb refreshes on demand.
     let mut admin = Client::connect(&addr).expect("connect for admin");
     let metrics_json = admin.metrics_json().expect("metrics over the wire");
     assert!(
         metrics_json.contains("server.requests"),
         "served metrics JSON misses server.requests"
     );
+    let mem_bytes = gauge_from_json(&metrics_json, "store.mem.bytes").unwrap_or(0);
+    let mem_per_object = gauge_from_json(&metrics_json, "store.mem.bytes_per_object").unwrap_or(0);
     if opts.shutdown {
         admin.shutdown().expect("shutdown verb");
     }
@@ -289,7 +306,7 @@ fn main() {
         let out = std::env::var("HPM_SERVER_OUT").unwrap_or_else(|_| default_out.into());
         // Hand-built JSON: the workspace is hermetic (no serde).
         let json = format!(
-            "{{\n  \"bench\": \"server\",\n  \"objects\": {},\n  \"subs\": {},\n  \"period\": {PERIOD},\n  \"connections\": {},\n  \"frames_per_connection\": {},\n  \"queries_per_frame\": {},\n  \"pipeline_window\": {WINDOW},\n  \"ingest_reports\": {reports},\n  \"ingest_reports_per_s\": {ingest_rate:.0},\n  \"predict_queries\": {queries},\n  \"predict_qps\": {qps:.0},\n  \"frame_rtt_p50_ns\": {p50},\n  \"frame_rtt_p99_ns\": {p99},\n  \"methodology\": \"loopback TCP against a self-hosted memory-only store (the wire is the subject, not the disk): ingest phase streams every object's full history through report_many frames of {INGEST_BATCH} time-sliced reports, then {} connections each pipeline {} predict_batch frames of {} queries with {WINDOW} frames in flight; RTT is per-frame send-to-receive from the hpm-obs loadgen.rtt histogram, so p50/p99 are power-of-two bucket upper bounds, and qps counts typed errors as answered queries (a couple of unknown ids per batch keep the error path in the mix). Container caveat: client, server, and store share one small container CPU, so qps here is a floor and RTT tails include scheduler noise; the portable signals are the pipelining benefit and the p50/p99 shape, not absolute throughput\",\n  \"notes\": \"run `cargo run --release -p hpm-bench --bin loadgen -- --bench` to regenerate\"\n}}\n",
+            "{{\n  \"bench\": \"server\",\n  \"objects\": {},\n  \"subs\": {},\n  \"period\": {PERIOD},\n  \"connections\": {},\n  \"frames_per_connection\": {},\n  \"queries_per_frame\": {},\n  \"pipeline_window\": {WINDOW},\n  \"ingest_reports\": {reports},\n  \"ingest_reports_per_s\": {ingest_rate:.0},\n  \"server_store_mem_bytes\": {mem_bytes},\n  \"server_store_mem_bytes_per_object\": {mem_per_object},\n  \"predict_queries\": {queries},\n  \"predict_qps\": {qps:.0},\n  \"frame_rtt_p50_ns\": {p50},\n  \"frame_rtt_p99_ns\": {p99},\n  \"methodology\": \"loopback TCP against a self-hosted memory-only store (the wire is the subject, not the disk): ingest phase streams every object's full history through report_many frames of {INGEST_BATCH} time-sliced reports, then {} connections each pipeline {} predict_batch frames of {} queries with {WINDOW} frames in flight; RTT is per-frame send-to-receive from the hpm-obs loadgen.rtt histogram, so p50/p99 are power-of-two bucket upper bounds, and qps counts typed errors as answered queries (a couple of unknown ids per batch keep the error path in the mix). Container caveat: client, server, and store share one small container CPU, so qps here is a floor and RTT tails include scheduler noise; the portable signals are the pipelining benefit and the p50/p99 shape, not absolute throughput\",\n  \"notes\": \"run `cargo run --release -p hpm-bench --bin loadgen -- --bench` to regenerate\"\n}}\n",
             opts.objects,
             opts.subs,
             opts.connections,
@@ -305,7 +322,7 @@ fn main() {
 
     println!(
         "LOADGEN ok reports={reports} ingest_per_s={ingest_rate:.0} queries={queries} \
-         errors={errs} qps={qps:.0} rtt_p50_us={} rtt_p99_us={}",
+         errors={errs} qps={qps:.0} rtt_p50_us={} rtt_p99_us={} store_mem_bytes={mem_bytes}",
         p50 / 1_000,
         p99 / 1_000,
     );

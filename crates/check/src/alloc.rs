@@ -16,8 +16,15 @@
 //! assert_eq!(ALLOC.allocations() - before, 0);
 //! ```
 //!
+//! Beyond call counts, the allocator tracks **bytes**: the live
+//! (currently outstanding) byte total and the high-water mark since the
+//! last [`reset_peak`](CountingAllocator::reset_peak). That lets a
+//! steady-state test bound *retained growth* (diff two `live_bytes`
+//! readings around a window that should retain almost nothing) and a
+//! footprint test bound *transient spikes* (`peak_bytes` after a reset).
+//!
 //! Install it with `#[global_allocator]` in a dedicated integration
-//! test file holding a *single* test function — the count is
+//! test file holding a *single* test function — the counters are
 //! process-global, so unrelated concurrent tests (the libtest harness
 //! runs them on threads) would otherwise bleed into the window being
 //! measured.
@@ -26,11 +33,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Global allocator that delegates to [`System`] and counts
-/// allocations (frees are not counted: a regression test for an
-/// allocation-free path only cares about acquisitions).
+/// allocations and live/peak bytes (frees decrement the live total but
+/// are not counted as calls: a regression test for an allocation-free
+/// path only cares about acquisitions).
 #[derive(Debug)]
 pub struct CountingAllocator {
     allocations: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
 }
 
 impl CountingAllocator {
@@ -38,6 +48,8 @@ impl CountingAllocator {
     pub const fn new() -> Self {
         CountingAllocator {
             allocations: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
         }
     }
 
@@ -45,6 +57,43 @@ impl CountingAllocator {
     /// all threads. Diff two readings to count a window.
     pub fn allocations(&self) -> u64 {
         self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently allocated and not yet freed, across all
+    /// threads. Diff two readings around a window to measure retained
+    /// (steady-state) growth.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`live_bytes`](Self::live_bytes) since
+    /// process start or the last [`reset_peak`](Self::reset_peak).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live total, so the next
+    /// [`peak_bytes`](Self::peak_bytes) reading reflects only the
+    /// window that follows. Relaxed and racy by design: concurrent
+    /// allocations during the reset may land on either side of it,
+    /// which is fine for the single-threaded measurement windows these
+    /// tests use.
+    pub fn reset_peak(&self) {
+        self.peak_bytes
+            .store(self.live_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn on_alloc(&self, size: usize) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let live = self
+            .live_bytes
+            .fetch_add(size as u64, Ordering::Relaxed)
+            .wrapping_add(size as u64);
+        self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(&self, size: usize) {
+        self.live_bytes.fetch_sub(size as u64, Ordering::Relaxed);
     }
 }
 
@@ -54,25 +103,38 @@ impl Default for CountingAllocator {
     }
 }
 
-// SAFETY: delegates every operation unchanged to `System`; the counter
-// has no effect on the returned memory.
+// SAFETY: delegates every operation unchanged to `System`; the counters
+// have no effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            self.on_alloc(layout.size());
+        }
+        ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.on_dealloc(layout.size());
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            self.on_alloc(layout.size());
+        }
+        ptr
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            // Count the realloc as one acquisition; adjust live bytes
+            // by the size delta.
+            self.on_dealloc(layout.size());
+            self.on_alloc(new_size);
+        }
+        new_ptr
     }
 }

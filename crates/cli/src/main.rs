@@ -39,6 +39,7 @@ fn main() {
         "predict" => cmd_predict(&args),
         "ingest" => cmd_ingest(&args),
         "serve" => cmd_serve(&args),
+        "stats" => cmd_stats(&args),
         "eval" => cmd_eval(&args),
         "staypoints" => cmd_staypoints(&args),
         "simplify" => cmd_simplify(&args),
@@ -91,6 +92,10 @@ SUBCOMMANDS
             [--recent 2] [--shards 4] [--threads 0]
             [--group-commit 1] [--fsync always|never] [--snapshot-every 0]
             [--max-frame BYTES] [--queue-depth 64]
+  stats     query a running server for one object's stats (samples,
+            training watermarks, model size, approximate resident
+            bytes) and the fleet-wide store memory gauges
+            --addr HOST:PORT  --id N  [--mem true] [--shutdown false]
   eval      compare HPM / RMF / linear accuracy on held-out data
             --input traj.csv  --period N  --train-subs N  --length N
             [--queries 50] [--recent 20] [--extent 10000]
@@ -504,6 +509,10 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
         "STATS samples={} full_periods={} trained_periods={} regions={} patterns={}",
         s.samples, s.full_periods, s.trained_periods, s.regions, s.patterns
     );
+    // Off the STATS line on purpose: resident bytes differ between a
+    // store that grew online and one that recovered from disk, and
+    // crash smoke scripts diff STATS byte-for-byte.
+    println!("MEM approx_bytes={}", s.approx_bytes);
     if let Some(list) = args.optional("predict-at") {
         for raw in list.split(',') {
             let t: u64 = raw
@@ -521,6 +530,62 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
                 Err(e) => println!("PREDICT t={t} error={e}"),
             }
         }
+    }
+    Ok(())
+}
+
+/// Queries a running server for one object's stats (the Stats verb)
+/// and the fleet-wide memory gauges the Metrics verb refreshes.
+///
+/// `approx_bytes` goes on its own `MEM` line, not the `STATS` line:
+/// crash-recovery smoke scripts diff `STATS` byte-for-byte between
+/// runs, and resident bytes legitimately differ between a store that
+/// grew its capacities online and one that recovered them from disk.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    use hpm_objectstore::ObjectId;
+    use hpm_server::Client;
+
+    args.expect_only(&["addr", "id", "mem", "shutdown"])?;
+    let addr = args.required("addr")?;
+    let id = ObjectId(args.get("id")?);
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let s = client
+        .stats(id)
+        .map_err(|e| format!("stats request failed: {e}"))?
+        .map_err(|e| format!("server rejected stats: {e}"))?;
+    println!(
+        "STATS samples={} full_periods={} trained_periods={} regions={} patterns={}",
+        s.samples, s.full_periods, s.trained_periods, s.regions, s.patterns
+    );
+    println!("MEM approx_bytes={}", s.approx_bytes);
+    if args.get_or("mem", true)? {
+        let json = client
+            .metrics_json()
+            .map_err(|e| format!("metrics request failed: {e}"))?;
+        // Literal key scan: the obs JSON render never escapes these
+        // fixed metric names (the workspace is hermetic, no serde).
+        let gauge = |name: &str| -> Option<i64> {
+            let key = format!("\"{name}\":");
+            let at = json.find(&key)? + key.len();
+            let rest = &json[at..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit() && c != '-')
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        if let (Some(total), Some(per_obj)) = (
+            gauge("store.mem.bytes"),
+            gauge("store.mem.bytes_per_object"),
+        ) {
+            println!("MEM store_bytes={total} bytes_per_object={per_obj}");
+        }
+    }
+    // Admin convenience for scripted smoke tests: probe, then stop the
+    // server in the same invocation.
+    if args.get_or("shutdown", false)? {
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown verb failed: {e}"))?;
     }
     Ok(())
 }

@@ -27,7 +27,8 @@
 //! rebuild. Over-reporting drift costs only time, never correctness.
 
 use crate::{dbscan, Cluster, DbscanParams, Label};
-use hpm_geo::{BoundingBox, Point};
+use hpm_geo::mem::{hashmap_bytes, vec_cap_bytes};
+use hpm_geo::{BoundingBox, MemUse, Point};
 use std::collections::HashMap;
 
 /// Why an insertion could not be absorbed locally.
@@ -324,6 +325,23 @@ impl IncrementalDbscan {
     pub fn cluster_summary(&self, id: u32) -> (usize, Point, BoundingBox) {
         let c = &self.clusters[id as usize];
         (c.members.len(), c.sum / c.members.len() as f64, c.bbox)
+    }
+}
+
+impl MemUse for IncrementalDbscan {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + vec_cap_bytes(&self.points)
+            + hashmap_bytes(&self.buckets)
+            + self.buckets.values().map(vec_cap_bytes).sum::<usize>()
+            + vec_cap_bytes(&self.counts)
+            + vec_cap_bytes(&self.labels)
+            + self.clusters.capacity() * std::mem::size_of::<ClusterState>()
+            + self
+                .clusters
+                .iter()
+                .map(|c| vec_cap_bytes(&c.members))
+                .sum::<usize>()
     }
 }
 

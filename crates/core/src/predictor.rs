@@ -46,6 +46,24 @@ pub(crate) fn max_premise_ones(pattern_keys: &[PatternKey]) -> usize {
         .unwrap_or(0)
 }
 
+impl hpm_geo::MemUse for HybridPredictor {
+    /// Everything the trained index keeps resident: regions, patterns,
+    /// both pattern keys and the builder tree, the packed search image
+    /// and the weight table. (The per-thread [`PredictScratch`] is
+    /// thread-local, not per-predictor, and is not charged here.)
+    fn mem_bytes(&self) -> usize {
+        use hpm_geo::mem::heap_bytes;
+        std::mem::size_of::<Self>()
+            + heap_bytes(&self.regions)
+            + heap_bytes(&self.patterns)
+            + heap_bytes(&self.key_table)
+            + heap_bytes(&self.pattern_keys)
+            + heap_bytes(&self.tpt)
+            + heap_bytes(&self.packed)
+            + heap_bytes(&self.weight_table)
+    }
+}
+
 impl HybridPredictor {
     /// Runs the full offline pipeline over a movement history:
     /// periodic decomposition → DBSCAN frequent regions → Apriori

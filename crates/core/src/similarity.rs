@@ -1,5 +1,7 @@
 //! Premise and consequence similarity measures (§VI.A, Eq. 1 and 3).
 
+use hpm_geo::mem::vec_cap_bytes;
+use hpm_geo::MemUse;
 use hpm_tpt::Bitmap;
 
 /// The weight functions of §VI.A assigning importance `ωᵢ` to the `1`
@@ -87,6 +89,14 @@ impl WeightFunction {
 pub struct WeightTable {
     /// `rows[m]` = the normalised weights for a key with `m` ones.
     rows: Vec<Vec<f64>>,
+}
+
+impl MemUse for WeightTable {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.rows.capacity() * std::mem::size_of::<Vec<f64>>()
+            + self.rows.iter().map(vec_cap_bytes).sum::<usize>()
+    }
 }
 
 impl WeightTable {

@@ -37,12 +37,14 @@
 use crate::predictor::max_premise_ones;
 use crate::HybridPredictor;
 use hpm_clustering::{DbscanParams, DriftKind, IncrementalDbscan, InsertOutcome};
+use hpm_geo::mem::{heap_bytes, vec_cap_bytes};
+use hpm_geo::MemUse;
 use hpm_patterns::{
     DiscoveryParams, FrequentRegion, MiningParams, RegionId, RegionSet, SupportCounts,
     TrajectoryPattern, Transaction,
 };
 use hpm_tpt::PatternKey;
-use hpm_trajectory::{DecomposeCursor, DeltaSample, OffsetGroups, TimeOffset, Trajectory};
+use hpm_trajectory::{DecomposeCursor, DeltaSample, History, OffsetGroups, TimeOffset, Trajectory};
 use std::collections::HashMap;
 
 /// One region visit produced by the clustering stage: sub-trajectory
@@ -128,9 +130,16 @@ impl TrainerState {
     /// path taken on first training and after structure drift. The
     /// cursor is caught up to the end of `traj`.
     pub fn seed(&mut self, traj: &Trajectory) {
+        self.seed_history(traj)
+    }
+
+    /// [`seed`](Self::seed) over any [`History`]: streams the samples
+    /// (decoding compressed chunks on the fly) instead of requiring a
+    /// raw point slice; the derived state is identical.
+    pub fn seed_history<H: History>(&mut self, hist: &H) {
         let drift = self.drift_events + self.offset_drifts();
         let db = DbscanParams::new(self.discovery.eps, self.discovery.min_pts);
-        let groups = OffsetGroups::build(traj, self.discovery.period);
+        let groups = OffsetGroups::build_history(hist, self.discovery.period);
         self.offsets.clear();
         self.region_index.clear();
         self.txs = vec![Transaction::new(); groups.sub_count()];
@@ -156,7 +165,7 @@ impl TrainerState {
         }
         self.counts.rebuild(&self.txs);
         self.cursor = DecomposeCursor::new(self.discovery.period);
-        self.cursor.catch_up(traj);
+        self.cursor.catch_up_history(hist);
         self.drift_events = drift;
     }
 
@@ -168,6 +177,15 @@ impl TrainerState {
     /// caller must [`seed`](Self::seed) a fresh state instead).
     pub fn stage_decompose(&mut self, traj: &Trajectory) -> Vec<DeltaSample> {
         self.cursor.advance(traj)
+    }
+
+    /// [`stage_decompose`](Self::stage_decompose) over any
+    /// [`History`]: streams only the not-yet-consumed samples.
+    ///
+    /// # Panics
+    /// Panics when `hist` shrank below the consumed watermark.
+    pub fn stage_decompose_history<H: History>(&mut self, hist: &H) -> Vec<DeltaSample> {
+        self.cursor.advance_history(hist)
     }
 
     /// Stage 2 — incremental region discovery: inserts each delta
@@ -242,6 +260,18 @@ impl TrainerState {
             .iter()
             .map(IncrementalDbscan::drift_events)
             .sum()
+    }
+}
+
+impl MemUse for TrainerState {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + heap_bytes(&self.offsets)
+            + self.region_index.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.region_index.iter().map(vec_cap_bytes).sum::<usize>()
+            + self.txs.capacity() * std::mem::size_of::<Transaction>()
+            + self.txs.iter().map(vec_cap_bytes).sum::<usize>()
+            + heap_bytes(&self.counts)
     }
 }
 

@@ -11,11 +11,13 @@
 mod bbox;
 pub mod grid;
 mod hull;
+pub mod mem;
 mod point;
 mod polyline;
 
 pub use bbox::BoundingBox;
 pub use hull::{convex_contains, convex_hull, polygon_area};
+pub use mem::MemUse;
 pub use point::{centroid, Point};
 pub use polyline::{
     path_length, point_segment_distance, resample_uniform, simplify_rdp, simplify_rdp_indices,

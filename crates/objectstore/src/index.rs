@@ -220,6 +220,28 @@ impl ShardIndex {
             out.extend_from_slice(ids);
         }
     }
+
+    /// Approximate heap bytes (capacity-based for the hash maps and
+    /// member vectors; the B-tree is estimated per entry since its
+    /// node layout is not observable).
+    fn mem_bytes(&self) -> usize {
+        use hpm_geo::mem::{hashmap_bytes, vec_cap_bytes};
+        let buckets_inner: usize = self
+            .buckets
+            .values()
+            .map(|b| vec_cap_bytes(&b.members))
+            .sum();
+        let expiry: usize = self
+            .expiry
+            .values()
+            .map(|ids| std::mem::size_of::<(Timestamp, Vec<u64>)>() + 16 + vec_cap_bytes(ids))
+            .sum();
+        hashmap_bytes(&self.entries)
+            + hashmap_bytes(&self.buckets)
+            + buckets_inner
+            + hashmap_bytes(&self.classes)
+            + expiry
+    }
 }
 
 /// How far a class-`class` bucket's box can reach beyond its key
@@ -353,6 +375,23 @@ impl PredictiveIndex {
     }
 
     /// Indexed objects across all shards (the `index.entries` gauge).
+    /// Approximate total bytes held by the index across every shard
+    /// (structures + dirty sets), capacity-based.
+    pub(crate) fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .shards
+                .iter()
+                .map(|s| {
+                    let dirty = s.dirty.lock().unwrap_or_else(PoisonError::into_inner);
+                    let dirty_bytes = dirty.capacity() * (std::mem::size_of::<u64>() + 1);
+                    drop(dirty);
+                    let index = s.index.read().unwrap_or_else(PoisonError::into_inner);
+                    std::mem::size_of::<ShardCell>() + dirty_bytes + index.mem_bytes()
+                })
+                .sum::<usize>()
+    }
+
     pub(crate) fn entry_count(&self) -> usize {
         self.shards
             .iter()

@@ -73,4 +73,6 @@ pub use durability::{DurabilityConfig, RecoverError};
 pub use hpm_store::wal::FsyncPolicy;
 pub use index::IndexConfig;
 pub use pool::WorkerPool;
-pub use store::{IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig};
+pub use store::{
+    IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError, StoreConfig, StoreMemory,
+};

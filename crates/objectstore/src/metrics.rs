@@ -55,6 +55,14 @@ pub const RETRAIN_DRIFT_FALLBACKS: &str = "objectstore.retrains.drift_fallback";
 pub const RETRAIN_STALENESS: &str = "store.retrain.staleness";
 /// Currently tracked objects (gauge).
 pub const OBJECTS: &str = "objectstore.objects";
+/// Approximate resident bytes of all object state — compressed
+/// histories, predictors, trainer state, and the predictive index —
+/// capacity-based, refreshed by `MovingObjectStore::memory_use`
+/// (gauge). (`store.`-prefixed: deployment-facing SLO name.)
+pub const MEM_BYTES: &str = "store.mem.bytes";
+/// `store.mem.bytes / objects` at the last `memory_use` call (gauge;
+/// 0 while no objects are tracked).
+pub const MEM_BYTES_PER_OBJECT: &str = "store.mem.bytes_per_object";
 
 /// Latency span around one predictive-index envelope refit (motion
 /// fit + horizon rollout for one dirty object, at query-time flush).
@@ -130,6 +138,8 @@ pub fn register() {
     hpm_obs::registry().counter(WAL_REMOVE_ERRORS);
     hpm_obs::registry().gauge(RETRAIN_STALENESS);
     hpm_obs::registry().gauge(OBJECTS);
+    hpm_obs::registry().gauge(MEM_BYTES);
+    hpm_obs::registry().gauge(MEM_BYTES_PER_OBJECT);
     hpm_obs::registry().gauge(SNAPSHOT_OBJECTS);
     hpm_obs::registry().gauge(RECOVERY_REPLAYED);
     hpm_obs::registry().gauge(INDEX_SIZE);

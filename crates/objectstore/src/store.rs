@@ -8,11 +8,17 @@ use crate::pool::WorkerPool;
 use hpm_core::{
     HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery, TrainerState,
 };
-use hpm_geo::Point;
+use hpm_geo::mem::heap_bytes;
+use hpm_geo::{MemUse, Point};
 use hpm_patterns::{discover_from_groups, mine, DiscoveryParams, MiningParams};
 use hpm_store::wal::{scan_wal_file, WalRecord, WalWriter};
-use hpm_store::{decode_model, decode_snapshot, encode_model, encode_snapshot, ObjectSnapshot};
-use hpm_trajectory::{OffsetGroups, Timestamp, Trajectory};
+use hpm_store::{
+    decode_model, decode_snapshot, encode_model, encode_snapshot, HistorySnapshot, ObjectSnapshot,
+};
+use hpm_trajectory::{
+    ChunkParams, ChunkedHistory, HistoryPrefix, OffsetGroups, Timestamp, DEFAULT_MIN_TAIL,
+    DEFAULT_SEAL_LEN,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,18 +196,68 @@ pub struct ObjectStats {
     pub patterns: usize,
     /// Frequent regions in the current predictor.
     pub regions: usize,
+    /// Approximate resident bytes of this object's state (compressed
+    /// history + predictor + trainer), capacity-based. Depends on
+    /// allocator growth history, so equal histories may differ — treat
+    /// as an observability figure, not part of the object's logical
+    /// state.
+    pub approx_bytes: usize,
+}
+
+/// Fleet-wide memory accounting, from
+/// [`MovingObjectStore::memory_use`]. Every figure is approximate
+/// resident bytes computed from container *capacities* (what the
+/// allocator was asked for), not lengths; `Arc`/lock cell overhead per
+/// object is not charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMemory {
+    /// Objects walked (excludes poisoned/removed cells).
+    pub objects: usize,
+    /// Deep bytes across all object state plus the predictive index.
+    pub total_bytes: usize,
+    /// Bytes held by position histories: packed chunk words plus the
+    /// hot tails at capacity.
+    pub history_bytes: usize,
+    /// What the same histories would occupy as raw point vectors
+    /// (16 bytes per sample) — divide by `history_bytes` for the fleet
+    /// compression ratio.
+    pub history_raw_bytes: usize,
+    /// Bytes held by trained predictors (regions, patterns, TPTs).
+    pub predictor_bytes: usize,
+    /// Bytes held by incremental-trainer state.
+    pub trainer_bytes: usize,
+    /// Bytes held by the predictive index (all shards).
+    pub index_bytes: usize,
+}
+
+impl StoreMemory {
+    /// `total_bytes / objects`, 0 when no objects are tracked.
+    pub fn bytes_per_object(&self) -> usize {
+        self.total_bytes.checked_div(self.objects).unwrap_or(0)
+    }
+
+    /// Raw-over-compressed history ratio (1.0 when nothing is stored).
+    pub fn history_compression_ratio(&self) -> f64 {
+        if self.history_bytes == 0 {
+            1.0
+        } else {
+            self.history_raw_bytes as f64 / self.history_bytes as f64
+        }
+    }
 }
 
 struct ObjectState {
-    trajectory: Trajectory,
+    /// Position history: sealed compressed chunks plus a raw hot tail
+    /// sized so every recent-window read is a plain slice borrow.
+    history: ChunkedHistory,
     predictor: Option<HybridPredictor>,
     /// Incremental-training state carried between retrains (None until
     /// the first training pass seeds it).
     trainer: Option<TrainerState>,
     trained_subs: usize,
-    /// Samples the last retrain covered — `trajectory.points()[..trained_len]`
-    /// is the prefix that re-seeds an equivalent trainer after
-    /// recovery.
+    /// Samples the last retrain covered — the first `trained_len`
+    /// samples are the prefix that re-seeds an equivalent trainer
+    /// after recovery.
     trained_len: usize,
     /// Set (under the state's write lock) when the object is removed
     /// from its shard map. A writer that raced `remove` and still
@@ -209,6 +265,15 @@ struct ObjectState {
     /// so live state and WAL order agree on which side of the remove
     /// its report landed.
     removed: bool,
+}
+
+impl MemUse for ObjectState {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + heap_bytes(&self.history)
+            + heap_bytes(&self.predictor)
+            + heap_bytes(&self.trainer)
+    }
 }
 
 /// One partition of the object population: its own map under its own
@@ -424,7 +489,7 @@ impl MovingObjectStore {
                 // re-resolve so the report lands after it.
                 continue;
             }
-            let expected = state.trajectory.end();
+            let expected = state.history.end();
             if timestamp != expected {
                 return Err(IngestError::NonContiguous {
                     expected,
@@ -442,7 +507,7 @@ impl MovingObjectStore {
                     y: position.y,
                 },
             )?;
-            state.trajectory.push(position);
+            state.history.push(position);
             hpm_obs::counter!(crate::metrics::REPORTS).add(1);
             self.maybe_retrain(&mut state);
             self.index.mark_dirty(self.shard_index(id.0), id.0);
@@ -476,7 +541,7 @@ impl MovingObjectStore {
             if state.removed {
                 continue;
             }
-            let expected = state.trajectory.end();
+            let expected = state.history.end();
             if start != expected {
                 return Err(IngestError::NonContiguous {
                     expected,
@@ -498,7 +563,7 @@ impl MovingObjectStore {
                     failure = Some(e);
                     break;
                 }
-                state.trajectory.push(*p);
+                state.history.push(*p);
                 accepted += 1;
             }
             hpm_obs::counter!(crate::metrics::REPORTS).add(accepted);
@@ -607,7 +672,7 @@ impl MovingObjectStore {
                 let result = if !p.is_finite() {
                     Err(IngestError::NonFinitePosition)
                 } else {
-                    let expected = state.trajectory.end();
+                    let expected = state.history.end();
                     if t != expected {
                         Err(IngestError::NonContiguous { expected, got: t })
                     } else {
@@ -621,7 +686,7 @@ impl MovingObjectStore {
                             },
                         ) {
                             Ok(()) => {
-                                state.trajectory.push(p);
+                                state.history.push(p);
                                 accepted += 1;
                                 Ok(())
                             }
@@ -684,17 +749,22 @@ impl MovingObjectStore {
         let state = state
             .read()
             .map_err(|_| QueryError::ObjectUnavailable(id))?;
-        if state.trajectory.is_empty() {
+        if state.history.is_empty() {
             return Err(QueryError::NoHistory(id));
         }
-        let current_time = state.trajectory.end() - 1;
+        let current_time = state.history.end() - 1;
         if query_time <= current_time {
             return Err(QueryError::NotInFuture {
                 current: current_time,
                 requested: query_time,
             });
         }
-        let (recent, _) = state.trajectory.recent_window(self.config.recent_len);
+        // Infallible: `chunk_params` sizes `min_tail >= recent_len`,
+        // so the hot window never needs sealed samples.
+        let (recent, _) = state
+            .history
+            .hot_window(self.config.recent_len)
+            .expect("min_tail covers recent_len");
         let query = PredictiveQuery {
             recent,
             current_time,
@@ -960,11 +1030,14 @@ impl MovingObjectStore {
     fn compute_envelope(&self, shard: usize, raw: u64) -> Option<Envelope> {
         let cell = self.shards[shard].read_map().get(&raw).cloned()?;
         let state = cell.read().ok()?;
-        if state.removed || state.trajectory.is_empty() {
+        if state.removed || state.history.is_empty() {
             return None;
         }
-        let tc = state.trajectory.end() - 1;
-        let (recent, _) = state.trajectory.recent_window(self.config.recent_len);
+        let tc = state.history.end() - 1;
+        let (recent, _) = state
+            .history
+            .hot_window(self.config.recent_len)
+            .expect("min_tail covers recent_len");
         let predictor = state.predictor.as_ref().unwrap_or(&self.empty_predictor);
         let mut bbox = predictor.fallback_envelope(recent, self.index.horizon);
         if let Some(centroids) = predictor.centroid_envelope() {
@@ -1000,12 +1073,47 @@ impl MovingObjectStore {
             .map_err(|_| QueryError::ObjectUnavailable(id))?;
         let period = self.config.discovery.period as usize;
         Ok(ObjectStats {
-            samples: state.trajectory.len(),
-            full_periods: state.trajectory.len() / period,
+            samples: state.history.len(),
+            full_periods: state.history.len() / period,
             trained_periods: state.trained_subs,
             patterns: state.predictor.as_ref().map_or(0, |p| p.patterns().len()),
             regions: state.predictor.as_ref().map_or(0, |p| p.regions().len()),
+            approx_bytes: state.mem_bytes(),
         })
+    }
+
+    /// Walks every object and totals approximate resident bytes —
+    /// compressed histories (with their raw-equivalent baseline, so
+    /// the fleet compression ratio is observable), predictors, trainer
+    /// state, and the predictive index. Refreshes the
+    /// `store.mem.bytes` / `store.mem.bytes_per_object` gauges.
+    ///
+    /// O(objects) with each object's read lock taken briefly; intended
+    /// for operational cadence (stats verbs, snapshots), not per-query
+    /// hot paths.
+    pub fn memory_use(&self) -> StoreMemory {
+        let mut m = StoreMemory::default();
+        for shard in self.shards.iter() {
+            let cells: Vec<Arc<RwLock<ObjectState>>> =
+                shard.read_map().values().map(Arc::clone).collect();
+            for cell in cells {
+                let Ok(state) = cell.read() else { continue };
+                if state.removed {
+                    continue;
+                }
+                m.objects += 1;
+                m.history_bytes += state.history.history_bytes();
+                m.history_raw_bytes += state.history.raw_baseline_bytes();
+                m.predictor_bytes += state.predictor.as_ref().map_or(0, MemUse::mem_bytes);
+                m.trainer_bytes += state.trainer.as_ref().map_or(0, MemUse::mem_bytes);
+                m.total_bytes += state.mem_bytes();
+            }
+        }
+        m.index_bytes = self.index.mem_bytes();
+        m.total_bytes += m.index_bytes;
+        hpm_obs::gauge!(crate::metrics::MEM_BYTES).set(m.total_bytes as i64);
+        hpm_obs::gauge!(crate::metrics::MEM_BYTES_PER_OBJECT).set(m.bytes_per_object() as i64);
+        m
     }
 
     /// Stops tracking `id`, dropping its history and predictor.
@@ -1055,7 +1163,7 @@ impl MovingObjectStore {
         let mut state = state
             .write()
             .map_err(|_| QueryError::ObjectUnavailable(id))?;
-        let full_periods = state.trajectory.len() / self.config.discovery.period as usize;
+        let full_periods = state.history.len() / self.config.discovery.period as usize;
         if full_periods < self.config.min_train_subs {
             return Err(QueryError::InsufficientHistory {
                 full_periods,
@@ -1167,13 +1275,13 @@ impl MovingObjectStore {
                 }
                 objects.push(ObjectSnapshot {
                     id: raw,
-                    start: state.trajectory.start(),
-                    points: state
-                        .trajectory
-                        .points()
-                        .iter()
-                        .map(|p| (p.x, p.y))
-                        .collect(),
+                    start: state.history.start(),
+                    // Sealed chunks are written verbatim — a snapshot
+                    // copies compressed words, it never recompresses.
+                    history: HistorySnapshot::Chunked {
+                        chunks: state.history.chunks().to_vec(),
+                        tail: state.history.tail().iter().map(|p| (p.x, p.y)).collect(),
+                    },
                     trained_subs: state.trained_subs as u64,
                     trained_len: state.trained_len as u64,
                     model: state
@@ -1225,7 +1333,23 @@ impl MovingObjectStore {
         objects: Vec<ObjectSnapshot>,
     ) -> Result<(), hpm_store::DecodeError> {
         for o in objects {
-            let points: Vec<Point> = o.points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let params = self.chunk_params();
+            // v2 chunks install verbatim (`from_parts` only unseals
+            // trailing chunks if the recovered tail is too short for
+            // this configuration's hot window); v1 raw histories are
+            // compressed through the ordinary push path.
+            let history = match o.history {
+                HistorySnapshot::Raw(points) => {
+                    let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                    ChunkedHistory::from_points(o.start, params, &pts)
+                }
+                HistorySnapshot::Chunked { chunks, tail } => ChunkedHistory::from_parts(
+                    o.start,
+                    params,
+                    chunks,
+                    tail.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+                ),
+            };
             let trained_len = o.trained_len as usize;
             let predictor = match &o.model {
                 Some(blob) => {
@@ -1240,7 +1364,7 @@ impl MovingObjectStore {
             };
             let trainer = predictor.as_ref().map(|_| {
                 let mut t = TrainerState::new(self.config.discovery, self.config.mining);
-                t.seed(&Trajectory::new(o.start, points[..trained_len].to_vec()));
+                t.seed_history(&HistoryPrefix::new(&history, trained_len));
                 t
             });
             let shard_idx = self.shard_index(o.id);
@@ -1248,7 +1372,7 @@ impl MovingObjectStore {
             map.insert(
                 o.id,
                 Arc::new(RwLock::new(ObjectState {
-                    trajectory: Trajectory::new(o.start, points),
+                    history,
                     predictor,
                     trainer,
                     trained_subs: o.trained_subs as usize,
@@ -1292,7 +1416,7 @@ impl MovingObjectStore {
         let before = objects.len();
         let state = Arc::clone(objects.entry(id.0).or_insert_with(|| {
             Arc::new(RwLock::new(ObjectState {
-                trajectory: Trajectory::new(start, Vec::new()),
+                history: ChunkedHistory::new(start, self.chunk_params()),
                 predictor: None,
                 trainer: None,
                 trained_subs: 0,
@@ -1310,7 +1434,7 @@ impl MovingObjectStore {
     /// Retrains when a threshold was crossed.
     fn maybe_retrain(&self, state: &mut ObjectState) {
         let period = self.config.discovery.period as usize;
-        let full = state.trajectory.len() / period;
+        let full = state.history.len() / period;
         let due = if state.predictor.is_none() {
             full >= self.config.min_train_subs
         } else {
@@ -1329,19 +1453,19 @@ impl MovingObjectStore {
     /// (equivalent output, by the `hpm-core` training contract).
     /// `force_full` skips the incremental path outright.
     fn retrain(&self, state: &mut ObjectState, force_full: bool) {
-        if state.trajectory.is_empty() {
+        if state.history.is_empty() {
             return;
         }
         let _span = hpm_obs::span!(crate::metrics::RETRAIN_SPAN);
         hpm_obs::counter!(crate::metrics::RETRAINS).add(1);
-        let full = state.trajectory.len() / self.config.discovery.period as usize;
+        let full = state.history.len() / self.config.discovery.period as usize;
         hpm_obs::gauge!(crate::metrics::RETRAIN_STALENESS)
             .set(full.saturating_sub(state.trained_subs) as i64);
         if force_full || !self.retrain_incremental(state) {
             self.retrain_full(state);
         }
         state.trained_subs = full;
-        state.trained_len = state.trajectory.len();
+        state.trained_len = state.history.len();
     }
 
     /// One incremental pass over the delta since the last training.
@@ -1351,7 +1475,7 @@ impl MovingObjectStore {
     /// the trainer.
     fn retrain_incremental(&self, state: &mut ObjectState) -> bool {
         let ObjectState {
-            trajectory,
+            history,
             predictor,
             trainer,
             ..
@@ -1361,7 +1485,7 @@ impl MovingObjectStore {
         };
         let delta = {
             let _s = hpm_obs::span!(crate::metrics::RETRAIN_DECOMPOSE_SPAN);
-            trainer.stage_decompose(trajectory)
+            trainer.stage_decompose_history(history)
         };
         let visits = {
             let _s = hpm_obs::span!(crate::metrics::RETRAIN_DISCOVER_SPAN);
@@ -1394,7 +1518,7 @@ impl MovingObjectStore {
         hpm_obs::counter!(crate::metrics::RETRAINS_FULL).add(1);
         let groups = {
             let _s = hpm_obs::span!(crate::metrics::RETRAIN_DECOMPOSE_SPAN);
-            OffsetGroups::build(&state.trajectory, self.config.discovery.period)
+            OffsetGroups::build_history(&state.history, self.config.discovery.period)
         };
         let out = {
             let _s = hpm_obs::span!(crate::metrics::RETRAIN_DISCOVER_SPAN);
@@ -1415,7 +1539,17 @@ impl MovingObjectStore {
         state
             .trainer
             .get_or_insert_with(|| TrainerState::new(self.config.discovery, self.config.mining))
-            .seed(&state.trajectory);
+            .seed_history(&state.history);
+    }
+
+    /// Chunk geometry every object history uses: `min_tail` is sized
+    /// to the recent window so the predict hot path is always a raw
+    /// slice borrow, never a decompress.
+    fn chunk_params(&self) -> ChunkParams {
+        ChunkParams {
+            seal_len: DEFAULT_SEAL_LEN,
+            min_tail: DEFAULT_MIN_TAIL.max(self.config.recent_len),
+        }
     }
 }
 

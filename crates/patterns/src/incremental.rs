@@ -183,6 +183,20 @@ impl SupportCounts {
     }
 }
 
+impl hpm_geo::MemUse for SupportCounts {
+    fn mem_bytes(&self) -> usize {
+        // Bucket array at capacity plus hashbrown's control byte per
+        // slot, plus each boxed itemset key's heap.
+        std::mem::size_of::<Self>()
+            + self.counts.capacity() * (std::mem::size_of::<(Itemset, u32)>() + 1)
+            + self
+                .counts
+                .keys()
+                .map(|k| k.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,8 @@
 //! The trajectory-pattern value type (Definition 1 of the paper).
 
 use crate::{RegionId, RegionSet};
+use hpm_geo::mem::vec_cap_bytes;
+use hpm_geo::MemUse;
 use hpm_trajectory::TimeOffset;
 use std::fmt;
 
@@ -24,6 +26,12 @@ pub struct TrajectoryPattern {
     pub confidence: f64,
     /// Number of sub-trajectories matching premise *and* consequence.
     pub support: u32,
+}
+
+impl MemUse for TrajectoryPattern {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_cap_bytes(&self.premise)
+    }
 }
 
 impl TrajectoryPattern {

@@ -1,6 +1,7 @@
 //! Frequent regions `Rₜʲ` and the region table.
 
-use hpm_geo::{BoundingBox, Point};
+use hpm_geo::mem::vec_cap_bytes;
+use hpm_geo::{BoundingBox, MemUse, Point};
 use hpm_trajectory::TimeOffset;
 
 /// Dense id of a frequent region.
@@ -46,6 +47,15 @@ pub struct RegionSet {
     /// `by_offset[t]` = ids of regions at offset `t`.
     by_offset: Vec<Vec<RegionId>>,
     period: u32,
+}
+
+impl MemUse for RegionSet {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + vec_cap_bytes(&self.regions)
+            + self.by_offset.capacity() * std::mem::size_of::<Vec<RegionId>>()
+            + self.by_offset.iter().map(vec_cap_bytes).sum::<usize>()
+    }
 }
 
 impl RegionSet {

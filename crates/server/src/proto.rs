@@ -543,6 +543,7 @@ fn put_stats(out: &mut Vec<u8>, s: &ObjectStats) {
     put_varint(out, s.trained_periods as u64);
     put_varint(out, s.patterns as u64);
     put_varint(out, s.regions as u64);
+    put_varint(out, s.approx_bytes as u64);
 }
 
 fn get_stats(buf: &mut &[u8]) -> Result<ObjectStats, DecodeError> {
@@ -552,6 +553,7 @@ fn get_stats(buf: &mut &[u8]) -> Result<ObjectStats, DecodeError> {
         trained_periods: get_varint(buf)? as usize,
         patterns: get_varint(buf)? as usize,
         regions: get_varint(buf)? as usize,
+        approx_bytes: get_varint(buf)? as usize,
     })
 }
 
@@ -1015,6 +1017,7 @@ mod tests {
                 trained_periods: 2,
                 patterns: 3,
                 regions: 4,
+                approx_bytes: 2048,
             })),
             ResponseBody::Stats(Err(QueryError::UnknownObject(ObjectId(77)))),
             ResponseBody::Retrained(Ok(())),

@@ -481,7 +481,13 @@ fn execute(
         RequestBody::Stats(id) => ResponseBody::Stats(store.stats(id)),
         RequestBody::ForceRetrain(id) => ResponseBody::Retrained(store.force_retrain(id)),
         RequestBody::Snapshot => ResponseBody::Snapshotted(store.snapshot().map_err(|e| e.kind())),
-        RequestBody::Metrics => ResponseBody::Metrics(hpm_obs::snapshot().to_json()),
+        RequestBody::Metrics => {
+            // Memory gauges are pull-model: walking every shard on the
+            // report path would be wasteful, so they refresh when an
+            // observer actually asks.
+            let _ = store.memory_use();
+            ResponseBody::Metrics(hpm_obs::snapshot().to_json())
+        }
         RequestBody::Ping => ResponseBody::Pong,
         RequestBody::Shutdown => {
             shared.initiate_shutdown();

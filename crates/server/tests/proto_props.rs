@@ -171,6 +171,7 @@ fn random_response(rng: &mut SmallRng) -> Response {
                 trained_periods: rng.gen_range(0..100usize),
                 patterns: rng.gen_range(0..1000usize),
                 regions: rng.gen_range(0..1000usize),
+                approx_bytes: rng.gen_range(0..1_000_000usize),
             })
         } else {
             Err(random_query_error(rng))

@@ -12,6 +12,8 @@ pub(crate) trait BufMut {
     fn put_u8(&mut self, v: u8);
     /// Appends an `f64` as little-endian bits.
     fn put_f64_le(&mut self, v: f64);
+    /// Appends a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64);
 }
 
 impl BufMut for Vec<u8> {
@@ -20,6 +22,10 @@ impl BufMut for Vec<u8> {
     }
 
     fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
         self.extend_from_slice(&v.to_le_bytes());
     }
 }
@@ -57,6 +63,11 @@ impl<const N: usize> BufMut for StackBuf<N> {
         self.buf[self.len..self.len + 8].copy_from_slice(&v.to_le_bytes());
         self.len += 8;
     }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf[self.len..self.len + 8].copy_from_slice(&v.to_le_bytes());
+        self.len += 8;
+    }
 }
 
 /// A consuming read cursor.
@@ -71,6 +82,8 @@ pub(crate) trait Buf {
     fn get_u8(&mut self) -> u8;
     /// Reads a little-endian `f64`.
     fn get_f64_le(&mut self) -> f64;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
     /// Skips `n` bytes.
     fn advance(&mut self, n: usize);
 }
@@ -90,6 +103,12 @@ impl Buf for &[u8] {
         let (head, tail) = self.split_at(8);
         *self = tail;
         f64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
     }
 
     fn advance(&mut self, n: usize) {

@@ -54,6 +54,20 @@ pub(crate) fn get_f64(buf: &mut impl Buf) -> Result<f64, DecodeError> {
     Ok(buf.get_f64_le())
 }
 
+/// Writes a `u64` little-endian (fixed 8 bytes — used for packed chunk
+/// words, which are high-entropy and gain nothing from varints).
+pub(crate) fn put_u64(buf: &mut impl BufMut, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Reads a little-endian `u64`; rejects truncation.
+pub(crate) fn get_u64(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
 /// Reads a `usize`-sized count, guarding against absurd allocations on
 /// corrupt input: the count may not exceed `limit`.
 pub(crate) fn get_count(buf: &mut impl Buf, limit: usize) -> Result<usize, DecodeError> {

@@ -1,23 +1,47 @@
 //! Store-snapshot codec: the full per-object state of a moving-objects
-//! store at a point in time, version 1.
+//! store at a point in time. Version 2 (current) writes compressed
+//! history chunks verbatim; version 1 (raw samples only) stays
+//! readable so committed fixtures and pre-upgrade snapshot files keep
+//! opening.
 //!
 //! ```text
 //! header   magic  b"HPMSNAP1"                8 bytes
-//!          version varint                    (currently 1)
+//!          version varint                    1 | 2
 //! payload  object_count varint
 //!          objects: per object —
 //!              id            varint
 //!              start         varint          (first sample timestamp)
-//!              sample_count  varint
-//!              samples       f64 x, f64 y each
+//!              history                       (v1: raw layout, no kind
+//!                                             byte; v2: see below)
 //!              trained_subs  varint          (0 = untrained)
 //!              trained_len   varint          (samples covered by the
-//!                                             last retrain; ≤ count)
+//!                                             last retrain; ≤ total)
 //!              model flag    u8 0|1
 //!              model         varint length + model-codec blob
 //!                                            (present when flag = 1)
 //! trailer  fnv1a over header + payload       8 bytes little-endian
+//!
+//! v2 history:
+//!          kind          u8                  0 = raw, 1 = chunked
+//!          raw:     sample_count varint, then f64 x, f64 y each
+//!          chunked: chunk_count varint
+//!                   per chunk —
+//!                       samples    varint    (≥ 1)
+//!                       bits       varint    (valid bits in stream)
+//!                       word_count varint    (must equal ⌈bits/64⌉)
+//!                       words      u64 LE × word_count (verbatim —
+//!                                             never recompressed)
+//!                   tail_count varint, then f64 x, f64 y each
 //! ```
+//!
+//! Chunk payloads are the sealed `hpm_trajectory::SealedChunk` bit
+//! streams written word-for-word: snapshotting a compressed store is a
+//! memcpy per chunk, not a decompress/recompress cycle. On decode each
+//! chunk is revalidated by [`SealedChunk::from_raw_parts`] — the full
+//! stream must decode to exactly the declared sample count with clean
+//! padding — so a corrupt chunk that somehow survived the whole-file
+//! checksum still refuses to open with a typed error instead of
+//! yielding garbage points.
 //!
 //! The trained predictor rides along as a nested model-codec blob
 //! (`encode_model`'s format, checksum included), so model-level
@@ -32,14 +56,19 @@
 //! (or a torn tmp file that was never renamed), never a mid-write
 //! state.
 
-use crate::codec::{fnv1a, get_count, get_f64, get_varint, put_f64, put_varint};
+use crate::bytes::Buf as _;
+use crate::codec::{fnv1a, get_count, get_f64, get_u64, get_varint, put_f64, put_u64, put_varint};
 use crate::DecodeError;
+use hpm_trajectory::SealedChunk;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HPMSNAP1";
 
-/// The current (and only) snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The legacy raw-samples version, still decodable.
+pub const SNAPSHOT_VERSION_V1: u32 = 1;
 
 /// Sanity limit on objects per snapshot.
 pub const MAX_SNAPSHOT_OBJECTS: usize = 100_000_000;
@@ -50,60 +79,235 @@ pub const MAX_SNAPSHOT_SAMPLES: usize = 1_000_000_000;
 /// Sanity limit on a nested model blob's length.
 pub const MAX_SNAPSHOT_MODEL_BYTES: usize = 1 << 32;
 
-/// One object's durable state. `points` is `(x, y)` pairs in timestamp
-/// order starting at `start`; `model` is an `encode_model` blob of the
-/// trained predictor, if any.
+/// Worst-case packed words per sample, rounded up (a delta is at most
+/// 2 × 77 bits ≈ 2.5 words; the raw first sample is 2 words). Bounds
+/// each chunk's `word_count` against its declared `samples` before
+/// allocating.
+const MAX_WORDS_PER_SAMPLE: usize = 3;
+
+/// An object's serialized position history: either raw `(x, y)` pairs
+/// (the only v1 form) or sealed compressed chunks plus a raw hot tail
+/// (what a live store holds).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistorySnapshot {
+    /// Every sample raw, in timestamp order.
+    Raw(Vec<(f64, f64)>),
+    /// Sealed chunks (oldest first) followed by the raw hot tail.
+    Chunked {
+        /// Compressed runs, written/read verbatim.
+        chunks: Vec<SealedChunk>,
+        /// Uncompressed most-recent samples.
+        tail: Vec<(f64, f64)>,
+    },
+}
+
+impl HistorySnapshot {
+    /// Total samples across every form.
+    pub fn len(&self) -> usize {
+        match self {
+            HistorySnapshot::Raw(points) => points.len(),
+            HistorySnapshot::Chunked { chunks, tail } => {
+                chunks.iter().map(SealedChunk::samples).sum::<usize>() + tail.len()
+            }
+        }
+    }
+
+    /// Whether the history holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattens to raw `(x, y)` pairs (decompressing chunks) — the
+    /// lossless bridge to v1 encoding and to slice-based consumers.
+    pub fn to_points(&self) -> Vec<(f64, f64)> {
+        match self {
+            HistorySnapshot::Raw(points) => points.clone(),
+            HistorySnapshot::Chunked { chunks, tail } => {
+                let mut out = Vec::with_capacity(self.len());
+                for c in chunks {
+                    out.extend(c.decoder().map(|p| (p.x, p.y)));
+                }
+                out.extend_from_slice(tail);
+                out
+            }
+        }
+    }
+}
+
+/// One object's durable state. `history` holds the samples in
+/// timestamp order starting at `start`; `model` is an `encode_model`
+/// blob of the trained predictor, if any.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObjectSnapshot {
     /// Raw object id.
     pub id: u64,
     /// Timestamp of the first sample.
     pub start: u64,
-    /// Every sample, in timestamp order.
-    pub points: Vec<(f64, f64)>,
+    /// Every sample, raw or chunk-compressed.
+    pub history: HistorySnapshot,
     /// Full periods the predictor was trained on (0 = untrained).
     pub trained_subs: u64,
-    /// Samples the last retrain covered (`points[..trained_len]`
-    /// re-seeds the incremental trainer). Always ≤ `points.len()`.
+    /// Samples the last retrain covered (the first `trained_len`
+    /// samples re-seed the incremental trainer). Always ≤
+    /// `history.len()`.
     pub trained_len: u64,
     /// The trained model, encoded with the model codec.
     pub model: Option<Vec<u8>>,
 }
 
-/// Encodes a snapshot of every given object.
+fn put_points(buf: &mut Vec<u8>, points: &[(f64, f64)]) {
+    put_varint(buf, points.len() as u64);
+    for &(x, y) in points {
+        put_f64(buf, x);
+        put_f64(buf, y);
+    }
+}
+
+fn get_points(buf: &mut &[u8]) -> Result<Vec<(f64, f64)>, DecodeError> {
+    let samples = get_count(buf, MAX_SNAPSHOT_SAMPLES)?;
+    if buf.len() < samples * 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut points = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let x = get_f64(buf)?;
+        let y = get_f64(buf)?;
+        points.push((x, y));
+    }
+    Ok(points)
+}
+
+fn put_object_tail(buf: &mut Vec<u8>, o: &ObjectSnapshot) {
+    put_varint(buf, o.trained_subs);
+    put_varint(buf, o.trained_len);
+    match &o.model {
+        Some(blob) => {
+            buf.push(1);
+            put_varint(buf, blob.len() as u64);
+            buf.extend_from_slice(blob);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn seal_with_checksum(mut buf: Vec<u8>) -> Vec<u8> {
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Encodes a snapshot of every given object in the current (v2)
+/// format. Chunked histories are written verbatim — no recompression.
 pub fn encode_snapshot(objects: &[ObjectSnapshot]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + objects.len() * 64);
     buf.extend_from_slice(SNAPSHOT_MAGIC);
     put_varint(&mut buf, u64::from(SNAPSHOT_VERSION));
     put_varint(&mut buf, objects.len() as u64);
     for o in objects {
-        debug_assert!(o.trained_len as usize <= o.points.len());
+        debug_assert!(o.trained_len as usize <= o.history.len());
         put_varint(&mut buf, o.id);
         put_varint(&mut buf, o.start);
-        put_varint(&mut buf, o.points.len() as u64);
-        for &(x, y) in &o.points {
-            put_f64(&mut buf, x);
-            put_f64(&mut buf, y);
-        }
-        put_varint(&mut buf, o.trained_subs);
-        put_varint(&mut buf, o.trained_len);
-        match &o.model {
-            Some(blob) => {
-                buf.push(1);
-                put_varint(&mut buf, blob.len() as u64);
-                buf.extend_from_slice(blob);
+        match &o.history {
+            HistorySnapshot::Raw(points) => {
+                buf.push(0);
+                put_points(&mut buf, points);
             }
-            None => buf.push(0),
+            HistorySnapshot::Chunked { chunks, tail } => {
+                buf.push(1);
+                put_varint(&mut buf, chunks.len() as u64);
+                for c in chunks {
+                    put_varint(&mut buf, c.samples() as u64);
+                    put_varint(&mut buf, c.bits());
+                    put_varint(&mut buf, c.words().len() as u64);
+                    for &w in c.words() {
+                        put_u64(&mut buf, w);
+                    }
+                }
+                put_points(&mut buf, tail);
+            }
         }
+        put_object_tail(&mut buf, o);
     }
-    let checksum = fnv1a(&buf);
-    buf.extend_from_slice(&checksum.to_le_bytes());
-    buf
+    seal_with_checksum(buf)
 }
 
-/// Decodes a snapshot, validating the trailer checksum first and every
-/// structural bound after. Nested model blobs are *not* decoded here —
-/// the caller hands them to `decode_model`, which re-validates them.
+/// Encodes in the legacy v1 raw-samples format (chunked histories are
+/// flattened losslessly). Kept so the committed v1 fixture tests can
+/// regenerate reference bytes and compatibility stays executable.
+pub fn encode_snapshot_v1(objects: &[ObjectSnapshot]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + objects.len() * 64);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    put_varint(&mut buf, u64::from(SNAPSHOT_VERSION_V1));
+    put_varint(&mut buf, objects.len() as u64);
+    for o in objects {
+        debug_assert!(o.trained_len as usize <= o.history.len());
+        put_varint(&mut buf, o.id);
+        put_varint(&mut buf, o.start);
+        put_points(&mut buf, &o.history.to_points());
+        put_object_tail(&mut buf, o);
+    }
+    seal_with_checksum(buf)
+}
+
+fn get_history_v2(buf: &mut &[u8], id: u64) -> Result<HistorySnapshot, DecodeError> {
+    let kind = if buf.has_remaining() {
+        let k = buf[0];
+        *buf = &buf[1..];
+        k
+    } else {
+        return Err(DecodeError::Truncated);
+    };
+    match kind {
+        0 => Ok(HistorySnapshot::Raw(get_points(buf)?)),
+        1 => {
+            // Every chunk holds ≥ 1 sample, so chunk count is bounded
+            // by the per-object sample limit.
+            let chunk_count = get_count(buf, MAX_SNAPSHOT_SAMPLES)?;
+            let mut chunks = Vec::with_capacity(chunk_count.min(1024));
+            let mut total: u64 = 0;
+            for _ in 0..chunk_count {
+                let samples = get_count(buf, MAX_SNAPSHOT_SAMPLES)?;
+                total = total.saturating_add(samples as u64);
+                if total > MAX_SNAPSHOT_SAMPLES as u64 {
+                    return Err(DecodeError::CountOutOfRange {
+                        got: total,
+                        limit: MAX_SNAPSHOT_SAMPLES as u64,
+                    });
+                }
+                let bits = get_varint(buf)?;
+                let word_count =
+                    get_count(buf, samples.saturating_mul(MAX_WORDS_PER_SAMPLE).max(2))?;
+                if buf.len() < word_count * 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut words = Vec::with_capacity(word_count);
+                for _ in 0..word_count {
+                    words.push(get_u64(buf)?);
+                }
+                let samples_u32 =
+                    u32::try_from(samples).map_err(|_| DecodeError::CountOutOfRange {
+                        got: samples as u64,
+                        limit: u64::from(u32::MAX),
+                    })?;
+                let chunk = SealedChunk::from_raw_parts(samples_u32, bits, words).map_err(|e| {
+                    DecodeError::Invalid(format!("object {id}: corrupt chunk: {e}"))
+                })?;
+                chunks.push(chunk);
+            }
+            let tail = get_points(buf)?;
+            Ok(HistorySnapshot::Chunked { chunks, tail })
+        }
+        other => Err(DecodeError::Invalid(format!(
+            "object {id}: history kind {other} is not 0/1"
+        ))),
+    }
+}
+
+/// Decodes a snapshot (v1 or v2), validating the trailer checksum
+/// first and every structural bound after — including a full decode
+/// validation of every compressed chunk. Nested model blobs are *not*
+/// decoded here — the caller hands them to `decode_model`, which
+/// re-validates them.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<ObjectSnapshot>, DecodeError> {
     if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
         return Err(DecodeError::Truncated);
@@ -120,7 +324,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<ObjectSnapshot>, DecodeError>
     let mut buf = &payload[SNAPSHOT_MAGIC.len()..];
     let buf = &mut buf;
     let version = get_varint(buf)?;
-    if version != u64::from(SNAPSHOT_VERSION) {
+    if version != u64::from(SNAPSHOT_VERSION) && version != u64::from(SNAPSHOT_VERSION_V1) {
         return Err(DecodeError::UnsupportedVersion(
             version.min(u32::MAX as u64) as u32,
         ));
@@ -130,22 +334,17 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<ObjectSnapshot>, DecodeError>
     for _ in 0..count {
         let id = get_varint(buf)?;
         let start = get_varint(buf)?;
-        let samples = get_count(buf, MAX_SNAPSHOT_SAMPLES)?;
-        if buf.len() < samples * 16 {
-            return Err(DecodeError::Truncated);
-        }
-        let mut points = Vec::with_capacity(samples);
-        for _ in 0..samples {
-            let x = get_f64(buf)?;
-            let y = get_f64(buf)?;
-            points.push((x, y));
-        }
+        let history = if version == u64::from(SNAPSHOT_VERSION_V1) {
+            HistorySnapshot::Raw(get_points(buf)?)
+        } else {
+            get_history_v2(buf, id)?
+        };
         let trained_subs = get_varint(buf)?;
         let trained_len = get_varint(buf)?;
-        if trained_len as usize > points.len() {
+        if trained_len as usize > history.len() {
             return Err(DecodeError::Invalid(format!(
                 "object {id}: trained_len {trained_len} exceeds {} samples",
-                points.len()
+                history.len()
             )));
         }
         let model = match buf.first() {
@@ -173,7 +372,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<ObjectSnapshot>, DecodeError>
         objects.push(ObjectSnapshot {
             id,
             start,
-            points,
+            history,
             trained_subs,
             trained_len,
             model,
@@ -188,21 +387,40 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<ObjectSnapshot>, DecodeError>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpm_geo::Point;
+
+    fn chunk(n: usize, seed: f64) -> SealedChunk {
+        let points: Vec<Point> = (0..n)
+            .map(|i| Point::new(seed + i as f64 * 0.25, seed - i as f64 * 0.5))
+            .collect();
+        SealedChunk::seal(&points)
+    }
 
     fn sample() -> Vec<ObjectSnapshot> {
         vec![
             ObjectSnapshot {
                 id: 42,
                 start: 1000,
-                points: vec![(0.0, 0.5), (-1.25, 2.0), (3.0, -0.0)],
+                history: HistorySnapshot::Raw(vec![(0.0, 0.5), (-1.25, 2.0), (3.0, -0.0)]),
                 trained_subs: 1,
                 trained_len: 2,
                 model: Some(vec![1, 2, 3, 4]),
             },
             ObjectSnapshot {
+                id: 7,
+                start: 50,
+                history: HistorySnapshot::Chunked {
+                    chunks: vec![chunk(20, 1.0), chunk(8, -3.5)],
+                    tail: vec![(9.0, 9.5), (10.0, 10.5)],
+                },
+                trained_subs: 2,
+                trained_len: 28,
+                model: None,
+            },
+            ObjectSnapshot {
                 id: u64::MAX,
                 start: 0,
-                points: Vec::new(),
+                history: HistorySnapshot::Raw(Vec::new()),
                 trained_subs: 0,
                 trained_len: 0,
                 model: None,
@@ -216,6 +434,54 @@ mod tests {
         let blob = encode_snapshot(&objects);
         assert_eq!(decode_snapshot(&blob).unwrap(), objects);
         assert_eq!(decode_snapshot(&encode_snapshot(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn v1_still_decodes_and_flattens_losslessly() {
+        let objects = sample();
+        let blob = encode_snapshot_v1(&objects);
+        let decoded = decode_snapshot(&blob).unwrap();
+        assert_eq!(decoded.len(), objects.len());
+        for (d, o) in decoded.iter().zip(&objects) {
+            assert_eq!(d.id, o.id);
+            assert_eq!(d.trained_subs, o.trained_subs);
+            assert_eq!(d.trained_len, o.trained_len);
+            assert_eq!(d.model, o.model);
+            // v1 carries raw points; they must equal the flattened
+            // original bit-for-bit (incl. the -0.0 above).
+            match &d.history {
+                HistorySnapshot::Raw(points) => {
+                    let orig = o.history.to_points();
+                    assert_eq!(points.len(), orig.len());
+                    for (a, b) in points.iter().zip(&orig) {
+                        assert_eq!(a.0.to_bits(), b.0.to_bits());
+                        assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    }
+                }
+                other => panic!("v1 decoded non-raw history {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_round_trip_verbatim() {
+        // The encoded words must come back identical — snapshotting is
+        // a copy, never a recompress.
+        let objects = sample();
+        let decoded = decode_snapshot(&encode_snapshot(&objects)).unwrap();
+        match (&decoded[1].history, &objects[1].history) {
+            (
+                HistorySnapshot::Chunked { chunks: d, .. },
+                HistorySnapshot::Chunked { chunks: o, .. },
+            ) => {
+                assert_eq!(d.len(), o.len());
+                for (dc, oc) in d.iter().zip(o) {
+                    assert_eq!(dc.bits(), oc.bits());
+                    assert_eq!(dc.words(), oc.words());
+                }
+            }
+            _ => panic!("chunked history lost its form"),
+        }
     }
 
     #[test]
@@ -237,34 +503,93 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_chunk_refused_with_typed_error() {
+        // Re-seal the checksum after flipping a packed word so only the
+        // chunk-level validation can catch it.
+        let objects = vec![ObjectSnapshot {
+            id: 3,
+            start: 0,
+            history: HistorySnapshot::Chunked {
+                chunks: vec![chunk(30, 2.0)],
+                tail: vec![(1.0, 1.0)],
+            },
+            trained_subs: 0,
+            trained_len: 0,
+            model: None,
+        }];
+        let blob = encode_snapshot(&objects);
+        // Flip every payload byte in turn (re-sealing the checksum each
+        // time so only structural validation can object) and require at
+        // least one flip — landing in the packed words, which dominate
+        // this blob — to surface the typed corrupt-chunk Invalid.
+        let payload_len = blob.len() - 8;
+        let mut saw_chunk_invalid = false;
+        for i in 14..payload_len {
+            let mut bad = blob[..payload_len].to_vec();
+            bad[i] ^= 0x80;
+            let bad = seal_with_checksum(bad);
+            match decode_snapshot(&bad) {
+                Ok(decoded) => {
+                    // A flip in the raw tail or trained fields can
+                    // legitimately decode; structure must survive.
+                    assert_eq!(decoded.len(), 1, "flip at {i} changed object count");
+                }
+                Err(DecodeError::Invalid(msg)) if msg.contains("corrupt chunk") => {
+                    saw_chunk_invalid = true;
+                }
+                Err(_) => {}
+            }
+        }
+        assert!(
+            saw_chunk_invalid,
+            "no flip produced a typed corrupt-chunk error"
+        );
+    }
+
+    #[test]
     fn trained_len_bound_enforced() {
-        let mut o = sample().remove(0);
-        o.trained_len = o.points.len() as u64 + 1;
-        // encode_snapshot debug-asserts; build the blob by hand in
-        // release terms via a valid encode then a targeted field edit
-        // being impractical, just check the decoder path directly.
+        let o = ObjectSnapshot {
+            id: 9,
+            start: 5,
+            history: HistorySnapshot::Raw(vec![(0.0, 0.0), (1.0, 1.0)]),
+            trained_subs: 1,
+            trained_len: 3, // > 2 samples
+            model: None,
+        };
+        // encode_snapshot debug-asserts, so build the blob by hand.
         let blob = {
             let mut buf = Vec::new();
             buf.extend_from_slice(SNAPSHOT_MAGIC);
-            put_varint(&mut buf, 1);
+            put_varint(&mut buf, u64::from(SNAPSHOT_VERSION));
             put_varint(&mut buf, 1);
             put_varint(&mut buf, o.id);
             put_varint(&mut buf, o.start);
-            put_varint(&mut buf, o.points.len() as u64);
-            for &(x, y) in &o.points {
-                put_f64(&mut buf, x);
-                put_f64(&mut buf, y);
+            buf.push(0);
+            match &o.history {
+                HistorySnapshot::Raw(points) => put_points(&mut buf, points),
+                _ => unreachable!(),
             }
             put_varint(&mut buf, o.trained_subs);
             put_varint(&mut buf, o.trained_len);
             buf.push(0);
-            let checksum = fnv1a(&buf);
-            buf.extend_from_slice(&checksum.to_le_bytes());
-            buf
+            seal_with_checksum(buf)
         };
         assert!(matches!(
             decode_snapshot(&blob),
             Err(DecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SNAPSHOT_MAGIC);
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, 0);
+        let blob = seal_with_checksum(buf);
+        assert!(matches!(
+            decode_snapshot(&blob),
+            Err(DecodeError::UnsupportedVersion(3))
         ));
     }
 }

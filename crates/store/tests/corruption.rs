@@ -6,7 +6,11 @@
 use hpm_check::prelude::*;
 use hpm_geo::{BoundingBox, Point};
 use hpm_patterns::{FrequentRegion, RegionId, RegionSet, TrajectoryPattern};
-use hpm_store::{decode_model, decode_snapshot, encode_model, encode_snapshot, ObjectSnapshot};
+use hpm_store::{
+    decode_model, decode_snapshot, encode_model, encode_snapshot, encode_snapshot_v1,
+    HistorySnapshot, ObjectSnapshot,
+};
+use hpm_trajectory::SealedChunk;
 
 /// A small real model (three offsets, two chained patterns).
 fn model() -> (RegionSet, Vec<TrajectoryPattern>) {
@@ -43,21 +47,40 @@ fn model() -> (RegionSet, Vec<TrajectoryPattern>) {
     (RegionSet::new(regions, 3), patterns)
 }
 
+/// A sealed chunk over a deterministic smooth walk.
+fn walk_chunk(n: usize, seed: f64) -> SealedChunk {
+    let points: Vec<Point> = (0..n)
+        .map(|i| Point::new(seed + i as f64 * 0.75, seed * 0.5 - i as f64 * 0.25))
+        .collect();
+    SealedChunk::seal(&points)
+}
+
 fn snapshot_objects() -> Vec<ObjectSnapshot> {
     let (regions, patterns) = model();
     vec![
         ObjectSnapshot {
             id: 1,
             start: 0,
-            points: (0..9).map(|t| (t as f64 * 10.0, 1.0)).collect(),
+            history: HistorySnapshot::Raw((0..9).map(|t| (t as f64 * 10.0, 1.0)).collect()),
             trained_subs: 3,
             trained_len: 9,
             model: Some(encode_model(&regions, &patterns)),
         },
         ObjectSnapshot {
+            id: 17,
+            start: 30,
+            history: HistorySnapshot::Chunked {
+                chunks: vec![walk_chunk(24, 4.0), walk_chunk(24, -2.5)],
+                tail: vec![(100.0, 100.5), (101.0, 100.0)],
+            },
+            trained_subs: 1,
+            trained_len: 40,
+            model: None,
+        },
+        ObjectSnapshot {
             id: 44,
             start: 120,
-            points: vec![(3.5, -1.25)],
+            history: HistorySnapshot::Raw(vec![(3.5, -1.25)]),
             trained_subs: 0,
             trained_len: 0,
             model: None,
@@ -115,6 +138,141 @@ props! {
     /// decode_snapshot is total on arbitrary bytes: error, not panic.
     fn snapshot_decode_total_on_garbage(bytes in vec(int(0u8..=255), 0..600)) {
         let _ = decode_snapshot(&bytes);
+    }
+}
+
+/// FNV-1a, re-implemented here so tests can re-seal tampered payloads
+/// and exercise validation *past* the whole-file checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The objects frozen into `tests/fixtures/snapshot_v1.bin`. The model
+/// blob is a fixed literal (nested blobs are opaque to the snapshot
+/// codec) so this fixture tests exactly one thing: v1 layout stability.
+fn v1_fixture_objects() -> Vec<ObjectSnapshot> {
+    vec![
+        ObjectSnapshot {
+            id: 7,
+            start: 100,
+            history: HistorySnapshot::Raw(vec![
+                (0.0, 0.5),
+                (-1.25, 2.0),
+                (3.0, -0.0),
+                (f64::MIN_POSITIVE, 1e300),
+            ]),
+            trained_subs: 1,
+            trained_len: 3,
+            model: Some(vec![0xDE, 0xAD, 0xBE, 0xEF]),
+        },
+        ObjectSnapshot {
+            id: 9000,
+            start: 0,
+            history: HistorySnapshot::Raw(Vec::new()),
+            trained_subs: 0,
+            trained_len: 0,
+            model: None,
+        },
+    ]
+}
+
+/// The committed pre-upgrade (v1) snapshot keeps opening, and every
+/// decoded sample is bit-identical to what was written — including the
+/// `-0.0` and subnormal probes that arithmetic comparison would hide.
+#[test]
+fn committed_v1_fixture_opens_bit_identically() {
+    let blob: &[u8] = include_bytes!("fixtures/snapshot_v1.bin");
+    let decoded = decode_snapshot(blob).expect("committed v1 fixture must decode");
+    let expected = v1_fixture_objects();
+    assert_eq!(decoded, expected);
+    for (d, e) in decoded.iter().zip(&expected) {
+        let (dp, ep) = (d.history.to_points(), e.history.to_points());
+        assert_eq!(dp.len(), ep.len());
+        for (a, b) in dp.iter().zip(&ep) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+    // The v1 encoder still reproduces the committed bytes exactly, so
+    // compatibility is executable in both directions.
+    assert_eq!(encode_snapshot_v1(&expected).as_slice(), blob);
+}
+
+/// Regenerates the v1 fixture. Run manually after an *intentional*
+/// layout change: `cargo test -p hpm-store --test corruption -- --ignored`.
+#[test]
+#[ignore = "writes tests/fixtures/snapshot_v1.bin; run manually"]
+fn regenerate_v1_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v1.bin"
+    );
+    std::fs::write(path, encode_snapshot_v1(&v1_fixture_objects())).unwrap();
+}
+
+/// A flipped bit inside a v2 chunk's packed words that is re-sealed
+/// with a fresh whole-file checksum (simulating corruption the trailer
+/// cannot catch) must refuse to open with the typed corrupt-chunk
+/// error — and no flip anywhere in the payload may panic or change the
+/// object count.
+#[test]
+fn corrupt_v2_chunk_refuses_to_open() {
+    let objects = vec![ObjectSnapshot {
+        id: 5,
+        start: 10,
+        history: HistorySnapshot::Chunked {
+            chunks: vec![walk_chunk(64, 1.0)],
+            tail: Vec::new(),
+        },
+        trained_subs: 0,
+        trained_len: 0,
+        model: None,
+    }];
+    let blob = encode_snapshot(&objects);
+    let payload = &blob[..blob.len() - 8];
+    let mut typed_refusals = 0usize;
+    for i in 14..payload.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = payload.to_vec();
+            bad[i] ^= bit;
+            let checksum = fnv1a(&bad);
+            bad.extend_from_slice(&checksum.to_le_bytes());
+            match decode_snapshot(&bad) {
+                Ok(decoded) => assert_eq!(decoded.len(), 1, "flip at {i} changed object count"),
+                Err(hpm_store::DecodeError::Invalid(msg)) if msg.contains("corrupt chunk") => {
+                    typed_refusals += 1;
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    assert!(
+        typed_refusals > 0,
+        "no packed-word flip produced the typed corrupt-chunk error"
+    );
+}
+
+props! {
+    /// decode is total on re-sealed tampered v2 payloads: arbitrary
+    /// single-byte corruption past the checksum errs or decodes — it
+    /// never panics and never invents objects.
+    fn resealed_tamper_never_panics(idx in index(), bit in int(0u32..8)) {
+        let blob = encode_snapshot(&snapshot_objects());
+        let payload = &blob[..blob.len() - 8];
+        let i = idx.index(payload.len());
+        let mut bad = payload.to_vec();
+        bad[i] ^= 1 << bit;
+        let checksum = fnv1a(&bad);
+        bad.extend_from_slice(&checksum.to_le_bytes());
+        if let Ok(decoded) = decode_snapshot(&bad) {
+            require!(decoded.len() <= snapshot_objects().len(),
+                "tamper at byte {i} invented objects");
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 //! keys reach a steady state where re-encoding a query allocates
 //! nothing.
 
+use hpm_geo::MemUse;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -256,6 +257,16 @@ impl Bitmap {
             WordStore::Inline(_) => 0,
             WordStore::Heap(v) => v.len() * 8,
         }
+    }
+}
+
+impl MemUse for Bitmap {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.words {
+                WordStore::Inline(_) => 0,
+                WordStore::Heap(v) => v.capacity() * 8,
+            }
     }
 }
 

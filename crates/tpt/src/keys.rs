@@ -12,6 +12,8 @@
 //! and every §V.A operation applies to both parts.
 
 use crate::Bitmap;
+use hpm_geo::mem::{heap_bytes, vec_cap_bytes};
+use hpm_geo::MemUse;
 use hpm_patterns::{RegionId, RegionSet, TrajectoryPattern};
 use hpm_trajectory::TimeOffset;
 use std::fmt;
@@ -23,6 +25,12 @@ pub struct PatternKey {
     pub consequence: Bitmap,
     /// One bit per frequent region.
     pub premise: Bitmap,
+}
+
+impl MemUse for PatternKey {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + heap_bytes(&self.consequence) + heap_bytes(&self.premise)
+    }
 }
 
 impl PatternKey {
@@ -87,6 +95,12 @@ pub struct KeyTable {
     /// Sorted distinct time offsets appearing as pattern consequences;
     /// index = time id (consequence-key bit).
     consequence_offsets: Vec<TimeOffset>,
+}
+
+impl MemUse for KeyTable {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_cap_bytes(&self.consequence_offsets)
+    }
 }
 
 impl KeyTable {

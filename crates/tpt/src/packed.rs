@@ -89,6 +89,16 @@ impl Tpt {
     }
 }
 
+impl hpm_geo::MemUse for PackedTpt {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sig.capacity() * 8
+            + self.child.capacity() * 4
+            + self.confidence.capacity() * 8
+            + self.nodes.capacity() * std::mem::size_of::<PackedNode>()
+    }
+}
+
 impl PackedTpt {
     /// An empty image (what compacting an empty tree yields).
     pub fn new() -> Self {

@@ -12,6 +12,8 @@
 //! the query key on both the consequence and the premise part.
 
 use crate::{Match, PatternIndex, PatternKey};
+use hpm_geo::mem::{heap_bytes, vec_cap_bytes};
+use hpm_geo::MemUse;
 
 /// Tree shape knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +138,22 @@ pub struct Tpt {
     pub(crate) root: u32,
     len: usize,
     height: usize,
+}
+
+impl MemUse for Tpt {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.entries.capacity() * std::mem::size_of::<Entry>()
+                        + n.entries.iter().map(|e| heap_bytes(&e.key)).sum::<usize>()
+                })
+                .sum::<usize>()
+            + vec_cap_bytes(&self.free)
+    }
 }
 
 impl Tpt {

@@ -1,0 +1,918 @@
+//! Compressed trajectory storage: sealed, immutable, bit-packed chunks
+//! plus a small raw hot tail.
+//!
+//! Regularly sampled GPS traces are highly compressible: consecutive
+//! positions share most mantissa bits, so the XOR of consecutive `f64`
+//! *bit patterns* is mostly zeros. [`SealedChunk`] exploits that with
+//! Gorilla-style XOR-delta encoding per axis (Facebook's in-memory TSDB
+//! float scheme), cutting steady-state history storage roughly 4× at
+//! paper-like workloads while staying **bit-lossless** for every finite
+//! and non-finite `f64` alike — the codec moves bit patterns, never
+//! arithmetic values.
+//!
+//! # Chunk bit-stream grammar
+//!
+//! A chunk of `n` samples is one MSB-first bit stream over `u64` words:
+//!
+//! ```text
+//! chunk   := first delta*            first = 64-bit x, 64-bit y (raw bits)
+//! delta   := dx dy                   one per sample after the first
+//! dx, dy  := '0'                                        xor == 0
+//!          | '10' meaningful-bits                      window reuse
+//!          | '11' lead(6) siglen-1(6) meaningful-bits  new window
+//! ```
+//!
+//! Each axis keeps independent state: the previous value's bits and the
+//! current *window* `(lead, sig)` — leading-zero count and significant
+//! bit length set by the last `'11'` form. `'10'` re-uses the window
+//! when the new XOR fits inside it (`lead' ≥ lead` and
+//! `trail' ≥ 64 − lead − sig`), writing only `sig` bits.
+//!
+//! # Losslessness
+//!
+//! XOR over bit patterns is an involution, so decode reproduces every
+//! sample's `to_bits()` exactly: `-0.0`, subnormals and (if a caller
+//! ever bypassed ingest validation) NaN payloads survive unchanged.
+//! `tests/chunk_props.rs` asserts chunked == raw point-for-point over
+//! generated trajectories including adversarial bit patterns, and the
+//! objectstore's recovery suite proves post-restore predictions are
+//! bit-identical.
+//!
+//! # Append path
+//!
+//! [`ChunkedHistory::push`] appends to a raw tail `Vec<Point>`; when
+//! the tail reaches `seal_len + min_tail` samples the oldest `seal_len`
+//! are compressed into one [`SealedChunk`] — amortized O(1) per push,
+//! and the tail never drops below `min_tail` samples, so recent-window
+//! reads (the whole `predict` hot path) are plain slice borrows that
+//! never touch compressed data.
+
+use crate::traj::Timestamp;
+use crate::History;
+use hpm_geo::mem::vec_cap_bytes;
+use hpm_geo::{MemUse, Point};
+use std::fmt;
+
+/// Samples per sealed chunk unless overridden — one chunk per ~256
+/// samples keeps intra-chunk seek cost bounded while amortizing the
+/// 128-bit raw first sample to under half a bit per sample.
+pub const DEFAULT_SEAL_LEN: usize = 256;
+
+/// Raw hot-tail floor unless overridden.
+pub const DEFAULT_MIN_TAIL: usize = 16;
+
+/// Chunking geometry of a [`ChunkedHistory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkParams {
+    /// Samples compressed into each sealed chunk.
+    pub seal_len: usize,
+    /// Raw samples always kept in the hot tail once anything has been
+    /// sealed — size this at least as large as every window length the
+    /// read hot path needs ([`ChunkedHistory::hot_window`]).
+    pub min_tail: usize,
+}
+
+impl Default for ChunkParams {
+    fn default() -> Self {
+        ChunkParams {
+            seal_len: DEFAULT_SEAL_LEN,
+            min_tail: DEFAULT_MIN_TAIL,
+        }
+    }
+}
+
+impl ChunkParams {
+    /// Panics when a field is zero (a zero `seal_len` would loop
+    /// forever; a zero `min_tail` is allowed to be 1 at minimum so
+    /// `hot_window(1)` always works).
+    pub fn validate(&self) {
+        assert!(self.seal_len >= 1, "seal_len must be >= 1");
+        assert!(self.min_tail >= 1, "min_tail must be >= 1");
+    }
+}
+
+/// Why a serialized chunk was rejected by
+/// [`SealedChunk::from_raw_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The declared bit count does not fit the provided words, or the
+    /// word vector is longer than the bit count needs.
+    WordCountMismatch {
+        /// Declared valid bits.
+        bits: u64,
+        /// Provided 64-bit words.
+        words: usize,
+    },
+    /// The bit stream ended before yielding every declared sample.
+    Truncated,
+    /// Decoding every declared sample consumed fewer bits than
+    /// declared — trailing garbage a writer never produces.
+    TrailingBits {
+        /// Bits the decode actually consumed.
+        consumed: u64,
+        /// Bits declared valid.
+        declared: u64,
+    },
+    /// Bits past the declared count were not zero (the writer
+    /// zero-pads, so nonzero padding means corruption).
+    DirtyPadding,
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::WordCountMismatch { bits, words } => {
+                write!(f, "chunk declares {bits} bits but carries {words} words")
+            }
+            ChunkError::Truncated => write!(f, "chunk bit stream truncated"),
+            ChunkError::TrailingBits { consumed, declared } => write!(
+                f,
+                "chunk decode consumed {consumed} bits of {declared} declared"
+            ),
+            ChunkError::DirtyPadding => write!(f, "chunk padding bits are not zero"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+const fn low_mask(n: u32) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// MSB-first bit sink over `u64` words.
+#[derive(Debug, Default)]
+struct BitWriter {
+    words: Vec<u64>,
+    bits: u64,
+}
+
+impl BitWriter {
+    /// Appends the low `n` bits of `value`, most significant first.
+    fn push_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || value >> n == 0, "value wider than n");
+        let mut n = n;
+        while n > 0 {
+            let fill = (self.bits & 63) as u32;
+            if fill == 0 {
+                self.words.push(0);
+            }
+            let avail = 64 - fill;
+            let take = n.min(avail);
+            let piece = (value >> (n - take)) & low_mask(take);
+            let w = self.words.last_mut().expect("word pushed above");
+            *w |= piece << (avail - take);
+            self.bits += u64::from(take);
+            n -= take;
+        }
+    }
+}
+
+/// MSB-first bit source over `u64` words, bounded by a declared bit
+/// count so corruption surfaces as a typed error instead of a read
+/// past the stream.
+#[derive(Debug, Clone)]
+struct BitReader<'a> {
+    words: &'a [u64],
+    pos: u64,
+    limit: u64,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(words: &'a [u64], limit: u64) -> Self {
+        BitReader {
+            words,
+            pos: 0,
+            limit,
+        }
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u64, ChunkError> {
+        debug_assert!(n <= 64);
+        if self.pos + u64::from(n) > self.limit {
+            return Err(ChunkError::Truncated);
+        }
+        let mut out = 0u64;
+        let mut n = n;
+        while n > 0 {
+            let word = self.words[(self.pos / 64) as usize];
+            let fill = (self.pos & 63) as u32;
+            let avail = 64 - fill;
+            let take = n.min(avail);
+            let piece = (word >> (avail - take)) & low_mask(take);
+            out = if take == 64 {
+                piece
+            } else {
+                (out << take) | piece
+            };
+            self.pos += u64::from(take);
+            n -= take;
+        }
+        Ok(out)
+    }
+}
+
+/// Per-axis Gorilla state shared by the encoder and decoder.
+#[derive(Debug, Clone, Copy)]
+struct AxisState {
+    prev: u64,
+    /// `(leading zeros, significant bits)` of the last `'11'` form;
+    /// `None` until one has been written/read.
+    window: Option<(u32, u32)>,
+}
+
+impl AxisState {
+    fn new(first: u64) -> Self {
+        AxisState {
+            prev: first,
+            window: None,
+        }
+    }
+
+    fn encode(&mut self, bits: u64, w: &mut BitWriter) {
+        let xor = bits ^ self.prev;
+        self.prev = bits;
+        if xor == 0 {
+            w.push_bits(0, 1);
+            return;
+        }
+        let lead = xor.leading_zeros();
+        let trail = xor.trailing_zeros();
+        if let Some((wlead, wsig)) = self.window {
+            let wtrail = 64 - wlead - wsig;
+            if lead >= wlead && trail >= wtrail {
+                w.push_bits(0b10, 2);
+                w.push_bits(xor >> wtrail, wsig);
+                return;
+            }
+        }
+        // New window: 6-bit lead caps at 63 (xor != 0 keeps it there
+        // naturally), 6-bit `sig - 1` covers sig in 1..=64.
+        let sig = 64 - lead - trail;
+        w.push_bits(0b11, 2);
+        w.push_bits(u64::from(lead), 6);
+        w.push_bits(u64::from(sig - 1), 6);
+        w.push_bits(xor >> trail, sig);
+        self.window = Some((lead, sig));
+    }
+
+    fn decode(&mut self, r: &mut BitReader<'_>) -> Result<u64, ChunkError> {
+        if r.read_bits(1)? == 0 {
+            return Ok(self.prev);
+        }
+        let xor = if r.read_bits(1)? == 0 {
+            let (wlead, wsig) = self.window.ok_or(ChunkError::Truncated)?;
+            let wtrail = 64 - wlead - wsig;
+            r.read_bits(wsig)? << wtrail
+        } else {
+            let lead = r.read_bits(6)? as u32;
+            let sig = r.read_bits(6)? as u32 + 1;
+            if lead + sig > 64 {
+                // An impossible window: the writer never produces one,
+                // and honoring it would shift out of range below.
+                return Err(ChunkError::Truncated);
+            }
+            let trail = 64 - lead - sig;
+            self.window = Some((lead, sig));
+            r.read_bits(sig)? << trail
+        };
+        self.prev ^= xor;
+        Ok(self.prev)
+    }
+}
+
+/// One sealed, immutable, bit-packed run of consecutive samples.
+///
+/// Sealed chunks are never mutated or re-encoded: snapshots write
+/// their words verbatim and recovery re-installs them verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedChunk {
+    samples: u32,
+    bits: u64,
+    words: Box<[u64]>,
+}
+
+impl SealedChunk {
+    /// Compresses `points` (at least one) into a sealed chunk.
+    ///
+    /// # Panics
+    /// Panics when `points` is empty.
+    pub fn seal(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "cannot seal an empty chunk");
+        let mut w = BitWriter::default();
+        let first = points[0];
+        w.push_bits(first.x.to_bits(), 64);
+        w.push_bits(first.y.to_bits(), 64);
+        let mut x = AxisState::new(first.x.to_bits());
+        let mut y = AxisState::new(first.y.to_bits());
+        for p in &points[1..] {
+            x.encode(p.x.to_bits(), &mut w);
+            y.encode(p.y.to_bits(), &mut w);
+        }
+        SealedChunk {
+            samples: points.len() as u32,
+            bits: w.bits,
+            words: w.words.into_boxed_slice(),
+        }
+    }
+
+    /// Samples stored in this chunk.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.samples as usize
+    }
+
+    /// Valid bits in the packed stream.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The packed words (only [`bits`](Self::bits) of them are
+    /// meaningful; the writer zero-pads the last word).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Compressed payload bytes (packed words only — the accounting the
+    /// compression ratio is quoted over).
+    #[inline]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Rebuilds a chunk from serialized parts, validating that the
+    /// stream decodes to exactly `samples` samples consuming exactly
+    /// `bits` bits with clean zero padding — a corrupt chunk refuses
+    /// with a typed [`ChunkError`] instead of yielding garbage points.
+    pub fn from_raw_parts(samples: u32, bits: u64, words: Vec<u64>) -> Result<Self, ChunkError> {
+        let needed = bits.div_ceil(64);
+        if needed != words.len() as u64 || (samples == 0) != (bits == 0 && words.is_empty()) {
+            return Err(ChunkError::WordCountMismatch {
+                bits,
+                words: words.len(),
+            });
+        }
+        if samples == 0 {
+            return Err(ChunkError::Truncated);
+        }
+        let pad = (needed * 64).saturating_sub(bits);
+        if pad > 0 {
+            let last = words[words.len() - 1];
+            if last & low_mask(pad as u32) != 0 {
+                return Err(ChunkError::DirtyPadding);
+            }
+        }
+        let chunk = SealedChunk {
+            samples,
+            bits,
+            words: words.into_boxed_slice(),
+        };
+        // Full decode validation: every sample must materialize and the
+        // stream must end exactly at the declared bit count.
+        let mut dec = ChunkDecoder::new(&chunk);
+        for _ in 0..samples {
+            dec.next_point()?;
+        }
+        if dec.reader.pos != bits {
+            return Err(ChunkError::TrailingBits {
+                consumed: dec.reader.pos,
+                declared: bits,
+            });
+        }
+        Ok(chunk)
+    }
+
+    /// Streaming decoder positioned at the first sample.
+    pub fn decoder(&self) -> ChunkDecoder<'_> {
+        ChunkDecoder::new(self)
+    }
+}
+
+impl MemUse for SealedChunk {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * 8
+    }
+}
+
+/// Streaming decoder over one [`SealedChunk`]: yields the chunk's
+/// samples in order without materializing them.
+#[derive(Debug, Clone)]
+pub struct ChunkDecoder<'a> {
+    reader: BitReader<'a>,
+    x: AxisState,
+    y: AxisState,
+    yielded: u32,
+    samples: u32,
+}
+
+impl<'a> ChunkDecoder<'a> {
+    fn new(chunk: &'a SealedChunk) -> Self {
+        ChunkDecoder {
+            reader: BitReader::new(&chunk.words, chunk.bits),
+            x: AxisState::new(0),
+            y: AxisState::new(0),
+            yielded: 0,
+            samples: chunk.samples,
+        }
+    }
+
+    /// Decodes the next sample, or a typed error on a corrupt stream.
+    /// Returns `Ok(None)` when the chunk is exhausted.
+    #[allow(clippy::should_implement_trait)] // fallible next; Iterator wraps it
+    pub fn next_point(&mut self) -> Result<Option<Point>, ChunkError> {
+        if self.yielded == self.samples {
+            return Ok(None);
+        }
+        let p = if self.yielded == 0 {
+            let xb = self.reader.read_bits(64)?;
+            let yb = self.reader.read_bits(64)?;
+            self.x = AxisState::new(xb);
+            self.y = AxisState::new(yb);
+            Point::new(f64::from_bits(xb), f64::from_bits(yb))
+        } else {
+            let xb = self.x.decode(&mut self.reader)?;
+            let yb = self.y.decode(&mut self.reader)?;
+            Point::new(f64::from_bits(xb), f64::from_bits(yb))
+        };
+        self.yielded += 1;
+        Ok(Some(p))
+    }
+}
+
+impl Iterator for ChunkDecoder<'_> {
+    type Item = Point;
+
+    /// Iterates the chunk's samples. Sealed-by-construction chunks
+    /// never fail to decode; a chunk admitted through
+    /// [`SealedChunk::from_raw_parts`] was fully validated, so the
+    /// iterator treats a decode error as unreachable.
+    fn next(&mut self) -> Option<Point> {
+        self.next_point()
+            .expect("validated chunk streams never fail to decode")
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.samples - self.yielded) as usize;
+        (left, Some(left))
+    }
+}
+
+/// A movement history stored as sealed compressed chunks plus a raw
+/// hot tail — the drop-in replacement for a raw `Vec<Point>` history
+/// inside the object store.
+///
+/// Invariant: once any chunk exists, the tail holds at least
+/// `params.min_tail` samples, so [`hot_window`](Self::hot_window) of up
+/// to `min_tail` samples is always a plain slice borrow (the `predict`
+/// hot path never decompresses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedHistory {
+    start: Timestamp,
+    params: ChunkParams,
+    chunks: Vec<SealedChunk>,
+    /// Total samples across `chunks` (cached; chunks are immutable).
+    sealed_samples: usize,
+    tail: Vec<Point>,
+}
+
+impl ChunkedHistory {
+    /// An empty history beginning at timestamp `start`.
+    ///
+    /// # Panics
+    /// Panics when `params` is inconsistent.
+    pub fn new(start: Timestamp, params: ChunkParams) -> Self {
+        params.validate();
+        ChunkedHistory {
+            start,
+            params,
+            chunks: Vec::new(),
+            sealed_samples: 0,
+            tail: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a history from recovered parts. Chunks are installed
+    /// verbatim (no re-encode); if the recovered tail is shorter than
+    /// `params.min_tail`, trailing chunks are unsealed back into the
+    /// tail until the hot-window invariant holds again (chunk geometry
+    /// may differ from `params` when the writing process used another
+    /// configuration — readers never assume uniform chunk lengths).
+    pub fn from_parts(
+        start: Timestamp,
+        params: ChunkParams,
+        chunks: Vec<SealedChunk>,
+        tail: Vec<Point>,
+    ) -> Self {
+        params.validate();
+        let sealed_samples = chunks.iter().map(SealedChunk::samples).sum();
+        let mut h = ChunkedHistory {
+            start,
+            params,
+            chunks,
+            sealed_samples,
+            tail,
+        };
+        while !h.chunks.is_empty() && h.tail.len() < h.params.min_tail {
+            let chunk = h.chunks.pop().expect("checked non-empty");
+            h.sealed_samples -= chunk.samples();
+            let mut unsealed: Vec<Point> = chunk.decoder().collect();
+            unsealed.extend_from_slice(&h.tail);
+            h.tail = unsealed;
+        }
+        h
+    }
+
+    /// A history built by pushing every point of a raw slice — the
+    /// migration/compat constructor.
+    pub fn from_points(start: Timestamp, params: ChunkParams, points: &[Point]) -> Self {
+        let mut h = Self::new(start, params);
+        for &p in points {
+            h.push(p);
+        }
+        h
+    }
+
+    /// First timestamp covered.
+    #[inline]
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Timestamp one past the last sample.
+    #[inline]
+    pub fn end(&self) -> Timestamp {
+        self.start + self.len() as Timestamp
+    }
+
+    /// Number of samples (sealed + hot).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sealed_samples + self.tail.len()
+    }
+
+    /// Whether the history has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chunk geometry in use.
+    #[inline]
+    pub fn params(&self) -> ChunkParams {
+        self.params
+    }
+
+    /// The sealed chunks, oldest first.
+    #[inline]
+    pub fn chunks(&self) -> &[SealedChunk] {
+        &self.chunks
+    }
+
+    /// The raw hot tail (the newest samples).
+    #[inline]
+    pub fn tail(&self) -> &[Point] {
+        &self.tail
+    }
+
+    /// Samples inside sealed chunks.
+    #[inline]
+    pub fn sealed_samples(&self) -> usize {
+        self.sealed_samples
+    }
+
+    /// Appends the next sample, sealing the oldest `seal_len` tail
+    /// samples into a chunk when the tail has grown past
+    /// `seal_len + min_tail` — amortized O(1).
+    pub fn push(&mut self, p: Point) {
+        // The tail never holds more than `seal_len + min_tail` samples,
+        // so clamp the final capacity-doubling step at exactly that:
+        // otherwise the steady-state tail retains up to 2x the bytes it
+        // can ever use, which would dominate the footprint of short
+        // histories (doubling still applies below the clamp, so tiny
+        // histories stay tiny).
+        let cap_target = self.params.seal_len + self.params.min_tail;
+        if self.tail.len() == self.tail.capacity() && self.tail.capacity() * 2 > cap_target {
+            self.tail
+                .reserve_exact(cap_target.max(self.tail.len() + 1) - self.tail.len());
+        }
+        self.tail.push(p);
+        if self.tail.len() >= self.params.seal_len + self.params.min_tail {
+            let chunk = SealedChunk::seal(&self.tail[..self.params.seal_len]);
+            self.sealed_samples += chunk.samples();
+            self.chunks.push(chunk);
+            self.tail.drain(..self.params.seal_len);
+        }
+    }
+
+    /// The most recent `len` samples as a raw slice, with the
+    /// timestamp of the first returned sample — the `predict` hot
+    /// path. Returns `None` when the window would need sealed samples
+    /// (never happens for `len <= min_tail`, the invariant the store
+    /// sizes `min_tail` for).
+    pub fn hot_window(&self, len: usize) -> Option<(&[Point], Timestamp)> {
+        let take = len.min(self.len());
+        if take > self.tail.len() {
+            return None;
+        }
+        let first_idx = self.len() - take;
+        Some((
+            &self.tail[self.tail.len() - take..],
+            self.start + first_idx as Timestamp,
+        ))
+    }
+
+    /// Streams every sample in timestamp order.
+    pub fn iter(&self) -> DecodeCursor<'_> {
+        self.iter_from(0)
+    }
+
+    /// Streams samples starting at index `from` (clamped to the end).
+    /// Whole chunks before `from` are skipped without decoding; at
+    /// most one chunk is partially decoded to reach the offset.
+    pub fn iter_from(&self, from: usize) -> DecodeCursor<'_> {
+        let mut cursor = DecodeCursor {
+            hist: self,
+            chunk_idx: 0,
+            decoder: None,
+            tail_idx: 0,
+            remaining: self.len().saturating_sub(from),
+        };
+        let mut skip = from.min(self.len());
+        while cursor.chunk_idx < self.chunks.len() {
+            let n = self.chunks[cursor.chunk_idx].samples();
+            if skip >= n {
+                skip -= n;
+                cursor.chunk_idx += 1;
+            } else {
+                break;
+            }
+        }
+        if cursor.chunk_idx < self.chunks.len() {
+            let mut dec = self.chunks[cursor.chunk_idx].decoder();
+            for _ in 0..skip {
+                dec.next();
+            }
+            cursor.decoder = Some(dec);
+        } else {
+            cursor.tail_idx = skip;
+        }
+        cursor
+    }
+
+    /// Materializes the whole history as raw points — compat and test
+    /// helper; hot paths stream instead.
+    pub fn to_points(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
+    }
+
+    /// Bytes an uncompressed `Vec<Point>` of the same samples would
+    /// occupy (the baseline the compression ratio is quoted against;
+    /// `len`, not capacity, so the baseline is the most charitable
+    /// possible raw layout).
+    #[inline]
+    pub fn raw_baseline_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<Point>()
+    }
+
+    /// Bytes of compressed payload + hot tail actually held for
+    /// history samples (excludes per-chunk headers counted by
+    /// [`MemUse`]) — the numerator of honest byte accounting, the
+    /// denominator of the marketing one.
+    #[inline]
+    pub fn history_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(SealedChunk::packed_bytes)
+            .sum::<usize>()
+            + vec_cap_bytes(&self.tail)
+    }
+}
+
+impl MemUse for ChunkedHistory {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.chunks.capacity() * std::mem::size_of::<SealedChunk>()
+            + self.chunks.iter().map(|c| c.words.len() * 8).sum::<usize>()
+            + vec_cap_bytes(&self.tail)
+    }
+}
+
+impl History for ChunkedHistory {
+    #[inline]
+    fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn iter_from(&self, from: usize) -> impl Iterator<Item = Point> + '_ {
+        self.iter_from(from)
+    }
+}
+
+/// Streaming cursor over a [`ChunkedHistory`]: decodes sealed chunks
+/// one sample at a time and finishes over the raw tail, so consumers
+/// (periodic decomposition, retraining, snapshots of derived state)
+/// never materialize the full `Vec<Point>`.
+#[derive(Debug, Clone)]
+pub struct DecodeCursor<'a> {
+    hist: &'a ChunkedHistory,
+    chunk_idx: usize,
+    decoder: Option<ChunkDecoder<'a>>,
+    tail_idx: usize,
+    remaining: usize,
+}
+
+impl Iterator for DecodeCursor<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        loop {
+            if let Some(dec) = &mut self.decoder {
+                if let Some(p) = dec.next() {
+                    self.remaining -= 1;
+                    return Some(p);
+                }
+                self.chunk_idx += 1;
+                self.decoder = None;
+            }
+            if self.chunk_idx < self.hist.chunks.len() {
+                self.decoder = Some(self.hist.chunks[self.chunk_idx].decoder());
+                continue;
+            }
+            let p = self.hist.tail.get(self.tail_idx)?;
+            self.tail_idx += 1;
+            self.remaining -= 1;
+            return Some(*p);
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for DecodeCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64 * 0.25, 100.0 - i as f64))
+            .collect()
+    }
+
+    fn history(points: &[Point], seal_len: usize, min_tail: usize) -> ChunkedHistory {
+        ChunkedHistory::from_points(7, ChunkParams { seal_len, min_tail }, points)
+    }
+
+    fn bits_eq(a: &[Point], b: &[Point]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(p, q)| p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits())
+    }
+
+    #[test]
+    fn chunk_roundtrips_bit_exact() {
+        let points = vec![
+            Point::new(0.0, -0.0),
+            Point::new(0.0, -0.0),
+            Point::new(1.5, f64::MIN_POSITIVE / 2.0), // subnormal y
+            Point::new(1.5000001, -3.25),
+            Point::new(f64::MAX, f64::MIN),
+        ];
+        let chunk = SealedChunk::seal(&points);
+        let decoded: Vec<Point> = chunk.decoder().collect();
+        assert!(bits_eq(&decoded, &points));
+    }
+
+    #[test]
+    fn constant_trajectory_compresses_hard() {
+        let points = vec![Point::new(42.5, -17.25); 256];
+        let chunk = SealedChunk::seal(&points);
+        // 128 bits raw first + 2 bits ('0','0') per later sample.
+        assert_eq!(chunk.bits(), 128 + 2 * 255);
+        assert!(chunk.packed_bytes() < 96);
+        assert!(bits_eq(&chunk.decoder().collect::<Vec<_>>(), &points));
+    }
+
+    #[test]
+    fn history_partitions_into_chunks_and_tail() {
+        let points = pts(1000);
+        let h = history(&points, 100, 10);
+        assert_eq!(h.len(), 1000);
+        assert!(h.tail().len() >= 10 && h.tail().len() < 110);
+        assert_eq!(
+            h.sealed_samples() + h.tail().len(),
+            1000,
+            "chunks + tail partition the history"
+        );
+        assert!(bits_eq(&h.to_points(), &points));
+    }
+
+    #[test]
+    fn iter_from_matches_slice_suffixes() {
+        let points = pts(517);
+        let h = history(&points, 64, 8);
+        for from in [0, 1, 63, 64, 65, 200, 511, 516, 517, 600] {
+            let streamed: Vec<Point> = h.iter_from(from).collect();
+            let want = &points[from.min(points.len())..];
+            assert!(bits_eq(&streamed, want), "iter_from({from})");
+        }
+    }
+
+    #[test]
+    fn hot_window_is_a_tail_slice() {
+        let points = pts(300);
+        let h = history(&points, 100, 10);
+        let (w, ts) = h.hot_window(4).unwrap();
+        assert!(bits_eq(w, &points[296..]));
+        assert_eq!(ts, 7 + 296);
+        // Window larger than the tail: needs sealed data, refused.
+        assert!(h.hot_window(250).is_none());
+        // Empty + short histories clamp.
+        let empty = ChunkedHistory::new(0, ChunkParams::default());
+        assert_eq!(empty.hot_window(5).unwrap().0.len(), 0);
+        let short = history(&points[..3], 100, 10);
+        assert_eq!(short.hot_window(5).unwrap().0.len(), 3);
+    }
+
+    #[test]
+    fn from_parts_unseals_to_restore_min_tail() {
+        let points = pts(512);
+        let h = history(&points, 64, 8);
+        let restored = ChunkedHistory::from_parts(
+            7,
+            ChunkParams {
+                seal_len: 64,
+                min_tail: 100, // larger floor than the writer used
+            },
+            h.chunks().to_vec(),
+            h.tail().to_vec(),
+        );
+        assert!(restored.tail().len() >= 100);
+        assert!(bits_eq(&restored.to_points(), &points));
+        assert!(restored.hot_window(100).is_some());
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        let chunk = SealedChunk::seal(&pts(50));
+        let ok = SealedChunk::from_raw_parts(chunk.samples, chunk.bits(), chunk.words().to_vec())
+            .unwrap();
+        assert_eq!(ok, chunk);
+        // Truncated words.
+        let mut words = chunk.words().to_vec();
+        words.pop();
+        assert!(matches!(
+            SealedChunk::from_raw_parts(50, chunk.bits(), words),
+            Err(ChunkError::WordCountMismatch { .. })
+        ));
+        // Sample count lies high → the stream runs dry.
+        assert!(matches!(
+            SealedChunk::from_raw_parts(51, chunk.bits(), chunk.words().to_vec()),
+            Err(ChunkError::Truncated)
+        ));
+        // Sample count lies low → declared bits left over.
+        assert!(matches!(
+            SealedChunk::from_raw_parts(49, chunk.bits(), chunk.words().to_vec()),
+            Err(ChunkError::TrailingBits { .. })
+        ));
+    }
+
+    #[test]
+    fn compresses_smooth_walks_well() {
+        // A paper-like slow walk on a bounded grid: small deltas,
+        // shared mantissa prefixes.
+        let mut points = Vec::with_capacity(1200);
+        let (mut x, mut y) = (5000.0f64, 5000.0f64);
+        for i in 0..1200u64 {
+            x += ((i % 7) as f64 - 3.0) * 0.5;
+            y += ((i % 5) as f64 - 2.0) * 0.5;
+            points.push(Point::new(x, y));
+        }
+        let h = history(&points, 256, 16);
+        let sealed: usize = h.chunks().iter().map(SealedChunk::packed_bytes).sum();
+        let sealed_raw = h.sealed_samples() * 16;
+        assert!(
+            sealed * 3 < sealed_raw,
+            "sealed {sealed}B should be well under a third of raw {sealed_raw}B"
+        );
+        assert!(bits_eq(&h.to_points(), &points));
+    }
+}

@@ -4,7 +4,7 @@
 //! sub-trajectories; group `Gₜ` collects, across sub-trajectories, the
 //! locations whose time offset is `t`.
 
-use crate::{TimeOffset, Timestamp, Trajectory};
+use crate::{History, TimeOffset, Timestamp, Trajectory};
 use hpm_geo::Point;
 
 /// One period-aligned slice of a trajectory.
@@ -78,6 +78,30 @@ impl OffsetGroups {
     pub fn build(traj: &Trajectory, period: u32) -> Self {
         let subs = decompose(traj, period);
         Self::from_subs(&subs, period)
+    }
+
+    /// Builds the groups for any [`History`] by streaming its samples —
+    /// equivalent to [`build`](Self::build) (each `Gₜ` fills in
+    /// sub-trajectory order either way) but never materializes a point
+    /// slice, so compressed histories decode on the fly.
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn build_history<H: History>(hist: &H, period: u32) -> Self {
+        assert!(period > 0, "period must be positive");
+        let t = period as Timestamp;
+        let start = hist.start();
+        let base = (start / t) as usize;
+        let mut groups = OffsetGroups {
+            period,
+            groups: vec![Vec::new(); period as usize],
+            sub_count: 0,
+        };
+        for (i, p) in hist.iter_from(0).enumerate() {
+            let abs = start + i as Timestamp;
+            groups.append((abs / t) as usize - base, (abs % t) as TimeOffset, p);
+        }
+        groups
     }
 
     /// Builds the groups from already-decomposed sub-trajectories.
@@ -207,17 +231,27 @@ impl DecomposeCursor {
     /// # Panics
     /// Panics when `traj` has fewer samples than already consumed.
     pub fn advance(&mut self, traj: &Trajectory) -> Vec<DeltaSample> {
+        self.advance_history(traj)
+    }
+
+    /// [`advance`](Self::advance) over any [`History`]: streams the
+    /// not-yet-consumed samples (decoding compressed chunks on the fly
+    /// when the history is chunked) and marks them consumed.
+    ///
+    /// # Panics
+    /// Panics when `hist` has fewer samples than already consumed.
+    pub fn advance_history<H: History>(&mut self, hist: &H) -> Vec<DeltaSample> {
         assert!(
-            traj.len() >= self.consumed,
+            hist.len() >= self.consumed,
             "trajectory shrank under the cursor"
         );
         let t = self.period as Timestamp;
-        let start = traj.start();
+        let start = hist.start();
         let base = (start / t) as usize;
-        let out = traj.points()[self.consumed..]
-            .iter()
+        let out = hist
+            .iter_from(self.consumed)
             .enumerate()
-            .map(|(i, &p)| {
+            .map(|(i, p)| {
                 let abs = start + (self.consumed + i) as Timestamp;
                 DeltaSample {
                     sub: (abs / t) as usize - base,
@@ -226,7 +260,7 @@ impl DecomposeCursor {
                 }
             })
             .collect();
-        self.consumed = traj.len();
+        self.consumed = hist.len();
         out
     }
 
@@ -235,6 +269,11 @@ impl DecomposeCursor {
     /// the whole history.
     pub fn catch_up(&mut self, traj: &Trajectory) {
         self.consumed = traj.len();
+    }
+
+    /// [`catch_up`](Self::catch_up) over any [`History`].
+    pub fn catch_up_history<H: History>(&mut self, hist: &H) {
+        self.consumed = hist.len();
     }
 }
 
@@ -393,6 +432,51 @@ mod tests {
             }
             assert!(groups_eq(&groups, &OffsetGroups::build(&prefix, 5)));
         }
+    }
+
+    #[test]
+    fn build_history_matches_build() {
+        use crate::chunks::{ChunkParams, ChunkedHistory};
+        for (start, n) in [(0u64, 0usize), (0, 17), (2, 8), (7, 40)] {
+            let traj = Trajectory::new(start, (0..n).map(|i| Point::new(i as f64, 1.0)).collect());
+            let via_history = OffsetGroups::build_history(&traj, 5);
+            assert!(groups_eq(&via_history, &OffsetGroups::build(&traj, 5)));
+            let chunked = ChunkedHistory::from_points(
+                start,
+                ChunkParams {
+                    seal_len: 4,
+                    min_tail: 2,
+                },
+                traj.points(),
+            );
+            let via_chunked = OffsetGroups::build_history(&chunked, 5);
+            assert!(groups_eq(&via_chunked, &OffsetGroups::build(&traj, 5)));
+        }
+    }
+
+    #[test]
+    fn cursor_advance_history_matches_advance() {
+        use crate::chunks::{ChunkParams, ChunkedHistory};
+        let traj = Trajectory::new(2, (0..23).map(|i| Point::new(i as f64, 0.5)).collect());
+        let chunked = ChunkedHistory::from_points(
+            2,
+            ChunkParams {
+                seal_len: 8,
+                min_tail: 3,
+            },
+            traj.points(),
+        );
+        let mut a = DecomposeCursor::new(5);
+        let mut b = DecomposeCursor::new(5);
+        // Consume a prefix first, then the rest, comparing deltas.
+        let prefix = Trajectory::new(2, traj.points()[..9].to_vec());
+        assert_eq!(a.advance(&prefix), {
+            b.consumed = 0;
+            let d = b.advance_history(&chunked);
+            d[..9].to_vec()
+        });
+        b.consumed = 9;
+        assert_eq!(a.advance(&traj), b.advance_history(&chunked));
     }
 
     #[test]

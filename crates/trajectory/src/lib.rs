@@ -28,12 +28,19 @@
 //! assert_eq!(groups.group(0).len(), 2); // t = 0 and t = 2
 //! ```
 
+pub mod chunks;
 mod decompose;
+mod history;
 mod preprocess;
 mod staypoints;
 mod traj;
 
+pub use chunks::{
+    ChunkError, ChunkParams, ChunkedHistory, DecodeCursor, SealedChunk, DEFAULT_MIN_TAIL,
+    DEFAULT_SEAL_LEN,
+};
 pub use decompose::{decompose, DecomposeCursor, DeltaSample, OffsetGroups, SubTrajectory};
+pub use history::{History, HistoryPrefix};
 pub use preprocess::{despike, from_sparse_samples, PreprocessError};
 pub use staypoints::{stay_points, StayPoint};
 pub use traj::{TimeOffset, Timestamp, Trajectory};

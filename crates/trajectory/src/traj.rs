@@ -1,4 +1,5 @@
-use hpm_geo::{BoundingBox, Point};
+use hpm_geo::mem::vec_cap_bytes;
+use hpm_geo::{BoundingBox, MemUse, Point};
 
 /// Discrete timestamp of a sample (unit sampling interval).
 pub type Timestamp = u64;
@@ -108,6 +109,12 @@ impl Trajectory {
     pub fn offset_of(t: Timestamp, period: u32) -> TimeOffset {
         debug_assert!(period > 0);
         (t % period as Timestamp) as TimeOffset
+    }
+}
+
+impl MemUse for Trajectory {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_cap_bytes(&self.points)
     }
 }
 

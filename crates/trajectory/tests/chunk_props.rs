@@ -1,0 +1,164 @@
+//! Property tests for compressed chunk storage: a [`ChunkedHistory`]
+//! is observationally identical to the raw `Vec<Point>` it replaces —
+//! point-for-point, **bit**-for-bit — including adversarial bit
+//! patterns the codec must move untouched (`-0.0`, subnormals,
+//! infinities, NaN payloads).
+
+use hpm_check::prelude::*;
+use hpm_geo::Point;
+use hpm_trajectory::{ChunkParams, ChunkedHistory, SealedChunk};
+
+/// Chunk geometries from degenerate (seal every sample) to generous.
+fn arb_params() -> Gen<ChunkParams> {
+    tuple((int(1usize..80), int(1usize..40)))
+        .map(|(seal_len, min_tail)| ChunkParams { seal_len, min_tail })
+}
+
+/// A smooth paper-like walk: small steps, shared mantissa prefixes.
+fn arb_walk() -> Gen<Vec<Point>> {
+    tuple((
+        float(-1e4..1e4),
+        float(-1e4..1e4),
+        vec(tuple((float(-3.0..3.0), float(-3.0..3.0))), 0..400),
+    ))
+    .map(|(x0, y0, steps)| {
+        let (mut x, mut y) = (x0, y0);
+        steps
+            .into_iter()
+            .map(|(dx, dy)| {
+                x += dx;
+                y += dy;
+                Point::new(x, y)
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary raw bit patterns per axis: every `f64`, finite or not,
+/// with a bias towards the special values XOR codecs get wrong.
+fn arb_adversarial() -> Gen<Vec<Point>> {
+    let special = vec![
+        0.0f64.to_bits(),
+        (-0.0f64).to_bits(),
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        f64::NAN.to_bits(),
+        f64::NAN.to_bits() | 0xDEAD,      // NaN payload
+        f64::MIN_POSITIVE.to_bits() >> 1, // subnormal
+        f64::MAX.to_bits(),
+        1u64,
+        u64::MAX,
+    ];
+    vec(
+        tuple((
+            choice(vec![true, false]),
+            choice(special.clone()),
+            choice(special),
+            int(0u64..=u64::MAX),
+            int(0u64..=u64::MAX),
+        )),
+        0..200,
+    )
+    .map(|raw| {
+        raw.into_iter()
+            .map(|(pick_special, sx, sy, rx, ry)| {
+                let (xb, yb) = if pick_special { (sx, sy) } else { (rx, ry) };
+                Point::new(f64::from_bits(xb), f64::from_bits(yb))
+            })
+            .collect()
+    })
+}
+
+fn bits_eq(a: &[Point], b: &[Point]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(p, q)| p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits())
+}
+
+props! {
+    /// Chunked == raw point-for-point on smooth walks, at every chunk
+    /// geometry.
+    fn walk_roundtrips_bit_exact(points in arb_walk(), params in arb_params()) {
+        let h = ChunkedHistory::from_points(3, params, &points);
+        require_eq!(h.len(), points.len());
+        require!(bits_eq(&h.to_points(), &points));
+    }
+
+    /// Chunked == raw even for adversarial bit patterns: the codec
+    /// moves bits, never arithmetic values.
+    fn adversarial_bits_roundtrip(points in arb_adversarial(), params in arb_params()) {
+        let h = ChunkedHistory::from_points(0, params, &points);
+        require!(bits_eq(&h.to_points(), &points));
+    }
+
+    /// `iter_from(k)` streams exactly the raw suffix `[k..]`.
+    fn iter_from_matches_suffix(
+        points in arb_walk(),
+        params in arb_params(),
+        from in int(0usize..500),
+    ) {
+        let h = ChunkedHistory::from_points(11, params, &points);
+        let streamed: Vec<Point> = h.iter_from(from).collect();
+        require!(bits_eq(&streamed, &points[from.min(points.len())..]));
+    }
+
+    /// Any window of up to `min_tail` samples is always servable as a
+    /// raw slice borrow and equals the raw suffix — the hot-path
+    /// invariant `predict` relies on.
+    fn hot_window_always_raw_within_min_tail(
+        points in arb_walk(),
+        params in arb_params(),
+        want in int(0usize..40),
+    ) {
+        let want = want.min(params.min_tail);
+        let h = ChunkedHistory::from_points(5, params, &points);
+        let (w, ts) = match h.hot_window(want) {
+            Some(ok) => ok,
+            None => return Err(CaseError::Fail(format!(
+                "hot_window({want}) refused with min_tail {}", params.min_tail
+            ))),
+        };
+        let take = want.min(points.len());
+        require!(bits_eq(w, &points[points.len() - take..]));
+        require_eq!(ts, 5 + (points.len() - take) as u64);
+    }
+
+    /// Seal → serialize parts → `from_raw_parts` is the identity, so a
+    /// snapshot can carry chunks verbatim.
+    fn raw_parts_roundtrip(points in arb_adversarial(), params in arb_params()) {
+        let h = ChunkedHistory::from_points(0, params, &points);
+        for c in h.chunks() {
+            let back = SealedChunk::from_raw_parts(
+                c.samples() as u32,
+                c.bits(),
+                c.words().to_vec(),
+            );
+            require_eq!(back.as_ref(), Ok(c));
+        }
+    }
+
+    /// Recovery via `from_parts` under a *different* chunk geometry
+    /// (unsealing to restore the hot-tail floor) is still bit-lossless.
+    fn from_parts_resize_is_lossless(
+        points in arb_walk(),
+        write in arb_params(),
+        read in arb_params(),
+    ) {
+        let h = ChunkedHistory::from_points(9, write, &points);
+        let r = ChunkedHistory::from_parts(9, read, h.chunks().to_vec(), h.tail().to_vec());
+        require!(bits_eq(&r.to_points(), &points));
+        require!(r.chunks().is_empty() || r.tail().len() >= read.min_tail);
+    }
+
+    /// Byte accounting is conservative: the compressed payload of a
+    /// sealed chunk never exceeds the raw layout of the same samples
+    /// plus the 16-byte first-sample overhead.
+    fn sealed_payload_bounded(points in arb_adversarial()) {
+        assume!(!points.is_empty());
+        let c = SealedChunk::seal(&points);
+        // Worst case per delta sample: 2×(2+6+6+64) bits < 20 bytes.
+        require!(c.packed_bytes() <= 16 + points.len() * 20);
+        require_eq!(c.samples(), points.len());
+    }
+}

@@ -118,12 +118,26 @@ if [ -z "$ADDR" ]; then
     kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 fi
-# --shutdown makes loadgen send the Shutdown verb when done, so the
-# server exits on its own and `wait` below proves a clean shutdown.
-./target/release/loadgen --addr "$ADDR" --shutdown > "$SMOKE_DIR/loadgen.out"
+./target/release/loadgen --addr "$ADDR" > "$SMOKE_DIR/loadgen.out"
 grep -q '^LOADGEN ok' "$SMOKE_DIR/loadgen.out"
+# The server-side memory gauges travel the wire: loadgen records a
+# non-zero store.mem.bytes pulled via the Metrics verb.
+grep -Eq 'store_mem_bytes=[1-9]' "$SMOKE_DIR/loadgen.out"
+# `hpm stats` reads one object's stats (with approx resident bytes) and
+# the fleet gauges, then sends the Shutdown verb so `wait` below proves
+# a clean shutdown.
+./target/release/hpm stats --addr "$ADDR" --id 1 --shutdown true \
+    > "$SMOKE_DIR/stats.out"
+grep -q '^STATS samples=' "$SMOKE_DIR/stats.out"
+grep -Eq '^MEM approx_bytes=[1-9]' "$SMOKE_DIR/stats.out"
+grep -Eq '^MEM store_bytes=[1-9]' "$SMOKE_DIR/stats.out"
 wait "$SERVE_PID"
 grep -q '^SHUTDOWN clean' "$SMOKE_DIR/serve.out"
+
+echo "==> memory smoke (10k-object store under the committed bytes/object budget)"
+cargo bench --offline -q -p hpm-bench --bench memory -- --memsmoke \
+    > "$SMOKE_DIR/memsmoke.out"
+grep -q '^MEMSMOKE ok' "$SMOKE_DIR/memsmoke.out"
 
 echo "==> hermetic manifest scan"
 if grep -En '^(proptest|rand|criterion|serde|bytes|crossbeam|parking_lot)' \

@@ -216,8 +216,20 @@ fn untrained_objects_survive_a_snapshot_file_on_disk() {
 
     let reopened = MovingObjectStore::open(config, DurabilityConfig::new(&dir)).unwrap();
     assert_eq!(reopened.object_count(), 2);
-    assert_eq!(reopened.stats(ObjectId(1)).unwrap(), trained);
-    assert_eq!(reopened.stats(ObjectId(2)).unwrap(), untrained);
+    // approx_bytes is capacity-based and may legitimately differ after
+    // recovery; compare the logical fields.
+    let logical = |mut s: hybrid_prediction_model::objectstore::ObjectStats| {
+        s.approx_bytes = 0;
+        s
+    };
+    assert_eq!(
+        logical(reopened.stats(ObjectId(1)).unwrap()),
+        logical(trained)
+    );
+    assert_eq!(
+        logical(reopened.stats(ObjectId(2)).unwrap()),
+        logical(untrained)
+    );
     assert_eq!(reopened.predict(ObjectId(1), 20).unwrap(), p1);
     // The untrained object keeps accumulating where it left off.
     reopened
