@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Experiment ids: `tables`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig10`, `fig11`, `prune`, `weights`, `teps`, or `all`. Each prints
-//! a TSV table and writes it to `experiments_output/<id>.tsv`.
+//! `fig10`, `fig11`, `prune`, `weights`, `teps`, `cellsize`,
+//! `baselines`, `topk`, `calibration`, or `all`. Each prints a TSV
+//! table and writes it to `experiments_output/<id>.tsv`.
 
 use hpm_bench::report::{f1, f3, us, Report};
 use hpm_bench::setup::{paper_discovery, paper_mining, Experiment, ACCURACY_QUERIES, COST_QUERIES};
@@ -42,6 +43,7 @@ fn main() -> std::io::Result<()> {
         "cellsize" => cellsize()?,
         "baselines" => baselines()?,
         "topk" => topk()?,
+        "calibration" => calibration()?,
         "all" => {
             tables()?;
             fig5()?;
@@ -57,10 +59,11 @@ fn main() -> std::io::Result<()> {
             cellsize()?;
             baselines()?;
             topk()?;
+            calibration()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected tables|fig5|fig6|fig7|fig8|fig9|fig10|fig11|prune|weights|teps|cellsize|baselines|all"
+                "unknown experiment `{other}`; expected tables|fig5|fig6|fig7|fig8|fig9|fig10|fig11|prune|weights|teps|cellsize|baselines|topk|calibration|all"
             );
             std::process::exit(2);
         }
@@ -640,6 +643,72 @@ fn baselines() -> std::io::Result<()> {
     )?;
     for row in breakdown_rows {
         b.row(&row)?;
+    }
+    Ok(())
+}
+
+/// Extension: calibration of the uncertainty-carrying answers — the
+/// mean probability mass a prediction claims for its uncertainty
+/// regions against the empirical hit rate of the truth landing inside
+/// one, on the four paper datasets plus the fallback-dominated
+/// noisy-sensor scenario (where the residual-calibrated ellipse is the
+/// only source of mass).
+fn calibration() -> std::io::Result<()> {
+    use hpm_bench::setup::{paper_discovery, paper_mining, SEED, TRAIN_SUBS};
+    use hpm_core::eval::{calibration as calibrate, make_workload, training_slice, WorkloadParams};
+
+    let mut r = Report::new(
+        "calibration",
+        &[
+            "dataset",
+            "prediction_length",
+            "predicted_mass",
+            "hit_rate",
+            "gap",
+        ],
+    )?;
+    let mut scenarios: Vec<(String, hpm_trajectory::Trajectory)> = PaperDataset::ALL
+        .iter()
+        .map(|&d| {
+            (
+                d.name().to_string(),
+                hpm_datagen::paper_dataset(d, SEED).generate_subs(TRAIN_SUBS + 20),
+            )
+        })
+        .collect();
+    scenarios.push((
+        "NoisySensor".to_string(),
+        hpm_datagen::noisy_sensor(SEED).generate_subs(TRAIN_SUBS + 20),
+    ));
+    for (name, trajectory) in &scenarios {
+        let train = training_slice(trajectory, PERIOD, TRAIN_SUBS);
+        let predictor = HybridPredictor::build_with_threads(
+            &train,
+            &paper_discovery(30.0, 4),
+            &paper_mining(0.3),
+            HpmConfig::default(),
+            4,
+        );
+        for len in [20u32, 50] {
+            let queries = make_workload(
+                trajectory,
+                PERIOD,
+                &WorkloadParams {
+                    train_subs: TRAIN_SUBS,
+                    recent_len: 20,
+                    prediction_length: len,
+                    num_queries: ACCURACY_QUERIES,
+                },
+            );
+            let c = calibrate(&predictor, &queries);
+            r.row(&[
+                name.clone(),
+                len.to_string(),
+                f3(c.predicted_mass),
+                f3(c.hit_rate),
+                f3(c.gap()),
+            ])?;
+        }
     }
     Ok(())
 }

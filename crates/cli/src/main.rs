@@ -58,8 +58,9 @@ USAGE: hpm <subcommand> [--flag value]...
 
 SUBCOMMANDS
   generate  synthesize a periodic trajectory CSV
-            --dataset bike|cow|car|airplane  --output FILE
-            [--subs 80] [--seed 42]
+            --dataset bike|cow|car|airplane|noisy-sensor  --output FILE
+            [--subs 80] [--seed 42] [--gps-noise SIGMA]
+            (--gps-noise adds Gaussian sensor jitter in quadrature)
   train     discover frequent regions, mine patterns, save the model
             --input traj.csv  --period N  --output model.hpm
             [--eps 30] [--min-pts 4] [--min-conf 0.3]
@@ -72,8 +73,9 @@ SUBCOMMANDS
             [--threads N]  (batch mode: one query time per line,
             `#` comments allowed; N=0 sizes from HPM_THREADS/cores)
             [--recent 20] [--k 1] [--distant 60] [--teps 2] [--margin 30]
-            [--fill-gaps true] [--despike MAX_STEP]
+            [--fill-gaps true] [--despike MAX_STEP] [--prob true]
             [--metrics true] [--metrics-json FILE|-]  (FILE `-` = stdout)
+            (--prob prints each answer's uncertainty region + mass)
   ingest    stream a trajectory CSV into a durable store directory
             (per-shard WAL + snapshots; re-run after a crash to resume)
             --input traj.csv  --data-dir DIR  --period N
@@ -101,6 +103,9 @@ SUBCOMMANDS
             [--queries 50] [--recent 20] [--extent 10000]
             [--eps 30] [--min-pts 4] [--min-conf 0.3]
             [--fill-gaps true] [--despike MAX_STEP]
+            [--calibration true] [--tolerance GAP]
+            (--calibration reports claimed mass vs empirical hit rate;
+            --tolerance exits non-zero when |gap| exceeds it)
   staypoints  detect dwell intervals (stays within RADIUS for >= DUR)
             --input traj.csv  --radius R  --min-duration DUR
             [--fill-gaps true] [--despike MAX_STEP]
@@ -113,18 +118,23 @@ SUBCOMMANDS
 ";
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
-    args.expect_only(&["dataset", "output", "subs", "seed"])?;
-    let dataset = match args.required("dataset")? {
-        "bike" => PaperDataset::Bike,
-        "cow" => PaperDataset::Cow,
-        "car" => PaperDataset::Car,
-        "airplane" => PaperDataset::Airplane,
-        other => return Err(format!("unknown dataset `{other}`")),
-    };
+    args.expect_only(&["dataset", "output", "subs", "seed", "gps-noise"])?;
     let output = args.required("output")?;
     let subs: usize = args.get_or("subs", 80)?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let traj = paper_dataset(dataset, seed).generate_subs(subs);
+    let generator = match args.required("dataset")? {
+        "bike" => paper_dataset(PaperDataset::Bike, seed),
+        "cow" => paper_dataset(PaperDataset::Cow, seed),
+        "car" => paper_dataset(PaperDataset::Car, seed),
+        "airplane" => paper_dataset(PaperDataset::Airplane, seed),
+        "noisy-sensor" => hpm_datagen::noisy_sensor(seed),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let gps_noise: f64 = args.get_or("gps-noise", 0.0)?;
+    if !(gps_noise.is_finite() && gps_noise >= 0.0) {
+        return Err(format!("--gps-noise must be non-negative, got {gps_noise}"));
+    }
+    let traj = generator.with_gps_noise(gps_noise).generate_subs(subs);
     csv::write_trajectory(output, &traj).map_err(|e| e.to_string())?;
     println!(
         "wrote {} samples ({subs} sub-trajectories of period {}) to {output}",
@@ -320,7 +330,9 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         "despike",
         "metrics",
         "metrics-json",
+        "prob",
     ])?;
+    let prob: bool = args.get_or("prob", false)?;
     let metrics_text: bool = args.get_or("metrics", false)?;
     let metrics_json = args.optional("metrics-json");
     if metrics_text || metrics_json.is_some() {
@@ -378,6 +390,14 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
                 pred.best(),
                 pred.source
             );
+            if prob {
+                for a in &pred.answers {
+                    println!(
+                        "      mass {:.3} in [{}..{}]",
+                        a.uncertainty.mass, a.uncertainty.region.min, a.uncertainty.region.max
+                    );
+                }
+            }
         }
     } else {
         let query_time: u64 = args.get("at")?;
@@ -398,6 +418,12 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         );
         for (rank, a) in pred.answers.iter().enumerate() {
             println!("  #{} {} (score {:.3})", rank + 1, a.location, a.score);
+            if prob {
+                println!(
+                    "     mass {:.3} in [{}..{}]",
+                    a.uncertainty.mass, a.uncertainty.region.min, a.uncertainty.region.max
+                );
+            }
         }
     }
     if metrics_text || metrics_json.is_some() {
@@ -745,6 +771,8 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         "min-conf",
         "fill-gaps",
         "despike",
+        "calibration",
+        "tolerance",
     ])?;
     let traj = load_input(args)?;
     let period: u32 = args.get("period")?;
@@ -812,5 +840,30 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         "HPM paths: FQP {}q (err {:.1}) | BQP {}q (err {:.1}) | motion fallback {}q (err {:.1})",
         b.forward.0, b.forward.1, b.backward.0, b.backward.1, b.motion.0, b.motion.1
     );
+    if args.get_or("calibration", false)? {
+        let c = hpm_core::eval::calibration(&predictor, &queries);
+        println!(
+            "CALIBRATION predicted_mass={:.3} hit_rate={:.3} gap={:.3}",
+            c.predicted_mass,
+            c.hit_rate,
+            c.gap()
+        );
+        if let Some(raw) = args.optional("tolerance") {
+            let tolerance: f64 = raw
+                .parse()
+                .map_err(|_| format!("--tolerance: cannot parse `{raw}`"))?;
+            if tolerance.is_nan() || tolerance < 0.0 {
+                return Err(format!("--tolerance must be non-negative, got {tolerance}"));
+            }
+            if c.gap().abs() > tolerance {
+                return Err(format!(
+                    "calibration gap {:.3} exceeds tolerance {tolerance}",
+                    c.gap()
+                ));
+            }
+        }
+    } else if args.optional("tolerance").is_some() {
+        return Err("--tolerance requires --calibration true".into());
+    }
     Ok(())
 }

@@ -279,6 +279,55 @@ pub fn hit_rate_at_k(
     hits as f64 / queries.len() as f64
 }
 
+/// Calibration of the claimed uncertainty over a workload: the mean
+/// probability mass a prediction assigns to its own uncertainty
+/// regions, against the empirical frequency of the truth actually
+/// landing inside one. A well-calibrated predictor has
+/// `hit_rate ≈ predicted_mass`; `hit_rate ≫ predicted_mass` means the
+/// regions are too wide (under-confident), the reverse means the
+/// claimed mass overstates what the regions deliver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Mean claimed mass per query (sum over the answer set).
+    pub predicted_mass: f64,
+    /// Fraction of queries whose truth fell inside at least one
+    /// answer's uncertainty region.
+    pub hit_rate: f64,
+}
+
+impl Calibration {
+    /// Signed calibration gap `hit_rate − predicted_mass`.
+    pub fn gap(&self) -> f64 {
+        self.hit_rate - self.predicted_mass
+    }
+}
+
+/// Measures [`Calibration`] of the Hybrid Prediction Model.
+pub fn calibration(predictor: &HybridPredictor, queries: &[EvalQuery]) -> Calibration {
+    assert!(!queries.is_empty(), "empty workload");
+    let mut mass = 0.0;
+    let mut hits = 0usize;
+    for q in queries {
+        let pred = predictor.predict(&q.as_query());
+        mass += pred.answers.iter().map(|a| a.uncertainty.mass).sum::<f64>();
+        if pred
+            .answers
+            .iter()
+            .any(|a| a.uncertainty.region.contains(&q.truth))
+        {
+            hits += 1;
+        }
+    }
+    let n = queries.len() as f64;
+    Calibration {
+        queries: queries.len(),
+        predicted_mass: mass / n,
+        hit_rate: hits as f64 / n,
+    }
+}
+
 /// Average error of a standalone RMF (the paper's comparison baseline):
 /// fitted per query on its recent window.
 pub fn avg_error_rmf(queries: &[EvalQuery], retrospect: usize, extent: f64) -> f64 {
@@ -516,6 +565,43 @@ mod tests {
         // Wider radius can only help.
         let wide = hit_rate_at_k(&build(1), &w, 500.0, 200.0);
         assert!(wide >= k1);
+    }
+
+    #[test]
+    fn calibration_bounds_and_unit_pattern_mass() {
+        let p = predictor();
+        let w = workload(1);
+        let c = calibration(&p, &w);
+        assert_eq!(c.queries, w.len());
+        // Pattern answer masses are normalised to sum to 1 per query,
+        // and the commuter workload is fully patterned.
+        assert!((c.predicted_mass - 1.0).abs() < 1e-9, "{c:?}");
+        assert!((0.0..=1.0).contains(&c.hit_rate));
+        assert_eq!(c.gap(), c.hit_rate - c.predicted_mass);
+        // The commuter repeats its route within eps: the truth lands
+        // inside a discovered region's bbox almost always.
+        assert!(c.hit_rate > 0.8, "{c:?}");
+    }
+
+    #[test]
+    fn calibration_fallback_claims_ellipse_mass() {
+        // A patternless workload (random recent points far from any
+        // region) forces the motion fallback; each answer claims the
+        // two-axis ellipse mass.
+        let p = predictor();
+        let w: Vec<EvalQuery> = (0..10)
+            .map(|i| EvalQuery {
+                recent: vec![
+                    Point::new(1000.0 + i as f64, 1000.0),
+                    Point::new(1003.0 + i as f64, 1002.0),
+                ],
+                current_time: 241,
+                query_time: 242,
+                truth: Point::new(1006.0 + i as f64, 1004.0),
+            })
+            .collect();
+        let c = calibration(&p, &w);
+        assert!(c.predicted_mass > 0.0 && c.predicted_mass <= 1.0, "{c:?}");
     }
 
     #[test]

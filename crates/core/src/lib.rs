@@ -83,4 +83,6 @@ pub use similarity::{
     WeightTable,
 };
 pub use train::{NewVisit, TrainerState, UpdateTier};
-pub use types::{Prediction, PredictionSource, PredictiveQuery, RankedAnswer};
+pub use types::{
+    Prediction, PredictionSource, PredictiveQuery, RankedAnswer, Uncertainty, ELLIPSE_SIGMAS,
+};

@@ -3,7 +3,8 @@
 
 use crate::scratch::PredictScratch;
 use crate::{
-    bqp, fqp, HpmConfig, Prediction, PredictionSource, PredictiveQuery, RankedAnswer, WeightTable,
+    bqp, fqp, HpmConfig, Prediction, PredictionSource, PredictiveQuery, RankedAnswer, Uncertainty,
+    WeightTable,
 };
 use hpm_geo::{BoundingBox, Point};
 use hpm_motion::{LinearMotion, MotionModel, Rmf};
@@ -317,19 +318,61 @@ impl HybridPredictor {
     /// Motion-function answer (Algorithm 2/3 fallback): RMF over the
     /// recent window, degrading to a linear fit and finally to the last
     /// known position when the window is too short to fit anything.
+    ///
+    /// The answer carries a residual-calibrated error ellipse
+    /// ([`Uncertainty::ellipse`]) sized from the one-step-ahead replay
+    /// residuals of the recent window and widened per rollout step; a
+    /// frozen answer (nothing fits) is a certain point claim.
     fn motion_fallback(&self, query: &PredictiveQuery<'_>, out: &mut Prediction) {
         let steps = query.prediction_length();
-        let location = self.fitted_motion(query.recent).map_or_else(
-            || *query.recent.last().expect("non-empty recent"),
-            |m| m.predict(steps),
-        );
+        let (location, uncertainty) = match self.fitted_motion(query.recent) {
+            Some(m) => {
+                let location = m.predict(steps);
+                let sigma = self.fallback_residual_sigma(query.recent);
+                (location, Uncertainty::ellipse(location, sigma, steps))
+            }
+            None => {
+                let last = *query.recent.last().expect("non-empty recent");
+                (last, Uncertainty::point_claim(last))
+            }
+        };
         out.answers.clear();
         out.answers.push(RankedAnswer {
             location,
             score: 0.0,
             pattern: None,
+            uncertainty,
         });
         out.source = PredictionSource::MotionFunction;
+    }
+
+    /// Per-axis RMS one-step-ahead residual of the fallback motion
+    /// chain over `recent`: for every proper prefix that fits a model,
+    /// the fitted model's 1-step prediction is replayed against the
+    /// sample that actually followed. Zero (a certain claim) when no
+    /// prefix fits — the window is too short to measure anything.
+    ///
+    /// This is the calibration source for the fallback error ellipse:
+    /// [`Rmf`]/[`LinearMotion`] expose no residuals, so they are
+    /// re-measured by prefix refits, which are deterministic in
+    /// `recent` exactly like the fallback's own fit.
+    pub fn fallback_residual_sigma(&self, recent: &[Point]) -> Point {
+        let mut sum = Point::ORIGIN;
+        let mut n = 0u32;
+        for t in 1..recent.len() {
+            let Some(m) = self.fitted_motion(&recent[..t]) else {
+                continue;
+            };
+            let err = recent[t] - m.predict(1);
+            sum.x += err.x * err.x;
+            sum.y += err.y * err.y;
+            n += 1;
+        }
+        if n == 0 {
+            Point::ORIGIN
+        } else {
+            Point::new((sum.x / f64::from(n)).sqrt(), (sum.y / f64::from(n)).sqrt())
+        }
     }
 
     /// The motion model [`motion_fallback`](Self::motion_fallback) (and
@@ -362,6 +405,23 @@ impl HybridPredictor {
         let mut bb = BoundingBox::from_point(first.centroid);
         for r in all {
             bb.expand(r.centroid);
+        }
+        Some(bb)
+    }
+
+    /// Bounding box of every frequent region's full extent — covers
+    /// not just the centroids ([`centroid_envelope`]) but the whole
+    /// uncertainty region a pattern answer can claim, since pattern
+    /// answers carry the supporting consequence region's bbox. `None`
+    /// when no regions were discovered.
+    ///
+    /// [`centroid_envelope`]: Self::centroid_envelope
+    pub fn region_envelope(&self) -> Option<BoundingBox> {
+        let mut all = self.regions.all().iter();
+        let first = all.next()?;
+        let mut bb = first.bbox;
+        for r in all {
+            bb = bb.union(&r.bbox);
         }
         Some(bb)
     }
@@ -441,14 +501,34 @@ pub(crate) fn rank_answers_into(
             continue;
         }
         seen.push(consequence);
+        let region = predictor.regions.get(consequence);
         out.push(RankedAnswer {
-            location: predictor.regions.get(consequence).centroid,
+            location: region.centroid,
             score,
             pattern: Some(pattern),
+            // Mass is normalised over the emitted set below, once the
+            // total of the surviving scores is known.
+            uncertainty: Uncertainty {
+                region: region.bbox,
+                mass: 0.0,
+            },
         });
         if out.len() == k {
             break;
         }
+    }
+    // Normalise the ranked scores into probability masses: each
+    // answer's share of the emitted total (uniform when all scores
+    // are zero). Pure arithmetic over `out` — the hot path stays
+    // allocation-free.
+    let total: f64 = out.iter().map(|a| a.score).sum();
+    let n = out.len();
+    for a in out.iter_mut() {
+        a.uncertainty.mass = if total > 0.0 {
+            a.score / total
+        } else {
+            1.0 / n as f64
+        };
     }
 }
 
@@ -563,6 +643,97 @@ mod tests {
         assert_eq!(p.patterns().len(), before + 1);
         assert_eq!(p.tpt().len(), before + 1);
         p.tpt().validate().unwrap();
+    }
+
+    #[test]
+    fn pattern_answers_carry_normalised_mass_and_region_extent() {
+        let mut cfg = crate::test_fixtures::commuter_config();
+        cfg.k = 3;
+        let p = crate::test_fixtures::commuter_predictor_with(cfg);
+        let recent = [Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        let q = PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 3,
+        };
+        let pred = p.predict(&q);
+        assert!(pred.from_patterns());
+        assert!(pred.answers.len() >= 2);
+        let total: f64 = pred.answers.iter().map(|a| a.uncertainty.mass).sum();
+        assert!((total - 1.0).abs() < 1e-12, "masses sum to {total}");
+        for a in &pred.answers {
+            // Each answer's region is its consequence region's bbox,
+            // containing the centroid the point answer reports.
+            assert!(a.uncertainty.region.contains(&a.location));
+            assert!(a.uncertainty.mass > 0.0);
+        }
+        // Masses follow the ranking: best answer claims the most.
+        assert!(pred.answers[0].uncertainty.mass >= pred.answers[1].uncertainty.mass);
+    }
+
+    #[test]
+    fn fallback_answer_carries_residual_ellipse() {
+        let p = commuter_predictor();
+        // Noisy drift far from any pattern: the fit has residuals.
+        let recent = [
+            Point::new(900.0, 900.0),
+            Point::new(905.0, 901.0),
+            Point::new(909.0, 899.5),
+            Point::new(915.0, 900.5),
+        ];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        let near = p.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 2,
+        });
+        assert_eq!(near.source, PredictionSource::MotionFunction);
+        let sigma = p.fallback_residual_sigma(&recent);
+        assert!(sigma.x > 0.0, "jittered drift must leave x residuals");
+        let u = near.answers[0].uncertainty;
+        assert!(u.region.contains(&near.best()));
+        assert!(u.region.width() > 0.0);
+        assert!(u.mass > 0.0 && u.mass <= 1.0);
+        // Another step out widens the ellipse (√steps growth).
+        let far = p.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 3,
+        });
+        if far.source == PredictionSource::MotionFunction {
+            assert!(far.answers[0].uncertainty.region.width() > u.region.width());
+        }
+    }
+
+    #[test]
+    fn frozen_fallback_is_certain_point_claim() {
+        let p = commuter_predictor();
+        // A single sample fits nothing: the fallback freezes.
+        let recent = [Point::new(900.0, 900.0)];
+        let day = 50 * COMMUTER_PERIOD as Timestamp;
+        let pred = p.predict(&PredictiveQuery {
+            recent: &recent,
+            current_time: day + 1,
+            query_time: day + 2,
+        });
+        assert_eq!(pred.source, PredictionSource::MotionFunction);
+        assert_eq!(
+            pred.answers[0].uncertainty,
+            Uncertainty::point_claim(recent[0])
+        );
+        assert_eq!(p.fallback_residual_sigma(&recent), Point::ORIGIN);
+    }
+
+    #[test]
+    fn region_envelope_covers_centroid_envelope() {
+        let p = commuter_predictor();
+        let centroids = p.centroid_envelope().unwrap();
+        let regions = p.region_envelope().unwrap();
+        assert_eq!(regions.union(&centroids), regions);
+        for r in p.regions().all() {
+            assert!(regions.union(&r.bbox) == regions);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use hpm_check::prelude::*;
 use hpm_core::{
     consequence_similarity, premise_similarity, HpmConfig, HybridPredictor, PredictionSource,
-    PredictiveQuery, RankedAnswer,
+    PredictiveQuery, RankedAnswer, Uncertainty,
 };
 use hpm_geo::Point;
 use hpm_patterns::{RegionId, RegionSet, TrajectoryPattern};
@@ -115,10 +115,25 @@ fn dedupe_top_k(
             location: regions.get(consequence).centroid,
             score,
             pattern: Some(pattern),
+            uncertainty: Uncertainty {
+                region: regions.get(consequence).bbox,
+                mass: 0.0,
+            },
         });
         if out.len() == k {
             break;
         }
+    }
+    // Independent restatement of the mass rule: each answer's share
+    // of the emitted scores, uniform when all scores are zero.
+    let total: f64 = out.iter().map(|a| a.score).sum();
+    let n = out.len();
+    for a in &mut out {
+        a.uncertainty.mass = if total > 0.0 {
+            a.score / total
+        } else {
+            1.0 / n as f64
+        };
     }
     out
 }
@@ -186,7 +201,11 @@ fn arb_world() -> Gen<(RegionSet, Vec<TrajectoryPattern>)> {
 fn answers_equal(a: &[RankedAnswer], b: &[RankedAnswer]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| {
-            x.pattern == y.pattern && (x.score - y.score).abs() < 1e-12 && x.location == y.location
+            x.pattern == y.pattern
+                && (x.score - y.score).abs() < 1e-12
+                && x.location == y.location
+                && x.uncertainty.region == y.uncertainty.region
+                && (x.uncertainty.mass - y.uncertainty.mass).abs() < 1e-12
         })
 }
 

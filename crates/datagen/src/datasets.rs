@@ -191,6 +191,27 @@ pub fn airplane(seed: u64) -> PeriodicGenerator {
     )
 }
 
+/// GPS jitter std-dev of the [`noisy_sensor`] scenario.
+pub const NOISY_SENSOR_SIGMA: f64 = 35.0;
+
+/// Noisy sensor: a patternless smooth wander observed through a jittery
+/// GPS receiver (`f = 0`, sensor σ = [`NOISY_SENSOR_SIGMA`] added in
+/// quadrature). With no repeating routes the predictor falls back to
+/// the motion function everywhere, making this the scenario that
+/// exercises the residual-calibrated uncertainty ellipse: per-point
+/// error is dominated by the known sensor noise, so the claimed
+/// probability mass can be checked against the empirical hit rate.
+pub fn noisy_sensor(seed: u64) -> PeriodicGenerator {
+    // The archetype is never selected at f = 0; it only satisfies the
+    // generator's non-empty invariant.
+    let unused = vec![Point::new(0.0, 0.0), Point::new(EXTENT, EXTENT)];
+    PeriodicGenerator::new(
+        config(0.0, 6.0, 0.0, seed),
+        vec![Archetype::new(unused, 1.0)],
+    )
+    .with_gps_noise(NOISY_SENSOR_SIGMA)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +261,20 @@ mod tests {
             max_turn = max_turn.max(cos.acos().to_degrees());
         }
         assert!(max_turn > 80.0, "max turn {max_turn}");
+    }
+
+    #[test]
+    fn noisy_sensor_is_patternless_with_quadrature_noise() {
+        let g = noisy_sensor(7);
+        assert_eq!(g.config().similarity_prob, 0.0);
+        assert_eq!(g.config().point_noise, 6.0f64.hypot(NOISY_SENSOR_SIGMA));
+        let t = g.generate_subs(3);
+        assert_eq!(t.len(), 3 * PERIOD as usize);
+        for p in t.points() {
+            assert!(p.is_finite());
+            assert!(p.x >= 0.0 && p.x <= EXTENT && p.y >= 0.0 && p.y <= EXTENT);
+        }
+        assert_eq!(noisy_sensor(7).generate_subs(2), g.generate_subs(2));
     }
 
     #[test]

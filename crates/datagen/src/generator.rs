@@ -122,6 +122,24 @@ impl PeriodicGenerator {
         &self.config
     }
 
+    /// Adds independent Gaussian GPS sensor jitter of std-dev `sigma`
+    /// on top of the scenario's intrinsic per-point noise.
+    ///
+    /// Both noises are iid per point, so they combine in quadrature:
+    /// the effective std-dev becomes `sqrt(point_noise² + sigma²)`.
+    ///
+    /// # Panics
+    /// Panics when `sigma` is negative or non-finite.
+    #[must_use]
+    pub fn with_gps_noise(mut self, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "gps noise must be finite and non-negative"
+        );
+        self.config.point_noise = self.config.point_noise.hypot(sigma);
+        self
+    }
+
     /// The archetype routes.
     pub fn archetypes(&self) -> &[Archetype] {
         &self.archetypes
@@ -330,5 +348,34 @@ mod tests {
     #[should_panic(expected = "at least one archetype")]
     fn empty_archetypes_panic() {
         PeriodicGenerator::new(small_cfg(), vec![]);
+    }
+
+    #[test]
+    fn gps_noise_adds_in_quadrature() {
+        let g = PeriodicGenerator::new(small_cfg(), straight());
+        let base = g.config().point_noise;
+        let noisy = g.with_gps_noise(3.0);
+        assert_eq!(noisy.config().point_noise, base.hypot(3.0));
+        // Zero jitter is the identity.
+        let g2 = PeriodicGenerator::new(small_cfg(), straight()).with_gps_noise(0.0);
+        assert_eq!(g2.config().point_noise, base);
+    }
+
+    #[test]
+    fn gps_noise_spreads_points() {
+        let quiet = PeriodicGenerator::new(small_cfg(), straight()).generate();
+        let noisy = PeriodicGenerator::new(small_cfg(), straight())
+            .with_gps_noise(200.0)
+            .generate();
+        let spread = |t: &Trajectory| {
+            t.points().iter().map(|p| (p.y - 5000.0).abs()).sum::<f64>() / t.len() as f64
+        };
+        assert!(spread(&noisy) > 10.0 * spread(&quiet));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_gps_noise_panics() {
+        let _ = PeriodicGenerator::new(small_cfg(), straight()).with_gps_noise(-1.0);
     }
 }

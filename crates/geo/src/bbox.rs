@@ -100,6 +100,27 @@ impl BoundingBox {
         let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
+
+    /// Maximum distance from `p` to any point of the box — the radius
+    /// of the smallest disk around `p` containing the whole box.
+    pub fn far_distance_to(&self, p: &Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// This box grown by `dx` along x and `dy` along y on *each* side.
+    ///
+    /// # Panics
+    /// Panics when either pad is negative or non-finite (a shrink can
+    /// invert the box).
+    pub fn padded(&self, dx: f64, dy: f64) -> BoundingBox {
+        assert!(dx >= 0.0 && dy >= 0.0, "pads must be non-negative");
+        BoundingBox {
+            min: Point::new(self.min.x - dx, self.min.y - dy),
+            max: Point::new(self.max.x + dx, self.max.y + dy),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +214,34 @@ mod tests {
         assert_eq!(bb.distance_to(&Point::new(2.0, 0.5)), 1.0);
         let d = bb.distance_to(&Point::new(2.0, 2.0));
         assert!((d - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_distance_covers_whole_box() {
+        let bb = unit_box();
+        // From the centre the farthest corner is at distance sqrt(0.5).
+        let d = bb.far_distance_to(&Point::new(0.5, 0.5));
+        assert!((d - 0.5_f64.hypot(0.5)).abs() < 1e-12);
+        // From outside, the far corner is (0, 0) seen from (2, 2).
+        let d = bb.far_distance_to(&Point::new(2.0, 2.0));
+        assert!((d - 2.0_f64.hypot(2.0)).abs() < 1e-12);
+        // Degenerate box: far distance equals plain distance.
+        let dot = BoundingBox::from_point(Point::new(3.0, 4.0));
+        assert_eq!(dot.far_distance_to(&Point::new(0.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn padded_grows_every_side() {
+        let bb = unit_box().padded(2.0, 0.5);
+        assert_eq!(bb.min, Point::new(-2.0, -0.5));
+        assert_eq!(bb.max, Point::new(3.0, 1.5));
+        assert_eq!(unit_box().padded(0.0, 0.0), unit_box());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn padded_rejects_negative() {
+        let _ = unit_box().padded(-1.0, 0.0);
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub const REPORTS: &str = "objectstore.reports";
 /// Per-object predictive queries answered (range/nearest queries count
 /// once per object examined).
 pub const PREDICTS: &str = "objectstore.predicts";
+/// Probabilistic range queries answered (`predict_within`).
+pub const PREDICT_WITHIN: &str = "objectstore.predict_within";
+/// Probabilistic kNN queries answered (`predict_nearest_prob`).
+pub const PREDICT_NEAREST_PROB: &str = "objectstore.predict_nearest_prob";
 /// Predictor retrains performed (incremental and full alike).
 pub const RETRAINS: &str = "objectstore.retrains";
 /// Retrains absorbed incrementally (delta pipeline, no full rebuild).
@@ -129,6 +133,8 @@ pub fn shard_objects_gauge(shard: usize) -> &'static hpm_obs::Gauge {
 pub fn register() {
     hpm_obs::registry().counter(REPORTS);
     hpm_obs::registry().counter(PREDICTS);
+    hpm_obs::registry().counter(PREDICT_WITHIN);
+    hpm_obs::registry().counter(PREDICT_NEAREST_PROB);
     hpm_obs::registry().counter(RETRAINS);
     hpm_obs::registry().counter(RETRAINS_INCREMENTAL);
     hpm_obs::registry().counter(RETRAINS_FULL);

@@ -7,6 +7,7 @@ use crate::index::{Envelope, IndexConfig, PredictiveIndex};
 use crate::pool::WorkerPool;
 use hpm_core::{
     HpmConfig, HybridPredictor, PredictScratch, Prediction, PredictiveQuery, TrainerState,
+    Uncertainty,
 };
 use hpm_geo::mem::heap_bytes;
 use hpm_geo::{MemUse, Point};
@@ -883,12 +884,100 @@ impl MovingObjectStore {
             .into_iter()
             .filter_map(|raw| {
                 let id = ObjectId(raw);
-                self.predict(id, query_time).ok().map(|p| (id, p.best()))
+                let best = self.predict(id, query_time).ok()?.try_best()?;
+                Some((id, best))
             })
             .filter(|(_, p)| region.contains(p))
             .collect();
         out.sort_unstable_by_key(|(id, _)| *id);
         out
+    }
+
+    /// Probabilistic **range query**: which tracked objects put at
+    /// least `tau` of their predicted probability mass inside `region`
+    /// at `query_time`? Returns `(id, best point, mass inside)`
+    /// ordered by object id.
+    ///
+    /// Membership is closed-set: an object qualifies when some answer
+    /// region touches `region` (inclusive, like
+    /// [`BoundingBox::intersects`](hpm_geo::BoundingBox::intersects))
+    /// and [`Prediction::probability_in`] reaches `tau`. At `tau = 0`
+    /// the result is therefore a superset of
+    /// [`predict_range`](Self::predict_range): a best point inside
+    /// `region` lies inside its own answer's uncertainty region. A NaN
+    /// `tau` matches nothing.
+    ///
+    /// Answered through the predictive index — envelopes cover every
+    /// answer's uncertainty region within the horizon, so pruning is
+    /// exact — and bit-identical to
+    /// [`predict_within_scan`](Self::predict_within_scan).
+    pub fn predict_within(
+        &self,
+        region: &hpm_geo::BoundingBox,
+        query_time: Timestamp,
+        tau: f64,
+    ) -> Vec<(ObjectId, Point, f64)> {
+        hpm_obs::counter!(crate::metrics::PREDICT_WITHIN).add(1);
+        self.flush_index();
+        let mut candidates: Vec<u64> = Vec::new();
+        let mut pruned = 0u64;
+        {
+            let _span = hpm_obs::span!(crate::metrics::INDEX_PRUNE_SPAN);
+            for shard in 0..self.shards.len() {
+                let (p, _total) =
+                    self.index
+                        .range_candidates(shard, region, query_time, &mut candidates);
+                pruned += p;
+            }
+        }
+        hpm_obs::histogram!(crate::metrics::INDEX_PARTITIONS_PRUNED).record(pruned);
+        hpm_obs::histogram!(crate::metrics::INDEX_CANDIDATES).record(candidates.len() as u64);
+        let mut out: Vec<(ObjectId, Point, f64)> = candidates
+            .into_iter()
+            .filter_map(|raw| {
+                let id = ObjectId(raw);
+                let pred = self.predict(id, query_time).ok()?;
+                Self::qualify_within(id, &pred, region, tau)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// [`predict_within`](Self::predict_within) by brute force:
+    /// predicts every tracked object and filters, bypassing the index.
+    /// The oracle the index is tested against.
+    pub fn predict_within_scan(
+        &self,
+        region: &hpm_geo::BoundingBox,
+        query_time: Timestamp,
+        tau: f64,
+    ) -> Vec<(ObjectId, Point, f64)> {
+        let mut out: Vec<(ObjectId, Point, f64)> = self
+            .predict_everything(query_time)
+            .into_iter()
+            .filter_map(|(id, pred)| Self::qualify_within(id, &pred, region, tau))
+            .collect();
+        out.sort_unstable_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// The shared membership rule of the probabilistic range variants.
+    fn qualify_within(
+        id: ObjectId,
+        pred: &Prediction,
+        region: &hpm_geo::BoundingBox,
+        tau: f64,
+    ) -> Option<(ObjectId, Point, f64)> {
+        if !pred.possibly_in(region) {
+            return None;
+        }
+        let mass = pred.probability_in(region);
+        if mass >= tau {
+            Some((id, pred.try_best()?, mass))
+        } else {
+            None
+        }
     }
 
     /// Predictive **k-nearest-neighbour query**: the `k` tracked
@@ -973,7 +1062,9 @@ impl MovingObjectStore {
         let Ok(pred) = self.predict(id, query_time) else {
             return;
         };
-        let p = pred.best();
+        let Some(p) = pred.try_best() else {
+            return;
+        };
         let d = p.distance(focus);
         let pos = best.partition_point(|e| e.2.total_cmp(&d).then_with(|| e.0.cmp(&id)).is_lt());
         if pos < k {
@@ -1005,6 +1096,135 @@ impl MovingObjectStore {
         out
     }
 
+    /// Probabilistic **k-nearest-neighbour query**: the `k` tracked
+    /// objects whose predicted distribution concentrates around
+    /// `focus` soonest — ranked by
+    /// [`Prediction::confidence_distance`], the smallest radius around
+    /// `focus` containing at least `tau` of the object's predicted
+    /// mass. Returns `(id, best point, confidence radius)`, smallest
+    /// radius first, object id breaking ties.
+    ///
+    /// Objects whose claimed mass never reaches `tau` (including every
+    /// object when `tau` is NaN) have an infinite radius and are
+    /// excluded.
+    ///
+    /// Answered through the predictive index with the same
+    /// expanding-ring sweep as
+    /// [`predict_nearest`](Self::predict_nearest): an envelope's
+    /// near distance lower-bounds the far distance of every answer
+    /// region inside it, so ring termination stays exact —
+    /// bit-identical to
+    /// [`predict_nearest_prob_scan`](Self::predict_nearest_prob_scan).
+    pub fn predict_nearest_prob(
+        &self,
+        focus: &Point,
+        query_time: Timestamp,
+        k: usize,
+        tau: f64,
+    ) -> Vec<(ObjectId, Point, f64)> {
+        hpm_obs::counter!(crate::metrics::PREDICT_NEAREST_PROB).add(1);
+        if k == 0 {
+            return Vec::new();
+        }
+        self.flush_index();
+        let mut beyond: Vec<u64> = Vec::new();
+        let mut ring: Vec<(f64, usize, (i64, i64, u8))> = Vec::new();
+        {
+            let _span = hpm_obs::span!(crate::metrics::INDEX_PRUNE_SPAN);
+            for shard in 0..self.shards.len() {
+                self.index.expired_ids(shard, query_time, &mut beyond);
+                self.index.bucket_ring(shard, focus, &mut ring);
+            }
+            ring.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        let mut best: Vec<(ObjectId, Point, f64)> = Vec::new();
+        let mut examined = 0u64;
+        for raw in beyond {
+            examined += 1;
+            self.knn_prob_consider(ObjectId(raw), query_time, focus, tau, k, &mut best);
+        }
+        let mut processed = 0usize;
+        let mut members: Vec<(u64, f64)> = Vec::new();
+        for &(bucket_dist, shard, key) in &ring {
+            if best.len() == k && bucket_dist > best[k - 1].2 {
+                break;
+            }
+            processed += 1;
+            members.clear();
+            self.index
+                .bucket_members(shard, key, query_time, focus, &mut members);
+            for &(raw, env_dist) in &members {
+                // env_dist lower-bounds the far distance of every
+                // answer region in the envelope, hence the confidence
+                // radius: a strictly worse bound can never enter the
+                // top k.
+                if best.len() == k && env_dist > best[k - 1].2 {
+                    continue;
+                }
+                examined += 1;
+                self.knn_prob_consider(ObjectId(raw), query_time, focus, tau, k, &mut best);
+            }
+        }
+        hpm_obs::histogram!(crate::metrics::INDEX_PARTITIONS_PRUNED)
+            .record((ring.len() - processed) as u64);
+        hpm_obs::histogram!(crate::metrics::INDEX_CANDIDATES).record(examined);
+        best
+    }
+
+    /// Predicts one probabilistic-kNN candidate and merges it into the
+    /// running top `k`, sorted by the scan's exact comparator
+    /// (confidence radius, then id).
+    fn knn_prob_consider(
+        &self,
+        id: ObjectId,
+        query_time: Timestamp,
+        focus: &Point,
+        tau: f64,
+        k: usize,
+        best: &mut Vec<(ObjectId, Point, f64)>,
+    ) {
+        let Ok(pred) = self.predict(id, query_time) else {
+            return;
+        };
+        let Some(p) = pred.try_best() else {
+            return;
+        };
+        let d = pred.confidence_distance(focus, tau);
+        if !d.is_finite() {
+            return;
+        }
+        let pos = best.partition_point(|e| e.2.total_cmp(&d).then_with(|| e.0.cmp(&id)).is_lt());
+        if pos < k {
+            best.insert(pos, (id, p, d));
+            best.truncate(k);
+        }
+    }
+
+    /// [`predict_nearest_prob`](Self::predict_nearest_prob) by brute
+    /// force: predicts every tracked object, ranks by confidence
+    /// radius, truncates — bypassing the index. The oracle the index
+    /// is tested against.
+    pub fn predict_nearest_prob_scan(
+        &self,
+        focus: &Point,
+        query_time: Timestamp,
+        k: usize,
+        tau: f64,
+    ) -> Vec<(ObjectId, Point, f64)> {
+        let mut out: Vec<(ObjectId, Point, f64)> = self
+            .predict_everything(query_time)
+            .into_iter()
+            .filter_map(|(id, pred)| {
+                let p = pred.try_best()?;
+                let d = pred.confidence_distance(focus, tau);
+                d.is_finite().then_some((id, p, d))
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
     /// Brings the predictive index up to date with every mutation
     /// reported so far (queries call this before pruning; mutations
     /// themselves only mark objects dirty — see [`crate::index`]).
@@ -1022,11 +1242,15 @@ impl MovingObjectStore {
     }
 
     /// The envelope bounding every answer `predict` can give for this
-    /// object within the index horizon: the motion-fallback rollout
-    /// box unioned with the frequent-region centroid box (the two
-    /// exhaustive sources of a `Prediction::best()` point). `None`
-    /// uninstalls the object: removed, history-less, or poisoned
-    /// objects answer no query, so pruning them is exact.
+    /// object within the index horizon — point answers *and* their
+    /// uncertainty regions: the motion-fallback rollout box padded by
+    /// the horizon-widened error-ellipse half-axes (√steps widening is
+    /// monotone, so the horizon pad covers every earlier step), unioned
+    /// with the full frequent-region extent box (pattern answers claim
+    /// their consequence region's bbox). A pure widening of the old
+    /// centroid envelope, so point queries prune exactly as before.
+    /// `None` uninstalls the object: removed, history-less, or
+    /// poisoned objects answer no query, so pruning them is exact.
     fn compute_envelope(&self, shard: usize, raw: u64) -> Option<Envelope> {
         let cell = self.shards[shard].read_map().get(&raw).cloned()?;
         let state = cell.read().ok()?;
@@ -1039,9 +1263,13 @@ impl MovingObjectStore {
             .hot_window(self.config.recent_len)
             .expect("min_tail covers recent_len");
         let predictor = state.predictor.as_ref().unwrap_or(&self.empty_predictor);
-        let mut bbox = predictor.fallback_envelope(recent, self.index.horizon);
-        if let Some(centroids) = predictor.centroid_envelope() {
-            bbox = bbox.union(&centroids);
+        let sigma = predictor.fallback_residual_sigma(recent);
+        let (hx, hy) = Uncertainty::ellipse_half_axes(sigma, self.index.horizon);
+        let mut bbox = predictor
+            .fallback_envelope(recent, self.index.horizon)
+            .padded(hx, hy);
+        if let Some(regions) = predictor.region_envelope() {
+            bbox = bbox.union(&regions);
         }
         Some(Envelope {
             tc,
@@ -1059,7 +1287,23 @@ impl MovingObjectStore {
             let ids: Vec<u64> = shard.read_map().keys().copied().collect();
             out.extend(ids.into_iter().filter_map(|raw| {
                 let id = ObjectId(raw);
-                self.predict(id, query_time).ok().map(|p| (id, p.best()))
+                let best = self.predict(id, query_time).ok()?.try_best()?;
+                Some((id, best))
+            }));
+        }
+        out
+    }
+
+    /// Full prediction of every object for which `query_time` is
+    /// askable — the probabilistic scans need whole distributions, not
+    /// just best points.
+    fn predict_everything(&self, query_time: Timestamp) -> Vec<(ObjectId, Prediction)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let ids: Vec<u64> = shard.read_map().keys().copied().collect();
+            out.extend(ids.into_iter().filter_map(|raw| {
+                let id = ObjectId(raw);
+                self.predict(id, query_time).ok().map(|p| (id, p))
             }));
         }
         out

@@ -1,0 +1,234 @@
+//! Acceptance properties of the probabilistic fleet operators:
+//! `predict_within` / `predict_nearest_prob` (indexed) are
+//! bit-identical to their brute-force `_scan` oracles after any
+//! interleaving of reports, retrains and removals — and `tau = 0`
+//! probabilistic range membership is a superset of the point
+//! `predict_range` answer set (a best point inside the region lies
+//! inside its own answer's uncertainty region, which touches the
+//! region under the closed-set rule).
+
+use hpm_check::prelude::*;
+use hpm_core::HpmConfig;
+use hpm_geo::{BoundingBox, Point};
+use hpm_objectstore::{IndexConfig, MovingObjectStore, ObjectId, StoreConfig};
+use hpm_patterns::{DiscoveryParams, MiningParams};
+use hpm_rand::{Rng, SmallRng};
+use hpm_trajectory::Timestamp;
+use std::collections::HashMap;
+
+const PERIOD: u32 = 4;
+
+fn config(index: IndexConfig) -> StoreConfig {
+    StoreConfig {
+        discovery: DiscoveryParams {
+            period: PERIOD,
+            eps: 2.0,
+            min_pts: 3,
+        },
+        mining: MiningParams {
+            min_support: 2,
+            min_confidence: 0.3,
+            max_premise_len: 2,
+            max_premise_gap: 2,
+            max_span: 3,
+        },
+        hpm: HpmConfig {
+            distant_threshold: 3,
+            time_relaxation: 1,
+            match_margin: 5.0,
+            rmf_retrospect: 2,
+            ..HpmConfig::default()
+        },
+        min_train_subs: 5,
+        retrain_every_subs: 5,
+        recent_len: 2,
+        shards: 4,
+        threads: 2,
+        index,
+    }
+}
+
+/// The same handful of index shapes the point-query suite sweeps.
+fn index_config(choice: u64) -> IndexConfig {
+    match choice % 4 {
+        0 => IndexConfig::default(),
+        1 => IndexConfig {
+            horizon: 1,
+            cell: 0.0,
+        },
+        2 => IndexConfig {
+            horizon: 3,
+            cell: 5.0,
+        },
+        _ => IndexConfig {
+            horizon: 20,
+            cell: 500.0,
+        },
+    }
+}
+
+/// Per-object movement archetype, fixed by id so histories stay
+/// coherent across mutation rounds (commuter / drifter / fast mover /
+/// near-stationary, as in the point-query suite).
+fn next_point(id: u64, t: Timestamp, rng: &mut SmallRng) -> Point {
+    match id % 4 {
+        0 => {
+            let j = (id as f64) * 0.3 + rng.gen_f64() * 0.2;
+            match t % PERIOD as u64 {
+                0 => Point::new(j, 0.0),
+                1 => Point::new(50.0 + j, 0.0),
+                2 => Point::new(100.0 + j, 0.0),
+                _ => Point::new(100.0 + j, 50.0),
+            }
+        }
+        1 => Point::new(
+            id as f64 * 10.0 + t as f64 * 1.5 + rng.gen_f64(),
+            t as f64 * 0.5,
+        ),
+        2 => Point::new(t as f64 * 80.0 - 300.0, id as f64 * 40.0 - t as f64 * 60.0),
+        _ => Point::new(-40.0 + rng.gen_f64() * 0.1, 70.0 + id as f64),
+    }
+}
+
+/// Applies one random mutation: a contiguous report run, a removal, a
+/// forced retrain, or a usually-rejected stale report.
+fn mutate(
+    store: &MovingObjectStore,
+    rng: &mut SmallRng,
+    next_t: &mut HashMap<u64, Timestamp>,
+    n_ids: u64,
+) {
+    let id = rng.gen_range(0..n_ids);
+    match rng.gen_range(0..10u32) {
+        0..=6 => {
+            let t0 = *next_t.entry(id).or_insert_with(|| rng.gen_range(0..3));
+            let run = rng.gen_range(1..=PERIOD as u64 + 2);
+            for i in 0..run {
+                let p = next_point(id, t0 + i, rng);
+                store.report(ObjectId(id), t0 + i, p).unwrap();
+            }
+            next_t.insert(id, t0 + run);
+        }
+        7 => {
+            store.remove(ObjectId(id));
+        }
+        8 => {
+            let _ = store.force_retrain(ObjectId(id));
+        }
+        _ => {
+            let t = next_t.get(&id).copied().unwrap_or(0) + 7;
+            if store.report(ObjectId(id), t, Point::new(1.0, 2.0)).is_ok() {
+                next_t.insert(id, t + 1);
+            }
+        }
+    }
+}
+
+/// A query box around the populated part of the plane: sometimes tiny
+/// (even zero-area), sometimes fleet-wide.
+fn query_box(rng: &mut SmallRng) -> BoundingBox {
+    let cx = rng.gen_f64() * 400.0 - 150.0;
+    let cy = rng.gen_f64() * 300.0 - 150.0;
+    let half = match rng.gen_range(0..4u32) {
+        0 => 0.0,
+        1 => rng.gen_f64() * 5.0,
+        2 => rng.gen_f64() * 60.0,
+        _ => 500.0,
+    };
+    BoundingBox {
+        min: Point::new(cx - half, cy - half),
+        max: Point::new(cx + half, cy + half),
+    }
+}
+
+/// A mass threshold spanning the interesting regimes: exactly zero,
+/// small, moderate, and the never-satisfiable > 1.
+fn random_tau(rng: &mut SmallRng) -> f64 {
+    match rng.gen_range(0..4u32) {
+        0 => 0.0,
+        1 => rng.gen_f64() * 0.3,
+        2 => rng.gen_f64(),
+        _ => 1.0 + rng.gen_f64(),
+    }
+}
+
+props! {
+    /// Probabilistic range through the index equals the full scan
+    /// after every mutation, across τ regimes and query times.
+    fn within_bit_identical_to_scan(
+        seed in int(0u64..1_000_000),
+        n_ids in int(3u64..10),
+        rounds in int(1usize..12),
+    ) {
+        let store = MovingObjectStore::new(config(index_config(seed)));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0B);
+        let mut next_t = HashMap::new();
+        for _ in 0..rounds {
+            mutate(&store, &mut rng, &mut next_t, n_ids);
+            let region = query_box(&mut rng);
+            let t = rng.gen_range(0..60u64);
+            let tau = random_tau(&mut rng);
+            let indexed = store.predict_within(&region, t, tau);
+            let scan = store.predict_within_scan(&region, t, tau);
+            require_eq!(indexed, scan, "t={t} tau={tau} region={region:?}");
+        }
+    }
+
+    /// Probabilistic kNN through the expanding-ring sweep equals the
+    /// full sort-and-truncate scan after every mutation — including
+    /// k = 0, k beyond the fleet, and unreachable τ.
+    fn nearest_prob_bit_identical_to_scan(
+        seed in int(0u64..1_000_000),
+        n_ids in int(3u64..10),
+        rounds in int(1usize..12),
+    ) {
+        let store = MovingObjectStore::new(config(index_config(seed >> 3)));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9EA);
+        let mut next_t = HashMap::new();
+        for _ in 0..rounds {
+            mutate(&store, &mut rng, &mut next_t, n_ids);
+            let focus = Point::new(
+                rng.gen_f64() * 400.0 - 150.0,
+                rng.gen_f64() * 300.0 - 150.0,
+            );
+            let t = rng.gen_range(0..60u64);
+            let k = rng.gen_range(0..n_ids as usize + 2);
+            let tau = random_tau(&mut rng);
+            let indexed = store.predict_nearest_prob(&focus, t, k, tau);
+            let scan = store.predict_nearest_prob_scan(&focus, t, k, tau);
+            require_eq!(indexed, scan, "t={t} k={k} tau={tau} focus={focus}");
+        }
+    }
+
+    /// τ = 0 probabilistic range is a superset of the point range
+    /// answer set: every id `predict_range` returns also appears in
+    /// `predict_within(…, 0.0)`, with its claimed mass and the same
+    /// best point.
+    fn tau_zero_within_covers_point_range(
+        seed in int(0u64..1_000_000),
+        n_ids in int(3u64..10),
+        rounds in int(1usize..10),
+    ) {
+        let store = MovingObjectStore::new(config(index_config(seed >> 2)));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7A0);
+        let mut next_t = HashMap::new();
+        for _ in 0..rounds {
+            mutate(&store, &mut rng, &mut next_t, n_ids);
+            let region = query_box(&mut rng);
+            let t = rng.gen_range(0..60u64);
+            let point_hits = store.predict_range(&region, t);
+            let prob_hits = store.predict_within(&region, t, 0.0);
+            for (id, best) in &point_hits {
+                let hit = prob_hits.iter().find(|(pid, _, _)| pid == id);
+                require!(
+                    hit.is_some(),
+                    "point-range member {id:?} missing from tau=0 predict_within \
+                     (t={t} region={region:?})"
+                );
+                let (_, prob_best, mass) = hit.unwrap();
+                require_eq!(prob_best, best, "best point must match for {id:?}");
+                require!(*mass >= 0.0, "claimed mass is non-negative");
+            }
+        }
+    }
+}

@@ -248,6 +248,47 @@ impl Client {
         }
     }
 
+    /// Probabilistic range query over the fleet (mirrors
+    /// `MovingObjectStore::predict_within`): objects putting at least
+    /// `tau` of their predicted mass inside `region`.
+    pub fn predict_within(
+        &mut self,
+        region: &BoundingBox,
+        query_time: Timestamp,
+        tau: f64,
+    ) -> Result<Vec<(ObjectId, Point, f64)>, ClientError> {
+        match self.call(RequestBody::PredictWithin {
+            region: *region,
+            query_time,
+            tau,
+        })? {
+            ResponseBody::Within(hits) => Ok(hits),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Within" }),
+        }
+    }
+
+    /// Probabilistic k-nearest-neighbour query over the fleet (mirrors
+    /// `MovingObjectStore::predict_nearest_prob`).
+    pub fn predict_nearest_prob(
+        &mut self,
+        focus: &Point,
+        query_time: Timestamp,
+        k: usize,
+        tau: f64,
+    ) -> Result<Vec<(ObjectId, Point, f64)>, ClientError> {
+        match self.call(RequestBody::PredictNearestProb {
+            focus: *focus,
+            query_time,
+            k: k as u64,
+            tau,
+        })? {
+            ResponseBody::NearestProb(hits) => Ok(hits),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "NearestProb",
+            }),
+        }
+    }
+
     /// Per-object health snapshot (mirrors `MovingObjectStore::stats`).
     pub fn stats(&mut self, id: ObjectId) -> Result<Result<ObjectStats, QueryError>, ClientError> {
         match self.call(RequestBody::Stats(id))? {

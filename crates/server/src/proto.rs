@@ -31,7 +31,7 @@
 //! sanity-checked before any allocation (a hostile 4 GiB length
 //! prefix is rejected while 4 bytes have been read).
 
-use hpm_core::{Prediction, PredictionSource, RankedAnswer};
+use hpm_core::{Prediction, PredictionSource, RankedAnswer, Uncertainty};
 use hpm_geo::{BoundingBox, Point};
 use hpm_objectstore::{IngestError, ObjectId, ObjectStats, QueryError};
 use hpm_store::wire::{fnv1a, get_count, get_f64, get_varint, put_f64, put_varint};
@@ -150,6 +150,30 @@ pub enum RequestBody {
         /// How many neighbours to return.
         k: u64,
     },
+    /// Probabilistic range query over the fleet
+    /// (`MovingObjectStore::predict_within`): objects whose predicted
+    /// distribution puts at least `tau` mass inside the region.
+    PredictWithin {
+        /// The spatial region asked about.
+        region: BoundingBox,
+        /// The future timestamp asked about.
+        query_time: Timestamp,
+        /// Minimum probability mass inside `region`.
+        tau: f64,
+    },
+    /// Probabilistic k-nearest-neighbour query over the fleet
+    /// (`MovingObjectStore::predict_nearest_prob`): objects ranked by
+    /// the radius containing `tau` of their predicted mass.
+    PredictNearestProb {
+        /// The query focus point.
+        focus: Point,
+        /// The future timestamp asked about.
+        query_time: Timestamp,
+        /// How many neighbours to return.
+        k: u64,
+        /// Probability mass the ranking radius must contain.
+        tau: f64,
+    },
     /// Per-object health snapshot (`MovingObjectStore::stats`).
     Stats(ObjectId),
     /// Admin: force a full retrain (`MovingObjectStore::force_retrain`).
@@ -175,6 +199,8 @@ const REQ_SNAPSHOT: u8 = 7;
 const REQ_METRICS: u8 = 8;
 const REQ_PING: u8 = 9;
 const REQ_SHUTDOWN: u8 = 10;
+const REQ_PREDICT_WITHIN: u8 = 11;
+const REQ_PREDICT_NEAREST_PROB: u8 = 12;
 
 /// One response frame, echoing its request's correlation id.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +226,14 @@ pub enum ResponseBody {
     /// The k predicted-nearest objects with positions and distances,
     /// nearest first.
     Nearest(Vec<(ObjectId, Point, f64)>),
+    /// Objects whose distribution puts ≥ τ mass inside the region
+    /// ([`RequestBody::PredictWithin`]): id, best point, and the mass
+    /// claimed inside, ordered by object id.
+    Within(Vec<(ObjectId, Point, f64)>),
+    /// The k probabilistically-nearest objects
+    /// ([`RequestBody::PredictNearestProb`]): id, best point, and the
+    /// τ-confidence radius, smallest radius first.
+    NearestProb(Vec<(ObjectId, Point, f64)>),
     /// The object's stats, or why they are unavailable.
     Stats(Result<ObjectStats, QueryError>),
     /// Outcome of a forced retrain.
@@ -245,6 +279,8 @@ const RESP_PONG: u8 = 9;
 const RESP_SHUTTING_DOWN: u8 = 10;
 const RESP_MALFORMED: u8 = 11;
 const RESP_OVERSIZED: u8 = 12;
+const RESP_WITHIN: u8 = 13;
+const RESP_NEAREST_PROB: u8 = 14;
 
 // ---------------------------------------------------------------- framing
 
@@ -502,6 +538,9 @@ fn put_prediction(out: &mut Vec<u8>, p: &Prediction) {
         put_f64(out, a.score);
         // 0 = no supporting pattern, else index + 1.
         put_varint(out, a.pattern.map_or(0, |i| u64::from(i) + 1));
+        put_point(out, &a.uncertainty.region.min);
+        put_point(out, &a.uncertainty.region.max);
+        put_f64(out, a.uncertainty.mass);
     }
 }
 
@@ -512,8 +551,9 @@ fn get_prediction(buf: &mut &[u8]) -> Result<Prediction, DecodeError> {
         SOURCE_MOTION => PredictionSource::MotionFunction,
         other => return Err(DecodeError::Invalid(format!("prediction source {other}"))),
     };
-    // Each answer is ≥ 25 bytes (two f64, one f64, one varint byte).
-    let n = get_len(buf, 25)?;
+    // Each answer is ≥ 65 bytes: location (2×f64), score (f64), one
+    // varint byte, uncertainty region (4×f64) and mass (f64).
+    let n = get_len(buf, 65)?;
     let mut answers = Vec::with_capacity(n);
     for _ in 0..n {
         let location = get_point(buf)?;
@@ -528,10 +568,16 @@ fn get_prediction(buf: &mut &[u8]) -> Result<Prediction, DecodeError> {
                 Some(i as u32)
             }
         };
+        let region = BoundingBox {
+            min: get_point(buf)?,
+            max: get_point(buf)?,
+        };
+        let mass = get_f64(buf)?;
         answers.push(RankedAnswer {
             location,
             score,
             pattern,
+            uncertainty: Uncertainty { region, mass },
         });
     }
     Ok(Prediction { answers, source })
@@ -598,6 +644,29 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             put_varint(out, *query_time);
             put_varint(out, *k);
         }
+        RequestBody::PredictWithin {
+            region,
+            query_time,
+            tau,
+        } => {
+            out.push(REQ_PREDICT_WITHIN);
+            put_point(out, &region.min);
+            put_point(out, &region.max);
+            put_varint(out, *query_time);
+            put_f64(out, *tau);
+        }
+        RequestBody::PredictNearestProb {
+            focus,
+            query_time,
+            k,
+            tau,
+        } => {
+            out.push(REQ_PREDICT_NEAREST_PROB);
+            put_point(out, focus);
+            put_varint(out, *query_time);
+            put_varint(out, *k);
+            put_f64(out, *tau);
+        }
         RequestBody::Stats(id) => {
             out.push(REQ_STATS);
             put_varint(out, id.0);
@@ -650,6 +719,20 @@ pub fn decode_request(mut payload: &[u8]) -> Result<Request, ProtoError> {
             focus: get_point(buf)?,
             query_time: get_varint(buf)?,
             k: get_varint(buf)?,
+        },
+        REQ_PREDICT_WITHIN => RequestBody::PredictWithin {
+            region: BoundingBox {
+                min: get_point(buf)?,
+                max: get_point(buf)?,
+            },
+            query_time: get_varint(buf)?,
+            tau: get_f64(buf)?,
+        },
+        REQ_PREDICT_NEAREST_PROB => RequestBody::PredictNearestProb {
+            focus: get_point(buf)?,
+            query_time: get_varint(buf)?,
+            k: get_varint(buf)?,
+            tau: get_f64(buf)?,
         },
         REQ_STATS => RequestBody::Stats(ObjectId(get_varint(buf)?)),
         REQ_FORCE_RETRAIN => RequestBody::ForceRetrain(ObjectId(get_varint(buf)?)),
@@ -709,6 +792,24 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         }
         ResponseBody::Nearest(hits) => {
             out.push(RESP_NEAREST);
+            put_varint(out, hits.len() as u64);
+            for (id, p, d) in hits {
+                put_varint(out, id.0);
+                put_point(out, p);
+                put_f64(out, *d);
+            }
+        }
+        ResponseBody::Within(hits) => {
+            out.push(RESP_WITHIN);
+            put_varint(out, hits.len() as u64);
+            for (id, p, mass) in hits {
+                put_varint(out, id.0);
+                put_point(out, p);
+                put_f64(out, *mass);
+            }
+        }
+        ResponseBody::NearestProb(hits) => {
+            out.push(RESP_NEAREST_PROB);
             put_varint(out, hits.len() as u64);
             for (id, p, d) in hits {
                 put_varint(out, id.0);
@@ -818,6 +919,26 @@ pub fn decode_response(mut payload: &[u8]) -> Result<Response, ProtoError> {
                 hits.push((id, p, get_f64(buf)?));
             }
             ResponseBody::Nearest(hits)
+        }
+        RESP_WITHIN => {
+            let n = get_len(buf, 25)?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = ObjectId(get_varint(buf)?);
+                let p = get_point(buf)?;
+                hits.push((id, p, get_f64(buf)?));
+            }
+            ResponseBody::Within(hits)
+        }
+        RESP_NEAREST_PROB => {
+            let n = get_len(buf, 25)?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = ObjectId(get_varint(buf)?);
+                let p = get_point(buf)?;
+                hits.push((id, p, get_f64(buf)?));
+            }
+            ResponseBody::NearestProb(hits)
         }
         RESP_STATS => ResponseBody::Stats(match get_u8(buf)? {
             0 => Ok(get_stats(buf)?),
@@ -956,6 +1077,20 @@ mod tests {
                 query_time: 42,
                 k: 5,
             },
+            RequestBody::PredictWithin {
+                region: BoundingBox {
+                    min: Point::new(-5.0, -5.0),
+                    max: Point::new(5.0, 5.0),
+                },
+                query_time: 77,
+                tau: 0.5,
+            },
+            RequestBody::PredictNearestProb {
+                focus: Point::new(1.0, -1.0),
+                query_time: 88,
+                k: 3,
+                tau: 0.9,
+            },
             RequestBody::Stats(ObjectId(3)),
             RequestBody::ForceRetrain(ObjectId(4)),
             RequestBody::Snapshot,
@@ -977,11 +1112,26 @@ mod tests {
     #[test]
     fn response_kinds_roundtrip() {
         let pred = Prediction {
-            answers: vec![RankedAnswer {
-                location: Point::new(5.0, 6.0),
-                score: 0.75,
-                pattern: Some(9),
-            }],
+            answers: vec![
+                RankedAnswer {
+                    location: Point::new(5.0, 6.0),
+                    score: 0.75,
+                    pattern: Some(9),
+                    uncertainty: Uncertainty {
+                        region: BoundingBox {
+                            min: Point::new(4.0, 5.0),
+                            max: Point::new(6.0, 7.0),
+                        },
+                        mass: 0.625,
+                    },
+                },
+                RankedAnswer {
+                    location: Point::new(-1.0, 0.5),
+                    score: 0.0,
+                    pattern: None,
+                    uncertainty: Uncertainty::point_claim(Point::new(-1.0, 0.5)),
+                },
+            ],
             source: PredictionSource::BackwardPatterns,
         };
         let responses = [
@@ -1011,6 +1161,8 @@ mod tests {
             ]),
             ResponseBody::Range(vec![(ObjectId(1), Point::new(0.5, 0.25))]),
             ResponseBody::Nearest(vec![(ObjectId(2), Point::new(-1.0, 2.0), 3.5)]),
+            ResponseBody::Within(vec![(ObjectId(3), Point::new(2.0, 2.0), 0.75)]),
+            ResponseBody::NearestProb(vec![(ObjectId(4), Point::new(-2.0, 1.0), 12.5)]),
             ResponseBody::Stats(Ok(ObjectStats {
                 samples: 10,
                 full_periods: 2,
@@ -1084,6 +1236,71 @@ mod tests {
                 decode_response(&out[..cut]).is_err(),
                 "truncation at {cut} must be a typed error"
             );
+        }
+    }
+
+    #[test]
+    fn truncated_uncertain_prediction_is_typed_not_panic() {
+        // The uncertainty-carrying answer encoding: every cut of a
+        // Predictions response must decode to a typed error, and the
+        // full payload must round-trip.
+        let pred = Prediction {
+            answers: vec![RankedAnswer {
+                location: Point::new(1.0, 2.0),
+                score: 0.5,
+                pattern: Some(3),
+                uncertainty: Uncertainty {
+                    region: BoundingBox {
+                        min: Point::new(0.0, 1.0),
+                        max: Point::new(2.0, 3.0),
+                    },
+                    mass: 0.5,
+                },
+            }],
+            source: PredictionSource::ForwardPatterns,
+        };
+        let resp = Response {
+            correlation: 9,
+            body: ResponseBody::Predictions(vec![Ok(pred)]),
+        };
+        let mut out = Vec::new();
+        encode_response(&resp, &mut out);
+        assert_eq!(decode_response(&out).unwrap(), resp);
+        for cut in 0..out.len() {
+            assert!(
+                decode_response(&out[..cut]).is_err(),
+                "truncation at {cut} must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_prob_verbs_are_typed_not_panic() {
+        let mut out = Vec::new();
+        encode_request(
+            &Request {
+                correlation: 2,
+                body: RequestBody::PredictNearestProb {
+                    focus: Point::new(3.0, 4.0),
+                    query_time: 10,
+                    k: 2,
+                    tau: 0.8,
+                },
+            },
+            &mut out,
+        );
+        for cut in 0..out.len() {
+            assert!(decode_request(&out[..cut]).is_err(), "request cut {cut}");
+        }
+        encode_response(
+            &Response {
+                correlation: 2,
+                body: ResponseBody::Within(vec![(ObjectId(1), Point::new(0.0, 0.0), 1.0)]),
+            },
+            &mut out,
+        );
+        for cut in 0..out.len() {
+            assert!(decode_response(&out[..cut]).is_err(), "response cut {cut}");
         }
     }
 

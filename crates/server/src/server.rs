@@ -478,6 +478,22 @@ fn execute(
             query_time,
             usize::try_from(k).unwrap_or(usize::MAX),
         )),
+        RequestBody::PredictWithin {
+            region,
+            query_time,
+            tau,
+        } => ResponseBody::Within(store.predict_within(&region, query_time, tau)),
+        RequestBody::PredictNearestProb {
+            focus,
+            query_time,
+            k,
+            tau,
+        } => ResponseBody::NearestProb(store.predict_nearest_prob(
+            &focus,
+            query_time,
+            usize::try_from(k).unwrap_or(usize::MAX),
+            tau,
+        )),
         RequestBody::Stats(id) => ResponseBody::Stats(store.stats(id)),
         RequestBody::ForceRetrain(id) => ResponseBody::Retrained(store.force_retrain(id)),
         RequestBody::Snapshot => ResponseBody::Snapshotted(store.snapshot().map_err(|e| e.kind())),

@@ -17,7 +17,7 @@ mod common;
 
 use common::{config, spawn_server, TestServer};
 use hpm_check::prelude::*;
-use hpm_core::{Prediction, PredictionSource, RankedAnswer};
+use hpm_core::{Prediction, PredictionSource, RankedAnswer, Uncertainty};
 use hpm_geo::{BoundingBox, Point};
 use hpm_objectstore::{IngestError, MovingObjectStore, ObjectId, ObjectStats, QueryError};
 use hpm_rand::{Rng, SmallRng};
@@ -36,7 +36,7 @@ fn random_point(rng: &mut SmallRng) -> Point {
 }
 
 fn random_request(rng: &mut SmallRng) -> Request {
-    let body = match rng.gen_range(0..10u32) {
+    let body = match rng.gen_range(0..12u32) {
         0 => RequestBody::ReportMany(
             (0..rng.gen_range(0..20usize))
                 .map(|_| {
@@ -65,11 +65,25 @@ fn random_request(rng: &mut SmallRng) -> Request {
             query_time: rng.gen_range(0..100_000),
             k: rng.gen_range(0..100),
         },
-        4 => RequestBody::Stats(ObjectId(rng.gen_range(0..1000))),
-        5 => RequestBody::ForceRetrain(ObjectId(rng.gen_range(0..1000))),
-        6 => RequestBody::Snapshot,
-        7 => RequestBody::Metrics,
-        8 => RequestBody::Ping,
+        4 => RequestBody::PredictWithin {
+            region: BoundingBox {
+                min: random_point(rng),
+                max: random_point(rng),
+            },
+            query_time: rng.gen_range(0..100_000),
+            tau: rng.gen_f64(),
+        },
+        5 => RequestBody::PredictNearestProb {
+            focus: random_point(rng),
+            query_time: rng.gen_range(0..100_000),
+            k: rng.gen_range(0..100),
+            tau: rng.gen_f64(),
+        },
+        6 => RequestBody::Stats(ObjectId(rng.gen_range(0..1000))),
+        7 => RequestBody::ForceRetrain(ObjectId(rng.gen_range(0..1000))),
+        8 => RequestBody::Snapshot,
+        9 => RequestBody::Metrics,
+        10 => RequestBody::Ping,
         _ => RequestBody::Shutdown,
     };
     Request {
@@ -109,6 +123,22 @@ fn random_query_error(rng: &mut SmallRng) -> QueryError {
     }
 }
 
+fn random_uncertainty(rng: &mut SmallRng) -> Uncertainty {
+    if rng.gen_range(0..3u32) == 0 {
+        Uncertainty::point_claim(random_point(rng))
+    } else {
+        let a = random_point(rng);
+        let b = random_point(rng);
+        Uncertainty {
+            region: BoundingBox {
+                min: a.min(&b),
+                max: a.max(&b),
+            },
+            mass: rng.gen_f64(),
+        }
+    }
+}
+
 fn random_prediction(rng: &mut SmallRng) -> Prediction {
     Prediction {
         answers: (0..rng.gen_range(0..6usize))
@@ -120,6 +150,7 @@ fn random_prediction(rng: &mut SmallRng) -> Prediction {
                 } else {
                     Some(rng.gen_range(0..1000u64) as u32)
                 },
+                uncertainty: random_uncertainty(rng),
             })
             .collect(),
         source: match rng.gen_range(0..3u32) {
@@ -131,7 +162,7 @@ fn random_prediction(rng: &mut SmallRng) -> Prediction {
 }
 
 fn random_response(rng: &mut SmallRng) -> Response {
-    let body = match rng.gen_range(0..12u32) {
+    let body = match rng.gen_range(0..14u32) {
         0 => ResponseBody::Ingested(
             (0..rng.gen_range(0..20usize))
                 .map(|_| random_ingest_result(rng))
@@ -164,7 +195,29 @@ fn random_response(rng: &mut SmallRng) -> Response {
                 })
                 .collect(),
         ),
-        4 => ResponseBody::Stats(if rng.gen_range(0..2u32) == 0 {
+        4 => ResponseBody::Within(
+            (0..rng.gen_range(0..10usize))
+                .map(|_| {
+                    (
+                        ObjectId(rng.gen_range(0..1000)),
+                        random_point(rng),
+                        rng.gen_f64(),
+                    )
+                })
+                .collect(),
+        ),
+        5 => ResponseBody::NearestProb(
+            (0..rng.gen_range(0..10usize))
+                .map(|_| {
+                    (
+                        ObjectId(rng.gen_range(0..1000)),
+                        random_point(rng),
+                        rng.gen_f64() * 100.0,
+                    )
+                })
+                .collect(),
+        ),
+        6 => ResponseBody::Stats(if rng.gen_range(0..2u32) == 0 {
             Ok(ObjectStats {
                 samples: rng.gen_range(0..10_000usize),
                 full_periods: rng.gen_range(0..100usize),
@@ -176,20 +229,20 @@ fn random_response(rng: &mut SmallRng) -> Response {
         } else {
             Err(random_query_error(rng))
         }),
-        5 => ResponseBody::Retrained(if rng.gen_range(0..2u32) == 0 {
+        7 => ResponseBody::Retrained(if rng.gen_range(0..2u32) == 0 {
             Ok(())
         } else {
             Err(random_query_error(rng))
         }),
-        6 => ResponseBody::Snapshotted(match rng.gen_range(0..3u32) {
+        8 => ResponseBody::Snapshotted(match rng.gen_range(0..3u32) {
             0 => Ok(true),
             1 => Ok(false),
             _ => Err(std::io::ErrorKind::StorageFull),
         }),
-        7 => ResponseBody::Metrics(format!("{{\"n\":{}}}", rng.gen_range(0..1000u32))),
-        8 => ResponseBody::Pong,
-        9 => ResponseBody::ShuttingDown,
-        10 => ResponseBody::Malformed(format!("reason {}", rng.gen_range(0..1000u32))),
+        9 => ResponseBody::Metrics(format!("{{\"n\":{}}}", rng.gen_range(0..1000u32))),
+        10 => ResponseBody::Pong,
+        11 => ResponseBody::ShuttingDown,
+        12 => ResponseBody::Malformed(format!("reason {}", rng.gen_range(0..1000u32))),
         _ => ResponseBody::Oversized {
             encoded: rng.gen_range(0..1u64 << 40),
             limit: rng.gen_range(0..1u64 << 40),

@@ -30,8 +30,8 @@ STRESS_RUNS="${HPM_STRESS_RUNS:-1}"
 for i in $(seq 1 "$STRESS_RUNS"); do
     [ "$STRESS_RUNS" -gt 1 ] && echo "  stress run $i/$STRESS_RUNS"
     cargo test -q --release --offline -p hpm-objectstore \
-        --test stress --test props --test index_props --test query_edge \
-        --test retrain --test recovery --test failpoints
+        --test stress --test props --test index_props --test prob_props \
+        --test query_edge --test retrain --test recovery --test failpoints
     cargo test -q --release --offline -p hpm-server \
         --test proto_props --test faults
 done
@@ -68,6 +68,19 @@ grep -q "3 batch queries on 4 threads" "$SMOKE_DIR/batch4.out"
 # Parallel answers must be byte-identical to sequential ones.
 diff <(sed 's/on 4 threads/on N threads/' "$SMOKE_DIR/batch4.out") \
      <(sed 's/on 1 threads/on N threads/' "$SMOKE_DIR/batch1.out")
+
+echo "==> calibration smoke (noisy-sensor: claimed mass vs empirical hit rate)"
+# The fallback-dominated noisy-sensor scenario is where the residual
+# ellipse is the only source of claimed mass; generation is seed-
+# deterministic, so the gap is a fixed value (~0.03) well under the
+# 0.1 tolerance. A miscalibrated ellipse (wrong sigma scaling, broken
+# erf) trips the non-zero exit.
+./target/release/hpm generate --dataset noisy-sensor --subs 40 --seed 42 \
+    --output "$SMOKE_DIR/noisy.csv" >/dev/null
+./target/release/hpm eval --input "$SMOKE_DIR/noisy.csv" --period 300 \
+    --train-subs 30 --length 5 --queries 50 \
+    --calibration true --tolerance 0.1 > "$SMOKE_DIR/calib.out"
+grep -q '^CALIBRATION predicted_mass=' "$SMOKE_DIR/calib.out"
 
 echo "==> crash-recovery smoke (HPM_FAILPOINT tears the WAL mid-write)"
 # A twin ingests the same stream without crashing; a crashed ingest is
